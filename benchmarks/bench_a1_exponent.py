@@ -1,0 +1,12 @@
+"""Benchmark + table regeneration for experiment A1 (exponent).
+
+See DESIGN.md §4 for the experiment's claim and parameters; the quick-
+scale table is printed under -s, the full-scale run is archived in
+EXPERIMENTS.md.
+"""
+
+from conftest import bench_experiment
+
+
+def test_experiment_a1(benchmark):
+    bench_experiment(benchmark, "A1")

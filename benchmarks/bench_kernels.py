@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the vectorized kernels and algorithm hot paths.
+
+These time the primitives the HPC guides direct us to optimize:
+whole-array sampling, the grouped-accept lexsort kernel, the multinomial
+aggregate round, and end-to-end algorithm runs at the two granularities.
+They guard against performance regressions (the per-round kernels are
+what caps the feasible ``m``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import run_single_choice
+from repro.core import run_asymmetric, run_heavy
+from repro.fastpath.sampling import (
+    grouped_accept,
+    multinomial_occupancy,
+    sample_uniform_choices,
+)
+from repro.light import run_light
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSamplingKernels:
+    def test_uniform_choices_1m(self, benchmark, rng):
+        out = benchmark(sample_uniform_choices, 1_000_000, 4096, rng)
+        assert out.size == 1_000_000
+
+    def test_multinomial_occupancy_1m_balls(self, benchmark, rng):
+        out = benchmark(multinomial_occupancy, 1_000_000, 4096, rng)
+        assert out.sum() == 1_000_000
+
+    def test_multinomial_occupancy_1t_balls(self, benchmark, rng):
+        """The aggregate path's selling point: 10^12 balls in O(n)."""
+        out = benchmark(multinomial_occupancy, 10**12, 4096, rng)
+        assert out.sum() == 10**12
+
+    def test_grouped_accept_1m_requests(self, benchmark, rng):
+        choices = rng.integers(0, 4096, size=1_000_000)
+        capacity = np.full(4096, 200)
+        mask = benchmark(grouped_accept, choices, capacity, rng)
+        assert mask.sum() <= 4096 * 200
+
+
+class TestAlgorithmThroughput:
+    def test_heavy_perball_1m(self, benchmark):
+        res = benchmark.pedantic(
+            run_heavy,
+            args=(1_000_000, 1024),
+            kwargs={"seed": 1},
+            rounds=1,
+            iterations=1,
+        )
+        assert res.complete
+
+    def test_heavy_aggregate_1g(self, benchmark):
+        """10^9 balls: only feasible on the aggregate path."""
+        res = benchmark.pedantic(
+            run_heavy,
+            args=(10**9, 1024),
+            kwargs={"seed": 1, "mode": "aggregate"},
+            rounds=1,
+            iterations=1,
+        )
+        assert res.complete
+        assert res.gap <= 8
+
+    def test_asymmetric_1m(self, benchmark):
+        res = benchmark.pedantic(
+            run_asymmetric,
+            args=(1_000_000, 1024),
+            kwargs={"seed": 1},
+            rounds=1,
+            iterations=1,
+        )
+        assert res.complete
+
+    def test_light_64k(self, benchmark):
+        out = benchmark.pedantic(
+            run_light,
+            args=(65536, 65536),
+            kwargs={"seed": 1},
+            rounds=1,
+            iterations=1,
+        )
+        assert out.max_load <= 2
+
+    def test_single_choice_aggregate_1g(self, benchmark):
+        res = benchmark.pedantic(
+            run_single_choice,
+            args=(10**9, 4096),
+            kwargs={"seed": 1, "mode": "aggregate"},
+            rounds=1,
+            iterations=1,
+        )
+        assert res.loads.sum() == 10**9

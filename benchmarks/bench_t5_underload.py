@@ -1,0 +1,12 @@
+"""Benchmark + table regeneration for experiment T5 (underload).
+
+See DESIGN.md §4 for the experiment's claim and parameters; the quick-
+scale table is printed under -s, the full-scale run is archived in
+EXPERIMENTS.md.
+"""
+
+from conftest import bench_experiment
+
+
+def test_experiment_t5(benchmark):
+    bench_experiment(benchmark, "T5")

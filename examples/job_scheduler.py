@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Scenario: dispatching a burst of jobs onto a server fleet.
+
+The balls-into-bins abstraction the paper motivates: ``m`` short jobs
+arrive at once and must be dispatched onto ``n`` identical servers by
+*stateless* dispatch (no central queue, no global load view).  Each
+job-agent can exchange a few messages with servers before committing.
+The maximum server backlog — the paper's max load — determines the
+tail latency of the burst.
+
+This example compares dispatch policies at fleet scale and prints the
+tail-latency table, including the round/message budget each policy
+consumed.  The numbers show the paper's trade-off: the threshold
+algorithm matches the quality of sequential least-loaded dispatch
+while running in a handful of parallel message rounds.
+
+Run:
+    python examples/job_scheduler.py [--jobs 2000000] [--servers 2000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import repro
+
+
+def dispatch_table(m: int, n: int, seed: int) -> None:
+    mean = m / n
+    print(f"burst: {m:,} jobs over {n:,} servers (mean backlog {mean:.0f})\n")
+    rows = []
+
+    naive = repro.run_single_choice(m, n, seed=seed)
+    rows.append(("random (one-shot)", naive))
+
+    stemann = repro.run_stemann(m, n, seed=seed)
+    rows.append(("collision protocol [Ste96]", stemann))
+
+    batched = repro.run_batched_dchoice(m, n, 2, seed=seed)
+    rows.append(("batched 2-choice [BCE+12]", batched))
+
+    heavy = repro.run_heavy(m, n, seed=seed)
+    rows.append(("threshold (paper, Thm 1)", heavy))
+
+    asym = repro.run_asymmetric(m, n, seed=seed)
+    rows.append(("superbins (paper, Thm 3)", asym))
+
+    # Sequential reference: what a central least-loaded-of-2 queue
+    # would achieve, processing jobs one at a time.
+    greedy = repro.run_greedy_d(min(m, 2_000_000), n, 2, seed=seed)
+    rows.append(("sequential 2-choice [BCSV06]", greedy))
+
+    header = f"{'policy':32s} {'max backlog':>12s} {'over mean':>10s} {'rounds':>7s} {'msgs/job':>9s}"
+    print(header)
+    print("-" * len(header))
+    for name, res in rows:
+        rounds = "seq" if res.sequential else str(res.rounds)
+        msgs = res.total_messages / res.m
+        print(
+            f"{name:32s} {res.max_load:12,d} {res.gap:+10.1f} "
+            f"{rounds:>7s} {msgs:9.2f}"
+        )
+    print()
+    print(
+        "tail-latency takeaway: the paper's threshold dispatch keeps the\n"
+        "worst server within a constant of the mean — the same quality\n"
+        "as a sequential least-loaded queue — using "
+        f"{heavy.rounds} parallel rounds and "
+        f"{heavy.total_messages / m:.1f} messages per job."
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=2_000_000)
+    parser.add_argument("--servers", type=int, default=2_000)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+    dispatch_table(args.jobs, args.servers, args.seed)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Scaling study: rounds and gap as m/n grows from 2^2 to 2^40.
+
+Uses the ``O(n)``-per-round aggregate execution path (exact in
+distribution — see DESIGN.md §5) to push ``m`` far beyond what per-ball
+simulation could hold in memory: a trillion balls runs in milliseconds.
+
+Prints the doubly-logarithmic round curve of Theorem 1 next to the
+prediction, and the flat O(1) gap curve next to the naive baseline's
+square-root growth.
+
+Run:
+    python examples/scaling_study.py [--n 1024]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+import repro
+from repro.analysis.theory import (
+    expected_max_load_single_choice,
+    predicted_rounds,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1024)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+    n = args.n
+
+    header = (
+        f"{'m/n':>12s} {'rounds':>7s} {'predicted':>10s} "
+        f"{'gap':>6s} {'asym rounds':>12s} {'asym gap':>9s} "
+        f"{'naive gap (pred)':>17s}"
+    )
+    print(f"A_heavy / asymmetric scaling at n={n} (aggregate path)\n")
+    print(header)
+    print("-" * len(header))
+    for exponent in (2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40):
+        ratio = 2**exponent
+        m = n * ratio
+        res = repro.run_heavy(m, n, seed=args.seed, mode="aggregate")
+        asym = repro.run_asymmetric(m, n, seed=args.seed, mode="aggregate")
+        naive_gap = expected_max_load_single_choice(m, n) - m / n
+        print(
+            f"{ratio:12,} {res.rounds:7d} {predicted_rounds(m, n):10d} "
+            f"{res.gap:+6.0f} {asym.rounds:12d} {asym.gap:+9.1f} "
+            f"{naive_gap:17,.0f}"
+        )
+    print(
+        "\nthe rounds column grows like log log(m/n) — from 2^2 to 2^40 "
+        "(nine orders of magnitude) it gains only a handful of rounds — "
+        "while the gap stays O(1) and the naive baseline's overload "
+        "grows past a million balls."
+    )
+
+
+if __name__ == "__main__":
+    main()

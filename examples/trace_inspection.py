@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Peek inside a run: round-by-round trace of the reference engine.
+
+The package's object-level engine executes the paper's synchronous
+model literally — ball and bin agents exchanging message objects with
+symmetric port routing.  This example attaches a
+:class:`~repro.simulation.trace.TraceRecorder` and prints what actually
+happens, round by round, when the threshold protocol runs on a small
+instance: the conservative thresholds keeping every bin busy, the
+collapse of the active set, and the hand-off point where A_light takes
+over.
+
+A useful first stop when implementing a new protocol on the engine.
+
+Run:
+    python examples/trace_inspection.py [--balls 5000] [--bins 32]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.heavy_agents import (
+    ThresholdBallAgent,
+    ThresholdBinAgent,
+    _make_engine,
+)
+from repro.core.thresholds import PaperSchedule
+from repro.simulation.trace import TraceRecorder, render_trace
+from repro.utils.seeding import RngFactory
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--balls", type=int, default=5_000)
+    parser.add_argument("--bins", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+    m, n = args.balls, args.bins
+
+    schedule = PaperSchedule(m, n)
+    print(
+        f"threshold protocol, m={m:,}, n={n}: schedule plans "
+        f"{schedule.phase1_rounds()} phase-1 rounds with thresholds "
+        f"{[schedule.threshold(i) for i in range(schedule.phase1_rounds())]}\n"
+    )
+
+    engine = _make_engine(
+        m,
+        n,
+        RngFactory(args.seed),
+        lambda i, rng: ThresholdBallAgent(i, rng),
+        lambda j, rng: ThresholdBinAgent(j, rng, schedule),
+        max_rounds=schedule.phase1_rounds(),
+    )
+    recorder = TraceRecorder(engine)
+    outcome = engine.run()
+
+    print(render_trace(recorder.events))
+    print()
+    print(
+        f"after phase 1: {outcome.unallocated} stragglers remain "
+        f"({outcome.unallocated / n:.1f} per bin — the O(n) the paper "
+        "promises), ready for the A_light hand-off."
+    )
+    print(
+        f"loads now range {outcome.loads.min()}..{outcome.loads.max()} "
+        f"around the mean {m / n:.0f}: the conservatively-low thresholds "
+        "kept every bin equally filled, which is the whole trick."
+    )
+
+
+if __name__ == "__main__":
+    main()

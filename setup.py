@@ -1,0 +1,6 @@
+"""Setup shim enabling legacy editable installs (`pip install -e .`)
+in environments without the `wheel` package (PEP 660 editable wheels
+require it; `setup.py develop` does not)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""repro — Parallel Balanced Allocations: The Heavily Loaded Case.
+
+A full reproduction of Lenzen, Parter & Yogev (SPAA 2019,
+arXiv:1904.07532): parallel balls-into-bins algorithms for the
+``m >> n`` regime, the supporting synchronous message-passing
+simulation substrate, the lower-bound machinery of Theorem 7, the
+baselines the paper compares against, and the experiment harness that
+regenerates every quantitative claim.
+
+Quickstart
+----------
+>>> import repro
+>>> result = repro.run_heavy(m=1_000_000, n=1_000, seed=7)
+>>> result.max_load - result.m // result.n <= 4   # m/n + O(1)
+True
+
+Public entry points (all return :class:`repro.AllocationResult`):
+
+========================  ====================================================
+``run_heavy``             Algorithm ``A_heavy`` (Theorem 1)
+``run_asymmetric``        The constant-round asymmetric algorithm (Theorem 3)
+``run_combined``          The combined dispatcher (Section 3 note)
+``run_trivial``           Deterministic n-round algorithm
+``run_light``             The [LW16]-style light-load subroutine (Theorem 5)
+``run_single_choice``     Naive one-shot random allocation
+``run_greedy_d``          Sequential greedy[d]  [ABKU99/BCSV06]
+``run_parallel_dchoice``  Non-adaptive parallel d-choice  [ACMR98]
+``run_stemann``           Collision protocol  [Ste96]
+``run_batched_dchoice``   Batched multiple-choice  [BCE+12]
+========================  ====================================================
+"""
+
+from repro.baselines import (
+    run_batched_dchoice,
+    run_greedy_d,
+    run_parallel_dchoice,
+    run_single_choice,
+    run_stemann,
+)
+from repro.core import (
+    AsymmetricConfig,
+    ExponentSchedule,
+    FixedSchedule,
+    HeavyConfig,
+    PaperSchedule,
+    ThresholdSchedule,
+    run_asymmetric,
+    run_combined,
+    run_heavy,
+    run_heavy_faulty,
+    run_heavy_multicontact,
+    run_threshold_protocol,
+    run_trivial,
+    should_use_trivial,
+)
+from repro.light import LightConfig, run_light
+from repro.result import AllocationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationResult",
+    "AsymmetricConfig",
+    "ExponentSchedule",
+    "FixedSchedule",
+    "HeavyConfig",
+    "LightConfig",
+    "PaperSchedule",
+    "ThresholdSchedule",
+    "__version__",
+    "run_asymmetric",
+    "run_batched_dchoice",
+    "run_combined",
+    "run_greedy_d",
+    "run_heavy",
+    "run_heavy_faulty",
+    "run_heavy_multicontact",
+    "run_light",
+    "run_parallel_dchoice",
+    "run_single_choice",
+    "run_stemann",
+    "run_threshold_protocol",
+    "run_trivial",
+    "should_use_trivial",
+]

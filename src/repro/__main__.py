@@ -1,0 +1,151 @@
+"""Command-line interface: run any allocation algorithm from the shell.
+
+Usage::
+
+    python -m repro heavy --m 1000000 --n 1000 --seed 7
+    python -m repro heavy --m 1000000000000 --n 1024 --mode aggregate
+    python -m repro asymmetric --m 1000000 --n 1000
+    python -m repro greedy --m 100000 --n 1000 --d 2
+    python -m repro compare --m 1000000 --n 1000     # side-by-side table
+    python -m repro experiments T2                   # alias for
+                                                     # python -m repro.experiments
+
+Prints the :meth:`~repro.result.AllocationResult.describe` block (and
+for ``compare`` a one-row-per-algorithm table).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Callable
+
+import repro
+from repro.result import AllocationResult
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--m", type=int, required=True, help="number of balls")
+    parser.add_argument("--n", type=int, required=True, help="number of bins")
+    parser.add_argument("--seed", type=int, default=None)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Parallel balanced allocations (Lenzen-Parter-Yogev, "
+        "SPAA 2019) — reproduction CLI.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_heavy = sub.add_parser("heavy", help="A_heavy (Theorem 1)")
+    _add_common(p_heavy)
+    p_heavy.add_argument(
+        "--mode",
+        choices=("perball", "aggregate", "engine"),
+        default="perball",
+    )
+
+    p_asym = sub.add_parser("asymmetric", help="superbin algorithm (Thm 3)")
+    _add_common(p_asym)
+    p_asym.add_argument(
+        "--mode", choices=("perball", "aggregate"), default="perball"
+    )
+
+    p_single = sub.add_parser("single", help="naive single-choice baseline")
+    _add_common(p_single)
+    p_single.add_argument(
+        "--mode", choices=("perball", "aggregate"), default="perball"
+    )
+
+    p_greedy = sub.add_parser("greedy", help="sequential greedy[d] [BCSV06]")
+    _add_common(p_greedy)
+    p_greedy.add_argument("--d", type=int, default=2)
+
+    p_trivial = sub.add_parser("trivial", help="deterministic n-round algorithm")
+    _add_common(p_trivial)
+
+    p_combined = sub.add_parser("combined", help="Section 3 dispatcher")
+    _add_common(p_combined)
+
+    p_compare = sub.add_parser(
+        "compare", help="run all parallel algorithms side by side"
+    )
+    _add_common(p_compare)
+
+    p_exp = sub.add_parser("experiments", help="experiment harness passthrough")
+    p_exp.add_argument("args", nargs=argparse.REMAINDER)
+
+    return parser
+
+
+def _run_single_result(args: argparse.Namespace) -> AllocationResult:
+    dispatch: dict[str, Callable[[], AllocationResult]] = {
+        "heavy": lambda: repro.run_heavy(
+            args.m, args.n, seed=args.seed, mode=args.mode
+        ),
+        "asymmetric": lambda: repro.run_asymmetric(
+            args.m, args.n, seed=args.seed, mode=args.mode
+        ),
+        "single": lambda: repro.run_single_choice(
+            args.m, args.n, seed=args.seed, mode=args.mode
+        ),
+        "greedy": lambda: repro.run_greedy_d(
+            args.m, args.n, args.d, seed=args.seed
+        ),
+        "trivial": lambda: repro.run_trivial(args.m, args.n, seed=args.seed),
+        "combined": lambda: repro.run_combined(args.m, args.n, seed=args.seed),
+    }
+    return dispatch[args.command]()
+
+
+def _compare(args: argparse.Namespace) -> None:
+    mode = "aggregate" if args.m > 4_000_000 else "perball"
+    runs = [
+        ("single-choice", lambda: repro.run_single_choice(
+            args.m, args.n, seed=args.seed, mode=mode)),
+        ("stemann", lambda: repro.run_stemann(args.m, args.n, seed=args.seed)),
+        ("batched[2]", lambda: repro.run_batched_dchoice(
+            args.m, args.n, 2, seed=args.seed)),
+        ("heavy (Thm 1)", lambda: repro.run_heavy(
+            args.m, args.n, seed=args.seed, mode=mode)),
+        ("asymmetric (Thm 3)", lambda: repro.run_asymmetric(
+            args.m, args.n, seed=args.seed, mode=mode)),
+    ]
+    header = (
+        f"{'algorithm':20s} {'max load':>10s} {'gap':>8s} "
+        f"{'rounds':>7s} {'messages':>12s} {'time':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, fn in runs:
+        start = time.perf_counter()
+        res = fn()
+        elapsed = time.perf_counter() - start
+        print(
+            f"{name:20s} {res.max_load:10,d} {res.gap:+8.1f} "
+            f"{res.rounds:7d} {res.total_messages:12,d} {elapsed:7.2f}s"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "experiments":
+        from repro.experiments.__main__ import main as exp_main
+
+        return exp_main(args.args)
+    if args.command == "compare":
+        _compare(args)
+        return 0
+    start = time.perf_counter()
+    result = _run_single_result(args)
+    elapsed = time.perf_counter() - start
+    print(result.describe())
+    print(f"wall time     : {elapsed:.2f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Analytical companions to the simulations.
+
+The paper's proofs lean on four probabilistic tools, each of which has a
+direct executable counterpart here so experiments can print
+*prediction vs measurement* rows:
+
+* :mod:`repro.analysis.chernoff` — the multiplicative Chernoff bounds of
+  Lemma 1, including the ``sqrt(2 mu log m)`` deviation forms.
+* :mod:`repro.analysis.berry_esseen` — the Berry–Esseen normal
+  approximation of Theorem 4, used by the lower bound (Claim 5) to show
+  any bin overflows its mean by ``2 sqrt(mu)`` with constant probability.
+* :mod:`repro.analysis.negassoc` — empirical checks of negative
+  association (Definition 2 / Proposition 1) for occupancy vectors.
+* :mod:`repro.analysis.theory` — closed-form predictions: expected max
+  loads of the naive and d-choice processes, the paper's round bounds,
+  the ``m̃_i`` recursion, and the lower-bound ``M_i`` recursion.
+
+:mod:`repro.analysis.stats` provides the empirical side: gap statistics,
+quantiles, and confidence intervals over repeated runs.
+"""
+
+from repro.analysis.berry_esseen import (
+    berry_esseen_bound,
+    binomial_upper_deviation_probability,
+    overload_probability_lower_bound,
+)
+from repro.analysis.chernoff import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    deviation_for_failure_probability,
+    underload_probability_bound,
+)
+from repro.analysis.negassoc import (
+    empirical_covariance_matrix,
+    max_pairwise_covariance,
+    negative_association_violations,
+)
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    RunStatistics,
+    gap_statistics,
+    mean_confidence_interval,
+    summarize_loads,
+    summarize_runs,
+)
+from repro.analysis.theory import (
+    expected_max_load_greedy_d,
+    expected_max_load_single_choice,
+    heavy_phase_round_bound,
+    lower_bound_recursion,
+    mtilde_schedule,
+    predicted_rounds,
+    rejection_floor,
+    threshold_schedule,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "RunStatistics",
+    "berry_esseen_bound",
+    "binomial_upper_deviation_probability",
+    "chernoff_lower_tail",
+    "chernoff_upper_tail",
+    "deviation_for_failure_probability",
+    "empirical_covariance_matrix",
+    "expected_max_load_greedy_d",
+    "expected_max_load_single_choice",
+    "gap_statistics",
+    "heavy_phase_round_bound",
+    "lower_bound_recursion",
+    "max_pairwise_covariance",
+    "mean_confidence_interval",
+    "mtilde_schedule",
+    "negative_association_violations",
+    "overload_probability_lower_bound",
+    "predicted_rounds",
+    "rejection_floor",
+    "summarize_loads",
+    "summarize_runs",
+    "threshold_schedule",
+    "underload_probability_bound",
+]

@@ -1,0 +1,111 @@
+"""Multiplicative Chernoff bounds (Lemma 1 of the paper).
+
+For a sum ``X`` of independent (or negatively associated) 0-1 variables
+with mean ``mu``:
+
+* ``P[X < (1 - delta) mu] <= exp(-delta^2 mu / 2)``
+* ``P[X > (1 + delta) mu] <= exp(-delta^2 mu / 3)``
+
+and the derived deviation forms used throughout Sections 3-4:
+
+* ``P[X < mu - sqrt(2 mu log m)] <= 1/m``
+* ``P[X > mu + sqrt(3 mu log m)] <= 1/m``
+
+Claim 1's underload bound ``P[X_b < T_i - T_{i-1}] < exp(-(m̃_i/n)^{1/3}/2)``
+is the lower-tail bound with ``delta = (m_i/n)^{-1/3}``; it is exposed as
+:func:`underload_probability_bound` so experiment T5 can print the exact
+expression from the paper next to the measured frequency.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "chernoff_lower_tail",
+    "chernoff_upper_tail",
+    "deviation_for_failure_probability",
+    "underload_probability_bound",
+]
+
+
+def _check_delta(delta: float) -> None:
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+
+
+def _check_mu(mu: float) -> None:
+    if mu < 0:
+        raise ValueError(f"mu must be >= 0, got {mu}")
+
+
+def chernoff_lower_tail(mu: float, delta: float) -> float:
+    """Upper bound on ``P[X < (1 - delta) mu]``: ``exp(-delta^2 mu / 2)``."""
+    _check_mu(mu)
+    _check_delta(delta)
+    return math.exp(-delta * delta * mu / 2.0)
+
+
+def chernoff_upper_tail(mu: float, delta: float) -> float:
+    """Upper bound on ``P[X > (1 + delta) mu]``: ``exp(-delta^2 mu / 3)``."""
+    _check_mu(mu)
+    _check_delta(delta)
+    return math.exp(-delta * delta * mu / 3.0)
+
+
+def deviation_for_failure_probability(
+    mu: float, failure: float, *, tail: str = "lower"
+) -> float:
+    """The absolute deviation ``d`` such that the Chernoff bound gives
+    ``P[|X - mu| > d] <= failure`` on the requested tail.
+
+    Inverts ``exp(-d^2 / (c mu)) = failure`` with ``c = 2`` (lower) or
+    ``c = 3`` (upper); this recovers the paper's
+    ``sqrt(2 mu log m)`` / ``sqrt(3 mu log m)`` forms when
+    ``failure = 1/m``.
+
+    Parameters
+    ----------
+    mu:
+        Mean of the sum.
+    failure:
+        Target failure probability in ``(0, 1)``.
+    tail:
+        ``"lower"`` or ``"upper"``.
+    """
+    _check_mu(mu)
+    if not 0.0 < failure < 1.0:
+        raise ValueError(f"failure must be in (0, 1), got {failure}")
+    if tail == "lower":
+        constant = 2.0
+    elif tail == "upper":
+        constant = 3.0
+    else:
+        raise ValueError(f"tail must be 'lower' or 'upper', got {tail!r}")
+    return math.sqrt(constant * mu * math.log(1.0 / failure))
+
+
+def underload_probability_bound(mtilde_i: float, n: int) -> float:
+    """Claim 1: bound on the probability that a single bin receives fewer
+    than ``T_i - T_{i-1}`` requests in round ``i``.
+
+    The paper's bound is ``exp(-(m̃_i/n)^{1/3} / 2)``, obtained by a
+    Chernoff lower-tail bound with ``delta = (m_i/n)^{-1/3}`` and mean
+    ``>= m̃_i / n``.
+
+    Parameters
+    ----------
+    mtilde_i:
+        The round-``i`` estimate ``m̃_i`` of the number of unallocated
+        balls (a *lower* bound on the true count ``m_i``).
+    n:
+        Number of bins.
+    """
+    if mtilde_i < 0:
+        raise ValueError(f"mtilde_i must be >= 0, got {mtilde_i}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    ratio = mtilde_i / n
+    if ratio <= 0:
+        return 1.0
+    return math.exp(-(ratio ** (1.0 / 3.0)) / 2.0)

@@ -1,0 +1,127 @@
+"""Shape-claim fitting: quantify "grows like" statements.
+
+The reproduction's acceptance criteria are about *shape*: rounds grow
+like ``log log(m/n)``, the naive gap like ``sqrt(m/n)``, the rejection
+floor like ``sqrt(Mn)``.  This module turns those claims into fitted
+exponents/coefficients with R², so EXPERIMENTS.md can report
+"measured exponent 0.52 vs predicted 0.5" instead of eyeballing.
+
+All fits are ordinary least squares on transformed coordinates
+(log-log for power laws, log log-linear for the round curve); they are
+intentionally simple — diagnostics, not inference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "PowerLawFit",
+    "LinearFit",
+    "fit_power_law",
+    "fit_loglog_rounds",
+    "fit_linear",
+]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """``y = slope * x + intercept`` with goodness of fit."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+    def __str__(self) -> str:
+        return (
+            f"y = {self.slope:.3f} x + {self.intercept:.3f} "
+            f"(R^2 = {self.r_squared:.3f})"
+        )
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y = coefficient * x^exponent`` with goodness of fit (in log space)."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x**self.exponent
+
+    def __str__(self) -> str:
+        return (
+            f"y = {self.coefficient:.3g} * x^{self.exponent:.3f} "
+            f"(R^2 = {self.r_squared:.3f})"
+        )
+
+
+def _ols(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    if x.size != y.size:
+        raise ValueError("x and y must have equal length")
+    if x.size < 2:
+        raise ValueError("need at least 2 points to fit")
+    if np.allclose(x, x[0]):
+        raise ValueError("x values are all equal; cannot fit a slope")
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r2)
+
+
+def fit_linear(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Plain OLS line fit."""
+    return _ols(np.asarray(x, dtype=np.float64), np.asarray(y, dtype=np.float64))
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = c * x^a`` by OLS in log-log coordinates.
+
+    Points with non-positive ``x`` or ``y`` are rejected (power laws
+    are only defined on the positive quadrant).
+    """
+    xa = np.asarray(x, dtype=np.float64)
+    ya = np.asarray(y, dtype=np.float64)
+    if (xa <= 0).any() or (ya <= 0).any():
+        raise ValueError("power-law fit requires positive x and y")
+    line = _ols(np.log(xa), np.log(ya))
+    return PowerLawFit(
+        exponent=line.slope,
+        coefficient=math.exp(line.intercept),
+        r_squared=line.r_squared,
+    )
+
+
+def fit_loglog_rounds(
+    ratios: Sequence[float], rounds: Sequence[int]
+) -> LinearFit:
+    """Fit ``rounds = a * log2(log2(m/n)) + b``.
+
+    Theorem 1 predicts the phase-1 round count is
+    ``log_{3/2} log(m/n) + O(1)``, i.e. linear in ``log log(m/n)`` with
+    slope ``1/log2(3/2) ≈ 1.71`` when the inner/outer logs are base 2.
+    A good reproduction shows slope ≈ 1.7 and high R²; a *linear*-in-
+    ``log(m/n)`` process (like the fixed-threshold variant) shows the
+    log-log fit degrade and the slope blow up.
+    """
+    ratios_arr = np.asarray(ratios, dtype=np.float64)
+    if (ratios_arr <= 2).any():
+        raise ValueError("ratios must exceed 2 for log log to be defined")
+    x = np.log2(np.log2(ratios_arr))
+    return _ols(x, np.asarray(rounds, dtype=np.float64))
+
+
+#: Theorem 1's predicted slope for rounds vs log2 log2(m/n): the phase-1
+#: recursion multiplies log(m̃/n) by 2/3 per round, so rounds per
+#: doubling of log(m/n) = 1/log2(3/2).
+PREDICTED_ROUNDS_SLOPE: float = 1.0 / math.log2(1.5)

@@ -1,0 +1,118 @@
+"""Empirical negative-association diagnostics (Definition 2, Proposition 1).
+
+The paper's concentration arguments for occupancy counts
+(Claims 3 and the class-``I_k`` argument in Theorem 7) rest on the
+occupancy vector ``(X_1, ..., X_n)`` of a multinomial allocation being
+*negatively associated* (NA), per Dubhashi-Ranjan [DR98, Theorem 13], and
+on monotone functions of disjoint subsets of NA variables being NA
+(Proposition 1).
+
+NA cannot be verified exactly from samples, but its first-order
+consequence can: every pair of monotone-increasing functions of disjoint
+coordinates has non-positive covariance.  These helpers measure the
+empirical pairwise covariances of occupancy indicators so tests and
+experiment T5 can check that the measured violations are within sampling
+noise (and *strictly* negative in expectation for the raw counts, whose
+exact covariance is ``-m/n^2``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = [
+    "empirical_covariance_matrix",
+    "max_pairwise_covariance",
+    "negative_association_violations",
+    "exact_multinomial_covariance",
+]
+
+
+def exact_multinomial_covariance(m: int, n: int) -> float:
+    """The exact covariance ``Cov(X_i, X_j) = -m / n^2`` (``i != j``) of
+    multinomial occupancy counts — the canonical NA example."""
+    if m < 0 or n < 1:
+        raise ValueError(f"need m >= 0 and n >= 1, got m={m}, n={n}")
+    return -m / (n * n)
+
+
+def empirical_covariance_matrix(samples: np.ndarray) -> np.ndarray:
+    """Covariance matrix of occupancy samples.
+
+    Parameters
+    ----------
+    samples:
+        Array of shape ``(trials, n)``; row ``t`` is the occupancy vector
+        of trial ``t``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``(n, n)`` sample covariance matrix.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 2:
+        raise ValueError(f"samples must be 2-D (trials, n), got shape {samples.shape}")
+    if samples.shape[0] < 2:
+        raise ValueError("need at least 2 trials to estimate covariance")
+    return np.cov(samples, rowvar=False)
+
+
+def max_pairwise_covariance(samples: np.ndarray) -> float:
+    """The largest off-diagonal covariance entry.
+
+    For NA families this converges to a non-positive value; a decisively
+    positive result flags a broken sampler.
+    """
+    cov = empirical_covariance_matrix(samples)
+    off = cov - np.diag(np.diag(cov))
+    return float(off.max(initial=-np.inf))
+
+
+def negative_association_violations(
+    samples: np.ndarray,
+    *,
+    transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    tolerance: Optional[float] = None,
+) -> int:
+    """Count coordinate pairs whose empirical covariance exceeds tolerance.
+
+    Parameters
+    ----------
+    samples:
+        ``(trials, n)`` occupancy samples.
+    transform:
+        Optional monotone per-coordinate transform applied before the
+        covariance test (Proposition 1 closure under monotone maps); e.g.
+        ``lambda x: (x >= T).astype(float)`` for the overload indicators
+        ``z_i`` of Theorem 7.
+    tolerance:
+        Pairs with covariance above this are violations.  Defaults to
+        three standard errors of a covariance estimate under
+        independence: ``3 * var_i * var_j / sqrt(trials)`` is
+        conservative; we use ``3 * sqrt(v_i v_j / trials)``.
+
+    Returns
+    -------
+    int
+        Number of violating unordered pairs (0 for a healthy sampler).
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if transform is not None:
+        samples = np.asarray(transform(samples), dtype=np.float64)
+        if samples.ndim != 2:
+            raise ValueError("transform must preserve the (trials, n) shape")
+    trials = samples.shape[0]
+    cov = empirical_covariance_matrix(samples)
+    variances = np.diag(cov)
+    if tolerance is None:
+        scale = np.sqrt(np.outer(variances, variances) / max(trials, 1))
+        tol_matrix = 3.0 * np.maximum(scale, 1e-12)
+    else:
+        tol_matrix = np.full_like(cov, float(tolerance))
+    off_mask = ~np.eye(cov.shape[0], dtype=bool)
+    violations = (cov > tol_matrix) & off_mask
+    # Each unordered pair appears twice in the symmetric matrix.
+    return int(violations.sum() // 2)

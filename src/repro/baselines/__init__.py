@@ -1,0 +1,36 @@
+"""Baseline allocation processes the paper compares against.
+
+* :mod:`repro.baselines.single_choice` — the naive one-shot random
+  allocation; max load ``m/n + Theta(sqrt((m/n) log n))`` for
+  ``m >= n log n`` (Section 1).  The paper's improvement target.
+* :mod:`repro.baselines.greedy_d` — the *sequential* multiple-choice
+  process of [ABKU99]; in the heavy regime its gap is
+  ``log log n / log d + O(1)`` by [BCSV06].  The benchmark the paper
+  parallelizes.
+* :mod:`repro.baselines.adler` — the symmetric non-adaptive parallel
+  d-choice collision protocol in the spirit of [ACMR98] (designed for
+  ``m = n``; included to show why it does not help when ``m >> n``).
+* :mod:`repro.baselines.stemann` — Stemann's collision protocol
+  [Ste96], the prior parallel algorithm for ``m > n`` with load
+  ``O(m/n)`` (footnote 2 of the paper).
+* :mod:`repro.baselines.batched` — the batch-parallel multiple-choice
+  process of [BCE+12]: balls arrive in batches and use stale load
+  information.
+
+All baselines return :class:`repro.result.AllocationResult`; sequential
+ones set ``sequential=True`` (their "rounds" are not message rounds).
+"""
+
+from repro.baselines.adler import run_parallel_dchoice
+from repro.baselines.batched import run_batched_dchoice
+from repro.baselines.greedy_d import run_greedy_d
+from repro.baselines.single_choice import run_single_choice
+from repro.baselines.stemann import run_stemann
+
+__all__ = [
+    "run_batched_dchoice",
+    "run_greedy_d",
+    "run_parallel_dchoice",
+    "run_single_choice",
+    "run_stemann",
+]

@@ -1,0 +1,143 @@
+"""Symmetric non-adaptive parallel d-choice in the spirit of [ACMR98].
+
+Adler, Chakrabarti, Mitzenmacher and Rasmussen introduced the parallel
+balls-into-bins framework for ``m = n``: each ball picks ``d`` bins up
+front (*non-adaptive*), communicates only with those bins, and the
+protocol resolves collisions over ``r`` rounds, achieving load
+``Theta(log log n / log log log n)`` for constant rounds.
+
+Implementation (the canonical collision protocol of that family):
+
+* each ball samples its ``d`` candidate bins once, up front;
+* per round, every unallocated ball requests all its candidates;
+* every bin grants one accept per round among the requests it received
+  (uniformly at random), provided its load is below ``capacity``;
+* a ball with at least one grant commits to a uniformly random granter.
+
+The paper cites this line of work to note that it does **not** extend to
+the heavily loaded case: with ``m >> n`` every bin is contacted by many
+balls each round, so one grant per bin per round leaves
+``m - n`` balls unallocated per round — the protocol needs ``~ m/n``
+rounds (experiment T1's "why naive parallelization fails" row).  For
+``m = n`` it reproduces the classical behaviour.
+
+``capacity`` defaults to ``ceil(m/n) + slack`` so the protocol remains
+complete-able in the heavy regime; the round count then exposes the
+linear-in-``m/n`` blowup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.result import AllocationResult
+from repro.simulation.metrics import RoundMetrics, RunMetrics
+from repro.utils.seeding import RngFactory
+from repro.utils.validation import check_positive_int, ensure_m_n
+
+__all__ = ["run_parallel_dchoice"]
+
+
+def run_parallel_dchoice(
+    m: int,
+    n: int,
+    d: int = 2,
+    *,
+    seed=None,
+    capacity: Optional[int] = None,
+    grants_per_round: int = 1,
+    max_rounds: int = 100_000,
+) -> AllocationResult:
+    """Non-adaptive parallel d-choice collision protocol.
+
+    Parameters
+    ----------
+    m, n:
+        Instance size.
+    d:
+        Candidate bins per ball, fixed for the whole run (non-adaptive).
+    capacity:
+        Optional per-bin load cap.  The classical protocol has none (the
+        final load *is* the measured quantity); a cap can strand balls
+        whose fixed candidates all fill (non-adaptivity), so capped runs
+        may return incomplete.
+    grants_per_round:
+        Accepts a bin may issue per round (1 in the classical protocol).
+    max_rounds:
+        Abort bound; the result is marked incomplete if hit.
+    """
+    m, n = ensure_m_n(m, n)
+    d = check_positive_int(d, "d")
+    grants_per_round = check_positive_int(grants_per_round, "grants_per_round")
+    cap = capacity if capacity is not None else m  # m = effectively unbounded
+    if cap * n < m:
+        raise ValueError(f"capacity {cap} cannot hold m={m} balls in n={n} bins")
+    factory = RngFactory(seed)
+    rng = factory.stream("adler", "choices")
+    grant_rng = factory.stream("adler", "grants")
+
+    candidates = rng.integers(0, n, size=(m, d), dtype=np.int64)
+    loads = np.zeros(n, dtype=np.int64)
+    active = np.arange(m, dtype=np.int64)
+    metrics = RunMetrics(m, n)
+    total_messages = 0
+    round_no = 0
+
+    while active.size > 0 and round_no < max_rounds:
+        u = active.size
+        # All candidates of all active balls request simultaneously.
+        reqs = candidates[active].reshape(-1)  # u * d flat targets
+        requester_pos = np.repeat(np.arange(u), d)
+        # Each bin grants up to `grants_per_round`, but never beyond its
+        # residual capacity.
+        per_round_cap = np.minimum(grants_per_round, cap - loads)
+        # uniform selection among requests, per bin
+        from repro.fastpath.sampling import grouped_accept
+
+        granted = grouped_accept(reqs, per_round_cap, grant_rng)
+        grants = int(granted.sum())
+        commits = 0
+        if grants:
+            g_pos = requester_pos[granted]
+            g_bins = reqs[granted]
+            order = np.argsort(g_pos, kind="stable")
+            g_pos, g_bins = g_pos[order], g_bins[order]
+            first = np.concatenate(([True], g_pos[1:] != g_pos[:-1]))
+            winners_pos = g_pos[first]
+            winners_bin = g_bins[first]
+            np.add.at(loads, winners_bin, 1)
+            commits = winners_pos.size
+            keep = np.ones(u, dtype=bool)
+            keep[winners_pos] = False
+            active = active[keep]
+        total_messages += u * d + grants + commits
+        metrics.add_round(
+            RoundMetrics(
+                round_no=round_no,
+                unallocated_start=u,
+                requests_sent=u * d,
+                accepts_sent=grants,
+                rejects_sent=0,
+                commits=commits,
+                unallocated_end=int(active.size),
+                max_load=int(loads.max(initial=0)),
+            )
+        )
+        round_no += 1
+
+    complete = active.size == 0
+    return AllocationResult(
+        algorithm=f"parallel-dchoice[{d}]",
+        m=m,
+        n=n,
+        loads=loads,
+        rounds=round_no,
+        metrics=metrics,
+        total_messages=total_messages,
+        complete=complete,
+        unallocated=int(active.size),
+        seed_entropy=factory.root_entropy,
+        extra={"capacity": cap, "d": d},
+    )

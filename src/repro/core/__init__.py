@@ -1,0 +1,44 @@
+"""The paper's algorithms: ``A_heavy`` (Theorem 1), the asymmetric
+superbin algorithm (Theorem 3), the deterministic trivial algorithm, and
+the combined dispatcher — plus the threshold-schedule abstraction they
+share with the lower-bound experiments.
+"""
+
+from repro.core.asymmetric import AsymmetricConfig, run_asymmetric, superbin_blocks
+from repro.core.combined import run_combined, should_use_trivial
+from repro.core.faulty import run_heavy_faulty
+from repro.core.heavy import (
+    HeavyConfig,
+    ThresholdPhaseOutcome,
+    run_heavy,
+    run_threshold_protocol,
+)
+from repro.core.multicontact import run_heavy_multicontact
+from repro.core.thresholds import (
+    ExponentSchedule,
+    FixedSchedule,
+    PaperSchedule,
+    ThresholdSchedule,
+)
+from repro.core.trivial import run_trivial
+from repro.result import AllocationResult
+
+__all__ = [
+    "AllocationResult",
+    "AsymmetricConfig",
+    "ExponentSchedule",
+    "FixedSchedule",
+    "HeavyConfig",
+    "PaperSchedule",
+    "ThresholdPhaseOutcome",
+    "ThresholdSchedule",
+    "run_asymmetric",
+    "run_combined",
+    "run_heavy",
+    "run_heavy_faulty",
+    "run_heavy_multicontact",
+    "run_threshold_protocol",
+    "run_trivial",
+    "should_use_trivial",
+    "superbin_blocks",
+]

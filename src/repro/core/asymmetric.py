@@ -1,0 +1,539 @@
+"""The asymmetric superbin algorithm (Section 5, Theorem 3).
+
+With globally known bin IDs, the algorithm groups bins into *superbins*
+controlled by leader bins and allocates round-robin inside each
+superbin, achieving max load ``m/n + O(1)`` within a **constant** number
+of rounds w.h.p. while every bin receives only
+``(1+o(1)) m/n + O(log n)`` messages.
+
+Per round ``r`` (Section 5's numbered steps):
+
+1. ``n_r = m_r * min(n/m, 1/log n)`` superbins, each with a leader;
+   ``delta_r = c * sqrt((m_r/n_r) * log n)``;
+   ``L_r = ceil(m_r/n_r - delta_r)`` if that exceeds ``2 c^2 log n``,
+   else ``L_r = 4 c^2 log n`` (the terminal round).
+2. Each active ball contacts the leader of a uniformly random superbin.
+3. Leaders accept up to ``L_r`` requests and reply round-robin with
+   member offsets ``j``.
+4. A ball answered ``j`` by leader ``i`` informs member bin ``i - j``
+   that it is allocated there.
+5. If the terminal branch was taken, stop; else
+   ``m_{r+1} = m_r - L_r n_r``.
+
+Divisibility: the paper assumes ``n_r | n`` w.l.o.g. (footnote 6: one
+superbin may be up to a factor 2 larger).  We partition the bins into
+``n_r`` contiguous blocks whose sizes differ by at most one, which
+realizes the same relaxation.
+
+The parameters use the *scheduled* ``m_r`` (bins cannot observe the true
+count), exactly as in the paper.  On the ``n^{-c}``-probability event
+that balls remain after the terminal round, the implementation repeats
+the terminal round until done (counted in ``rounds`` and reported via
+``extra["cleanup_rounds"]``); Claim 10 guarantees this path is w.h.p.
+never taken, and experiment T4 reports its observed frequency.
+
+When ``m > n log n``, Theorem 3 prepends **one round of the symmetric
+algorithm** to cut the active count to ``o(m)`` so that leader bins stay
+within the message bound; ``run_asymmetric`` does this automatically
+(disable with ``presymmetric=False``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.fastpath.sampling import grouped_accept, sample_uniform_choices
+from repro.result import AllocationResult
+from repro.simulation.metrics import MessageCounter, RoundMetrics, RunMetrics
+from repro.utils.seeding import RngFactory
+from repro.utils.validation import ensure_m_n
+
+__all__ = ["AsymmetricConfig", "run_asymmetric", "superbin_blocks"]
+
+
+@dataclass(frozen=True)
+class AsymmetricConfig:
+    """Tunables of the asymmetric algorithm.
+
+    Attributes
+    ----------
+    c:
+        The "sufficiently large constant" of Section 5.  It controls the
+        concentration slack ``delta_r`` and the terminal threshold
+        ``4 c^2 log n``.  The default 1.5 keeps terminal-round loads
+        modest while making cleanup rounds (< 1 in 10^4 runs) rare.
+    max_rounds:
+        Safety cap (Claim 9 proves termination within 3 scheduled
+        rounds; cleanup repeats add at most a few more).
+    track_per_ball:
+        Maintain the full per-ball/per-bin message counter.
+    """
+
+    c: float = 1.5
+    max_rounds: int = 64
+    track_per_ball: bool = True
+
+
+def superbin_blocks(n: int, n_r: int) -> np.ndarray:
+    """Block boundaries: ``n_r + 1`` offsets splitting ``n`` bins into
+    ``n_r`` contiguous superbins with sizes differing by at most 1.
+
+    ``blocks[s]`` is the leader (first bin) of superbin ``s``.
+    """
+    if not 1 <= n_r <= n:
+        raise ValueError(f"need 1 <= n_r <= n, got n_r={n_r}, n={n}")
+    return np.linspace(0, n, n_r + 1, dtype=np.int64)
+
+
+def _schedule_params(
+    m_sched: int, m_invoked: int, n: int, c: float
+) -> tuple[int, float, int, bool]:
+    """Round parameters ``(n_r, delta_r, L_r, terminal)`` from the
+    scheduled ball count ``m_sched`` (paper step 2).
+
+    Superbin count: ``n_r = m_r * min(n/m, 1/log n)`` with ``m`` the
+    count at invocation — Section 5's design invariant that every leader
+    expects ``~m/n`` messages in each non-terminal round.  The terminal
+    branch triggers when either
+
+    * ``ceil(m_r/n_r - delta_r) <= 2 c^2 log n`` (Claim 8's test), or
+    * ``m_r <= n log n`` — the point where ``n/m_r = 1/log n`` makes the
+      two branches of the ``min`` coincide; Claim 9's proof terminates
+      exactly here (``m_3 = n log n``, ``m_3/n_3 = log n``).  Without
+      this trigger the constant-mean recursion would test Claim 8
+      against a round-independent mean and run ``omega(1)`` tail rounds.
+
+    In the terminal round ``n_r = m_r / log n`` (each leader expects
+    ``log n`` requests) and ``L_r = 4 c^2 log n``, whose slack absorbs
+    the upper deviation (Claim 10).
+    """
+    log_n = math.log(max(n, 2))
+    two_c2_logn = 2 * c * c * log_n
+    ratio = min(n / m_invoked, 1.0 / log_n)
+    n_r = max(1, min(n, int(round(m_sched * ratio))))
+    mean = m_sched / n_r
+    delta = c * math.sqrt(max(mean, 1.0) * log_n)
+    candidate = math.ceil(mean - delta)
+    if candidate > two_c2_logn and m_sched > n:
+        return n_r, delta, candidate, False
+    # Terminal round: superbins of ~log n expected requests each, with
+    # block size clamped to >= log n so the per-member intake cap
+    # L_r / block_size = 4 c^2 stays O(1) (the premise Claim 10 needs).
+    n_term_cap = max(1, int(n // max(1.0, math.ceil(log_n))))
+    n_term = max(1, min(n_term_cap, int(round(m_sched / log_n))))
+    mean_term = m_sched / n_term
+    delta_term = c * math.sqrt(max(mean_term, 1.0) * log_n)
+    # The terminal intake bound must absorb the whole remainder in one
+    # round w.h.p.: mean + 2 delta covers the upper deviation (Claim 10
+    # uses 4 c^2 log n for the paper's mean of log n; the max() keeps
+    # that form when m_sched/n_term ~ log n and scales it when the
+    # estimate is still above n, where the paper's analysis is loose).
+    l_term = max(
+        math.ceil(4 * c * c * log_n),
+        math.ceil(mean_term + 2 * delta_term),
+    )
+    return n_term, delta_term, l_term, True
+
+
+def run_asymmetric(
+    m: int,
+    n: int,
+    *,
+    seed=None,
+    config: AsymmetricConfig = AsymmetricConfig(),
+    presymmetric: Optional[bool] = None,
+    mode: str = "perball",
+) -> AllocationResult:
+    """Allocate ``m`` balls into ``n`` labelled bins (Theorem 3).
+
+    Parameters
+    ----------
+    m, n:
+        Instance size, ``m >= n`` (use ``run_light`` below that).
+    seed:
+        Reproducibility seed.
+    config:
+        Algorithm constants.
+    presymmetric:
+        Prepend one symmetric threshold round when ``m > n log n``
+        (default: auto per Theorem 3's proof).
+    mode:
+        ``"perball"`` (exact per-ball accounting, ``m`` up to ~10^7) or
+        ``"aggregate"`` (``O(n)`` per round via multinomial request
+        counts — identical in distribution for loads/rounds/per-bin
+        statistics; no per-ball counters).
+
+    Returns
+    -------
+    AllocationResult
+        ``extra`` records ``scheduled_rounds``, ``cleanup_rounds``,
+        ``presymmetric_used`` and the per-round ``(n_r, L_r)`` schedule.
+    """
+    if mode == "aggregate":
+        return _run_asymmetric_aggregate(
+            m, n, seed=seed, config=config, presymmetric=presymmetric
+        )
+    if mode != "perball":
+        raise ValueError(f"mode must be 'perball' or 'aggregate', got {mode!r}")
+    m, n = ensure_m_n(m, n, require_heavy=True)
+    factory = RngFactory(seed)
+    rng = factory.stream("asym", "choices")
+    accept_rng = factory.stream("asym", "accept")
+
+    loads = np.zeros(n, dtype=np.int64)
+    counter = MessageCounter(m, n) if config.track_per_ball else None
+    metrics = RunMetrics(m, n)
+    total_messages = 0
+    round_no = 0
+    schedule_log: list[tuple[int, int]] = []
+
+    log_n = math.log(max(n, 2))
+    use_pre = presymmetric if presymmetric is not None else (m > n * log_n)
+
+    active = np.arange(m, dtype=np.int64)
+    _presym_t0 = 0
+
+    if use_pre and m > n:
+        # One round of the symmetric algorithm: threshold
+        # T_0 = m/n - (m/n)^(2/3); w.h.p. every bin fills to exactly T_0.
+        t0 = max(0, math.floor(m / n - (m / n) ** (2.0 / 3.0)))
+        _presym_t0 = t0
+        choices = sample_uniform_choices(active.size, n, rng)
+        accepted = grouped_accept(choices, np.full(n, t0, dtype=np.int64), accept_rng)
+        accepted_bins = choices[accepted]
+        np.add.at(loads, accepted_bins, 1)
+        if counter is not None:
+            counter.record_bulk_ball_to_bin(choices, active)
+            counter.record_bulk_bin_to_ball(accepted_bins, active[accepted])
+        accepts = int(accepted.sum())
+        total_messages += int(active.size) + accepts
+        metrics.add_round(
+            RoundMetrics(
+                round_no=round_no,
+                unallocated_start=int(active.size),
+                requests_sent=int(active.size),
+                accepts_sent=accepts,
+                rejects_sent=0,
+                commits=accepts,
+                unallocated_end=int(active.size) - accepts,
+                max_load=int(loads.max(initial=0)),
+                threshold=float(t0),
+            )
+        )
+        active = active[~accepted]
+        round_no += 1
+
+    # Scheduled superbin rounds.  m_sched follows the paper's recursion —
+    # bins cannot observe the true active count.  After the presymmetric
+    # round the schedule value is m - T_0 * n (= m̃_1, exact w.h.p. by
+    # Claim 2); the true count may deviate on low-probability events,
+    # which the terminal round's delta-margin absorbs.
+    if use_pre and m > n:
+        m_sched = max(int(active.size), m - _presym_t0 * n)
+    else:
+        m_sched = int(active.size)
+    m_invoked = max(m_sched, 1)  # the asymmetric instance's own "m"
+    scheduled_rounds = 0
+    cleanup_rounds = 0
+    terminal_seen = False
+
+    while active.size > 0 and round_no < config.max_rounds:
+        n_r, _delta, l_r, terminal = _schedule_params(
+            max(m_sched, 1), m_invoked, n, config.c
+        )
+        if terminal_seen:
+            # Cleanup repeat of the terminal round (off-schedule).
+            cleanup_rounds += 1
+        else:
+            scheduled_rounds += 1
+        schedule_log.append((n_r, l_r))
+        blocks = superbin_blocks(n, n_r)
+        leaders = blocks[:-1]
+        block_sizes = np.diff(blocks)
+
+        # Step 3: each active ball samples a uniform *bin* and contacts
+        # the leader of that bin's superbin.  With bin IDs globally
+        # known (asymmetric model) this is computable locally, makes the
+        # per-superbin request rate proportional to block size, and
+        # degenerates to the paper's uniform-superbin choice in the
+        # divisible case n_r | n (all blocks equal).
+        bin_pick = sample_uniform_choices(active.size, n, rng)
+        superbin_choice = np.searchsorted(blocks, bin_pick, side="right") - 1
+        leader_of_ball = leaders[superbin_choice]
+        # Step 4: leaders accept up to L_r scaled by block size (the
+        # factor-2 relaxation of footnote 6: per-member intake stays
+        # uniform when blocks differ in size).
+        avg_block = n / n_r
+        capacity = np.ceil(l_r * block_sizes / avg_block).astype(np.int64)
+        accepted = grouped_accept(superbin_choice, capacity, accept_rng)
+        acc_super = superbin_choice[accepted]
+        # Round-robin assignment, water-filling within the block: every
+        # member gets floor(a_s / b_s) balls and the remainder goes to
+        # the members with the lowest current load (leaders track the
+        # loads they assigned; the paper's equal-size round-robin is the
+        # special case of equal loads and equal blocks).
+        k = acc_super.size
+        if k:
+            a_per_super = np.bincount(acc_super, minlength=n_r)
+            base = a_per_super // block_sizes
+            remainder = a_per_super % block_sizes
+            block_of_bin = np.repeat(np.arange(n_r), block_sizes)
+            # Bins grouped by block, lowest current load first (random
+            # tie-break); contiguous blocks keep the grouping exact.
+            sorted_bins = np.lexsort(
+                (accept_rng.random(n), loads, block_of_bin)
+            )
+            starts_b = np.concatenate(([0], np.cumsum(block_sizes)[:-1]))
+            rank_in_block = np.arange(n) - np.repeat(starts_b, block_sizes)
+            intake = base[block_of_bin] + (
+                rank_in_block < remainder[block_of_bin]
+            ).astype(np.int64)
+            # Per-ball member targets, grouped by superbin — matching
+            # the superbin-sorted order of accepted balls (the exact
+            # ball<->member pairing is immaterial: balls are
+            # exchangeable and accounting only needs the target bin).
+            member_bins = np.repeat(sorted_bins, intake)
+            np.add.at(loads, member_bins, 1)
+        else:
+            member_bins = np.zeros(0, dtype=np.int64)
+        accepts = k
+        accepted_ball_ids = active[accepted]
+        # Messages: request (ball->leader), response (leader->ball),
+        # allocation notice (ball->member bin; sent even when member is
+        # the leader itself, matching step 5's unconditional inform).
+        if counter is not None:
+            counter.record_bulk_ball_to_bin(leader_of_ball, active)
+            counter.record_bulk_bin_to_ball(
+                leader_of_ball[accepted], accepted_ball_ids
+            )
+            counter.record_bulk_ball_to_bin(member_bins, accepted_ball_ids)
+        total_messages += int(active.size) + 2 * accepts
+        metrics.add_round(
+            RoundMetrics(
+                round_no=round_no,
+                unallocated_start=int(active.size),
+                requests_sent=int(active.size),
+                accepts_sent=accepts,
+                rejects_sent=0,
+                commits=accepts,
+                unallocated_end=int(active.size) - accepts,
+                max_load=int(loads.max(initial=0)),
+                threshold=float(l_r),
+            )
+        )
+        active = active[~accepted]
+        round_no += 1
+
+        if terminal:
+            terminal_seen = True
+            # Scheduled recursion ends here; leftover balls trigger
+            # cleanup repeats.  The schedule keeps decrementing so the
+            # cleanup superbin count tracks the shrinking estimate; if
+            # the estimate bottoms out while balls remain (probability
+            # n^{-c} events), fall back to the true count — modeled as
+            # leaders reporting their rejection totals upward, one extra
+            # round already counted in the loop.
+            m_sched = max(0, m_sched - l_r * n_r)
+            if m_sched == 0 and active.size > 0:
+                m_sched = int(active.size)
+        else:
+            m_sched = max(0, m_sched - l_r * n_r)
+
+    if active.size > 0:
+        raise RuntimeError(
+            f"asymmetric algorithm exceeded max_rounds={config.max_rounds} "
+            f"with {active.size} balls left"
+        )
+
+    return AllocationResult(
+        algorithm="asymmetric",
+        m=m,
+        n=n,
+        loads=loads,
+        rounds=round_no,
+        metrics=metrics,
+        messages=counter,
+        total_messages=total_messages,
+        seed_entropy=factory.root_entropy,
+        extra={
+            "scheduled_rounds": scheduled_rounds,
+            "cleanup_rounds": cleanup_rounds,
+            "presymmetric_used": bool(use_pre),
+            "schedule": schedule_log,
+        },
+    )
+
+
+def _waterfill_members(
+    loads: np.ndarray,
+    accepted_per_super: np.ndarray,
+    blocks: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Distribute each superbin's accepted count over its members:
+    ``floor(a_s / b_s)`` each plus the remainder to the lowest-loaded
+    members (random tie-break).  Returns the per-bin intake vector."""
+    n = loads.size
+    n_r = len(blocks) - 1
+    block_sizes = np.diff(blocks)
+    base = accepted_per_super // block_sizes
+    remainder = accepted_per_super % block_sizes
+    block_of_bin = np.repeat(np.arange(n_r), block_sizes)
+    sorted_bins = np.lexsort((rng.random(n), loads, block_of_bin))
+    starts_b = np.concatenate(([0], np.cumsum(block_sizes)[:-1]))
+    rank_in_block = np.arange(n) - np.repeat(starts_b, block_sizes)
+    intake_sorted = base[block_of_bin] + (
+        rank_in_block < remainder[block_of_bin]
+    ).astype(np.int64)
+    intake = np.zeros(n, dtype=np.int64)
+    intake[sorted_bins] = intake_sorted
+    return intake
+
+
+def _run_asymmetric_aggregate(
+    m: int,
+    n: int,
+    *,
+    seed=None,
+    config: AsymmetricConfig = AsymmetricConfig(),
+    presymmetric: Optional[bool] = None,
+) -> AllocationResult:
+    """Aggregate (O(n)-per-round) execution of the asymmetric algorithm.
+
+    Balls are exchangeable within every round: the per-superbin request
+    counts are Multinomial(active, block_size/n) and the per-bin
+    presymmetric counts are Multinomial(m, 1/n), so the aggregate run is
+    identical in law to the per-ball run for every per-bin statistic.
+    """
+    from repro.fastpath.sampling import multinomial_occupancy
+
+    m, n = ensure_m_n(m, n, require_heavy=True)
+    factory = RngFactory(seed)
+    rng = factory.stream("asym-agg", "choices")
+    accept_rng = factory.stream("asym-agg", "accept")
+
+    loads = np.zeros(n, dtype=np.int64)
+    bin_received = np.zeros(n, dtype=np.int64)
+    metrics = RunMetrics(m, n)
+    total_messages = 0
+    round_no = 0
+    schedule_log: list[tuple[int, int]] = []
+
+    log_n = math.log(max(n, 2))
+    use_pre = presymmetric if presymmetric is not None else (m > n * log_n)
+    active = m
+    presym_t0 = 0
+
+    if use_pre and m > n:
+        t0 = max(0, math.floor(m / n - (m / n) ** (2.0 / 3.0)))
+        presym_t0 = t0
+        counts = multinomial_occupancy(active, n, rng)
+        accepted = np.minimum(counts, t0)
+        loads += accepted
+        bin_received += counts
+        accepts = int(accepted.sum())
+        total_messages += active + accepts
+        metrics.add_round(
+            RoundMetrics(
+                round_no=round_no,
+                unallocated_start=active,
+                requests_sent=active,
+                accepts_sent=accepts,
+                rejects_sent=0,
+                commits=accepts,
+                unallocated_end=active - accepts,
+                max_load=int(loads.max(initial=0)),
+                threshold=float(t0),
+            )
+        )
+        active -= accepts
+        round_no += 1
+
+    if use_pre and m > n:
+        m_sched = max(active, m - presym_t0 * n)
+    else:
+        m_sched = active
+    m_invoked = max(m_sched, 1)
+    scheduled_rounds = 0
+    cleanup_rounds = 0
+    terminal_seen = False
+
+    while active > 0 and round_no < config.max_rounds:
+        n_r, _delta, l_r, terminal = _schedule_params(
+            max(m_sched, 1), m_invoked, n, config.c
+        )
+        if terminal_seen:
+            cleanup_rounds += 1
+        else:
+            scheduled_rounds += 1
+        schedule_log.append((n_r, l_r))
+        blocks = superbin_blocks(n, n_r)
+        leaders = blocks[:-1]
+        block_sizes = np.diff(blocks)
+        avg_block = n / n_r
+        caps = np.ceil(l_r * block_sizes / avg_block).astype(np.int64)
+        # Requests per superbin: balls pick a uniform bin, hence a
+        # superbin with probability block_size/n.
+        pvals = block_sizes / n
+        counts_super = rng.multinomial(active, pvals).astype(np.int64)
+        accepted_super = np.minimum(counts_super, caps)
+        accepts = int(accepted_super.sum())
+        intake = _waterfill_members(loads, accepted_super, blocks, accept_rng)
+        loads += intake
+        # Message accounting: requests land at leaders; responses and
+        # allocation notices at members.
+        np.add.at(bin_received, leaders, counts_super)
+        bin_received += intake
+        total_messages += active + 2 * accepts
+        metrics.add_round(
+            RoundMetrics(
+                round_no=round_no,
+                unallocated_start=active,
+                requests_sent=active,
+                accepts_sent=accepts,
+                rejects_sent=0,
+                commits=accepts,
+                unallocated_end=active - accepts,
+                max_load=int(loads.max(initial=0)),
+                threshold=float(l_r),
+            )
+        )
+        active -= accepts
+        round_no += 1
+        if terminal:
+            terminal_seen = True
+            m_sched = max(0, m_sched - l_r * n_r)
+            if m_sched == 0 and active > 0:
+                m_sched = active
+        else:
+            m_sched = max(0, m_sched - l_r * n_r)
+
+    if active > 0:
+        raise RuntimeError(
+            f"aggregate asymmetric run exceeded max_rounds="
+            f"{config.max_rounds} with {active} balls left"
+        )
+
+    result = AllocationResult(
+        algorithm="asymmetric",
+        m=m,
+        n=n,
+        loads=loads,
+        rounds=round_no,
+        metrics=metrics,
+        messages=None,
+        total_messages=total_messages,
+        seed_entropy=factory.root_entropy,
+        extra={
+            "scheduled_rounds": scheduled_rounds,
+            "cleanup_rounds": cleanup_rounds,
+            "presymmetric_used": bool(use_pre),
+            "schedule": schedule_log,
+            "bin_received_max": int(bin_received.max(initial=0)),
+        },
+    )
+    return result

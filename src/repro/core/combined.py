@@ -1,0 +1,67 @@
+"""The combined algorithm (Section 3, "A Note on Success Probability").
+
+``A_heavy`` succeeds with probability ``1 - n^{-c}`` — vacuous when
+``n`` is a small constant.  The paper's fix: when
+``n < log log(m/n)``, run the deterministic trivial algorithm instead
+(``n`` rounds, perfectly balanced), which is *within the round budget*
+in exactly that regime.  The combination succeeds with probability
+``1 - o(1)`` over the entire parameter range.
+
+:func:`run_combined` implements the dispatch and records which branch
+ran; experiment T8 exercises both sides of the boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.heavy import HeavyConfig, run_heavy
+from repro.core.trivial import run_trivial
+from repro.result import AllocationResult
+from repro.utils.logstar import loglog2
+from repro.utils.validation import ensure_m_n
+
+__all__ = ["run_combined", "should_use_trivial"]
+
+
+def should_use_trivial(m: int, n: int) -> bool:
+    """The paper's dispatch test: ``n < log log(m/n)``.
+
+    In this regime ``n`` rounds fit inside the ``O(log log(m/n))``
+    budget and the deterministic algorithm's perfect balance beats any
+    probabilistic guarantee that degrades with small ``n``.
+    """
+    m, n = ensure_m_n(m, n, require_heavy=True)
+    return n < loglog2(m / n)
+
+
+def run_combined(
+    m: int,
+    n: int,
+    *,
+    seed=None,
+    config: Optional[HeavyConfig] = None,
+    mode: str = "perball",
+) -> AllocationResult:
+    """Run the combined algorithm of Section 3.
+
+    Dispatches to :func:`~repro.core.trivial.run_trivial` when
+    ``n < log log(m/n)`` and to :func:`~repro.core.heavy.run_heavy`
+    otherwise.  The chosen branch is recorded in
+    ``result.extra["branch"]``.
+    """
+    m, n = ensure_m_n(m, n, require_heavy=True)
+    if should_use_trivial(m, n):
+        result = run_trivial(m, n, seed=seed)
+        result.extra["branch"] = "trivial"
+    else:
+        result = run_heavy(
+            m,
+            n,
+            seed=seed,
+            mode=mode,  # type: ignore[arg-type]
+            config=config or HeavyConfig(),
+        )
+        result.extra["branch"] = "heavy"
+    result.algorithm = "combined"
+    return result

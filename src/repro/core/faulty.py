@@ -1,0 +1,202 @@
+"""Fault injection: the threshold algorithm under crashes and message loss.
+
+The paper's model is reliable and synchronous.  A natural robustness
+question for a downstream user — and a stress test of the *schedule's*
+self-stabilizing structure — is what happens when
+
+* **balls crash**: an unallocated ball vanishes with probability
+  ``crash_prob`` at the start of each round (its job is gone; the
+  allocation of the survivors should be unaffected), and
+* **messages are lost**: each request is dropped with probability
+  ``loss_prob`` (the ball just retries next round), and each accept is
+  dropped with probability ``loss_prob`` — the insidious case, because
+  the bin has *reserved capacity for a ball that never learns of it*
+  (a "ghost" slot that is never revoked within the protocol).
+
+Why the schedule tolerates this: thresholds ``T_i`` depend only on the
+round index, and the estimate recursion m̃ is an *upper* bound on the
+surviving ball count under faults, so capacity stays ahead of demand;
+ghost slots waste at most a ``loss_prob`` fraction of each round's
+capacity, which the next round's fresh capacity covers.  The measured
+effect (tests + experiment) is a modest increase in rounds and a gap
+that grows with ``loss_prob`` but stays far below the naive baseline.
+
+This module is an extension beyond the paper (documented as such);
+``crash_prob = loss_prob = 0`` reproduces ``run_heavy`` exactly in
+distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.thresholds import PaperSchedule, ThresholdSchedule
+from repro.fastpath.sampling import grouped_accept, sample_uniform_choices
+from repro.light.virtual import run_light_on_virtual_bins
+from repro.result import AllocationResult
+from repro.simulation.metrics import RoundMetrics, RunMetrics
+from repro.utils.seeding import RngFactory
+from repro.utils.validation import check_probability, ensure_m_n
+
+__all__ = ["run_heavy_faulty"]
+
+
+def run_heavy_faulty(
+    m: int,
+    n: int,
+    *,
+    seed=None,
+    crash_prob: float = 0.0,
+    loss_prob: float = 0.0,
+    schedule: Optional[ThresholdSchedule] = None,
+    stop_factor: float = 2.0,
+    handoff: bool = True,
+    extra_rounds: int = 8,
+) -> AllocationResult:
+    """Run phase 1 under fault injection, then a reliable handoff.
+
+    Parameters
+    ----------
+    m, n:
+        Instance size (``m >= n``).
+    crash_prob:
+        Per-round probability that an unallocated ball disappears.
+        Crashed balls are reported via ``extra["crashed"]`` and excluded
+        from the allocation (``result.m`` still reports the original
+        ``m``; ``unallocated`` counts only surviving stragglers).
+    loss_prob:
+        Per-message drop probability, applied independently to requests
+        and accepts.
+    schedule:
+        Threshold schedule (default: the paper's).
+    extra_rounds:
+        Additional threshold rounds granted beyond the schedule's phase
+        1 (faults slow progress; the schedule is extended by holding the
+        final threshold).
+    handoff:
+        Run the (reliable) ``A_light`` phase on the stragglers.
+
+    Notes
+    -----
+    Ghost slots: a lost accept leaves the bin's capacity consumed
+    (``ghost_loads``) while the ball retries.  Final loads exclude
+    ghosts — a ghost is an empty reservation, not a ball — but
+    capacity checks use ``loads + ghosts``, exactly what a real bin
+    (which cannot distinguish a lost accept from a silent ball) would
+    enforce.
+    """
+    m, n = ensure_m_n(m, n, require_heavy=True)
+    crash_prob = check_probability(crash_prob, "crash_prob")
+    loss_prob = check_probability(loss_prob, "loss_prob")
+    factory = RngFactory(seed)
+    rng = factory.stream("faulty", "choices")
+    fault_rng = factory.stream("faulty", "faults")
+
+    sched = schedule or PaperSchedule(m, n, stop_factor=stop_factor)
+    planned = sched.phase1_rounds()
+    base_rounds = planned if planned is not None else 64
+    rounds_budget = base_rounds + extra_rounds
+
+    loads = np.zeros(n, dtype=np.int64)
+    ghosts = np.zeros(n, dtype=np.int64)
+    active = np.arange(m, dtype=np.int64)
+    crashed = 0
+    metrics = RunMetrics(m, n)
+    total_messages = 0
+    round_no = 0
+
+    while round_no < rounds_budget and active.size > 0:
+        # Crashes: balls vanish before sending.
+        if crash_prob > 0 and active.size:
+            alive = fault_rng.random(active.size) >= crash_prob
+            crashed += int(active.size - alive.sum())
+            active = active[alive]
+        u = active.size
+        if u == 0:
+            break
+        # Thresholds: schedule value, held at its last level past the
+        # planned horizon (the bins keep their final capacity open).
+        threshold = sched.threshold(min(round_no, base_rounds - 1))
+        choices = sample_uniform_choices(u, n, rng)
+        # Request loss.
+        if loss_prob > 0:
+            delivered = fault_rng.random(u) >= loss_prob
+        else:
+            delivered = np.ones(u, dtype=bool)
+        capacity = np.maximum(threshold - loads - ghosts, 0)
+        accepted = np.zeros(u, dtype=bool)
+        if delivered.any():
+            sub_accept = grouped_accept(
+                choices[delivered], capacity, factory.stream("faulty", "acc", round_no)
+            )
+            accepted[np.flatnonzero(delivered)[sub_accept]] = True
+        # Accept loss: the bin reserved the slot, the ball never hears.
+        if loss_prob > 0 and accepted.any():
+            heard = fault_rng.random(int(accepted.sum())) >= loss_prob
+            acc_idx = np.flatnonzero(accepted)
+            ghost_idx = acc_idx[~heard]
+            np.add.at(ghosts, choices[ghost_idx], 1)
+            accepted[ghost_idx] = False
+        accepted_bins = choices[accepted]
+        np.add.at(loads, accepted_bins, 1)
+        commits = int(accepted.sum())
+        total_messages += int(delivered.sum()) + commits
+        metrics.add_round(
+            RoundMetrics(
+                round_no=round_no,
+                unallocated_start=u,
+                requests_sent=int(delivered.sum()),
+                accepts_sent=commits,
+                rejects_sent=0,
+                commits=commits,
+                unallocated_end=u - commits,
+                max_load=int(loads.max(initial=0)),
+                threshold=float(threshold),
+            )
+        )
+        active = active[~accepted]
+        round_no += 1
+
+    phase1_rounds = round_no
+    remaining = int(active.size)
+    extra = {
+        "crash_prob": crash_prob,
+        "loss_prob": loss_prob,
+        "crashed": crashed,
+        "ghost_slots": int(ghosts.sum()),
+        "phase1_rounds": phase1_rounds,
+        "phase1_remaining": remaining,
+        "phase2_rounds": 0,
+    }
+    rounds = phase1_rounds
+    unallocated = remaining
+
+    if handoff and remaining > 0:
+        real_loads, light, vmap = run_light_on_virtual_bins(
+            remaining, n, seed=factory.stream("light")
+        )
+        loads += real_loads
+        rounds += light.rounds
+        total_messages += light.total_messages
+        extra["phase2_rounds"] = light.rounds
+        unallocated = 0
+
+    # ``unallocated`` counts surviving stragglers plus crashed balls
+    # (both are balls of the original m not present in any bin); a run
+    # is complete only when every original ball landed.
+    not_placed = unallocated + crashed
+    return AllocationResult(
+        algorithm=f"heavy-faulty[crash={crash_prob},loss={loss_prob}]",
+        m=m,
+        n=n,
+        loads=loads,
+        rounds=rounds,
+        metrics=metrics,
+        total_messages=total_messages,
+        complete=not_placed == 0,
+        unallocated=not_placed,
+        seed_entropy=factory.root_entropy,
+        extra=extra,
+    )

@@ -1,0 +1,332 @@
+"""Algorithm ``A_heavy`` — the paper's main contribution (Theorem 1/6).
+
+Structure (Section 3):
+
+* **Phase 1** (threshold rounds): every unallocated ball contacts one
+  uniformly random bin; bins accept up to ``T_i - ℓ`` requests with the
+  oblivious schedule ``T_i = m/n - (m̃_i/n)^{2/3}``,
+  ``m̃_{i+1} = m̃_i^{2/3} n^{1/3}``.  The phase runs until the estimate
+  drops to ``m̃ <= stop_factor * n`` — ``O(log log(m/n))`` rounds —
+  after which ``O(n)`` balls remain w.h.p. (Claims 1-4).
+* **Phase 2** (handoff): remaining balls run ``A_light`` over ``g``
+  virtual bins per real bin (Theorem 5), adding at most ``2 g = O(1)``
+  load per real bin in ``log* n + O(1)`` rounds.
+
+Execution modes:
+
+* ``"perball"`` — exact vectorized semantics with full per-ball message
+  accounting (default; ``m`` up to ~10^7);
+* ``"aggregate"`` — per-bin multinomial request counts, ``O(n)``/round;
+  identical in distribution for loads/rounds/per-bin messages, but
+  per-ball counters are not tracked (``m`` up to ~10^12).  Phase 2
+  always runs per-ball (only ``O(n)`` balls remain).
+* ``"engine"`` — the object-level reference engine
+  (:mod:`repro.core.heavy_agents`); small instances only.
+
+The generic :func:`run_threshold_protocol` underlies both ``A_heavy``
+(paper schedule) and the Section 1.1 negative example (fixed schedule,
+experiment F2) and the ablation schedules (experiment A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.core.thresholds import PaperSchedule, ThresholdSchedule
+from repro.fastpath.sampling import (
+    grouped_accept,
+    multinomial_occupancy,
+    sample_uniform_choices,
+)
+from repro.light.lw16 import LightConfig
+from repro.light.virtual import run_light_on_virtual_bins
+from repro.result import AllocationResult
+from repro.simulation.metrics import MessageCounter, RoundMetrics, RunMetrics
+from repro.utils.seeding import RngFactory
+from repro.utils.validation import ensure_m_n
+
+__all__ = [
+    "HeavyConfig",
+    "run_heavy",
+    "run_threshold_protocol",
+    "ThresholdPhaseOutcome",
+]
+
+Mode = Literal["perball", "aggregate", "engine"]
+
+
+@dataclass(frozen=True)
+class HeavyConfig:
+    """Tunables for ``A_heavy``.
+
+    Attributes
+    ----------
+    stop_factor:
+        Phase 1 ends when ``m̃_i <= stop_factor * n`` (paper: the loop
+        exits once the estimate is ``O(n)``; 2 matches Claim 3's ``i_1``).
+    light:
+        Configuration of the phase-2 ``A_light`` run.
+    max_rounds:
+        Safety cap on total rounds.
+    track_per_ball:
+        Maintain per-ball message counters in per-ball mode (arrays of
+        size ``m``; disable for very large ``m`` to save memory).
+    """
+
+    stop_factor: float = 2.0
+    light: LightConfig = LightConfig()
+    max_rounds: int = 100_000
+    track_per_ball: bool = True
+
+
+@dataclass
+class ThresholdPhaseOutcome:
+    """Result of running just the threshold rounds (phase 1)."""
+
+    loads: np.ndarray
+    remaining: int
+    remaining_ids: Optional[np.ndarray]  # None in aggregate mode
+    rounds: int
+    metrics: RunMetrics
+    counter: Optional[MessageCounter]
+    total_messages: int
+    thresholds: list[int]
+
+
+def run_threshold_protocol(
+    m: int,
+    n: int,
+    schedule: ThresholdSchedule,
+    *,
+    rng_factory: Optional[RngFactory] = None,
+    mode: Mode = "perball",
+    max_rounds: Optional[int] = None,
+    track_per_ball: bool = True,
+    stop_when_empty: bool = True,
+) -> ThresholdPhaseOutcome:
+    """Run the symmetric threshold protocol under any oblivious schedule.
+
+    Each round: active balls contact one uniform bin; bins accept up to
+    ``schedule.threshold(i) - load``.  The run ends when the schedule's
+    :meth:`~repro.core.thresholds.ThresholdSchedule.phase1_rounds` are
+    exhausted, all balls are allocated (if ``stop_when_empty``), or
+    ``max_rounds`` is hit — whichever comes first.
+
+    Message accounting counts one request per active ball per round plus
+    one accept per allocated ball; rejections are silent, matching the
+    paper's protocol (Theorem 6 counts only sent messages).
+    """
+    m, n = ensure_m_n(m, n, require_heavy=True)
+    factory = rng_factory or RngFactory()
+    rng = factory.stream("threshold", "choices")
+    accept_rng = factory.stream("threshold", "accept")
+
+    planned = schedule.phase1_rounds()
+    cap_rounds = max_rounds if max_rounds is not None else 100_000
+    if planned is not None:
+        cap_rounds = min(cap_rounds, planned)
+
+    loads = np.zeros(n, dtype=np.int64)
+    metrics = RunMetrics(m, n)
+    counter = (
+        MessageCounter(m, n) if (mode == "perball" and track_per_ball) else None
+    )
+    total_messages = 0
+    thresholds: list[int] = []
+
+    if mode == "perball":
+        active = np.arange(m, dtype=np.int64)
+    elif mode == "aggregate":
+        active_count = m
+    else:
+        raise ValueError(f"mode must be 'perball' or 'aggregate', got {mode!r}")
+
+    round_no = 0
+    while round_no < cap_rounds:
+        m_i = int(active.size) if mode == "perball" else active_count
+        if stop_when_empty and m_i == 0:
+            break
+        threshold = schedule.threshold(round_no)
+        thresholds.append(threshold)
+        capacity = np.maximum(threshold - loads, 0)
+
+        if mode == "perball":
+            choices = sample_uniform_choices(m_i, n, rng)
+            accepted_mask = grouped_accept(choices, capacity, accept_rng)
+            accepted_bins = choices[accepted_mask]
+            np.add.at(loads, accepted_bins, 1)
+            accepts = int(accepted_mask.sum())
+            if counter is not None:
+                counter.record_bulk_ball_to_bin(choices, active)
+                counter.record_bulk_bin_to_ball(
+                    accepted_bins, active[accepted_mask]
+                )
+            active = active[~accepted_mask]
+            m_next = int(active.size)
+        else:
+            counts = multinomial_occupancy(m_i, n, rng)
+            accepted_per_bin = np.minimum(counts, capacity)
+            loads += accepted_per_bin
+            accepts = int(accepted_per_bin.sum())
+            active_count = m_i - accepts
+            m_next = active_count
+
+        total_messages += m_i + accepts
+        metrics.add_round(
+            RoundMetrics(
+                round_no=round_no,
+                unallocated_start=m_i,
+                requests_sent=m_i,
+                accepts_sent=accepts,
+                rejects_sent=0,
+                commits=accepts,
+                unallocated_end=m_next,
+                max_load=int(loads.max(initial=0)),
+                threshold=float(threshold),
+            )
+        )
+        round_no += 1
+
+    remaining = int(active.size) if mode == "perball" else active_count
+    return ThresholdPhaseOutcome(
+        loads=loads,
+        remaining=remaining,
+        remaining_ids=active if mode == "perball" else None,
+        rounds=round_no,
+        metrics=metrics,
+        counter=counter,
+        total_messages=total_messages,
+        thresholds=thresholds,
+    )
+
+
+def run_heavy(
+    m: int,
+    n: int,
+    *,
+    seed=None,
+    mode: Mode = "perball",
+    config: HeavyConfig = HeavyConfig(),
+    schedule: Optional[ThresholdSchedule] = None,
+    handoff: bool = True,
+) -> AllocationResult:
+    """Allocate ``m`` balls into ``n`` bins with Algorithm ``A_heavy``.
+
+    Parameters
+    ----------
+    m, n:
+        Instance size; requires ``m >= n`` (heavily loaded regime; for
+        ``m < n`` use :func:`repro.light.run_light` directly).
+    seed:
+        Reproducibility seed (int, SeedSequence, Generator, or None).
+    mode:
+        ``"perball"`` (exact, default), ``"aggregate"`` (``O(n)``/round,
+        no per-ball counters), or ``"engine"`` (object-level reference).
+    config:
+        Algorithm tunables (stop factor, light-phase config, caps).
+    schedule:
+        Override the threshold schedule (default: the paper's
+        :class:`~repro.core.thresholds.PaperSchedule`).  Used by the
+        ablation experiments.
+    handoff:
+        Run phase 2 (``A_light``) on the leftover balls.  Disabling it
+        (experiment A2) leaves stragglers unallocated and sets
+        ``complete=False`` on the result.
+
+    Returns
+    -------
+    AllocationResult
+        With ``extra`` keys ``phase1_rounds``, ``phase2_rounds``,
+        ``phase1_remaining`` (balls left for ``A_light``) and
+        ``light_used_fallback``.
+    """
+    m, n = ensure_m_n(m, n, require_heavy=True)
+    if mode == "engine":
+        from repro.core.heavy_agents import run_heavy_engine
+
+        return run_heavy_engine(
+            m, n, seed=seed, config=config, schedule=schedule, handoff=handoff
+        )
+    factory = RngFactory(seed)
+    sched = schedule or PaperSchedule(m, n, stop_factor=config.stop_factor)
+    phase1 = run_threshold_protocol(
+        m,
+        n,
+        sched,
+        rng_factory=factory,
+        mode=mode,
+        max_rounds=config.max_rounds,
+        track_per_ball=config.track_per_ball,
+    )
+
+    loads = phase1.loads.copy()
+    total_messages = phase1.total_messages
+    rounds = phase1.rounds
+    extra: dict = {
+        "phase1_rounds": phase1.rounds,
+        "phase1_remaining": phase1.remaining,
+        "thresholds": phase1.thresholds,
+        "light_used_fallback": False,
+        "phase2_rounds": 0,
+    }
+    counter = phase1.counter
+    metrics = phase1.metrics
+
+    unallocated = phase1.remaining
+    if handoff and unallocated > 0:
+        real_loads, light, vmap = run_light_on_virtual_bins(
+            unallocated,
+            n,
+            seed=factory.stream("light"),
+            config=config.light,
+        )
+        loads += real_loads
+        rounds += light.rounds
+        total_messages += light.total_messages
+        extra["phase2_rounds"] = light.rounds
+        extra["light_used_fallback"] = light.used_fallback
+        extra["virtual_factor"] = vmap.factor
+        # Merge per-round progress into the global metrics with offset
+        # round numbers.
+        for r in light.metrics.rounds:
+            metrics.add_round(
+                RoundMetrics(
+                    round_no=phase1.rounds + r.round_no,
+                    unallocated_start=r.unallocated_start,
+                    requests_sent=r.requests_sent,
+                    accepts_sent=r.accepts_sent,
+                    rejects_sent=r.rejects_sent,
+                    commits=r.commits,
+                    unallocated_end=r.unallocated_end,
+                    max_load=int(loads.max(initial=0)),
+                )
+            )
+        if counter is not None and phase1.remaining_ids is not None:
+            # Phase-2 messages by global ball id; bin receives are folded
+            # through the virtual map (uniform over virtual bins means
+            # uniform over real bins).
+            ids = phase1.remaining_ids
+            counter.ball_sent[ids] += light.ball_messages  # sends+receives folded
+            counter.total += light.total_messages
+            assigned_real = vmap.to_real(light.assignment)
+            np.add.at(counter.bin_received, assigned_real, 1)
+        unallocated = 0
+
+    result = AllocationResult(
+        algorithm="heavy" if schedule is None else f"threshold[{type(sched).__name__}]",
+        m=m,
+        n=n,
+        loads=loads,
+        rounds=rounds,
+        metrics=metrics,
+        messages=counter,
+        total_messages=total_messages,
+        complete=unallocated == 0,
+        unallocated=unallocated,
+        seed_entropy=factory.root_entropy,
+        extra=extra,
+    )
+    return result

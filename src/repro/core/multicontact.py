@@ -1,0 +1,144 @@
+"""Degree-d symmetric threshold algorithm — probing the open problem.
+
+The paper's conclusion asks: *"can we provide a faster symmetric
+algorithm?"* — and Theorem 2 answers negatively for the uniform-contact
+threshold family, even with ``d = O(1)`` contacts per round.  This
+module makes the question executable: ``run_heavy_multicontact`` runs
+the paper's schedule with each unallocated ball contacting ``d``
+uniformly random bins per round (the degree-``d`` member of the
+Section 4 family, executed phase-per-round via the machinery of
+:mod:`repro.lowerbound.simulate_degree`).
+
+Expected outcome (experiment A3): extra contacts do **not** reduce the
+round count below ``Theta(log log(m/n))`` — they only shave lower-order
+terms while multiplying message cost by ``d``, exactly the trade-off
+the lower bound predicts.  Under tight thresholds the extra contacts
+can even *hurt* (accepts consumed by multi-accepted balls), the
+quantitative form of the paper's remark that collecting requests "is
+not a good strategy for algorithms".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.thresholds import PaperSchedule, ThresholdSchedule
+from repro.light.virtual import run_light_on_virtual_bins
+from repro.lowerbound.simulate_degree import phase_resolution
+from repro.result import AllocationResult
+from repro.simulation.metrics import RoundMetrics, RunMetrics
+from repro.utils.seeding import RngFactory
+from repro.utils.validation import check_positive_int, ensure_m_n
+
+__all__ = ["run_heavy_multicontact"]
+
+
+def run_heavy_multicontact(
+    m: int,
+    n: int,
+    d: int = 2,
+    *,
+    seed=None,
+    schedule: Optional[ThresholdSchedule] = None,
+    stop_factor: float = 2.0,
+    handoff: bool = True,
+    max_rounds: int = 1024,
+) -> AllocationResult:
+    """Run the degree-``d`` threshold algorithm on the paper's schedule.
+
+    Per round: every unallocated ball contacts ``d`` uniform bins; each
+    bin accepts up to ``T_i - load`` requests (smallest tie-break marks,
+    i.e. a uniformized adversarial port order); balls with several
+    accepts commit to one and the rest are revoked at round end.
+
+    ``d = 1`` coincides in distribution with
+    :func:`repro.core.heavy.run_heavy`'s phase 1.
+
+    Returns
+    -------
+    AllocationResult
+        ``extra`` carries ``d``, ``phase1_rounds``, ``phase1_remaining``
+        and ``phase2_rounds``.
+    """
+    m, n = ensure_m_n(m, n, require_heavy=True)
+    d = check_positive_int(d, "d")
+    factory = RngFactory(seed)
+    rng = factory.stream("multicontact", d)
+    sched = schedule or PaperSchedule(m, n, stop_factor=stop_factor)
+    planned = sched.phase1_rounds()
+    rounds_budget = planned if planned is not None else max_rounds
+
+    loads = np.zeros(n, dtype=np.int64)
+    active = np.arange(m, dtype=np.int64)
+    metrics = RunMetrics(m, n)
+    total_messages = 0
+    round_no = 0
+
+    while round_no < rounds_budget and active.size > 0:
+        u = active.size
+        threshold = sched.threshold(round_no)
+        contacts = rng.integers(0, n, size=(u, d), dtype=np.int64)
+        marks = rng.random(size=(u, d))
+        committed_mask, committed_bin = phase_resolution(
+            contacts, marks, loads, threshold
+        )
+        commits = int(committed_mask.sum())
+        np.add.at(loads, committed_bin[committed_mask], 1)
+        # Messages: u*d requests; accepts are bounded by capacity opened
+        # this round — count commits plus revoked accepts conservatively
+        # as <= u*d responses; we track requests + one accept + one
+        # commit per allocated ball (the dominant terms).
+        total_messages += u * d + 2 * commits
+        metrics.add_round(
+            RoundMetrics(
+                round_no=round_no,
+                unallocated_start=u,
+                requests_sent=u * d,
+                accepts_sent=commits,
+                rejects_sent=0,
+                commits=commits,
+                unallocated_end=u - commits,
+                max_load=int(loads.max(initial=0)),
+                threshold=float(threshold),
+            )
+        )
+        active = active[~committed_mask]
+        round_no += 1
+
+    phase1_rounds = round_no
+    phase1_remaining = int(active.size)
+    extra = {
+        "d": d,
+        "phase1_rounds": phase1_rounds,
+        "phase1_remaining": phase1_remaining,
+        "phase2_rounds": 0,
+    }
+    unallocated = phase1_remaining
+    rounds = phase1_rounds
+
+    if handoff and unallocated > 0:
+        real_loads, light, vmap = run_light_on_virtual_bins(
+            unallocated, n, seed=factory.stream("light")
+        )
+        loads += real_loads
+        rounds += light.rounds
+        total_messages += light.total_messages
+        extra["phase2_rounds"] = light.rounds
+        extra["virtual_factor"] = vmap.factor
+        unallocated = 0
+
+    return AllocationResult(
+        algorithm=f"heavy-multicontact[{d}]",
+        m=m,
+        n=n,
+        loads=loads,
+        rounds=rounds,
+        metrics=metrics,
+        total_messages=total_messages,
+        complete=unallocated == 0,
+        unallocated=unallocated,
+        seed_entropy=factory.root_entropy,
+        extra=extra,
+    )

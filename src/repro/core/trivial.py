@@ -1,0 +1,107 @@
+"""The deterministic ``n``-round algorithm (Section 3, success-probability note).
+
+"Balls try all bins one by one, in arbitrary order (which may be
+different for each ball); bins use threshold ``ceil(m/n)`` in each
+round."  Every ball is allocated within ``n`` rounds *deterministically*:
+a bin's fullness is monotone, so a ball rejected by every bin would
+imply all bins full — i.e. ``n * ceil(m/n) >= m`` balls placed while one
+remains, a contradiction.
+
+The paper invokes this algorithm for the regime ``n < log log(m/n)``
+where the w.h.p. guarantees of ``A_heavy`` (stated in terms of ``n``)
+are vacuous; see :mod:`repro.core.combined`.
+
+Implementation: ball ``b`` visits bin ``(b + r) mod n`` in round ``r``
+(staggered orders spread contention); fully vectorized per round.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.fastpath.sampling import grouped_accept
+from repro.result import AllocationResult
+from repro.simulation.metrics import RoundMetrics, RunMetrics
+from repro.utils.seeding import RngFactory
+from repro.utils.validation import ensure_m_n
+
+__all__ = ["run_trivial"]
+
+
+def run_trivial(
+    m: int,
+    n: int,
+    *,
+    seed=None,
+    threshold: Optional[int] = None,
+) -> AllocationResult:
+    """Deterministically allocate with max load ``ceil(m/n)`` in <= n rounds.
+
+    Parameters
+    ----------
+    m, n:
+        Instance size (any ``m >= 1``, ``n >= 1``).
+    seed:
+        Only used for the bins' arbitrary accept tie-breaking; the
+        round/load guarantees are deterministic regardless.
+    threshold:
+        Override the per-bin cap (default ``ceil(m/n)``).  Must satisfy
+        ``threshold * n >= m`` or the run cannot complete.
+    """
+    m, n = ensure_m_n(m, n)
+    cap = threshold if threshold is not None else math.ceil(m / n)
+    if cap * n < m:
+        raise ValueError(
+            f"threshold {cap} gives total capacity {cap * n} < m={m}"
+        )
+    factory = RngFactory(seed)
+    accept_rng = factory.stream("trivial", "accept")
+
+    loads = np.zeros(n, dtype=np.int64)
+    active = np.arange(m, dtype=np.int64)
+    metrics = RunMetrics(m, n)
+    total_messages = 0
+    round_no = 0
+
+    while active.size > 0:
+        if round_no >= n:  # impossible by the monotonicity argument
+            raise RuntimeError(
+                "trivial algorithm exceeded n rounds; invariant violated"
+            )
+        targets = (active + round_no) % n
+        capacity = cap - loads
+        accepted = grouped_accept(targets, capacity, accept_rng)
+        accepted_bins = targets[accepted]
+        np.add.at(loads, accepted_bins, 1)
+        accepts = int(accepted.sum())
+        total_messages += int(active.size) + accepts
+        metrics.add_round(
+            RoundMetrics(
+                round_no=round_no,
+                unallocated_start=int(active.size),
+                requests_sent=int(active.size),
+                accepts_sent=accepts,
+                rejects_sent=0,
+                commits=accepts,
+                unallocated_end=int(active.size) - accepts,
+                max_load=int(loads.max(initial=0)),
+                threshold=float(cap),
+            )
+        )
+        active = active[~accepted]
+        round_no += 1
+
+    return AllocationResult(
+        algorithm="trivial",
+        m=m,
+        n=n,
+        loads=loads,
+        rounds=round_no,
+        metrics=metrics,
+        total_messages=total_messages,
+        seed_entropy=factory.root_entropy,
+        extra={"threshold": cap},
+    )

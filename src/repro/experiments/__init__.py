@@ -1,0 +1,31 @@
+"""Experiment harness regenerating every quantitative claim of the paper.
+
+The paper (a theory paper) contains no numeric tables or figures; the
+experiment set is derived from its theorems and claims — the mapping is
+DESIGN.md §4 and each experiment's docstring cites the claim it
+reproduces.  Every experiment returns an
+:class:`~repro.experiments.report.ExperimentReport` with prediction and
+measurement columns; EXPERIMENTS.md archives one full run.
+
+Run from the command line::
+
+    python -m repro.experiments            # list experiments
+    python -m repro.experiments T1         # run one (quick scale)
+    python -m repro.experiments all --scale full
+
+or from the benchmarks (``pytest benchmarks/ --benchmark-only``), one
+bench per experiment.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import repeat_gaps, repeat_metric
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "get_experiment",
+    "repeat_gaps",
+    "repeat_metric",
+    "run_experiment",
+]

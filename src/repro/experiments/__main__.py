@@ -1,0 +1,55 @@
+"""CLI: ``python -m repro.experiments [all|T1|F3|...] [--scale quick|full]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's quantitative claims.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (T1..T8, F1..F5, A1..A2) or 'all'; omit to list",
+    )
+    parser.add_argument("--scale", choices=("quick", "full"), default="quick")
+    parser.add_argument("--seed", type=int, default=20190416)
+    args = parser.parse_args(argv)
+
+    if args.experiment is None:
+        print("available experiments:")
+        for exp_id, fn in sorted(EXPERIMENTS.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"  {exp_id:4s} {doc}")
+        return 0
+
+    ids = (
+        sorted(EXPERIMENTS)
+        if args.experiment.lower() == "all"
+        else [args.experiment]
+    )
+    failed = []
+    for exp_id in ids:
+        start = time.perf_counter()
+        report = run_experiment(exp_id, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(report.render())
+        print(f"({elapsed:.1f}s)")
+        print()
+        if report.passed is False:
+            failed.append(exp_id)
+    if failed:
+        print(f"FAILED self-checks: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

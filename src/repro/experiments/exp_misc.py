@@ -1,0 +1,341 @@
+"""Experiments T4, T5, T7, T8, F5 and the ablations A1, A2."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.chernoff import underload_probability_bound
+from repro.analysis.theory import expected_max_load_greedy_d
+from repro.baselines import run_greedy_d
+from repro.core import (
+    ExponentSchedule,
+    PaperSchedule,
+    run_asymmetric,
+    run_combined,
+    run_heavy,
+    should_use_trivial,
+)
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import seed_list
+from repro.fastpath.sampling import multinomial_occupancy
+from repro.light import run_light
+from repro.utils.logstar import log_star
+from repro.utils.seeding import RngFactory
+
+__all__ = [
+    "exp_t4",
+    "exp_t5",
+    "exp_t7",
+    "exp_t8",
+    "exp_f5",
+    "exp_a1",
+    "exp_a2",
+]
+
+
+def exp_t4(scale: str = "quick", seed: int = 20190416) -> ExperimentReport:
+    """T4 — the asymmetric algorithm (Theorem 3, Claims 7-10, Cor 2)."""
+    report = ExperimentReport(
+        exp_id="T4",
+        title="Asymmetric algorithm: rounds, gap, per-bin messages",
+        claim="Thm 3: m/n + O(1) load in O(1) rounds; bins receive "
+        "(1+o(1)) m/n + O(log n) messages",
+        columns=[
+            "n",
+            "m/n",
+            "gap",
+            "rounds",
+            "cleanup",
+            "bin recv max",
+            "(m/n)+8ln n",
+        ],
+    )
+    grid = (
+        [(256, 64), (1024, 1024)]
+        if scale == "quick"
+        else [(256, 4), (256, 256), (1024, 64), (1024, 4096), (4096, 256)]
+    )
+    reps = 3 if scale == "quick" else 5
+    ok = True
+    max_rounds_seen = 0
+    for n, ratio in grid:
+        m = n * ratio
+        gaps, rounds, cleanups, binmax = [], [], [], []
+        for s in seed_list(seed, reps):
+            res = run_asymmetric(m, n, seed=s)
+            gaps.append(res.gap)
+            rounds.append(res.rounds)
+            cleanups.append(res.extra["cleanup_rounds"])
+            binmax.append(res.messages.summary()["per_bin_received_max"])
+        report.add_row(
+            n,
+            ratio,
+            float(np.mean(gaps)),
+            float(np.mean(rounds)),
+            float(np.mean(cleanups)),
+            float(np.mean(binmax)),
+            m / n + 8 * math.log(n),
+        )
+        # O(1) with an explicit constant.  The worst case sits in the
+        # moderate regime (m/n ~ n), where the terminal round's
+        # per-block deviation delta_term/block_size peaks; it does NOT
+        # grow with m/n (the sweep's largest ratios have the smallest
+        # gaps), which is what "O(1)" demands.
+        ok = ok and max(gaps) <= 14.0 and float(np.mean(gaps)) <= 10.0
+        max_rounds_seen = max(max_rounds_seen, max(rounds))
+    ok = ok and max_rounds_seen <= 8  # O(1): absolute cap across scales
+    report.passed = ok
+    report.notes.append(
+        "the gap peaks (~7-10) in the moderate regime m/n ~ n — the "
+        "terminal round's per-block noise delta/block_size — and shrinks "
+        "as m/n grows: constant, with a larger constant than the "
+        "symmetric algorithm's."
+    )
+    report.notes.append(
+        "per-bin max messages exceeds (1+o(1))m/n + O(log n) by a "
+        "moderate-regime factor ~log n/(m/n)^(1/3) = o(1): leaders absorb "
+        "the terminal round (see DESIGN.md on Claim 10's block-size gap)."
+    )
+    return report
+
+
+def exp_t5(scale: str = "quick", seed: int = 20190416) -> ExperimentReport:
+    """T5 — Claim 1's underload probability bound, round by round."""
+    report = ExperimentReport(
+        exp_id="T5",
+        title="Pr[bin receives < T_i - T_{i-1} requests] vs "
+        "exp(-(m̃_i/n)^(1/3)/2)",
+        claim="Claim 1 (via Chernoff, Lemma 1)",
+        columns=[
+            "round",
+            "m̃_i/n",
+            "capacity T_i-T_{i-1}",
+            "measured Pr",
+            "Claim 1 bound",
+            "bound holds",
+        ],
+    )
+    n = 4096
+    ratio = 2**10 if scale == "quick" else 2**14
+    m = n * ratio
+    trials = 20 if scale == "quick" else 50
+    schedule = PaperSchedule(m, n)
+    rng = RngFactory(seed).stream("t5")
+    ok = True
+    rounds = schedule.phase1_rounds()
+    for i in range(min(rounds, 6)):
+        mtilde = schedule.estimate(i)
+        need = schedule.capacity(i)
+        if need <= 0:
+            continue
+        # Underload frequency measured over `trials` fresh multinomial
+        # rounds at the schedule's nominal ball count.
+        under = 0
+        for _ in range(trials):
+            counts = multinomial_occupancy(int(mtilde), n, rng)
+            under += int((counts < need).sum())
+        measured = under / (trials * n)
+        bound = underload_probability_bound(mtilde, n)
+        report.add_row(i, mtilde / n, need, measured, bound, measured <= bound)
+        ok = ok and measured <= bound
+    report.passed = ok
+    return report
+
+
+def exp_t7(scale: str = "quick", seed: int = 20190416) -> ExperimentReport:
+    """T7 — A_light meets Theorem 5's guarantees."""
+    report = ExperimentReport(
+        exp_id="T7",
+        title="A_light: rounds, max load, messages",
+        claim="Thm 5 [LW16]: load <= 2 in log* n + O(1) rounds with O(n) "
+        "messages",
+        columns=[
+            "n",
+            "max load",
+            "rounds",
+            "log* n + 6",
+            "messages/n",
+            "fallback used",
+        ],
+    )
+    ns = [256, 4096] if scale == "quick" else [256, 1024, 4096, 16384, 65536]
+    reps = 3 if scale == "quick" else 5
+    ok = True
+    for n in ns:
+        loads, rounds, msgs, fallbacks = [], [], [], 0
+        for s in seed_list(seed, reps):
+            out = run_light(n, n, seed=s)
+            loads.append(out.max_load)
+            rounds.append(out.rounds)
+            msgs.append(out.total_messages / n)
+            fallbacks += int(out.used_fallback)
+        budget = log_star(n) + 6
+        report.add_row(
+            n,
+            max(loads),
+            float(np.mean(rounds)),
+            budget,
+            float(np.mean(msgs)),
+            fallbacks,
+        )
+        ok = ok and max(loads) <= 2
+        ok = ok and max(rounds) <= budget + 1
+        ok = ok and float(np.mean(msgs)) <= 12.0
+        ok = ok and fallbacks == 0
+    report.passed = ok
+    return report
+
+
+def exp_t8(scale: str = "quick", seed: int = 20190416) -> ExperimentReport:
+    """T8 — the combined algorithm's small-n branch."""
+    report = ExperimentReport(
+        exp_id="T8",
+        title="Combined algorithm across the n < log log(m/n) boundary",
+        claim="Section 3 note: trivial n-round deterministic algorithm "
+        "covers tiny n; combined succeeds on the whole range",
+        columns=["m", "n", "branch", "gap", "rounds", "rounds <= n (trivial)"],
+    )
+    cases = [
+        (2**20, 2),
+        (2**24, 3),
+        (2**22, 64),
+        (2**20, 256),
+    ]
+    if scale == "full":
+        cases += [(2**24, 4), (2**24, 1024)]
+    ok = True
+    for m, n in cases:
+        res = run_combined(m, n, seed=seed, mode="aggregate" if m > 4e6 else "perball")
+        branch = res.extra["branch"]
+        within = res.rounds <= n if branch == "trivial" else True
+        report.add_row(m, n, branch, res.gap, res.rounds, within)
+        expected_branch = "trivial" if should_use_trivial(m, n) else "heavy"
+        ok = ok and branch == expected_branch
+        ok = ok and res.complete and within
+        if branch == "trivial":
+            ok = ok and res.gap < 1.0  # perfectly balanced: ceil(m/n) max
+    report.passed = ok
+    return report
+
+
+def exp_f5(scale: str = "quick", seed: int = 20190416) -> ExperimentReport:
+    """F5 — sequential greedy[d] gap vs log log n / log d ([BCSV06])."""
+    report = ExperimentReport(
+        exp_id="F5",
+        title="greedy[d] gap vs (log log n)/(log d) + O(1)",
+        claim="[BCSV06] (paper's comparison point): gap is m-independent "
+        "and ~ log log n / log d",
+        columns=["n", "d", "m/n", "gap(mean)", "predicted gap"],
+    )
+    ns = [256, 4096] if scale == "quick" else [256, 1024, 4096, 16384]
+    ratio = 100
+    reps = 3 if scale == "quick" else 5
+    ok = True
+    for n in ns:
+        m = n * ratio
+        for d in (1, 2, 3):
+            gaps = [run_greedy_d(m, n, d, seed=s).gap for s in seed_list(seed, reps)]
+            mean_gap = float(np.mean(gaps))
+            pred = expected_max_load_greedy_d(m, n, d) - m / n
+            report.add_row(n, d, ratio, mean_gap, pred)
+            if d >= 2:
+                ok = ok and mean_gap <= pred + 3.0
+    # d=2 must beat d=1 decisively (the multiple-choice gap).
+    report.passed = ok
+    report.notes.append(
+        "d=1 column shows the sqrt((m/n) log n) single-choice gap for "
+        "contrast; the d>=2 gaps must be m-independent and tiny."
+    )
+    return report
+
+
+def exp_a1(scale: str = "quick", seed: int = 20190416) -> ExperimentReport:
+    """A1 — ablation: the threshold exponent 2/3."""
+    report = ExperimentReport(
+        exp_id="A1",
+        title="Ablation: schedule exponent alpha in T_i = m/n - (m̃_i/n)^alpha",
+        claim="Section 1.1/3 design choice: alpha = 2/3 balances progress "
+        "vs underload risk",
+        columns=[
+            "alpha",
+            "phase1 rounds",
+            "leftover for A_light",
+            "leftover/n",
+            "gap",
+            "total rounds",
+        ],
+    )
+    n = 1024
+    ratio = 2**12 if scale == "quick" else 2**16
+    m = n * ratio
+    ok = True
+    for alpha in (0.5, 2.0 / 3.0, 0.75, 0.9):
+        schedule = ExponentSchedule(m, n, alpha=alpha)
+        res = run_heavy(m, n, seed=seed, schedule=schedule, mode="aggregate")
+        leftover = res.extra["phase1_remaining"]
+        report.add_row(
+            alpha,
+            res.extra["phase1_rounds"],
+            leftover,
+            leftover / n,
+            res.gap,
+            res.rounds,
+        )
+        ok = ok and res.complete
+    report.passed = ok
+    report.notes.append(
+        "smaller alpha: fewer, more conservative rounds but larger "
+        "leftover; larger alpha: more rounds with thresholds hugging the "
+        "mean (underload risk).  alpha = 2/3 is the paper's balance."
+    )
+    return report
+
+
+def exp_a2(scale: str = "quick", seed: int = 20190416) -> ExperimentReport:
+    """A2 — ablation: is the A_light handoff necessary?"""
+    report = ExperimentReport(
+        exp_id="A2",
+        title="Ablation: threshold rounds without the phase-2 handoff",
+        claim="Section 3: after phase 1, O(n) stragglers remain — "
+        "threshold rounds alone cannot finish in O(log log(m/n))",
+        columns=[
+            "variant",
+            "rounds",
+            "complete",
+            "unallocated",
+            "gap (complete runs)",
+        ],
+    )
+    n = 1024
+    ratio = 2**10 if scale == "quick" else 2**14
+    m = n * ratio
+    mode = "perball" if scale == "quick" else "aggregate"
+    with_handoff = run_heavy(m, n, seed=seed, handoff=True, mode=mode)  # type: ignore[arg-type]
+    without = run_heavy(m, n, seed=seed, handoff=False, mode=mode)  # type: ignore[arg-type]
+    report.add_row(
+        "phase1 + A_light",
+        with_handoff.rounds,
+        with_handoff.complete,
+        with_handoff.unallocated,
+        with_handoff.gap,
+    )
+    report.add_row(
+        "phase1 only",
+        without.rounds,
+        without.complete,
+        without.unallocated,
+        "n/a",
+    )
+    report.passed = (
+        with_handoff.complete
+        and not without.complete
+        and without.unallocated > 0
+        and without.unallocated <= 8 * n
+    )
+    report.notes.append(
+        "phase 1 alone strands Theta(n) balls (the schedule's estimate "
+        "floor); A_light places them in log* n + O(1) extra rounds."
+    )
+    return report

@@ -1,0 +1,129 @@
+"""Process-pool execution of repeated runs.
+
+The simulations are CPU-bound numpy code, so Python threads cannot
+parallelize repetitions (the GIL serializes the interpreter between the
+vectorized sections — the limitation the calibration notes flag).
+Repetitions over seeds are embarrassingly parallel, though, and
+``multiprocessing`` sidesteps the GIL entirely: this module fans a
+seed list out over worker *processes*, following the message-passing
+idiom of the HPC guides (each worker owns its instance; only small
+result summaries cross process boundaries).
+
+Workers re-import :mod:`repro` and dispatch by *algorithm name* (plain
+strings and kwargs are picklable where closures are not), so the entry
+point works under the default ``fork`` and ``spawn`` start methods
+alike.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Optional, Sequence
+
+__all__ = ["ALGORITHMS", "run_one", "parallel_results", "parallel_gaps"]
+
+#: Names accepted by :func:`run_one`; each maps to a repro entry point.
+ALGORITHMS: tuple[str, ...] = (
+    "heavy",
+    "asymmetric",
+    "single_choice",
+    "greedy_d",
+    "stemann",
+    "batched",
+    "trivial",
+    "combined",
+)
+
+
+def run_one(algorithm: str, m: int, n: int, seed: int, **kwargs: Any) -> dict:
+    """Run one allocation in the current process; return a summary dict.
+
+    Returns only small plain data (gap, max load, rounds, messages) so
+    the inter-process payload stays negligible.
+    """
+    import repro
+
+    dispatch = {
+        "heavy": repro.run_heavy,
+        "asymmetric": repro.run_asymmetric,
+        "single_choice": repro.run_single_choice,
+        "greedy_d": repro.run_greedy_d,
+        "stemann": repro.run_stemann,
+        "batched": repro.run_batched_dchoice,
+        "trivial": repro.run_trivial,
+        "combined": repro.run_combined,
+    }
+    if algorithm not in dispatch:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
+    result = dispatch[algorithm](m, n, seed=seed, **kwargs)
+    return {
+        "algorithm": result.algorithm,
+        "seed": seed,
+        "gap": result.gap,
+        "max_load": result.max_load,
+        "rounds": result.rounds,
+        "total_messages": result.total_messages,
+        "complete": result.complete,
+    }
+
+
+def parallel_results(
+    algorithm: str,
+    m: int,
+    n: int,
+    seeds: Sequence[int],
+    *,
+    workers: Optional[int] = None,
+    **kwargs: Any,
+) -> list[dict]:
+    """Run ``algorithm`` once per seed across worker processes.
+
+    Parameters
+    ----------
+    algorithm:
+        One of :data:`ALGORITHMS`.
+    m, n:
+        Instance size.
+    seeds:
+        One run per seed; results come back in seed order.
+    workers:
+        Process count (default: ``min(len(seeds), cpu_count)``).
+    kwargs:
+        Forwarded to the algorithm (e.g. ``mode="aggregate"``, ``d=2``).
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
+    if not seeds:
+        raise ValueError("need at least one seed")
+    max_workers = workers or min(len(seeds), os.cpu_count() or 1)
+    if max_workers == 1:
+        return [run_one(algorithm, m, n, seed, **kwargs) for seed in seeds]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [
+            pool.submit(run_one, algorithm, m, n, seed, **kwargs)
+            for seed in seeds
+        ]
+        return [f.result() for f in futures]
+
+
+def parallel_gaps(
+    algorithm: str,
+    m: int,
+    n: int,
+    seeds: Sequence[int],
+    *,
+    workers: Optional[int] = None,
+    **kwargs: Any,
+) -> list[float]:
+    """Convenience: just the max-load gaps, in seed order."""
+    return [
+        r["gap"]
+        for r in parallel_results(
+            algorithm, m, n, seeds, workers=workers, **kwargs
+        )
+    ]

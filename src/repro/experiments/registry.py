@@ -1,0 +1,65 @@
+"""Experiment registry and CLI dispatch."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.exp_core import exp_f1, exp_f2, exp_t1, exp_t2, exp_t3
+from repro.experiments.exp_ext import exp_a3, exp_a4
+from repro.experiments.exp_lower import exp_f3, exp_f4, exp_t6, exp_t9
+from repro.experiments.exp_misc import (
+    exp_a1,
+    exp_a2,
+    exp_f5,
+    exp_t4,
+    exp_t5,
+    exp_t7,
+    exp_t8,
+)
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+ExperimentFn = Callable[..., ExperimentReport]
+
+#: Registry: experiment id -> implementation.  Ids match DESIGN.md §4.
+EXPERIMENTS: dict[str, ExperimentFn] = {
+    "T1": exp_t1,
+    "T2": exp_t2,
+    "T3": exp_t3,
+    "T4": exp_t4,
+    "T5": exp_t5,
+    "T6": exp_t6,
+    "T7": exp_t7,
+    "T8": exp_t8,
+    "T9": exp_t9,
+    "F1": exp_f1,
+    "F2": exp_f2,
+    "F3": exp_f3,
+    "F4": exp_f4,
+    "F5": exp_f5,
+    "A1": exp_a1,
+    "A2": exp_a2,
+    "A3": exp_a3,
+    "A4": exp_a4,
+}
+
+
+def get_experiment(exp_id: str) -> ExperimentFn:
+    """Look up an experiment by id (case-insensitive)."""
+    key = exp_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: "
+            f"{', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[key]
+
+
+def run_experiment(
+    exp_id: str, *, scale: str = "quick", seed: int = 20190416
+) -> ExperimentReport:
+    """Run one experiment and return its report."""
+    if scale not in ("quick", "full"):
+        raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
+    return get_experiment(exp_id)(scale=scale, seed=seed)

@@ -1,0 +1,98 @@
+"""Report object produced by every experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["ExperimentReport"]
+
+
+@dataclass
+class ExperimentReport:
+    """A rendered experiment: header, rows, and commentary.
+
+    Attributes
+    ----------
+    exp_id:
+        Registry identifier (``"T1"``, ``"F3"``, ...).
+    title:
+        One-line description.
+    claim:
+        The paper statement being reproduced (theorem/claim/section).
+    columns:
+        Column names.
+    rows:
+        Row values (any mix of numbers and strings; formatted on
+        render).
+    notes:
+        Free-text commentary appended below the table (substitutions,
+        caveats, expected shape).
+    charts:
+        Pre-rendered ASCII charts (see
+        :mod:`repro.experiments.plotting`) appended after the table —
+        the "figure" part of figure experiments.
+    passed:
+        Optional self-check verdict: did the measured shape match the
+        paper's prediction under the experiment's own acceptance rule?
+        ``None`` when the experiment is purely descriptive.
+    """
+
+    exp_id: str
+    title: str
+    claim: str
+    columns: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    charts: list[str] = field(default_factory=list)
+    passed: bool | None = None
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, expected {len(self.columns)}"
+            )
+        self.rows.append(values)
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e5 or abs(value) < 1e-3:
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def render(self) -> str:
+        """Aligned plain-text table with title, claim and notes."""
+        header = [str(c) for c in self.columns]
+        body = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(header[j]), *(len(r[j]) for r in body)) if body else len(header[j])
+            for j in range(len(header))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [
+            f"[{self.exp_id}] {self.title}",
+            f"reproduces: {self.claim}",
+            "",
+            " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+            sep,
+        ]
+        for r in body:
+            lines.append(" | ".join(v.rjust(w) for v, w in zip(r, widths)))
+        for chart in self.charts:
+            lines.append("")
+            lines.append(chart)
+        if self.passed is not None:
+            lines.append("")
+            lines.append(f"self-check: {'PASS' if self.passed else 'FAIL'}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

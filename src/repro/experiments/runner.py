@@ -1,0 +1,39 @@
+"""Repetition helpers: run an algorithm over seeds, aggregate metrics."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import ConfidenceInterval, mean_confidence_interval
+from repro.result import AllocationResult
+
+__all__ = ["repeat_gaps", "repeat_metric", "seed_list"]
+
+
+def seed_list(base_seed: int, count: int) -> list[int]:
+    """Deterministic distinct seeds for repeated runs."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return [base_seed + 1009 * k for k in range(count)]
+
+
+def repeat_metric(
+    run: Callable[[int], AllocationResult],
+    *,
+    metric: Callable[[AllocationResult], float],
+    seeds: Sequence[int],
+) -> ConfidenceInterval:
+    """Run ``run(seed)`` for each seed and aggregate ``metric``."""
+    values = [metric(run(seed)) for seed in seeds]
+    return mean_confidence_interval(values)
+
+
+def repeat_gaps(
+    run: Callable[[int], AllocationResult],
+    seeds: Sequence[int],
+) -> tuple[ConfidenceInterval, float]:
+    """Mean gap CI and worst observed gap over the seeds."""
+    gaps = [run(seed).gap for seed in seeds]
+    return mean_confidence_interval(gaps), float(np.max(gaps))

@@ -1,0 +1,101 @@
+"""Vectorized sampling kernels shared by every fast-path protocol.
+
+Three primitives cover all the paper's protocols:
+
+* :func:`sample_uniform_choices` — each of ``k`` requests picks a bin
+  uniformly and independently at random (step 1 of every round);
+* :func:`multinomial_occupancy` — the aggregate equivalent: per-bin
+  request *counts* for ``k`` exchangeable requests, ``O(n)`` memory;
+* :func:`grouped_accept` — step 2: given flat request targets and
+  per-bin residual capacities, select which requests are accepted, each
+  bin choosing uniformly at random among its requesters (equivalently:
+  arbitrarily under the adversarial port model — uniform is one valid
+  adversary, and the protocols' guarantees must and do hold for it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "grouped_accept",
+    "multinomial_occupancy",
+    "sample_uniform_choices",
+]
+
+
+def sample_uniform_choices(
+    k: int, n_bins: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``k`` i.i.d. uniform bin indices in ``[0, n_bins)`` as int64."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    return rng.integers(0, n_bins, size=k, dtype=np.int64)
+
+
+def multinomial_occupancy(
+    k: int, n_bins: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-bin request counts for ``k`` uniform exchangeable requests.
+
+    Exactly the distribution of ``np.bincount(sample_uniform_choices(k,
+    n, rng), minlength=n)`` at a fraction of the cost for ``k >> n``.
+    Uses the conditional binomial decomposition internally via numpy's
+    ``multinomial``, which accepts 64-bit ``k``.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    if k == 0:
+        return np.zeros(n_bins, dtype=np.int64)
+    pvals = np.full(n_bins, 1.0 / n_bins)
+    return rng.multinomial(k, pvals).astype(np.int64)
+
+
+def grouped_accept(
+    choices: np.ndarray,
+    capacity: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Boolean mask: which flat requests are accepted.
+
+    Each bin ``b`` accepts ``min(capacity[b], #requests to b)`` of its
+    requests, selected uniformly at random.
+
+    Implementation: draw an i.i.d. priority per request, lexsort by
+    (bin, priority), and accept the first ``capacity[b]`` entries of
+    each bin's contiguous block.  ``O(k log k)`` with no Python loop.
+
+    Parameters
+    ----------
+    choices:
+        int64 array of request targets (flat; multiple requests by one
+        ball appear as multiple entries).
+    capacity:
+        int array of per-bin residual capacities (negative values are
+        treated as 0).
+    rng:
+        Random stream for the within-bin selection.
+    """
+    choices = np.asarray(choices)
+    capacity = np.asarray(capacity)
+    k = choices.size
+    if k == 0:
+        return np.zeros(0, dtype=bool)
+    if choices.min() < 0 or choices.max() >= capacity.size:
+        raise ValueError("request target out of range for capacity array")
+    cap = np.maximum(capacity, 0)
+    order = np.lexsort((rng.random(k), choices))
+    sorted_bins = choices[order]
+    change = np.flatnonzero(np.diff(sorted_bins)) + 1
+    starts = np.concatenate(([0], change))
+    block_lengths = np.diff(np.concatenate((starts, [k])))
+    group_start = np.repeat(starts, block_lengths)
+    rank_within_bin = np.arange(k) - group_start
+    accepted_sorted = rank_within_bin < cap[sorted_bins]
+    mask = np.zeros(k, dtype=bool)
+    mask[order[accepted_sorted]] = True
+    return mask

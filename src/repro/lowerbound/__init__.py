@@ -1,0 +1,65 @@
+"""Lower-bound machinery (Section 4, Theorems 2 and 7, Lemmas 2-3).
+
+The paper's lower bound says: *any* threshold algorithm whose balls
+contact ``O(1)`` uniformly random bins per round either runs for
+``Omega(min{log log(m/n), 2^{n^{Omega(1)}}})`` rounds or exceeds load
+``m/n + omega(1)``.  The engine of the proof is a single-round statement
+(Theorem 7): for any oblivious thresholds ``L_i`` with
+``sum L_i = M + O(n)``, at least ``Omega(sqrt(Mn)/t)`` balls are
+rejected w.h.p.
+
+This subpackage makes every moving part executable:
+
+* :mod:`repro.lowerbound.rejection` — measure single-round rejections
+  under arbitrary threshold vectors, and compute the proof's dyadic
+  class decomposition (``S_i`` values, classes ``I_k``, the heaviest
+  class) for inspection;
+* :mod:`repro.lowerbound.adversary` — representative and adversarial
+  members of the oblivious-threshold family (uniform slack, two-tier,
+  dyadic spread, hoarding, random);
+* :mod:`repro.lowerbound.recursion` — iterate the optimal-threshold
+  round experiment to trace the ``M_i`` trajectory and compare against
+  the ``M_i = (m/n)^{3^{-i}} n^{1-3^{-i}}`` induction of Theorem 2;
+* :mod:`repro.lowerbound.simulate_degree` — the degree-``d`` to
+  degree-1 simulation of Lemmas 2-3, realized so exactly that the
+  simulated run produces bitwise identical loads.
+"""
+
+from repro.lowerbound.adversary import (
+    ThresholdAdversary,
+    dyadic_adversary,
+    hoarding_adversary,
+    random_split_adversary,
+    two_tier_adversary,
+    uniform_adversary,
+)
+from repro.lowerbound.recursion import RecursionTrace, trace_recursion
+from repro.lowerbound.rejection import (
+    DyadicClasses,
+    RejectionOutcome,
+    dyadic_class_decomposition,
+    measure_rejections,
+)
+from repro.lowerbound.simulate_degree import (
+    DegreeDOutcome,
+    run_degree_d_direct,
+    run_degree_d_simulated,
+)
+
+__all__ = [
+    "DegreeDOutcome",
+    "DyadicClasses",
+    "RecursionTrace",
+    "RejectionOutcome",
+    "ThresholdAdversary",
+    "dyadic_adversary",
+    "dyadic_class_decomposition",
+    "hoarding_adversary",
+    "measure_rejections",
+    "random_split_adversary",
+    "run_degree_d_direct",
+    "run_degree_d_simulated",
+    "trace_recursion",
+    "two_tier_adversary",
+    "uniform_adversary",
+]

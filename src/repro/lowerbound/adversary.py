@@ -1,0 +1,170 @@
+"""Oblivious threshold adversaries for the lower-bound experiments.
+
+Theorem 7 quantifies over *all* threshold vectors ``L`` with
+``sum_i L_i = M + O(n)`` chosen independently of the balls' randomness.
+The rejection floor ``Omega(sqrt(Mn)/t)`` must therefore hold for every
+member of this family; experiment F3 measures it on representative and
+deliberately adversarial members:
+
+* :func:`uniform_adversary` — every bin gets ``M/n + slack/n`` (the
+  schedule ``A_heavy``'s first round effectively plays, modulo its
+  *negative* slack);
+* :func:`two_tier_adversary` — half the bins generous, half stingy:
+  maximizes variance across two values;
+* :func:`dyadic_adversary` — thresholds spread across ``t`` dyadic
+  classes ``mu + 2 sqrt(mu) - L_i in [2^k, 2^{k+1})``: the worst case
+  the proof's class decomposition is designed for (every class equally
+  heavy, so no single class dominates and the pigeonhole loses the full
+  factor ``t``);
+* :func:`hoarding_adversary` — a few bins take nearly all capacity (the
+  rest get ~0): tests the regime where overload events concentrate;
+* :func:`random_split_adversary` — random capacities summing to the
+  budget, via a symmetric Dirichlet-multinomial split.
+
+Every adversary returns integer ``L >= 0`` with
+``sum L = M + extra_capacity`` exactly (the paper's ``M + O(n)``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.utils.seeding import as_generator
+from repro.utils.validation import ensure_m_n
+
+__all__ = [
+    "ThresholdAdversary",
+    "uniform_adversary",
+    "two_tier_adversary",
+    "dyadic_adversary",
+    "hoarding_adversary",
+    "random_split_adversary",
+    "ALL_ADVERSARIES",
+]
+
+
+@dataclass(frozen=True)
+class ThresholdAdversary:
+    """A named generator of oblivious threshold vectors."""
+
+    name: str
+    build: Callable[[int, int, int, Optional[np.random.Generator]], np.ndarray]
+
+    def thresholds(
+        self,
+        m_balls: int,
+        n: int,
+        extra_capacity: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Integer thresholds with ``sum == m_balls + extra_capacity``."""
+        m_balls, n = ensure_m_n(m_balls, n)
+        if extra_capacity < 0:
+            raise ValueError(
+                f"extra_capacity must be >= 0, got {extra_capacity}"
+            )
+        out = np.asarray(
+            self.build(m_balls, n, extra_capacity, rng), dtype=np.int64
+        )
+        if out.shape != (n,):
+            raise ValueError(
+                f"adversary {self.name} returned shape {out.shape}, "
+                f"expected ({n},)"
+            )
+        if out.min() < 0:
+            raise ValueError(f"adversary {self.name} returned negative L")
+        total = int(out.sum())
+        expected = m_balls + extra_capacity
+        if total != expected:
+            raise ValueError(
+                f"adversary {self.name}: sum L = {total} != {expected}"
+            )
+        return out
+
+
+def _spread_budget(budget: int, weights: np.ndarray) -> np.ndarray:
+    """Integer apportionment of ``budget`` proportional to ``weights``
+    (largest-remainder method), exact to the unit."""
+    weights = np.maximum(np.asarray(weights, dtype=np.float64), 0.0)
+    total_w = weights.sum()
+    if total_w <= 0:
+        weights = np.ones_like(weights)
+        total_w = weights.sum()
+    raw = budget * weights / total_w
+    base = np.floor(raw).astype(np.int64)
+    shortfall = budget - int(base.sum())
+    if shortfall > 0:
+        order = np.argsort(raw - base)[::-1]
+        base[order[:shortfall]] += 1
+    return base
+
+
+def _uniform(m_balls, n, extra, rng):
+    return _spread_budget(m_balls + extra, np.ones(n))
+
+
+def _two_tier(m_balls, n, extra, rng):
+    budget = m_balls + extra
+    half = n // 2
+    weights = np.ones(n)
+    # Generous half gets 1.5x the mean, stingy half 0.5x (sums preserved
+    # by the apportionment).
+    weights[:half] = 1.5
+    weights[half:] = 0.5 if n > half else 1.0
+    return _spread_budget(budget, weights)
+
+
+def _dyadic(m_balls, n, extra, rng):
+    """Spread ``S_i = mu + 2 sqrt(mu) - L_i`` across dyadic classes.
+
+    With ``t`` classes and ``n/t`` bins per class, class ``k`` gets
+    ``S ~ 2^k`` scaled so the total stays within budget.  This equalizes
+    the classes' expected-rejection mass, the configuration the proof's
+    pigeonhole step is weakest against.
+    """
+    budget = m_balls + extra
+    mu = m_balls / n
+    t = max(1, min(math.ceil(math.log2(max(n, 2))), math.ceil(math.log2(max(mu, 2))) + 1))
+    target = mu + 2.0 * math.sqrt(mu)
+    s_values = np.zeros(n)
+    per_class = n // t
+    for k in range(t):
+        lo = k * per_class
+        hi = (k + 1) * per_class if k < t - 1 else n
+        s_values[lo:hi] = min(2.0**k, target)
+    desired = np.maximum(target - s_values, 0.0)
+    return _spread_budget(budget, desired)
+
+
+def _hoarding(m_balls, n, extra, rng):
+    budget = m_balls + extra
+    k = max(1, n // 16)
+    weights = np.full(n, 1e-3)
+    weights[:k] = 1.0
+    return _spread_budget(budget, weights)
+
+
+def _random_split(m_balls, n, extra, rng):
+    rng = as_generator(rng)
+    weights = rng.dirichlet(np.full(n, 2.0))
+    return _spread_budget(m_balls + extra, weights)
+
+
+uniform_adversary = ThresholdAdversary("uniform", _uniform)
+two_tier_adversary = ThresholdAdversary("two-tier", _two_tier)
+dyadic_adversary = ThresholdAdversary("dyadic", _dyadic)
+hoarding_adversary = ThresholdAdversary("hoarding", _hoarding)
+random_split_adversary = ThresholdAdversary("random-split", _random_split)
+
+#: The panel used by experiment F3.
+ALL_ADVERSARIES: tuple[ThresholdAdversary, ...] = (
+    uniform_adversary,
+    two_tier_adversary,
+    dyadic_adversary,
+    hoarding_adversary,
+    random_split_adversary,
+)

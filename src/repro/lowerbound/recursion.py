@@ -1,0 +1,103 @@
+"""The lower-bound recursion: how fast *can* a threshold algorithm go?
+
+Theorem 2's proof iterates Theorem 7: starting from ``M_0 = m``, each
+round rejects at least ``~sqrt(M_i n)/t`` balls no matter the
+thresholds, so ``M_{i+1} >= (m/n)^{3^{-(i+1)}} n^{1-3^{-(i+1)}}`` and
+reaching ``M_i = O(n)`` takes ``Omega(log log(m/n))`` rounds.
+
+:func:`trace_recursion` measures the *best case* empirically: it plays
+the most favourable oblivious threshold vector (uniform with the full
+``O(n)`` slack — symmetric thresholds minimize rejections for a
+multinomial request profile by a convexity argument) each round,
+feeding the measured rejection count into the next round, and records
+the trajectory alongside the theoretical ``M_i`` floor.  Experiment F4
+plots both; the measured trajectory must stay *above* the floor and its
+length must grow like ``log log(m/n)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.theory import lower_bound_recursion
+from repro.fastpath.sampling import multinomial_occupancy
+from repro.lowerbound.adversary import ThresholdAdversary, uniform_adversary
+from repro.utils.seeding import as_generator
+from repro.utils.validation import ensure_m_n
+
+__all__ = ["RecursionTrace", "trace_recursion"]
+
+
+@dataclass(frozen=True)
+class RecursionTrace:
+    """Measured vs theoretical remaining-ball trajectories."""
+
+    m: int
+    n: int
+    measured: list[int]  # M_i measured, best-case thresholds
+    theoretical: list[float]  # Theorem 2 induction floor
+    rounds_to_On: int  # measured rounds until M_i <= stop_factor * n
+    predicted_rounds: int  # length of the theoretical trajectory - 1
+    stop_factor: float
+
+
+def trace_recursion(
+    m: int,
+    n: int,
+    *,
+    seed=None,
+    adversary: ThresholdAdversary = uniform_adversary,
+    extra_capacity_factor: float = 1.0,
+    stop_factor: float = 4.0,
+    max_rounds: int = 256,
+) -> RecursionTrace:
+    """Iterate best-case single rounds until ``M_i <= stop_factor * n``.
+
+    Parameters
+    ----------
+    m, n:
+        Starting instance (``m >= n``).
+    adversary:
+        Threshold family to play each round (default: uniform — the
+        rejection-minimizing member).
+    extra_capacity_factor:
+        The ``O(n)`` slack as a multiple of ``n``: each round's
+        thresholds sum to ``M_i + extra_capacity_factor * n``.  Theorem
+        7 permits any ``O(n)``; the floor is insensitive to the
+        constant.
+    stop_factor:
+        Stop once ``M_i <= stop_factor * n`` (Theorem 7 needs
+        ``M >= Cn``).
+    max_rounds:
+        Safety cap.
+    """
+    m, n = ensure_m_n(m, n, require_heavy=True)
+    rng = as_generator(seed)
+    extra = int(math.ceil(extra_capacity_factor * n))
+    measured = [m]
+    current = m
+    rounds = 0
+    while current > stop_factor * n and rounds < max_rounds:
+        thresholds = adversary.thresholds(current, n, extra, rng)
+        counts = multinomial_occupancy(current, n, rng)
+        rejected = int(np.maximum(counts - thresholds, 0).sum())
+        if rejected >= current:
+            raise RuntimeError("rejection count exceeded ball count")
+        measured.append(rejected)
+        current = rejected
+        rounds += 1
+        if current == 0:
+            break
+    theoretical = lower_bound_recursion(m, n)
+    return RecursionTrace(
+        m=m,
+        n=n,
+        measured=measured,
+        theoretical=theoretical,
+        rounds_to_On=rounds,
+        predicted_rounds=len(theoretical) - 1,
+        stop_factor=stop_factor,
+    )

@@ -1,0 +1,189 @@
+"""Single-round rejection measurement and the proof's class decomposition.
+
+Theorem 7's setting: ``M`` balls each contact one of ``n`` bins
+uniformly at random; bin ``i`` accepts up to ``L_i``.  The number of
+rejected balls is ``sum_i max(X_i - L_i, 0)`` with
+``X ~ Multinomial(M, 1/n)`` — computable in ``O(n)`` without per-ball
+sampling (balls are exchangeable).
+
+The proof machinery is exposed for inspection and experiment F3's
+diagnostic columns:
+
+* ``S_i = mu + 2 sqrt(mu) - L_i`` — the per-bin overload margin of
+  Claim 5 (bins with ``S_i > 0`` reject ``>= S_i`` balls whenever the
+  constant-probability overload event fires);
+* dyadic classes ``I_k = {i : S_i in [2^k, 2^{k+1})}`` and ``I_*``
+  (``S_i in (0, 1)``), Claim 6's partition;
+* the heaviest class and its expected-rejection mass
+  ``p0 * sum_{i in I_k} S_i``, the quantity the pigeonhole step lower
+  bounds by ``p0 sqrt(Mn) / (2 (t+1))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.theory import rejection_floor, theorem7_t
+from repro.fastpath.sampling import multinomial_occupancy
+from repro.utils.seeding import as_generator
+from repro.utils.validation import ensure_m_n
+
+__all__ = [
+    "RejectionOutcome",
+    "DyadicClasses",
+    "measure_rejections",
+    "dyadic_class_decomposition",
+]
+
+
+@dataclass(frozen=True)
+class RejectionOutcome:
+    """One trial of the single-round rejection experiment."""
+
+    m_balls: int
+    n: int
+    rejected: int
+    overloaded_bins: int  # bins with X_i > L_i
+    floor: float  # the paper's Omega(sqrt(Mn)/t) reference value
+    t: int
+
+    @property
+    def rejected_over_floor(self) -> float:
+        """Measured rejections relative to the theoretical floor; the
+        lower bound predicts this stays bounded away from 0."""
+        return self.rejected / self.floor if self.floor > 0 else math.inf
+
+
+def measure_rejections(
+    m_balls: int,
+    n: int,
+    thresholds: np.ndarray,
+    *,
+    seed=None,
+    trials: int = 1,
+) -> list[RejectionOutcome]:
+    """Run the single-round experiment ``trials`` times.
+
+    Parameters
+    ----------
+    m_balls, n:
+        Round size: ``m_balls`` requests to ``n`` bins.
+    thresholds:
+        Oblivious acceptance vector ``L`` (length ``n``).
+    seed:
+        Reproducibility seed (one stream; trials draw sequentially).
+    trials:
+        Number of independent repetitions.
+    """
+    m_balls, n = ensure_m_n(m_balls, n)
+    thresholds = np.asarray(thresholds, dtype=np.int64)
+    if thresholds.shape != (n,):
+        raise ValueError(
+            f"thresholds must have shape ({n},), got {thresholds.shape}"
+        )
+    if thresholds.min() < 0:
+        raise ValueError("thresholds must be non-negative")
+    rng = as_generator(seed)
+    t = theorem7_t(m_balls, n)
+    floor = rejection_floor(m_balls, n)
+    out = []
+    for _ in range(trials):
+        counts = multinomial_occupancy(m_balls, n, rng)
+        excess = counts - thresholds
+        rejected = int(np.maximum(excess, 0).sum())
+        out.append(
+            RejectionOutcome(
+                m_balls=m_balls,
+                n=n,
+                rejected=rejected,
+                overloaded_bins=int((excess > 0).sum()),
+                floor=floor,
+                t=t,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class DyadicClasses:
+    """Claim 6's decomposition of the threshold vector.
+
+    Attributes
+    ----------
+    s_values:
+        ``S_i = mu + 2 sqrt(mu) - L_i`` per bin.
+    class_of_bin:
+        ``k`` for bins in ``I_k`` (``S_i in [2^k, 2^{k+1})``), ``-1``
+        for ``I_*`` (``S_i in (0,1)``), ``-2`` for ``S_i <= 0``.
+    class_mass:
+        ``sum_{i in I_k} S_i`` per class index ``k``.
+    heaviest_class:
+        The ``k`` maximizing ``class_mass`` within
+        ``[k_min, k_max]`` (Claim 6's window), or ``None`` when no bin
+        has positive margin.
+    k_min, k_max:
+        Claim 6's window bounds.
+    t:
+        Theorem 7's ``t``.
+    expected_rejections_bound:
+        ``p0 sqrt(Mn)`` with ``p0 = 1`` (the structural value
+        ``sum_i max(S_i, 0)`` actually realized by this vector — the
+        proof lower bounds it by ``sqrt(Mn)`` when
+        ``sum L <= M + O(n)``).
+    """
+
+    s_values: np.ndarray
+    class_of_bin: np.ndarray
+    class_mass: dict[int, float]
+    heaviest_class: Optional[int]
+    k_min: int
+    k_max: int
+    t: int
+    expected_rejections_bound: float
+
+
+def dyadic_class_decomposition(
+    m_balls: int, n: int, thresholds: np.ndarray
+) -> DyadicClasses:
+    """Compute Claim 6's classes for a threshold vector."""
+    m_balls, n = ensure_m_n(m_balls, n)
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    if thresholds.shape != (n,):
+        raise ValueError(
+            f"thresholds must have shape ({n},), got {thresholds.shape}"
+        )
+    mu = m_balls / n
+    s = mu + 2.0 * math.sqrt(mu) - thresholds
+    class_of_bin = np.full(n, -2, dtype=np.int64)
+    star = (s > 0) & (s < 1)
+    class_of_bin[star] = -1
+    positive = s >= 1
+    class_of_bin[positive] = np.floor(np.log2(s[positive])).astype(np.int64)
+
+    t = theorem7_t(m_balls, n)
+    mass: dict[int, float] = {}
+    for k in np.unique(class_of_bin[positive]):
+        mass[int(k)] = float(s[class_of_bin == k].sum())
+    if mass:
+        k_max = max(mass)
+        k_min = max(k_max - math.ceil(math.log2(max(n, 2))) + 1, 0)
+        window = {k: v for k, v in mass.items() if k_min <= k <= k_max}
+        heaviest = max(window, key=window.get) if window else None
+    else:
+        k_max = 0
+        k_min = 0
+        heaviest = None
+    return DyadicClasses(
+        s_values=s,
+        class_of_bin=class_of_bin,
+        class_mass=mass,
+        heaviest_class=heaviest,
+        k_min=k_min,
+        k_max=k_max,
+        t=t,
+        expected_rejections_bound=float(np.maximum(s, 0.0).sum()),
+    )

@@ -1,0 +1,151 @@
+"""The common result type returned by every allocation algorithm.
+
+All entry points — the paper's algorithms, the baselines, engine-mode and
+vectorized runs alike — return an :class:`AllocationResult` so experiments
+and tests can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.stats import RunStatistics, summarize_loads
+from repro.simulation.metrics import MessageCounter, RunMetrics
+
+__all__ = ["AllocationResult"]
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of allocating ``m`` balls into ``n`` bins.
+
+    Attributes
+    ----------
+    algorithm:
+        Human-readable algorithm identifier (e.g. ``"heavy"``,
+        ``"single-choice"``).
+    m, n:
+        Instance size.
+    loads:
+        Final per-bin load vector; ``loads.sum() == m`` whenever
+        ``complete`` is true.
+    rounds:
+        Number of synchronous rounds executed (0 for one-shot sequential
+        baselines, which are *not* round-based; they report 0 and set
+        ``sequential=True``).
+    metrics:
+        Per-round progress records (may be empty for sequential
+        baselines).
+    messages:
+        Full message accounting, or ``None`` when the run used the
+        aggregate fast path that does not track per-agent counts.
+    total_messages:
+        Total messages sent, tracked even by the aggregate path.
+    complete:
+        Whether every ball was allocated.  Algorithms that can leave
+        balls unallocated under a round budget (e.g. a truncated
+        fixed-threshold run) set this to False and report the leftover
+        count in ``unallocated``.
+    sequential:
+        True for non-parallel baselines (greedy[d], single-choice);
+        their "rounds" are not comparable to the parallel algorithms'.
+    seed_entropy:
+        Root entropy of the RNG, for exact reproduction.
+    """
+
+    algorithm: str
+    m: int
+    n: int
+    loads: np.ndarray
+    rounds: int
+    metrics: Optional[RunMetrics] = None
+    messages: Optional[MessageCounter] = None
+    total_messages: int = 0
+    complete: bool = True
+    unallocated: int = 0
+    sequential: bool = False
+    seed_entropy: tuple[int, ...] = field(default_factory=tuple)
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.loads = np.asarray(self.loads, dtype=np.int64)
+        if self.loads.ndim != 1 or self.loads.size != self.n:
+            raise ValueError(
+                f"loads must be a 1-D array of length n={self.n}, "
+                f"got shape {self.loads.shape}"
+            )
+        allocated = int(self.loads.sum())
+        expected = self.m - self.unallocated
+        if allocated != expected:
+            raise ValueError(
+                f"loads sum to {allocated} but m - unallocated = {expected}"
+            )
+        if self.complete and self.unallocated:
+            raise ValueError("complete runs cannot report unallocated balls")
+
+    # -- derived quantities ----------------------------------------------
+
+    @property
+    def max_load(self) -> int:
+        """The paper's objective: the maximum bin load."""
+        return int(self.loads.max())
+
+    @property
+    def gap(self) -> float:
+        """Max load minus the perfect average ``m/n``."""
+        return self.max_load - self.m / self.n
+
+    @property
+    def average_load(self) -> float:
+        return self.m / self.n
+
+    def statistics(self) -> RunStatistics:
+        """Full load-distribution summary (requires a complete run)."""
+        if not self.complete:
+            raise ValueError(
+                "statistics() requires a complete allocation; "
+                f"{self.unallocated} balls unallocated"
+            )
+        return summarize_loads(self.loads, self.m)
+
+    @property
+    def unallocated_history(self) -> list[int]:
+        """``m_i`` per round, when per-round metrics were recorded."""
+        if self.metrics is None:
+            return []
+        return self.metrics.unallocated_history
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"algorithm     : {self.algorithm}",
+            f"instance      : m={self.m}, n={self.n} (m/n={self.m / self.n:.4g})",
+            f"max load      : {self.max_load} (gap {self.gap:+.3f})",
+            f"rounds        : {self.rounds}"
+            + (" (sequential)" if self.sequential else ""),
+            f"messages      : {self.total_messages}",
+            f"complete      : {self.complete}"
+            + (f" ({self.unallocated} left)" if not self.complete else ""),
+        ]
+        if self.messages is not None:
+            s = self.messages.summary()
+            lines.append(
+                "per-ball msgs : "
+                f"mean {s['per_ball_mean']:.3f}, max {s['per_ball_max']:.0f}"
+            )
+            lines.append(
+                "per-bin recv  : "
+                f"mean {s['per_bin_received_mean']:.3f}, "
+                f"max {s['per_bin_received_max']:.0f}"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return (
+            f"AllocationResult({self.algorithm}: m={self.m}, n={self.n}, "
+            f"max_load={self.max_load}, gap={self.gap:+.3f}, "
+            f"rounds={self.rounds})"
+        )

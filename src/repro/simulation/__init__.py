@@ -1,0 +1,38 @@
+"""Synchronous message-passing substrate.
+
+The paper's model (Section 3) is a synchronous network of ``m`` ball
+agents and ``n`` bin agents.  Each round has three steps:
+
+1. balls perform local computation and send messages to arbitrary bins;
+2. bins receive those messages, compute, and reply to any ball that has
+   contacted them in this or an earlier round;
+3. balls receive the replies and may commit to a bin (and terminate).
+
+:class:`repro.simulation.engine.SyncEngine` executes exactly this loop
+over explicit agent objects, delivering message objects and counting
+every send/receive.  It is the *reference semantics* of the package: the
+vectorized implementations in :mod:`repro.fastpath` are validated against
+it on small instances.
+
+The engine also implements the paper's adversarial port numbering: each
+bin addresses balls through a per-bin permutation fixed *after* all
+randomness is drawn, and accept decisions may only use port numbers and
+bin-local randomness — never ball identities.
+"""
+
+from repro.simulation.agents import BallAgent, BinAgent
+from repro.simulation.engine import EngineConfig, SyncEngine
+from repro.simulation.messages import Message, MessageKind
+from repro.simulation.metrics import MessageCounter, RoundMetrics, RunMetrics
+
+__all__ = [
+    "BallAgent",
+    "BinAgent",
+    "EngineConfig",
+    "Message",
+    "MessageCounter",
+    "MessageKind",
+    "RoundMetrics",
+    "RunMetrics",
+    "SyncEngine",
+]

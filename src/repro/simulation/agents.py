@@ -1,0 +1,136 @@
+"""Abstract ball and bin agents for the synchronous engine.
+
+Concrete protocols subclass :class:`BallAgent` and :class:`BinAgent` and
+implement the per-round hooks.  The hooks mirror the three steps of the
+paper's model exactly; the engine enforces the information constraints
+(a ball only ever sees the replies addressed to it, a bin only the
+requests it received, identified by *port*, not by ball index).
+
+Symmetry: the paper's symmetric algorithms require bins to be anonymous.
+The engine supports this by having balls address bins through a
+uniformly random private port permutation (one per ball) when
+``EngineConfig.symmetric`` is set; protocol code then cannot distinguish
+bins by index.  The asymmetric algorithm of Section 5 disables this and
+addresses bins by global ID.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.simulation.messages import Message, MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.engine import SyncEngine
+
+__all__ = ["BallAgent", "BinAgent"]
+
+
+class BallAgent(abc.ABC):
+    """A ball in the synchronous model.
+
+    Lifecycle: each round the engine calls :meth:`choose_requests` (step
+    1) for unallocated balls, then delivers bin replies to
+    :meth:`receive_replies` (step 3).  A ball commits by returning a bin
+    index from :meth:`receive_replies`; afterwards it is *terminated* and
+    receives no further callbacks.
+
+    Attributes
+    ----------
+    index:
+        Global ball index (used only by the engine for delivery; a
+        symmetric protocol must not base decisions on it).
+    rng:
+        The ball's private random stream.
+    committed_bin:
+        The bin this ball is allocated to, or ``None``.
+    """
+
+    def __init__(self, index: int, rng: np.random.Generator) -> None:
+        self.index = index
+        self.rng = rng
+        self.committed_bin: Optional[int] = None
+
+    @property
+    def allocated(self) -> bool:
+        return self.committed_bin is not None
+
+    @abc.abstractmethod
+    def choose_requests(self, round_no: int, n_bins: int) -> Sequence[int]:
+        """Return the bins to contact this round (step 1).
+
+        The returned indices are *ball-local port numbers* when the
+        engine runs in symmetric mode; the engine translates them to
+        global bin indices through the ball's private permutation.
+        """
+
+    @abc.abstractmethod
+    def receive_replies(
+        self, round_no: int, replies: Sequence[Message]
+    ) -> Optional[int]:
+        """Handle bin replies (step 3); return a bin to commit to or None.
+
+        ``replies`` contains every ACCEPT/REJECT addressed to this ball
+        this round.  Returning a bin index (as used in the request, i.e.
+        port-local in symmetric mode) commits the ball; the engine then
+        emits the COMMIT message to the accepting bin on the ball's
+        behalf and marks the ball terminated.
+        """
+
+    def on_terminate(self, round_no: int) -> None:
+        """Optional hook invoked when the ball commits."""
+
+
+class BinAgent(abc.ABC):
+    """A bin in the synchronous model.
+
+    Each round the engine passes all REQUESTs received this round to
+    :meth:`respond` (step 2), which returns the subset (by position in
+    the request list, i.e. by *port*) to ACCEPT.  The engine sends
+    REJECTs for the rest if the protocol is configured with explicit
+    rejects.  COMMIT messages arrive via :meth:`on_commit`.
+
+    The bin's *load* is tracked by the engine as the number of commits
+    received plus outstanding accepts, matching the paper's definition
+    (``ℓ_b`` counts balls sent accept messages that have not revoked).
+    """
+
+    def __init__(self, index: int, rng: np.random.Generator) -> None:
+        self.index = index
+        self.rng = rng
+        self.load = 0  # committed + outstanding accepted balls
+
+    @abc.abstractmethod
+    def respond(
+        self, round_no: int, requests: Sequence[Message]
+    ) -> Sequence[int]:
+        """Select which requests to accept (step 2).
+
+        Parameters
+        ----------
+        round_no:
+            Current round.
+        requests:
+            The REQUEST messages received this round, in *port order*
+            (the engine applies the adversarial port permutation before
+            this call, so position carries no information about ball
+            identity).
+
+        Returns
+        -------
+        Sequence[int]
+            Positions (indices into ``requests``) to accept.  Must not
+            accept the same position twice; the engine validates.
+        """
+
+    def on_commit(self, round_no: int, message: Message) -> None:
+        """A ball confirmed allocation (payload True) or revoked
+        (payload False).  Default adjusts nothing — the engine maintains
+        ``load``; override for protocols with bin-side bookkeeping."""
+
+    def on_round_start(self, round_no: int) -> None:
+        """Optional hook at the beginning of each round (e.g. to update
+        thresholds from a global schedule)."""

@@ -1,0 +1,326 @@
+"""The synchronous round engine — reference semantics of the model.
+
+The engine owns delivery, accounting, and the model's information
+constraints; protocol logic lives entirely in the agent subclasses.
+Execution of one round:
+
+1. **Requests** — for every unallocated ball, :meth:`BallAgent.choose_requests`
+   names the bins to contact.  In symmetric mode the returned indices are
+   translated through the ball's private uniformly-random bin
+   permutation, so protocols cannot exploit global bin IDs.
+2. **Responses** — requests are grouped per bin; each bin's request list
+   is shuffled (the adversarial port numbering: a bin must not be able to
+   correlate positions with ball identity), and
+   :meth:`BinAgent.respond` picks positions to accept.  The engine sends
+   ACCEPTs (and, if configured, explicit REJECTs) and increments the
+   bin's outstanding load.
+3. **Commits** — each ball with new replies or pending accepts gets
+   :meth:`BallAgent.receive_replies`; a returned bin commits the ball.
+   The engine then notifies *all* bins holding an outstanding accept for
+   the ball (payload ``True`` for the chosen bin, ``False`` — a
+   revocation that decrements load — for the rest), exactly as in step 5
+   of the lower-bound protocol family.
+
+The engine is deliberately object-level and unoptimized: it is the
+executable specification against which the numpy fast paths are tested.
+Use it for ``m`` up to ~10^5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.simulation.agents import BallAgent, BinAgent
+from repro.simulation.messages import Message, MessageKind
+from repro.simulation.metrics import MessageCounter, RoundMetrics, RunMetrics
+from repro.utils.seeding import RngFactory
+
+__all__ = ["EngineConfig", "SyncEngine", "EngineOutcome"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine behaviour switches.
+
+    Attributes
+    ----------
+    symmetric:
+        Route ball requests through private per-ball bin permutations
+        (bins anonymous to balls).  The asymmetric algorithm of Section 5
+        sets this to False.
+    adversarial_ports:
+        Shuffle each bin's incoming request list before ``respond`` (the
+        adversarial port numbering of Section 4).  Disabling it makes
+        request order deterministic — useful only for debugging.
+    explicit_rejects:
+        Send REJECT messages for declined requests.  The paper's
+        algorithms treat silence as rejection; explicit rejects are
+        counted separately and excluded from the paper-facing totals.
+    max_rounds:
+        Safety cap; exceeding it aborts the run (incomplete result).
+    count_commits:
+        Whether COMMIT messages count toward message totals.  The
+        paper's accounting includes them (balls "inform" bins); on by
+        default.
+    """
+
+    symmetric: bool = True
+    adversarial_ports: bool = True
+    explicit_rejects: bool = False
+    max_rounds: int = 10_000
+    count_commits: bool = True
+
+
+@dataclass
+class EngineOutcome:
+    """Raw engine output; algorithm wrappers convert to AllocationResult."""
+
+    loads: np.ndarray
+    rounds: int
+    metrics: RunMetrics
+    counter: MessageCounter
+    complete: bool
+    unallocated: int
+    commitments: np.ndarray  # ball -> bin (or -1)
+
+
+class SyncEngine:
+    """Executes a protocol over explicit agents.
+
+    Parameters
+    ----------
+    balls, bins:
+        Agent instances (their ``index`` attributes must equal their
+        positions).
+    config:
+        Engine switches; defaults follow the paper's symmetric model.
+    rng_factory:
+        Source of independent streams for permutations and shuffles.
+    """
+
+    def __init__(
+        self,
+        balls: Sequence[BallAgent],
+        bins: Sequence[BinAgent],
+        *,
+        config: EngineConfig = EngineConfig(),
+        rng_factory: Optional[RngFactory] = None,
+    ) -> None:
+        for i, ball in enumerate(balls):
+            if ball.index != i:
+                raise ValueError(f"ball at position {i} has index {ball.index}")
+        for j, bin_ in enumerate(bins):
+            if bin_.index != j:
+                raise ValueError(f"bin at position {j} has index {bin_.index}")
+        self.balls = list(balls)
+        self.bins = list(bins)
+        self.config = config
+        self.factory = rng_factory or RngFactory()
+        self.m = len(self.balls)
+        self.n = len(self.bins)
+        if self.n == 0:
+            raise ValueError("need at least one bin")
+        self.counter = MessageCounter(self.m, self.n)
+        self.metrics = RunMetrics(self.m, self.n)
+        self.round_no = 0
+        # Ball-local bin permutations for symmetric mode (lazy).
+        self._ball_perm: dict[int, np.ndarray] = {}
+        self._ball_inv_perm: dict[int, np.ndarray] = {}
+        self._shuffle_rng = self.factory.stream("engine", "shuffle")
+        # Outstanding accepts: ball -> list of (bin index, round accepted).
+        self._pending_accepts: dict[int, list[int]] = {}
+        self._commitments = np.full(self.m, -1, dtype=np.int64)
+
+    # -- symmetric-mode port translation ----------------------------------
+
+    def _perm_for_ball(self, ball_index: int) -> np.ndarray:
+        perm = self._ball_perm.get(ball_index)
+        if perm is None:
+            rng = self.factory.stream("ballperm", ball_index)
+            perm = rng.permutation(self.n)
+            self._ball_perm[ball_index] = perm
+        return perm
+
+    def _translate(self, ball_index: int, local_bins: Sequence[int]) -> list[int]:
+        for b in local_bins:
+            if not 0 <= int(b) < self.n:
+                raise ValueError(
+                    f"ball {ball_index} requested invalid bin {int(b)}"
+                )
+        if not self.config.symmetric:
+            return [int(b) for b in local_bins]
+        perm = self._perm_for_ball(ball_index)
+        return [int(perm[int(b)]) for b in local_bins]
+
+    def _untranslate(self, ball_index: int, global_bin: int) -> int:
+        """Map a global bin index back into the ball's local port space."""
+        if not self.config.symmetric:
+            return global_bin
+        inv = self._ball_inv_perm.get(ball_index)
+        if inv is None:
+            perm = self._perm_for_ball(ball_index)
+            inv = np.empty_like(perm)
+            inv[perm] = np.arange(self.n)
+            self._ball_inv_perm[ball_index] = inv
+        return int(inv[global_bin])
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> EngineOutcome:
+        """Run rounds until all balls commit or ``max_rounds`` is hit."""
+        while not self._all_allocated():
+            if self.round_no >= self.config.max_rounds:
+                break
+            self.step()
+        loads = np.zeros(self.n, dtype=np.int64)
+        for ball in self.balls:
+            if ball.committed_bin is not None:
+                loads[ball.committed_bin] += 1
+        unallocated = int(sum(1 for b in self.balls if not b.allocated))
+        return EngineOutcome(
+            loads=loads,
+            rounds=self.round_no,
+            metrics=self.metrics,
+            counter=self.counter,
+            complete=unallocated == 0,
+            unallocated=unallocated,
+            commitments=self._commitments.copy(),
+        )
+
+    def _all_allocated(self) -> bool:
+        return all(ball.allocated for ball in self.balls)
+
+    def step(self) -> RoundMetrics:
+        """Execute one synchronous round and return its metrics."""
+        round_no = self.round_no
+        unallocated_start = sum(1 for b in self.balls if not b.allocated)
+
+        for bin_ in self.bins:
+            bin_.on_round_start(round_no)
+
+        # Step 1: balls send requests.
+        requests_by_bin: dict[int, list[Message]] = {}
+        requests_sent = 0
+        for ball in self.balls:
+            if ball.allocated:
+                continue
+            local = ball.choose_requests(round_no, self.n)
+            for g in self._translate(ball.index, local):
+                if not 0 <= g < self.n:
+                    raise ValueError(
+                        f"ball {ball.index} requested invalid bin {g}"
+                    )
+                msg = Message(MessageKind.REQUEST, ball.index, g, round_no)
+                requests_by_bin.setdefault(g, []).append(msg)
+                self.counter.record_ball_to_bin(ball.index, g)
+                requests_sent += 1
+
+        # Step 2: bins respond.
+        replies_by_ball: dict[int, list[Message]] = {}
+        accepts_sent = 0
+        rejects_sent = 0
+        for bin_index, incoming in requests_by_bin.items():
+            bin_ = self.bins[bin_index]
+            if self.config.adversarial_ports and len(incoming) > 1:
+                order = self._shuffle_rng.permutation(len(incoming))
+                incoming = [incoming[k] for k in order]
+            accepted_positions = list(bin_.respond(round_no, incoming))
+            seen: set[int] = set()
+            for pos in accepted_positions:
+                if not 0 <= pos < len(incoming):
+                    raise ValueError(
+                        f"bin {bin_index} accepted invalid position {pos}"
+                    )
+                if pos in seen:
+                    raise ValueError(
+                        f"bin {bin_index} accepted position {pos} twice"
+                    )
+                seen.add(pos)
+            for pos, msg in enumerate(incoming):
+                # Replies are delivered with the *ball-local* bin port so
+                # symmetric protocols never observe global bin IDs.
+                local_bin = self._untranslate(msg.ball, bin_index)
+                if pos in seen:
+                    reply = Message(
+                        MessageKind.ACCEPT, msg.ball, local_bin, round_no
+                    )
+                    replies_by_ball.setdefault(msg.ball, []).append(reply)
+                    self.counter.record_bin_to_ball(bin_index, msg.ball)
+                    accepts_sent += 1
+                    bin_.load += 1
+                    self._pending_accepts.setdefault(msg.ball, []).append(
+                        bin_index
+                    )
+                elif self.config.explicit_rejects:
+                    reply = Message(
+                        MessageKind.REJECT, msg.ball, local_bin, round_no
+                    )
+                    replies_by_ball.setdefault(msg.ball, []).append(reply)
+                    self.counter.record_bin_to_ball(bin_index, msg.ball)
+                    rejects_sent += 1
+
+        # Step 3: balls receive replies and possibly commit.  Balls with
+        # accepts pending from earlier rounds are also polled (the
+        # lower-bound family allows deferred commitment).
+        commits = 0
+        poll = set(replies_by_ball) | {
+            b for b, acc in self._pending_accepts.items() if acc
+        }
+        for ball_index in sorted(poll):
+            ball = self.balls[ball_index]
+            if ball.allocated:
+                continue
+            replies = replies_by_ball.get(ball_index, [])
+            chosen_local = ball.receive_replies(round_no, replies)
+            if chosen_local is None:
+                continue
+            chosen = (
+                int(self._perm_for_ball(ball_index)[int(chosen_local)])
+                if self.config.symmetric
+                else int(chosen_local)
+            )
+            pending = self._pending_accepts.get(ball_index, [])
+            if chosen not in pending:
+                raise ValueError(
+                    f"ball {ball_index} committed to bin {chosen} without an "
+                    "outstanding accept from it"
+                )
+            # Step 5: inform every accepting bin of the decision.
+            for bin_index in pending:
+                is_chosen = bin_index == chosen
+                msg = Message(
+                    MessageKind.COMMIT,
+                    ball_index,
+                    bin_index,
+                    round_no,
+                    payload=is_chosen,
+                )
+                if self.config.count_commits:
+                    self.counter.record_ball_to_bin(ball_index, bin_index)
+                if not is_chosen:
+                    self.bins[bin_index].load -= 1
+                self.bins[bin_index].on_commit(round_no, msg)
+            self._pending_accepts[ball_index] = []
+            ball.committed_bin = chosen
+            self._commitments[ball_index] = chosen
+            ball.on_terminate(round_no)
+            commits += 1
+
+        unallocated_end = sum(1 for b in self.balls if not b.allocated)
+        max_load = max((b.load for b in self.bins), default=0)
+        metrics = RoundMetrics(
+            round_no=round_no,
+            unallocated_start=unallocated_start,
+            requests_sent=requests_sent,
+            accepts_sent=accepts_sent,
+            rejects_sent=rejects_sent,
+            commits=commits,
+            unallocated_end=unallocated_end,
+            max_load=int(max_load),
+        )
+        self.metrics.add_round(metrics)
+        self.round_no += 1
+        return metrics

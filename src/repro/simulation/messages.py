@@ -1,0 +1,91 @@
+"""Message objects exchanged between ball and bin agents.
+
+The protocols in the paper use four message types:
+
+* ``REQUEST`` — a ball asks a bin for a slot (step 1 of each round);
+* ``ACCEPT`` — a bin grants a slot (step 2);
+* ``REJECT`` — a bin declines; the paper's algorithms treat silence and
+  rejection identically, but an explicit message keeps accounting exact
+  in the engine (rejects can be excluded from counts via configuration,
+  matching protocols where declines are implicit);
+* ``COMMIT`` — a ball informs an accepting bin that it is (or is not)
+  taking the slot (step 3 / step 5 of the lower-bound family).
+
+``payload`` is protocol-specific: the asymmetric algorithm's superbin
+leaders, for instance, reply with a round-robin offset ``j`` that the
+ball uses to address bin ``i - j`` (Section 5, step 4-5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message", "MessageKind"]
+
+
+class MessageKind(enum.Enum):
+    """Protocol message types."""
+
+    REQUEST = "request"
+    ACCEPT = "accept"
+    REJECT = "reject"
+    COMMIT = "commit"
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.value
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message in flight.
+
+    Attributes
+    ----------
+    kind:
+        One of :class:`MessageKind`.
+    ball:
+        Index of the ball endpoint (always present: every message in the
+        paper's protocols travels between one ball and one bin).
+    bin:
+        Index of the bin endpoint.
+    round_no:
+        The round in which the message was sent.
+    payload:
+        Optional protocol-specific data.
+    """
+
+    kind: MessageKind
+    ball: int
+    bin: int
+    round_no: int
+    payload: Any = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.ball < 0:
+            raise ValueError(f"ball index must be >= 0, got {self.ball}")
+        if self.bin < 0:
+            raise ValueError(f"bin index must be >= 0, got {self.bin}")
+        if self.round_no < 0:
+            raise ValueError(f"round_no must be >= 0, got {self.round_no}")
+
+    @property
+    def from_ball(self) -> bool:
+        """True for ball-to-bin messages (requests and commits)."""
+        return self.kind in (MessageKind.REQUEST, MessageKind.COMMIT)
+
+    @property
+    def from_bin(self) -> bool:
+        """True for bin-to-ball messages (accepts and rejects)."""
+        return self.kind in (MessageKind.ACCEPT, MessageKind.REJECT)
+
+    def describe(self) -> str:
+        """Human-readable one-liner, used in engine traces."""
+        arrow = (
+            f"ball {self.ball} -> bin {self.bin}"
+            if self.from_ball
+            else f"bin {self.bin} -> ball {self.ball}"
+        )
+        extra = f" payload={self.payload!r}" if self.payload is not None else ""
+        return f"[r{self.round_no}] {self.kind.value}: {arrow}{extra}"

@@ -1,0 +1,139 @@
+"""Message and progress accounting for simulation runs.
+
+Theorem 6 makes five quantitative promises beyond the load bound:
+``O(m)`` total messages, ``O(1)`` expected / ``O(log n)`` w.h.p. messages
+per ball, and ``(1+o(1)) m/n + O(log n)`` messages received per bin.
+The engine (and the vectorized fast paths) feed every send into a
+:class:`MessageCounter` so experiments can report all five.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["MessageCounter", "RoundMetrics", "RunMetrics"]
+
+
+class MessageCounter:
+    """Per-ball and per-bin message tallies.
+
+    Ball-side counts include sends *and* receives (the paper bounds
+    "sends and receives" for balls); bin-side counts track receives,
+    which dominate and are what Theorem 6 bounds.
+    """
+
+    def __init__(self, m: int, n: int) -> None:
+        if m < 0 or n < 1:
+            raise ValueError(f"need m >= 0, n >= 1; got m={m}, n={n}")
+        self.m = m
+        self.n = n
+        self.ball_sent = np.zeros(m, dtype=np.int64)
+        self.ball_received = np.zeros(m, dtype=np.int64)
+        self.bin_received = np.zeros(n, dtype=np.int64)
+        self.bin_sent = np.zeros(n, dtype=np.int64)
+        self.total = 0
+
+    def record_ball_to_bin(self, ball: int, bin_: int, count: int = 1) -> None:
+        self.ball_sent[ball] += count
+        self.bin_received[bin_] += count
+        self.total += count
+
+    def record_bin_to_ball(self, bin_: int, ball: int, count: int = 1) -> None:
+        self.bin_sent[bin_] += count
+        self.ball_received[ball] += count
+        self.total += count
+
+    def record_bulk_ball_to_bin(self, bins_per_ball: np.ndarray, active_balls: np.ndarray) -> None:
+        """Vectorized variant: ``active_balls[j]`` sent one message to
+        ``bins_per_ball[j]``."""
+        np.add.at(self.ball_sent, active_balls, 1)
+        np.add.at(self.bin_received, bins_per_ball, 1)
+        self.total += len(active_balls)
+
+    def record_bulk_bin_to_ball(self, bins: np.ndarray, balls: np.ndarray) -> None:
+        np.add.at(self.bin_sent, bins, 1)
+        np.add.at(self.ball_received, balls, 1)
+        self.total += len(balls)
+
+    # -- summary views ---------------------------------------------------
+
+    @property
+    def ball_total(self) -> np.ndarray:
+        """Messages sent + received per ball."""
+        return self.ball_sent + self.ball_received
+
+    def max_ball_messages(self) -> int:
+        return int(self.ball_total.max(initial=0))
+
+    def mean_ball_messages(self) -> float:
+        return float(self.ball_total.mean()) if self.m else 0.0
+
+    def max_bin_received(self) -> int:
+        return int(self.bin_received.max(initial=0))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "total": float(self.total),
+            "per_ball_mean": self.mean_ball_messages(),
+            "per_ball_max": float(self.max_ball_messages()),
+            "per_bin_received_max": float(self.max_bin_received()),
+            "per_bin_received_mean": (
+                float(self.bin_received.mean()) if self.n else 0.0
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class RoundMetrics:
+    """What happened in one synchronous round."""
+
+    round_no: int
+    unallocated_start: int
+    requests_sent: int
+    accepts_sent: int
+    rejects_sent: int
+    commits: int
+    unallocated_end: int
+    max_load: int
+    threshold: Optional[float] = None
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        thr = f", T={self.threshold:.2f}" if self.threshold is not None else ""
+        return (
+            f"round {self.round_no}: active {self.unallocated_start} -> "
+            f"{self.unallocated_end}, req={self.requests_sent}, "
+            f"acc={self.accepts_sent}{thr}"
+        )
+
+
+@dataclass
+class RunMetrics:
+    """Accumulated metrics across a run; owned by engine or fast path."""
+
+    m: int
+    n: int
+    rounds: list[RoundMetrics] = field(default_factory=list)
+
+    def add_round(self, metrics: RoundMetrics) -> None:
+        if self.rounds and metrics.round_no <= self.rounds[-1].round_no:
+            raise ValueError(
+                f"round numbers must increase: got {metrics.round_no} after "
+                f"{self.rounds[-1].round_no}"
+            )
+        self.rounds.append(metrics)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def unallocated_history(self) -> list[int]:
+        """Unallocated counts at the start of each round (``m_i``)."""
+        return [r.unallocated_start for r in self.rounds]
+
+    @property
+    def total_requests(self) -> int:
+        return sum(r.requests_sent for r in self.rounds)

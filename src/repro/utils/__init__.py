@@ -1,0 +1,37 @@
+"""Shared low-level utilities for the :mod:`repro` package.
+
+This subpackage hosts the small, dependency-free helpers used throughout
+the reproduction: iterated logarithms and tower functions (the round
+complexities of the paper are stated in terms of ``log log(m/n)`` and
+``log* n``), parameter validation, and seeding helpers that turn a single
+user-facing seed into independent per-component random streams.
+"""
+
+from repro.utils.logstar import (
+    ilog2,
+    iterated_log2,
+    log_star,
+    loglog2,
+    tower,
+)
+from repro.utils.seeding import RngFactory, spawn_generators
+from repro.utils.validation import (
+    check_positive_int,
+    check_probability,
+    check_seed,
+    ensure_m_n,
+)
+
+__all__ = [
+    "RngFactory",
+    "check_positive_int",
+    "check_probability",
+    "check_seed",
+    "ensure_m_n",
+    "ilog2",
+    "iterated_log2",
+    "log_star",
+    "loglog2",
+    "spawn_generators",
+    "tower",
+]

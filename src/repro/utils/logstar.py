@@ -1,0 +1,126 @@
+"""Iterated logarithms and tower functions.
+
+The round complexity of the paper's symmetric algorithm is
+``O(log log(m/n) + log* n)`` (Theorem 1) and the light-load subroutine
+``A_light`` of [LW16] runs in ``log* n + O(1)`` rounds, contacting a
+tower-growing number of bins per round.  These helpers provide the exact
+integer-valued versions of the functions used by both the algorithms and
+the analysis/prediction modules.
+
+All functions operate on Python ints/floats and are intentionally
+loop-based: the arguments are tiny (``log* n <= 5`` for any physically
+representable ``n``), so no vectorization is warranted.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ilog2", "iterated_log2", "log_star", "loglog2", "tower"]
+
+
+def ilog2(x: float) -> int:
+    """Floor of the base-2 logarithm of ``x``.
+
+    Parameters
+    ----------
+    x:
+        A value ``>= 1``.  Integers are handled exactly via
+        :meth:`int.bit_length`, avoiding float rounding at powers of two.
+
+    Returns
+    -------
+    int
+        ``floor(log2(x))``.
+
+    Raises
+    ------
+    ValueError
+        If ``x < 1``.
+    """
+    if x < 1:
+        raise ValueError(f"ilog2 requires x >= 1, got {x!r}")
+    if isinstance(x, int):
+        return x.bit_length() - 1
+    return int(math.floor(math.log2(x)))
+
+
+def loglog2(x: float) -> float:
+    """``log2(log2(x))`` with the convention that values ``<= 2`` map to 0.
+
+    The paper's round bound ``O(log log(m/n))`` degenerates gracefully for
+    small loads; clamping at zero keeps predictions monotone and avoids
+    ``log`` of non-positive numbers in sweeps that include ``m = n``.
+    """
+    if x <= 2:
+        return 0.0
+    inner = math.log2(x)
+    if inner <= 1:
+        return 0.0
+    return math.log2(inner)
+
+
+def iterated_log2(x: float, times: int) -> float:
+    """Apply ``log2`` to ``x`` repeatedly, ``times`` times, clamping at 0.
+
+    Used by the prediction module to evaluate nested-logarithm round
+    bounds without spelling out each composition.
+    """
+    if times < 0:
+        raise ValueError(f"times must be >= 0, got {times}")
+    value = float(x)
+    for _ in range(times):
+        if value <= 1.0:
+            return 0.0
+        value = math.log2(value)
+    return value
+
+
+def log_star(x: float, base: float = 2.0) -> int:
+    """The iterated logarithm ``log*``: how many times ``log`` must be
+    applied to ``x`` before the result drops to ``<= 1``.
+
+    ``log* n`` is the additive term in Theorem 1's round complexity and
+    the round budget of ``A_light`` (Theorem 5).  For every practical
+    ``n`` this is at most 5 (``2^65536`` is the first value with
+    ``log* = 6`` in base 2).
+
+    Parameters
+    ----------
+    x:
+        The argument; values ``<= 1`` give 0.
+    base:
+        Logarithm base, default 2.
+    """
+    if base <= 1:
+        raise ValueError(f"base must be > 1, got {base}")
+    count = 0
+    value = float(x)
+    while value > 1.0:
+        value = math.log(value, base)
+        count += 1
+        if count > 64:  # unreachable for finite floats; defensive only
+            break
+    return count
+
+
+def tower(height: int, cap: float = float("inf")) -> float:
+    """The power tower ``2^2^...^2`` of the given height, clamped at ``cap``.
+
+    ``A_light`` increases the number of bins each unallocated ball
+    contacts per round along a tower schedule (``k_{r+1} = 2^{k_r}``);
+    the clamp mirrors the algorithmic cap of ``n`` contacts per ball.
+
+    ``tower(0) == 1``, ``tower(1) == 2``, ``tower(2) == 4``,
+    ``tower(3) == 16``, ``tower(4) == 65536``.
+    """
+    if height < 0:
+        raise ValueError(f"height must be >= 0, got {height}")
+    value = 1.0
+    for _ in range(height):
+        if value >= 64:  # 2**64 already exceeds any cap we use
+            return cap
+        value = 2.0**value
+        if value >= cap:
+            return cap
+    return value

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator for deterministic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=[(1024, 16), (4096, 64), (2048, 128)])
+def heavy_instance(request) -> tuple[int, int]:
+    """(m, n) pairs in the heavily loaded regime (m = n * ratio)."""
+    n, ratio = request.param
+    return n * ratio, n
+
+
+@pytest.fixture
+def small_instance() -> tuple[int, int]:
+    """A small instance usable with the object-level engine."""
+    return 2000, 32

@@ -1,0 +1,114 @@
+"""Tests for repro.analysis.chernoff (Lemma 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.chernoff import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    deviation_for_failure_probability,
+    underload_probability_bound,
+)
+
+
+class TestTailBounds:
+    def test_lower_tail_formula(self):
+        assert chernoff_lower_tail(100, 0.5) == pytest.approx(
+            math.exp(-0.25 * 100 / 2)
+        )
+
+    def test_upper_tail_formula(self):
+        assert chernoff_upper_tail(100, 0.5) == pytest.approx(
+            math.exp(-0.25 * 100 / 3)
+        )
+
+    def test_bounds_in_unit_interval(self):
+        for mu in (1, 10, 1000):
+            for delta in (0.01, 0.5, 0.99):
+                assert 0 < chernoff_lower_tail(mu, delta) <= 1
+                assert 0 < chernoff_upper_tail(mu, delta) <= 1
+
+    def test_monotone_in_mu(self):
+        assert chernoff_lower_tail(1000, 0.1) < chernoff_lower_tail(10, 0.1)
+
+    def test_monotone_in_delta(self):
+        assert chernoff_lower_tail(100, 0.9) < chernoff_lower_tail(100, 0.1)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_delta(self, delta):
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(10, delta)
+
+    def test_negative_mu(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(-1, 0.5)
+
+    def test_bound_is_valid_upper_bound_empirically(self, rng):
+        # Binomial(2000, 0.05), mu = 100: the bound must dominate the
+        # empirical lower-tail frequency.
+        mu, trials = 100.0, 20000
+        samples = rng.binomial(2000, 0.05, size=trials)
+        for delta in (0.2, 0.4):
+            freq = np.mean(samples < (1 - delta) * mu)
+            assert freq <= chernoff_lower_tail(mu, delta) + 0.01
+
+
+class TestDeviationInversion:
+    def test_matches_lemma1_forms(self):
+        # failure 1/m with lower tail gives sqrt(2 mu log m).
+        mu, m = 500.0, 1000
+        d = deviation_for_failure_probability(mu, 1 / m, tail="lower")
+        assert d == pytest.approx(math.sqrt(2 * mu * math.log(m)))
+        d_up = deviation_for_failure_probability(mu, 1 / m, tail="upper")
+        assert d_up == pytest.approx(math.sqrt(3 * mu * math.log(m)))
+
+    def test_roundtrip(self):
+        mu = 200.0
+        d = deviation_for_failure_probability(mu, 1e-3, tail="lower")
+        delta = d / mu
+        assert chernoff_lower_tail(mu, delta) == pytest.approx(1e-3)
+
+    def test_invalid_tail(self):
+        with pytest.raises(ValueError):
+            deviation_for_failure_probability(10, 0.1, tail="both")
+
+    @pytest.mark.parametrize("failure", [0.0, 1.0, -1])
+    def test_invalid_failure(self, failure):
+        with pytest.raises(ValueError):
+            deviation_for_failure_probability(10, failure)
+
+
+class TestUnderloadBound:
+    def test_claim1_formula(self):
+        # exp(-(mtilde/n)^(1/3)/2)
+        assert underload_probability_bound(8000, 1000) == pytest.approx(
+            math.exp(-(8.0 ** (1 / 3)) / 2)
+        )
+
+    def test_decreases_with_load(self):
+        values = [underload_probability_bound(n * r, 1000) for r in (2, 8, 64, 512) for n in (1000,)]
+        assert values == sorted(values, reverse=True)
+
+    def test_zero_balls_gives_one(self):
+        assert underload_probability_bound(0, 10) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            underload_probability_bound(-1, 10)
+        with pytest.raises(ValueError):
+            underload_probability_bound(10, 0)
+
+    def test_bound_dominates_empirical_frequency(self, rng):
+        # Round i of A_heavy with mtilde/n = 64: capacity T_i - T_{i-1}
+        # = mtilde/n - (mtilde/n)^(2/3) = 48; measure Pr[X < 48].
+        n, mtilde = 500, 500 * 64
+        need = 64 - 16  # (64)^(2/3) = 16
+        freq = 0
+        trials = 200
+        for _ in range(trials):
+            counts = rng.multinomial(mtilde, np.full(n, 1 / n))
+            freq += (counts < need).sum()
+        freq /= trials * n
+        assert freq <= underload_probability_bound(mtilde, n)

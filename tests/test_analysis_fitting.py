@@ -1,0 +1,104 @@
+"""Tests for the shape-claim fitting helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import (
+    PREDICTED_ROUNDS_SLOPE,
+    fit_linear,
+    fit_loglog_rounds,
+    fit_power_law,
+)
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = fit_linear([0, 1, 2, 3], [1, 3, 5, 7])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_linear([0, 1], [0, 2])
+        assert fit.predict(5) == pytest.approx(10.0)
+
+    def test_noisy_line_r2_below_one(self, rng):
+        x = np.linspace(0, 10, 50)
+        y = 3 * x + rng.normal(0, 1.0, size=50)
+        fit = fit_linear(x, y)
+        assert 2.5 < fit.slope < 3.5
+        assert 0.9 < fit.r_squared <= 1.0
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [1])
+
+    def test_constant_x_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear([2, 2, 2], [1, 2, 3])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_linear([1, 2], [1, 2, 3])
+
+    def test_str(self):
+        assert "R^2" in str(fit_linear([0, 1], [0, 1]))
+
+
+class TestPowerLawFit:
+    def test_recovers_exponent(self):
+        x = np.array([1, 2, 4, 8, 16, 32], dtype=float)
+        y = 3.0 * x**0.5
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(0.5, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_recovers_sqrt_gap_shape(self, rng):
+        """The naive single-choice gap ~ sqrt(m/n): fitted exponent near
+        0.5 over a synthetic sweep with noise."""
+        ratios = np.array([16, 64, 256, 1024, 4096], dtype=float)
+        gaps = 2.5 * np.sqrt(ratios) * rng.uniform(0.9, 1.1, size=5)
+        fit = fit_power_law(ratios, gaps)
+        assert 0.4 < fit.exponent < 0.6
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [2, 4, 8])
+        assert fit.predict(16) == pytest.approx(32.0, rel=1e-9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([0, 1], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [-1, 2])
+
+
+class TestRoundsFit:
+    def test_slope_matches_theory_on_schedule(self):
+        """The phase-1 recursion's exact round counts must fit
+        rounds ~ PREDICTED_ROUNDS_SLOPE * log2 log2 (m/n) + b."""
+        from repro.analysis.theory import heavy_phase_round_bound
+
+        n = 1024
+        ratios = [2**e for e in (4, 6, 8, 12, 16, 24, 32, 48, 64)]
+        rounds = [heavy_phase_round_bound(n * r, n) for r in ratios]
+        fit = fit_loglog_rounds(ratios, rounds)
+        assert fit.r_squared > 0.97
+        assert abs(fit.slope - PREDICTED_ROUNDS_SLOPE) < 0.6
+
+    def test_linear_growth_fits_badly(self):
+        """A process needing Theta(log(m/n)) rounds must show a much
+        larger slope in log log coordinates than the paper's schedule."""
+        ratios = [2**e for e in (4, 6, 8, 12, 16)]
+        rounds = [int(math.log2(r)) for r in ratios]  # linear in log
+        fit = fit_loglog_rounds(ratios, rounds)
+        assert fit.slope > 2 * PREDICTED_ROUNDS_SLOPE
+
+    def test_small_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            fit_loglog_rounds([2, 4], [1, 2])
+
+    def test_predicted_slope_value(self):
+        assert PREDICTED_ROUNDS_SLOPE == pytest.approx(1.0 / math.log2(1.5))

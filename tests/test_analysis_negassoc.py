@@ -1,0 +1,96 @@
+"""Tests for repro.analysis.negassoc (Definition 2 / Proposition 1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.negassoc import (
+    empirical_covariance_matrix,
+    exact_multinomial_covariance,
+    max_pairwise_covariance,
+    negative_association_violations,
+)
+
+
+@pytest.fixture
+def multinomial_samples(rng):
+    """(trials, n) occupancy samples — the canonical NA family."""
+    n, m, trials = 8, 400, 4000
+    return rng.multinomial(m, np.full(n, 1 / n), size=trials)
+
+
+class TestExactCovariance:
+    def test_formula(self):
+        assert exact_multinomial_covariance(400, 8) == -400 / 64
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            exact_multinomial_covariance(-1, 8)
+        with pytest.raises(ValueError):
+            exact_multinomial_covariance(10, 0)
+
+
+class TestEmpiricalCovariance:
+    def test_shape(self, multinomial_samples):
+        cov = empirical_covariance_matrix(multinomial_samples)
+        assert cov.shape == (8, 8)
+
+    def test_matches_exact_offdiagonal(self, multinomial_samples):
+        cov = empirical_covariance_matrix(multinomial_samples)
+        exact = exact_multinomial_covariance(400, 8)
+        off = cov[~np.eye(8, dtype=bool)]
+        assert np.mean(off) == pytest.approx(exact, rel=0.15)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            empirical_covariance_matrix(np.zeros(10))
+
+    def test_requires_trials(self):
+        with pytest.raises(ValueError):
+            empirical_covariance_matrix(np.zeros((1, 5)))
+
+
+class TestMaxPairwiseCovariance:
+    def test_multinomial_negative(self, multinomial_samples):
+        # All pairwise covariances are -m/n^2 < 0; sampling noise cannot
+        # push the max far above 0.
+        assert max_pairwise_covariance(multinomial_samples) < 1.0
+
+    def test_positively_correlated_detected(self, rng):
+        base = rng.normal(size=(2000, 1))
+        samples = base + 0.1 * rng.normal(size=(2000, 4))
+        assert max_pairwise_covariance(samples) > 0.5
+
+
+class TestViolationCount:
+    def test_multinomial_has_no_violations(self, multinomial_samples):
+        assert negative_association_violations(multinomial_samples) == 0
+
+    def test_indicator_transform_no_violations(self, multinomial_samples):
+        # Proposition 1: overload indicators z_i = 1[X_i >= T] are
+        # monotone maps of disjoint subsets, hence NA as well.
+        violations = negative_association_violations(
+            multinomial_samples,
+            transform=lambda x: (x >= 55).astype(float),
+        )
+        assert violations == 0
+
+    def test_correlated_data_flagged(self, rng):
+        base = rng.normal(size=(2000, 1))
+        samples = base + 0.05 * rng.normal(size=(2000, 6))
+        assert negative_association_violations(samples) > 0
+
+    def test_custom_tolerance(self, multinomial_samples):
+        # An absurdly negative tolerance flags everything.
+        n_pairs = 8 * 7 // 2
+        assert (
+            negative_association_violations(
+                multinomial_samples, tolerance=-1e9
+            )
+            == n_pairs
+        )
+
+    def test_transform_must_keep_shape(self, multinomial_samples):
+        with pytest.raises(ValueError):
+            negative_association_violations(
+                multinomial_samples, transform=lambda x: x.sum(axis=1)
+            )

@@ -1,0 +1,110 @@
+"""Tests for repro.analysis.stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    gap_statistics,
+    mean_confidence_interval,
+    summarize_loads,
+    summarize_runs,
+)
+
+
+class TestSummarizeLoads:
+    def test_basic(self):
+        stats = summarize_loads(np.array([3, 5, 4, 4]))
+        assert stats.m == 16
+        assert stats.n == 4
+        assert stats.max_load == 5
+        assert stats.min_load == 3
+        assert stats.gap == pytest.approx(1.0)
+        assert stats.spread == 2
+        assert stats.mean_load == 4.0
+
+    def test_conservation_check(self):
+        with pytest.raises(ValueError, match="sums to"):
+            summarize_loads(np.array([1, 2, 3]), m=10)
+
+    def test_explicit_m_accepted(self):
+        stats = summarize_loads(np.array([1, 2, 3]), m=6)
+        assert stats.m == 6
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_loads(np.array([]))
+
+    def test_2d_raises(self):
+        with pytest.raises(ValueError):
+            summarize_loads(np.zeros((2, 2)))
+
+    def test_quantiles_present(self):
+        stats = summarize_loads(np.arange(100))
+        assert stats.quantiles[0.5] == pytest.approx(49.5)
+        assert 0.9 in stats.quantiles and 0.99 in stats.quantiles
+
+
+class TestConfidenceInterval:
+    def test_contains(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=2.0)
+        assert 9.0 in ci
+        assert 12.0 in ci
+        assert 12.1 not in ci
+
+    def test_low_high(self):
+        ci = ConfidenceInterval(mean=5.0, half_width=1.5)
+        assert ci.low == 3.5
+        assert ci.high == 6.5
+
+    def test_str(self):
+        assert "±" in str(ConfidenceInterval(mean=1.0, half_width=0.1))
+
+
+class TestMeanCI:
+    def test_single_value_zero_width(self):
+        ci = mean_confidence_interval([4.2])
+        assert ci.mean == 4.2
+        assert ci.half_width == 0.0
+
+    def test_mean_correct(self):
+        ci = mean_confidence_interval([1, 2, 3, 4, 5])
+        assert ci.mean == 3.0
+
+    def test_width_shrinks_with_samples(self, rng):
+        small = mean_confidence_interval(rng.normal(size=10))
+        large = mean_confidence_interval(rng.normal(size=1000))
+        assert large.half_width < small.half_width
+
+    def test_coverage(self, rng):
+        # ~95% of intervals over N(0,1) samples must contain 0.
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            ci = mean_confidence_interval(rng.normal(size=30))
+            hits += 0.0 in ci
+        assert hits / trials > 0.90
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_bad_level(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1, 2], level=0.5)
+
+
+class TestAggregates:
+    def test_gap_statistics(self):
+        vectors = [np.array([2, 2, 2]), np.array([1, 2, 3])]
+        ci = gap_statistics(vectors)
+        assert ci.mean == pytest.approx(0.5)  # gaps 0 and 1
+
+    def test_gap_statistics_empty(self):
+        with pytest.raises(ValueError):
+            gap_statistics([])
+
+    def test_summarize_runs_keys(self):
+        out = summarize_runs([np.array([2, 2]), np.array([1, 3])])
+        assert set(out) == {"gap", "max_load", "spread"}
+        assert out["max_load"].mean == pytest.approx(2.5)

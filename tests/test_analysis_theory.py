@@ -1,0 +1,167 @@
+"""Tests for repro.analysis.theory — the paper's closed-form predictions."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    expected_max_load_greedy_d,
+    expected_max_load_single_choice,
+    heavy_phase_round_bound,
+    lower_bound_recursion,
+    mtilde_schedule,
+    predicted_rounds,
+    rejection_floor,
+    theorem7_t,
+    threshold_schedule,
+)
+
+
+class TestSingleChoicePrediction:
+    def test_heavy_regime_form(self):
+        m, n = 10**6, 10**3
+        pred = expected_max_load_single_choice(m, n)
+        assert pred == pytest.approx(
+            m / n + math.sqrt(2 * (m / n) * math.log(n)), rel=1e-9
+        )
+
+    def test_single_bin(self):
+        assert expected_max_load_single_choice(50, 1) == 50.0
+
+    def test_gap_grows_with_m(self):
+        n = 1000
+        gaps = [
+            expected_max_load_single_choice(n * r, n) - r
+            for r in (16, 256, 4096)
+        ]
+        assert gaps == sorted(gaps)
+
+
+class TestGreedyPrediction:
+    def test_d1_falls_back(self):
+        m, n = 10**5, 100
+        assert expected_max_load_greedy_d(m, n, 1) == (
+            expected_max_load_single_choice(m, n)
+        )
+
+    def test_gap_m_independent(self):
+        n = 1024
+        g1 = expected_max_load_greedy_d(n * 100, n, 2) - 100
+        g2 = expected_max_load_greedy_d(n * 10000, n, 2) - 10000
+        assert g1 == pytest.approx(g2)
+
+    def test_larger_d_smaller_gap(self):
+        n = 4096
+        gaps = [
+            expected_max_load_greedy_d(n * 10, n, d) - 10 for d in (2, 3, 4)
+        ]
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_invalid_d(self):
+        with pytest.raises(ValueError):
+            expected_max_load_greedy_d(100, 10, 0)
+
+
+class TestMtildeSchedule:
+    def test_starts_at_m(self):
+        assert mtilde_schedule(10**6, 100)[0] == 10**6
+
+    def test_recursion_step(self):
+        sched = mtilde_schedule(10**6, 100)
+        for a, b in zip(sched, sched[1:]):
+            assert b == pytest.approx(a ** (2 / 3) * 100 ** (1 / 3), rel=1e-9)
+
+    def test_closed_form(self):
+        m, n = 2**30, 2**10
+        sched = mtilde_schedule(m, n)
+        for i, v in enumerate(sched):
+            e = (2 / 3) ** i
+            assert v == pytest.approx(m**e * n ** (1 - e), rel=1e-9)
+
+    def test_terminates_at_2n(self):
+        sched = mtilde_schedule(10**9, 1000)
+        assert sched[-1] <= 2000
+        assert all(v > 2000 for v in sched[:-1])
+
+    def test_max_rounds_cap(self):
+        sched = mtilde_schedule(10**9, 10, max_rounds=3)
+        assert len(sched) == 4  # m̃_0..m̃_3
+
+
+class TestThresholdSchedule:
+    def test_thresholds_below_mean(self):
+        m, n = 10**6, 1000
+        for t in threshold_schedule(m, n):
+            assert t < m / n
+
+    def test_nondecreasing(self):
+        values = threshold_schedule(10**8, 512)
+        assert values == sorted(values)
+
+    def test_first_round_form(self):
+        m, n = 10**6, 1000
+        t0 = threshold_schedule(m, n)[0]
+        assert t0 == pytest.approx(m / n - (m / n) ** (2 / 3))
+
+
+class TestRoundPredictions:
+    def test_phase1_grows_like_loglog(self):
+        n = 1024
+        r1 = heavy_phase_round_bound(n * 2**4, n)
+        r2 = heavy_phase_round_bound(n * 2**16, n)
+        r3 = heavy_phase_round_bound(n * 2**64, n)
+        # doubling the exponent adds ~log_{3/2} 2 ≈ 1.7 rounds per
+        # doubling of log: differences must shrink relative to ratio.
+        assert r1 < r2 < r3
+        assert r3 - r2 <= (r2 - r1) + 6
+
+    def test_predicted_total_includes_logstar(self):
+        m, n = 2**20, 2**10
+        assert predicted_rounds(m, n) == heavy_phase_round_bound(m, n) + 4 + 2
+
+    def test_m_equals_n(self):
+        assert heavy_phase_round_bound(100, 100) == 0
+
+
+class TestTheorem7Quantities:
+    def test_t_definition(self):
+        # t = min(ceil(log2 n), ceil(log2(M/n)) + 1)
+        assert theorem7_t(2**20, 2**10) == min(10, 11)
+        assert theorem7_t(2**13, 2**10) == min(10, 4)
+
+    def test_t_at_least_one(self):
+        assert theorem7_t(4, 2) >= 1
+
+    def test_rejection_floor_scales_sqrt(self):
+        n = 4096
+        f1 = rejection_floor(n * 64, n)
+        f2 = rejection_floor(n * 256, n)
+        # sqrt(M n) doubles when M quadruples (t shifts slightly).
+        assert 1.5 < f2 / f1 < 2.8
+
+    def test_rejection_floor_positive(self):
+        assert rejection_floor(10**6, 100) > 0
+
+
+class TestLowerBoundRecursion:
+    def test_starts_at_m(self):
+        assert lower_bound_recursion(2**30, 2**10)[0] == 2**30
+
+    def test_closed_form(self):
+        # M_0 = m by convention; the induction formula applies for i >= 1.
+        m, n = 2**30, 2**10
+        series = lower_bound_recursion(m, n)
+        ratio = m / n
+        for i, v in enumerate(series):
+            if i == 0:
+                assert v == m
+            else:
+                assert v == pytest.approx(
+                    ratio ** (3.0**-i) * n ** (1 - 3.0**-i), rel=1e-9
+                )
+
+    def test_length_is_loglog(self):
+        n = 2**10
+        l1 = len(lower_bound_recursion(n * 2**8, n))
+        l2 = len(lower_bound_recursion(n * 2**64, n))
+        assert l1 < l2 <= l1 + 4

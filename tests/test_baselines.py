@@ -1,0 +1,205 @@
+"""Tests for the baseline allocation processes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import expected_max_load_single_choice
+from repro.baselines import (
+    run_batched_dchoice,
+    run_greedy_d,
+    run_parallel_dchoice,
+    run_single_choice,
+    run_stemann,
+)
+
+
+class TestSingleChoice:
+    def test_conservation_perball(self):
+        res = run_single_choice(10_000, 100, seed=1)
+        assert res.loads.sum() == 10_000
+        assert res.rounds == 1
+        assert res.total_messages == 10_000
+
+    def test_conservation_aggregate(self):
+        res = run_single_choice(10**8, 100, seed=1, mode="aggregate")
+        assert res.loads.sum() == 10**8
+
+    def test_gap_matches_prediction(self):
+        m, n = 10**6, 1000
+        gaps = [run_single_choice(m, n, seed=s).gap for s in range(5)]
+        predicted = expected_max_load_single_choice(m, n) - m / n
+        assert 0.5 * predicted <= np.mean(gaps) <= 1.5 * predicted
+
+    def test_modes_same_law(self):
+        m, n = 50_000, 64
+        g_p = [run_single_choice(m, n, seed=s).gap for s in range(10)]
+        g_a = [
+            run_single_choice(m, n, seed=s + 50, mode="aggregate").gap
+            for s in range(10)
+        ]
+        # same distribution: means within 3 pooled standard errors
+        se = math.sqrt((np.var(g_p) + np.var(g_a)) / 10)
+        assert abs(np.mean(g_p) - np.mean(g_a)) <= 3 * max(se, 1.0)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            run_single_choice(10, 2, mode="bogus")  # type: ignore[arg-type]
+
+    def test_counter_perball_only(self):
+        assert run_single_choice(100, 4, seed=1).messages is not None
+        assert (
+            run_single_choice(100, 4, seed=1, mode="aggregate").messages
+            is None
+        )
+
+
+class TestGreedyD:
+    def test_conservation(self):
+        res = run_greedy_d(20_000, 64, 2, seed=1)
+        assert res.loads.sum() == 20_000
+        assert res.sequential
+
+    def test_two_choice_beats_one_choice(self):
+        """The multiple-choice gap: greedy[2] << single-choice."""
+        m, n = 100_000, 256
+        g2 = run_greedy_d(m, n, 2, seed=1).gap
+        g1 = run_single_choice(m, n, seed=1).gap
+        assert g2 < g1 / 3
+
+    def test_bcsv_gap_m_independent(self):
+        """[BCSV06]: the greedy[2] gap must not grow with m."""
+        n = 128
+        g_small = run_greedy_d(n * 50, n, 2, seed=1).gap
+        g_large = run_greedy_d(n * 5000, n, 2, seed=1).gap
+        assert g_large <= g_small + 3
+
+    def test_gap_shrinks_with_d(self):
+        m, n = 50_000, 256
+        gaps = [
+            float(np.mean([run_greedy_d(m, n, d, seed=s).gap for s in range(3)]))
+            for d in (2, 4)
+        ]
+        assert gaps[1] <= gaps[0] + 0.5
+
+    def test_d1_is_single_choice(self):
+        res = run_greedy_d(1000, 16, 1, seed=3)
+        assert res.algorithm == "greedy[1]"
+        assert res.sequential
+        assert res.loads.sum() == 1000
+
+    def test_deterministic(self):
+        a = run_greedy_d(5000, 32, 2, seed=9)
+        b = run_greedy_d(5000, 32, 2, seed=9)
+        assert np.array_equal(a.loads, b.loads)
+
+    def test_invalid_d(self):
+        with pytest.raises(ValueError):
+            run_greedy_d(100, 10, 0)
+
+    def test_message_accounting(self):
+        res = run_greedy_d(1000, 16, 3, seed=1)
+        assert res.total_messages == 1000 * 4  # d probes + 1 commit
+
+
+class TestParallelDChoice:
+    def test_completes_m_equals_n(self):
+        res = run_parallel_dchoice(512, 512, 2, seed=1)
+        assert res.complete
+        assert res.loads.sum() == 512
+
+    def test_load_small_at_m_equals_n(self):
+        res = run_parallel_dchoice(1024, 1024, 2, seed=2)
+        assert res.max_load <= 5  # ACMR-style loads for m = n
+
+    def test_heavy_regime_needs_many_rounds(self):
+        """The paper's motivation: one grant per bin per round makes the
+        protocol linear in m/n for m >> n."""
+        n = 64
+        res = run_parallel_dchoice(n * 32, n, 2, seed=1)
+        assert res.complete
+        assert res.rounds >= 16  # ~ m/n rounds
+
+    def test_capacity_respected(self):
+        res = run_parallel_dchoice(2000, 100, 2, seed=1, capacity=25)
+        assert res.max_load <= 25
+
+    def test_insufficient_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            run_parallel_dchoice(1000, 10, 2, capacity=5)
+
+    def test_max_rounds_truncates(self):
+        res = run_parallel_dchoice(6400, 64, 2, seed=1, max_rounds=3)
+        assert not res.complete
+        assert res.rounds == 3
+
+    def test_grants_per_round_speeds_up(self):
+        n = 64
+        slow = run_parallel_dchoice(n * 16, n, 2, seed=1).rounds
+        fast = run_parallel_dchoice(
+            n * 16, n, 2, seed=1, grants_per_round=8
+        ).rounds
+        assert fast < slow
+
+
+class TestStemann:
+    def test_conservation(self):
+        res = run_stemann(50_000, 128, seed=1)
+        assert res.complete
+        assert res.loads.sum() == 50_000
+
+    def test_load_within_collision_bound(self):
+        res = run_stemann(50_000, 128, seed=1, collision_factor=2.0)
+        assert res.max_load <= res.extra["collision_bound"]
+
+    def test_gap_grows_with_ratio(self):
+        """Stemann's O(m/n) guarantee is multiplicative: the gap keeps
+        growing with m/n (here like the binomial noise, sqrt(m/n)),
+        unlike A_heavy's flat O(1)."""
+        n = 128
+        g_small = run_stemann(n * 16, n, seed=1).gap
+        g_large = run_stemann(n * 256, n, seed=1).gap
+        assert g_large > 2 * g_small
+
+    def test_rounds_logarithmic(self):
+        res = run_stemann(100_000, 1024, seed=1)
+        assert res.rounds <= 4 * math.log2(1024)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            run_stemann(100, 10, collision_factor=1.0)
+
+
+class TestBatched:
+    def test_conservation(self):
+        res = run_batched_dchoice(50_000, 128, 2, seed=1)
+        assert res.complete
+        assert res.loads.sum() == 50_000
+
+    def test_round_count_is_batch_count(self):
+        res = run_batched_dchoice(10_000, 100, 2, seed=1)
+        assert res.rounds == 100  # m / batch_size with batch = n
+
+    def test_custom_batch(self):
+        res = run_batched_dchoice(10_000, 100, 2, seed=1, batch_size=2500)
+        assert res.rounds == 4
+
+    def test_beats_single_choice(self):
+        m, n = 100_000, 256
+        b = run_batched_dchoice(m, n, 2, seed=1).gap
+        s = run_single_choice(m, n, seed=1).gap
+        assert b < s / 2
+
+    def test_worse_than_sequential(self):
+        """Stale loads cost accuracy: batched gap >= sequential gap."""
+        m, n = 100_000, 256
+        b = np.mean(
+            [run_batched_dchoice(m, n, 2, seed=s).gap for s in range(3)]
+        )
+        g = np.mean([run_greedy_d(m, n, 2, seed=s).gap for s in range(3)])
+        assert b >= g - 1.0
+
+    def test_batch_size_m_is_one_shot(self):
+        res = run_batched_dchoice(5000, 50, 2, seed=1, batch_size=5000)
+        assert res.rounds == 1

@@ -1,0 +1,55 @@
+"""Tests for the engine-mode asymmetric agents."""
+
+import numpy as np
+import pytest
+
+from repro.core.asymmetric import run_asymmetric
+from repro.core.asymmetric_agents import run_asymmetric_engine
+
+
+class TestAsymmetricEngine:
+    def test_completes_and_conserves(self):
+        res = run_asymmetric_engine(3000, 16, seed=1)
+        assert res.complete
+        assert res.loads.sum() == 3000
+
+    def test_gap_constant(self):
+        res = run_asymmetric_engine(3000, 16, seed=1)
+        assert res.gap <= 8.0
+
+    def test_constant_rounds(self):
+        rounds = [
+            run_asymmetric_engine(500 * 2**e, 16, seed=2).rounds
+            for e in range(3)
+        ]
+        assert max(rounds) <= 8
+
+    def test_deterministic(self):
+        a = run_asymmetric_engine(2000, 16, seed=5)
+        b = run_asymmetric_engine(2000, 16, seed=5)
+        assert np.array_equal(a.loads, b.loads)
+
+    def test_cross_validates_vectorized(self):
+        """Engine and vectorized asymmetric implementations must agree
+        on gap statistics over seeds (same protocol family)."""
+        m, n = 3000, 16
+        g_e = np.mean(
+            [run_asymmetric_engine(m, n, seed=s).gap for s in range(5)]
+        )
+        g_v = np.mean(
+            [
+                run_asymmetric(m, n, seed=s + 50, presymmetric=False).gap
+                for s in range(5)
+            ]
+        )
+        assert abs(g_e - g_v) <= 3.0
+
+    def test_round_counts_comparable(self):
+        m, n = 3000, 16
+        r_e = run_asymmetric_engine(m, n, seed=1).rounds
+        r_v = run_asymmetric(m, n, seed=1, presymmetric=False).rounds
+        assert abs(r_e - r_v) <= 3
+
+    def test_requires_heavy(self):
+        with pytest.raises(ValueError):
+            run_asymmetric_engine(5, 10, seed=1)

@@ -1,0 +1,59 @@
+"""Tests for the combined dispatcher (Section 3 success-probability note)."""
+
+import math
+
+import pytest
+
+from repro.core.combined import run_combined, should_use_trivial
+
+
+class TestDispatchRule:
+    def test_tiny_n_uses_trivial(self):
+        # n = 2, m/n = 2^20: log log = log2(20) ~ 4.3 > 2
+        assert should_use_trivial(2**21, 2)
+
+    def test_moderate_n_uses_heavy(self):
+        assert not should_use_trivial(2**21, 64)
+
+    def test_boundary_monotone_in_n(self):
+        m = 2**40
+        flags = [should_use_trivial(m, n) for n in (2, 3, 4, 8, 64, 1024)]
+        # once False it stays False as n grows
+        first_false = flags.index(False) if False in flags else len(flags)
+        assert all(not f for f in flags[first_false:])
+
+    def test_requires_heavy_regime(self):
+        with pytest.raises(ValueError):
+            should_use_trivial(5, 10)
+
+
+class TestRunCombined:
+    def test_trivial_branch(self):
+        res = run_combined(2**20, 2, seed=1)
+        assert res.extra["branch"] == "trivial"
+        assert res.algorithm == "combined"
+        assert res.complete
+        assert res.max_load == math.ceil(2**20 / 2)
+        assert res.rounds <= 2
+
+    def test_heavy_branch(self):
+        res = run_combined(2**16, 256, seed=1)
+        assert res.extra["branch"] == "heavy"
+        assert res.complete
+        assert res.gap <= 8.0
+
+    def test_branch_matches_predicate(self):
+        for m, n in [(2**22, 3), (2**18, 128), (2**24, 4)]:
+            res = run_combined(m, n, seed=2, mode="aggregate")
+            expected = "trivial" if should_use_trivial(m, n) else "heavy"
+            assert res.extra["branch"] == expected
+
+    def test_aggregate_mode_passthrough(self):
+        res = run_combined(2**22, 512, seed=1, mode="aggregate")
+        assert res.complete
+        assert res.extra["branch"] == "heavy"
+
+    def test_conservation_both_branches(self):
+        for m, n in [(2**18, 2), (2**16, 128)]:
+            res = run_combined(m, n, seed=3)
+            assert res.loads.sum() == m

@@ -1,0 +1,132 @@
+"""Tests for the engine-mode agents of A_heavy and A_light."""
+
+import numpy as np
+import pytest
+
+from repro.core.heavy_agents import (
+    LightBallAgent,
+    LightBinAgent,
+    ThresholdBallAgent,
+    ThresholdBinAgent,
+    run_heavy_engine,
+    run_light_engine,
+)
+from repro.core.thresholds import PaperSchedule
+from repro.simulation.messages import Message, MessageKind
+from repro.utils.seeding import RngFactory
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestThresholdAgents:
+    def test_ball_requests_one_bin(self, rng):
+        ball = ThresholdBallAgent(0, rng)
+        reqs = ball.choose_requests(0, 16)
+        assert len(reqs) == 1
+        assert 0 <= reqs[0] < 16
+
+    def test_ball_commits_on_accept(self, rng):
+        ball = ThresholdBallAgent(0, rng)
+        accept = Message(MessageKind.ACCEPT, ball=0, bin=3, round_no=0)
+        assert ball.receive_replies(0, [accept]) == 3
+
+    def test_ball_ignores_rejects(self, rng):
+        ball = ThresholdBallAgent(0, rng)
+        reject = Message(MessageKind.REJECT, ball=0, bin=3, round_no=0)
+        assert ball.receive_replies(0, [reject]) is None
+
+    def test_bin_respects_threshold(self, rng):
+        m, n = 1000, 10
+        schedule = PaperSchedule(m, n)
+        bin_ = ThresholdBinAgent(0, rng, schedule)
+        bin_.on_round_start(0)
+        t0 = schedule.threshold(0)
+        requests = [
+            Message(MessageKind.REQUEST, ball=i, bin=0, round_no=0)
+            for i in range(t0 + 50)
+        ]
+        accepted = bin_.respond(0, requests)
+        assert len(accepted) == t0
+
+    def test_bin_accounts_existing_load(self, rng):
+        m, n = 1000, 10
+        schedule = PaperSchedule(m, n)
+        bin_ = ThresholdBinAgent(0, rng, schedule)
+        bin_.on_round_start(0)
+        bin_.load = schedule.threshold(0) - 2
+        requests = [
+            Message(MessageKind.REQUEST, ball=i, bin=0, round_no=0)
+            for i in range(10)
+        ]
+        assert len(bin_.respond(0, requests)) == 2
+
+
+class TestLightAgents:
+    def test_contact_count_grows_tower(self, rng):
+        ball = LightBallAgent(0, rng)
+        k0 = len(ball.choose_requests(0, 1000))
+        k1 = len(ball.choose_requests(1, 1000))
+        k2 = len(ball.choose_requests(2, 1000))
+        k3 = len(ball.choose_requests(3, 1000))
+        assert (k0, k1, k2, k3) == (1, 2, 4, 16)
+
+    def test_contact_count_capped(self, rng):
+        ball = LightBallAgent(0, rng, max_contacts=8)
+        for r in range(5):
+            assert len(ball.choose_requests(r, 1000)) <= 8
+
+    def test_ball_picks_one_acceptor(self, rng):
+        ball = LightBallAgent(0, rng)
+        accepts = [
+            Message(MessageKind.ACCEPT, ball=0, bin=b, round_no=0)
+            for b in (2, 5, 9)
+        ]
+        chosen = ball.receive_replies(0, accepts)
+        assert chosen in (2, 5, 9)
+
+    def test_bin_capacity_two(self, rng):
+        bin_ = LightBinAgent(0, rng, capacity=2)
+        requests = [
+            Message(MessageKind.REQUEST, ball=i, bin=0, round_no=0)
+            for i in range(5)
+        ]
+        assert len(bin_.respond(0, requests)) == 2
+        bin_.load = 2
+        assert len(bin_.respond(0, requests)) == 0
+
+
+class TestEngineRuns:
+    def test_heavy_engine_complete(self):
+        res = run_heavy_engine(3000, 16, seed=1)
+        assert res.complete
+        assert res.loads.sum() == 3000
+        assert res.gap <= 10
+
+    def test_heavy_engine_deterministic(self):
+        a = run_heavy_engine(2000, 16, seed=5)
+        b = run_heavy_engine(2000, 16, seed=5)
+        assert np.array_equal(a.loads, b.loads)
+
+    def test_heavy_engine_via_mode(self):
+        from repro.core import run_heavy
+
+        res = run_heavy(2000, 16, seed=5, mode="engine")
+        assert res.algorithm == "heavy[engine]"
+        assert res.complete
+
+    def test_heavy_engine_no_handoff(self):
+        res = run_heavy_engine(3000, 16, seed=1, handoff=False)
+        assert not res.complete
+        assert res.unallocated > 0
+
+    def test_light_engine_guarantees(self):
+        out = run_light_engine(256, 256, seed=2)
+        assert out.complete
+        assert out.loads.max() <= 2
+
+    def test_light_engine_custom_capacity(self):
+        out = run_light_engine(100, 300, seed=2, capacity=1)
+        assert out.loads.max() <= 1

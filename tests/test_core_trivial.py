@@ -1,0 +1,73 @@
+"""Tests for the deterministic n-round trivial algorithm."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.trivial import run_trivial
+
+
+class TestRunTrivial:
+    @pytest.mark.parametrize("m,n", [(100, 7), (1000, 13), (64, 64), (5, 3)])
+    def test_completes_within_n_rounds(self, m, n):
+        res = run_trivial(m, n, seed=1)
+        assert res.complete
+        assert res.rounds <= n
+
+    @pytest.mark.parametrize("m,n", [(100, 7), (10**6, 5), (999, 10)])
+    def test_perfect_balance(self, m, n):
+        """Max load is exactly ceil(m/n) — the deterministic guarantee."""
+        res = run_trivial(m, n, seed=1)
+        assert res.max_load == math.ceil(m / n)
+
+    def test_min_load_floor(self):
+        res = run_trivial(1000, 7, seed=2)
+        # All bins fill to ceil or floor of the mean.
+        assert res.loads.min() >= math.floor(1000 / 7)
+
+    def test_conservation(self):
+        res = run_trivial(12345, 17, seed=3)
+        assert res.loads.sum() == 12345
+
+    def test_deterministic_load_profile(self):
+        """The load guarantee is seed-independent (only tie-breaks vary)."""
+        a = run_trivial(500, 9, seed=1)
+        b = run_trivial(500, 9, seed=999)
+        assert a.max_load == b.max_load == math.ceil(500 / 9)
+
+    def test_single_bin(self):
+        res = run_trivial(50, 1, seed=1)
+        assert res.rounds == 1
+        assert res.loads[0] == 50
+
+    def test_m_less_than_n(self):
+        res = run_trivial(3, 10, seed=1)
+        assert res.complete
+        assert res.max_load == 1
+
+    def test_custom_threshold(self):
+        res = run_trivial(100, 10, seed=1, threshold=20)
+        assert res.complete
+        assert res.max_load <= 20
+
+    def test_insufficient_threshold_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            run_trivial(100, 10, seed=1, threshold=9)
+
+    def test_messages_bounded(self):
+        # Each ball sends <= n requests: total <= m * n (loose); in
+        # practice staggered starts allocate most balls in round 1.
+        m, n = 1000, 10
+        res = run_trivial(m, n, seed=1)
+        assert res.total_messages <= 2 * m * n
+        first_round = res.metrics.rounds[0]
+        assert first_round.commits >= m // 2
+
+    def test_round_metrics_monotone(self):
+        res = run_trivial(5000, 11, seed=1)
+        hist = res.metrics.unallocated_history
+        assert all(a >= b for a, b in zip(hist, hist[1:]))
+
+    def test_algorithm_name(self):
+        assert run_trivial(10, 2, seed=1).algorithm == "trivial"

@@ -1,0 +1,110 @@
+"""Cross-validation: engine (reference) vs per-ball vs aggregate paths.
+
+The three execution paths implement the same protocols at different
+granularity; they cannot be bitwise identical (different RNG consumption
+patterns) but must agree (a) exactly on conserved/structural quantities
+and (b) statistically on distributions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import run_heavy
+from repro.core.heavy_agents import run_heavy_engine, run_light_engine
+from repro.light import run_light
+from repro.utils.logstar import log_star
+
+
+class TestHeavyEngineVsVectorized:
+    """Engine-mode A_heavy against the vectorized path."""
+
+    M, N = 6000, 32
+
+    def test_both_complete_with_constant_gap(self):
+        eng = run_heavy_engine(self.M, self.N, seed=1)
+        vec = run_heavy(self.M, self.N, seed=1)
+        assert eng.complete and vec.complete
+        assert eng.gap <= 8 and vec.gap <= 8
+
+    def test_same_phase1_round_count(self):
+        """Phase-1 length is schedule-determined — must match exactly."""
+        eng = run_heavy_engine(self.M, self.N, seed=2)
+        vec = run_heavy(self.M, self.N, seed=2)
+        assert eng.extra["phase1_rounds"] == vec.extra["phase1_rounds"]
+
+    def test_phase1_loads_deterministic_whp(self):
+        """Claim 2: after phase 1 every bin holds exactly T_{i0-1} w.h.p.
+        — so engine and vectorized phase-1 loads match as vectors."""
+        eng = run_heavy_engine(self.M, self.N, seed=3)
+        vec = run_heavy(self.M, self.N, seed=3)
+        # phase-1 leftovers within noise of each other
+        assert (
+            abs(eng.extra["phase1_remaining"] - vec.extra["phase1_remaining"])
+            <= 0.2 * self.N + 50
+        )
+
+    def test_gap_distributions_close(self):
+        gaps_e = [run_heavy_engine(3000, 16, seed=s).gap for s in range(6)]
+        gaps_v = [run_heavy(3000, 16, seed=s + 50).gap for s in range(6)]
+        assert abs(np.mean(gaps_e) - np.mean(gaps_v)) <= 2.5
+
+    def test_message_totals_same_order(self):
+        eng = run_heavy_engine(self.M, self.N, seed=4)
+        vec = run_heavy(self.M, self.N, seed=4)
+        assert 0.5 <= eng.total_messages / vec.total_messages <= 2.0
+
+
+class TestLightEngineVsVectorized:
+    def test_engine_light_meets_theorem5(self):
+        out = run_light_engine(300, 300, seed=5)
+        assert out.complete
+        assert out.loads.max() <= 2
+        assert out.rounds <= log_star(300) + 10
+
+    def test_round_counts_comparable(self):
+        eng = run_light_engine(400, 400, seed=6)
+        vec = run_light(400, 400, seed=6)
+        assert abs(eng.rounds - vec.rounds) <= 2
+
+    def test_load_histograms_close(self):
+        """Distribution of bin loads (0/1/2 counts) must agree between
+        engine and vectorized implementations across seeds."""
+        n = 256
+        hist_e = np.zeros(3)
+        hist_v = np.zeros(3)
+        for s in range(5):
+            le = run_light_engine(n, n, seed=s).loads
+            lv = run_light(n, n, seed=s + 99).loads
+            hist_e += np.bincount(le, minlength=3)[:3]
+            hist_v += np.bincount(lv, minlength=3)[:3]
+        hist_e /= hist_e.sum()
+        hist_v /= hist_v.sum()
+        assert np.abs(hist_e - hist_v).max() < 0.08
+
+
+class TestPerballVsAggregate:
+    def test_round_counts_match(self):
+        m, n = 2**18, 512
+        p = run_heavy(m, n, seed=7, mode="perball")
+        a = run_heavy(m, n, seed=7, mode="aggregate")
+        assert p.extra["phase1_rounds"] == a.extra["phase1_rounds"]
+        assert abs(p.rounds - a.rounds) <= 2
+
+    def test_phase1_load_vectors_agree_whp(self):
+        """During the strong-concentration rounds nearly every bin fills
+        to its threshold in both modes — sorted loads match up to the
+        few bins touched by the final noisy rounds."""
+        m, n = 2**18, 256
+        p = run_heavy(m, n, seed=8, mode="perball", handoff=False)
+        a = run_heavy(m, n, seed=8, mode="aggregate", handoff=False)
+        sp, sa = np.sort(p.loads), np.sort(a.loads)
+        assert np.abs(sp - sa).max() <= 3
+        assert abs(p.unallocated - a.unallocated) <= 0.1 * n + 50
+
+    def test_unallocated_histories_close(self):
+        m, n = 2**18, 256
+        p = run_heavy(m, n, seed=9, mode="perball")
+        a = run_heavy(m, n, seed=9, mode="aggregate")
+        hp, ha = p.unallocated_history, a.unallocated_history
+        for x, y in zip(hp, ha):
+            assert abs(x - y) <= 0.05 * max(x, y, 1) + 100

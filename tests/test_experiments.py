@@ -1,0 +1,101 @@
+"""Tests for the experiment harness and registry."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import repeat_gaps, repeat_metric, seed_list
+from repro.baselines import run_single_choice
+
+
+class TestRegistry:
+    def test_all_design_ids_present(self):
+        expected = {
+            "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9",
+            "F1", "F2", "F3", "F4", "F5", "A1", "A2", "A3", "A4",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("t1") is EXPERIMENTS["T1"]
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            get_experiment("T99")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            run_experiment("T2", scale="huge")
+
+
+class TestReport:
+    def test_add_row_validates_width(self):
+        r = ExperimentReport("X", "t", "c", columns=["a", "b"])
+        r.add_row(1, 2)
+        with pytest.raises(ValueError):
+            r.add_row(1, 2, 3)
+
+    def test_render_contains_everything(self):
+        r = ExperimentReport("X1", "My title", "Thm 9", columns=["a", "b"])
+        r.add_row(1, 2.5)
+        r.notes.append("a note")
+        r.passed = True
+        text = r.render()
+        assert "[X1] My title" in text
+        assert "Thm 9" in text
+        assert "2.5" in text
+        assert "PASS" in text
+        assert "a note" in text
+
+    def test_render_fail_verdict(self):
+        r = ExperimentReport("X", "t", "c", columns=["a"])
+        r.add_row(1)
+        r.passed = False
+        assert "FAIL" in r.render()
+
+    def test_float_formatting(self):
+        assert ExperimentReport._fmt(0.123456) == "0.123"
+        assert ExperimentReport._fmt(1234567.0) == "1.23e+06"
+        assert ExperimentReport._fmt(True) == "yes"
+        assert ExperimentReport._fmt(0) == "0"
+
+    def test_empty_report_renders(self):
+        r = ExperimentReport("X", "t", "c", columns=["a"])
+        assert "[X]" in r.render()
+
+
+class TestRunnerHelpers:
+    def test_seed_list_distinct(self):
+        seeds = seed_list(5, 10)
+        assert len(set(seeds)) == 10
+
+    def test_seed_list_validates(self):
+        with pytest.raises(ValueError):
+            seed_list(1, 0)
+
+    def test_repeat_metric(self):
+        ci = repeat_metric(
+            lambda s: run_single_choice(10_000, 64, seed=s),
+            metric=lambda r: r.gap,
+            seeds=seed_list(1, 4),
+        )
+        assert ci.mean > 0
+
+    def test_repeat_gaps(self):
+        ci, worst = repeat_gaps(
+            lambda s: run_single_choice(10_000, 64, seed=s),
+            seeds=seed_list(1, 4),
+        )
+        assert worst >= ci.mean
+
+
+@pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+def test_every_experiment_passes_quick(exp_id):
+    """Each experiment's own acceptance check must hold at quick scale.
+
+    This is the repo's claim-by-claim regression net: a change that
+    breaks a theorem-level behaviour fails here with the experiment id.
+    """
+    report = run_experiment(exp_id, scale="quick")
+    assert report.rows, f"{exp_id} produced no rows"
+    assert report.passed is True, f"{exp_id} self-check failed"

@@ -1,0 +1,82 @@
+"""Tests for the process-pool repetition runner."""
+
+import pytest
+
+from repro.experiments.parallel import (
+    ALGORITHMS,
+    parallel_gaps,
+    parallel_results,
+    run_one,
+)
+
+
+class TestRunOne:
+    def test_summary_fields(self):
+        out = run_one("heavy", 10_000, 64, seed=1)
+        assert set(out) == {
+            "algorithm",
+            "seed",
+            "gap",
+            "max_load",
+            "rounds",
+            "total_messages",
+            "complete",
+        }
+        assert out["complete"] is True
+        assert out["seed"] == 1
+
+    def test_kwargs_forwarded(self):
+        out = run_one("greedy_d", 10_000, 64, seed=1, d=3)
+        assert "greedy[3]" in out["algorithm"]
+
+    def test_aggregate_mode(self):
+        out = run_one("heavy", 2**24, 256, seed=1, mode="aggregate")
+        assert out["complete"]
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            run_one("quantum", 100, 10, seed=1)
+
+
+class TestParallelResults:
+    def test_results_in_seed_order(self):
+        seeds = [3, 1, 7]
+        results = parallel_results("heavy", 20_000, 64, seeds, workers=2)
+        assert [r["seed"] for r in results] == seeds
+
+    def test_matches_serial(self):
+        """Worker-process runs must reproduce in-process runs exactly
+        (same seeds, same streams)."""
+        seeds = [11, 12]
+        par = parallel_results("heavy", 20_000, 64, seeds, workers=2)
+        ser = [run_one("heavy", 20_000, 64, s) for s in seeds]
+        for a, b in zip(par, ser):
+            assert a == b
+
+    def test_single_worker_path(self):
+        results = parallel_results("single_choice", 10_000, 32, [1, 2], workers=1)
+        assert len(results) == 2
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_results("heavy", 100, 10, [])
+
+    def test_unknown_algorithm_rejected_early(self):
+        with pytest.raises(ValueError):
+            parallel_results("quantum", 100, 10, [1])
+
+    def test_all_registered_algorithms_runnable(self):
+        for algorithm in ALGORITHMS:
+            out = run_one(algorithm, 4096, 16, seed=5)
+            assert out["complete"], algorithm
+
+
+class TestParallelGaps:
+    def test_gaps_positive_for_naive(self):
+        gaps = parallel_gaps("single_choice", 100_000, 64, [1, 2, 3], workers=2)
+        assert len(gaps) == 3
+        assert all(g > 0 for g in gaps)
+
+    def test_heavy_gaps_constant(self):
+        gaps = parallel_gaps("heavy", 100_000, 64, [1, 2, 3], workers=2)
+        assert max(gaps) <= 8.0

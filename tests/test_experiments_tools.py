@@ -1,0 +1,181 @@
+"""Tests for plotting, export, and the CLI."""
+
+import math
+
+import pytest
+
+from repro.experiments.export import (
+    build_experiments_document,
+    report_to_csv,
+    report_to_markdown,
+)
+from repro.experiments.plotting import ascii_chart, ascii_histogram
+from repro.experiments.report import ExperimentReport
+
+
+@pytest.fixture
+def sample_report():
+    r = ExperimentReport(
+        "X1", "Sample", "Thm 0", columns=["n", "gap"]
+    )
+    r.add_row(256, 3.5)
+    r.add_row(1024, 4.0)
+    r.passed = True
+    r.notes.append("a note")
+    return r
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            [0, 1, 2, 3],
+            {"decay": [1000, 100, 10, 1]},
+            title="decay",
+            log_y=True,
+        )
+        assert "decay" in chart
+        assert "legend" in chart
+        assert "[log y]" in chart
+        assert "*" in chart
+
+    def test_two_series_distinct_markers(self):
+        chart = ascii_chart(
+            [0, 1, 2],
+            {"a": [1, 2, 3], "b": [3, 2, 1]},
+        )
+        assert "*" in chart and "o" in chart
+        assert "* a" in chart and "o b" in chart
+
+    def test_nan_skipped(self):
+        chart = ascii_chart(
+            [0, 1, 2],
+            {"a": [1.0, float("nan"), 3.0]},
+        )
+        assert "a" in chart
+
+    def test_monotone_series_monotone_rows(self):
+        """An increasing series must place later markers on higher rows."""
+        chart = ascii_chart([0, 1, 2, 3], {"up": [1, 2, 3, 4]}, height=8)
+        rows = [
+            i for i, line in enumerate(chart.splitlines()) if "*" in line
+        ]
+        assert rows == sorted(rows)  # top-to-bottom = later first? no:
+        # increasing values render from bottom-left to top-right; the
+        # first marker row (top) must correspond to the largest value.
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {})
+        with pytest.raises(ValueError):
+            ascii_chart([0], {"a": [1]})
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {"a": [1, 2, 3]})
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {"a": [float("nan"), float("nan")]})
+
+    def test_log_axis_requires_positive_somewhere(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {"a": [-1, 0]}, log_y=True)
+
+
+class TestAsciiHistogram:
+    def test_bars_scale(self):
+        out = ascii_histogram({"load 0": 10, "load 1": 20, "load 2": 5})
+        lines = out.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+        assert "20" in lines[1]
+
+    def test_title(self):
+        out = ascii_histogram({"a": 1}, title="loads")
+        assert out.startswith("loads")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_histogram({})
+        with pytest.raises(ValueError):
+            ascii_histogram({"a": -1})
+
+
+class TestExport:
+    def test_csv_roundtrip(self, sample_report):
+        csv_text = report_to_csv(sample_report)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "n,gap"
+        assert lines[1].startswith("256")
+        assert len(lines) == 3
+
+    def test_markdown_structure(self, sample_report):
+        md = report_to_markdown(sample_report)
+        assert md.startswith("### [X1] Sample")
+        assert "| n | gap |" in md
+        assert "**PASS**" in md
+        assert "> a note" in md
+
+    def test_document_builder_quick_subset(self):
+        doc = build_experiments_document(
+            scale="quick", experiment_ids=["T7"], preamble="Preamble here."
+        )
+        assert "# EXPERIMENTS" in doc
+        assert "Preamble here." in doc
+        assert "[T7]" in doc
+        assert "All self-checks passed." in doc
+
+
+class TestCli:
+    def test_heavy_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["heavy", "--m", "5000", "--n", "50", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "max load" in out
+        assert "wall time" in out
+
+    def test_trivial_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["trivial", "--m", "100", "--n", "7", "--seed", "1"]) == 0
+        assert "trivial" in capsys.readouterr().out
+
+    def test_greedy_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        code = main(["greedy", "--m", "5000", "--n", "50", "--d", "3", "--seed", "2"])
+        assert code == 0
+        assert "greedy[3]" in capsys.readouterr().out
+
+    def test_compare_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["compare", "--m", "20000", "--n", "64", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "single-choice" in out
+        assert "heavy (Thm 1)" in out
+
+    def test_experiments_passthrough(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["experiments"]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+
+class TestReportCharts:
+    def test_render_includes_charts(self):
+        r = ExperimentReport("X", "t", "c", columns=["a"])
+        r.add_row(1)
+        r.charts.append("CHART-CONTENT-HERE")
+        assert "CHART-CONTENT-HERE" in r.render()
+
+    def test_markdown_fences_charts(self):
+        r = ExperimentReport("X", "t", "c", columns=["a"])
+        r.add_row(1)
+        r.charts.append("ascii art")
+        md = report_to_markdown(r)
+        assert "```\nascii art\n```" in md
+
+    def test_figure_experiments_emit_charts(self):
+        from repro.experiments import run_experiment
+
+        for exp_id in ("F1", "F2"):
+            report = run_experiment(exp_id, scale="quick")
+            assert report.charts, f"{exp_id} should render a chart"
+            assert "legend" in report.charts[0]

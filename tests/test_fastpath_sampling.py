@@ -1,0 +1,126 @@
+"""Tests for the vectorized sampling kernels."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.fastpath.sampling import (
+    grouped_accept,
+    multinomial_occupancy,
+    sample_uniform_choices,
+)
+
+
+class TestSampleUniformChoices:
+    def test_range_and_dtype(self, rng):
+        out = sample_uniform_choices(1000, 7, rng)
+        assert out.dtype == np.int64
+        assert out.min() >= 0 and out.max() < 7
+
+    def test_zero_k(self, rng):
+        assert sample_uniform_choices(0, 5, rng).size == 0
+
+    def test_uniformity_chi2(self, rng):
+        n = 16
+        out = sample_uniform_choices(160_000, n, rng)
+        counts = np.bincount(out, minlength=n)
+        chi2 = ((counts - 10_000) ** 2 / 10_000).sum()
+        # chi2 with 15 dof: 99.9th percentile ~ 37.7
+        assert chi2 < 37.7
+
+    def test_invalid(self, rng):
+        with pytest.raises(ValueError):
+            sample_uniform_choices(-1, 5, rng)
+        with pytest.raises(ValueError):
+            sample_uniform_choices(5, 0, rng)
+
+
+class TestMultinomialOccupancy:
+    def test_sums_to_k(self, rng):
+        counts = multinomial_occupancy(12345, 77, rng)
+        assert counts.sum() == 12345
+        assert counts.dtype == np.int64
+
+    def test_zero_k(self, rng):
+        counts = multinomial_occupancy(0, 5, rng)
+        assert counts.sum() == 0
+        assert counts.shape == (5,)
+
+    def test_large_k_supported(self, rng):
+        counts = multinomial_occupancy(10**12, 64, rng)
+        assert counts.sum() == 10**12
+
+    def test_same_distribution_as_bincount(self, rng):
+        """The aggregate path must match the per-ball path in law: KS
+        test on single-bin counts across trials."""
+        k, n, trials = 5000, 10, 300
+        agg = np.array(
+            [multinomial_occupancy(k, n, rng)[0] for _ in range(trials)]
+        )
+        per = np.array(
+            [
+                np.bincount(sample_uniform_choices(k, n, rng), minlength=n)[0]
+                for _ in range(trials)
+            ]
+        )
+        _, pvalue = sps.ks_2samp(agg, per)
+        assert pvalue > 1e-4
+
+    def test_invalid(self, rng):
+        with pytest.raises(ValueError):
+            multinomial_occupancy(-1, 5, rng)
+        with pytest.raises(ValueError):
+            multinomial_occupancy(5, 0, rng)
+
+
+class TestGroupedAccept:
+    def test_respects_capacity(self, rng):
+        choices = rng.integers(0, 8, size=1000)
+        capacity = rng.integers(0, 50, size=8)
+        mask = grouped_accept(choices, capacity, rng)
+        accepted_per_bin = np.bincount(choices[mask], minlength=8)
+        assert np.all(accepted_per_bin <= capacity)
+
+    def test_accepts_all_when_capacity_huge(self, rng):
+        choices = rng.integers(0, 4, size=100)
+        mask = grouped_accept(choices, np.full(4, 1000), rng)
+        assert mask.all()
+
+    def test_accepts_exactly_capacity_when_saturated(self, rng):
+        choices = np.zeros(100, dtype=np.int64)
+        mask = grouped_accept(choices, np.array([7]), rng)
+        assert mask.sum() == 7
+
+    def test_negative_capacity_treated_as_zero(self, rng):
+        choices = np.zeros(10, dtype=np.int64)
+        mask = grouped_accept(choices, np.array([-3]), rng)
+        assert mask.sum() == 0
+
+    def test_empty_input(self, rng):
+        mask = grouped_accept(np.zeros(0, dtype=np.int64), np.array([1]), rng)
+        assert mask.size == 0
+
+    def test_out_of_range_target(self, rng):
+        with pytest.raises(ValueError):
+            grouped_accept(np.array([5]), np.array([1, 1]), rng)
+
+    def test_uniform_selection_within_bin(self, rng):
+        """Each requester of a saturated bin must win equally often."""
+        trials = 3000
+        wins = np.zeros(4)
+        choices = np.zeros(4, dtype=np.int64)  # 4 requests to bin 0
+        capacity = np.array([1])
+        for _ in range(trials):
+            mask = grouped_accept(choices, capacity, rng)
+            wins[np.flatnonzero(mask)[0]] += 1
+        expected = trials / 4
+        chi2 = ((wins - expected) ** 2 / expected).sum()
+        assert chi2 < 16.3  # 99.9th percentile, 3 dof
+
+    def test_multiple_bins_independent(self, rng):
+        choices = np.array([0, 0, 1, 1, 2])
+        capacity = np.array([1, 2, 0])
+        mask = grouped_accept(choices, capacity, rng)
+        assert mask[:2].sum() == 1
+        assert mask[2:4].sum() == 2
+        assert not mask[4]

@@ -1,0 +1,132 @@
+"""Tests for A_light (Theorem 5 guarantees)."""
+
+import numpy as np
+import pytest
+
+from repro.light.lw16 import LightConfig, run_light, tower_schedule
+from repro.utils.logstar import log_star
+
+
+class TestTowerSchedule:
+    def test_growth(self):
+        cap = 10**9
+        assert tower_schedule(0, cap) == 1
+        assert tower_schedule(1, cap) == 2
+        assert tower_schedule(2, cap) == 4
+        assert tower_schedule(3, cap) == 16
+        assert tower_schedule(4, cap) == 65536
+
+    def test_cap_respected(self):
+        assert tower_schedule(4, 64) == 64
+        assert tower_schedule(10, 64) == 64
+
+    def test_negative_round(self):
+        with pytest.raises(ValueError):
+            tower_schedule(-1, 10)
+
+
+class TestRunLight:
+    @pytest.mark.parametrize("n", [64, 512, 4096])
+    def test_theorem5_load_bound(self, n):
+        out = run_light(n, n, seed=42)
+        assert out.max_load <= 2
+        assert out.loads.sum() == n
+
+    @pytest.mark.parametrize("n", [256, 2048])
+    def test_theorem5_round_bound(self, n):
+        out = run_light(n, n, seed=7)
+        assert out.rounds <= log_star(n) + 6
+        assert not out.used_fallback
+
+    @pytest.mark.parametrize("n", [256, 2048])
+    def test_theorem5_message_bound(self, n):
+        out = run_light(n, n, seed=7)
+        # O(n) messages with a modest constant.
+        assert out.total_messages <= 12 * n
+
+    def test_assignment_consistent_with_loads(self):
+        out = run_light(500, 500, seed=3)
+        assert (out.assignment >= 0).all()
+        recomputed = np.bincount(out.assignment, minlength=500)
+        assert np.array_equal(recomputed, out.loads)
+
+    def test_fewer_balls_than_bins(self):
+        out = run_light(100, 1000, seed=1)
+        assert out.loads.sum() == 100
+        assert out.max_load <= 2
+
+    def test_capacity_one(self):
+        out = run_light(50, 200, seed=1, config=LightConfig(capacity=1))
+        assert out.max_load <= 1
+        assert out.loads.sum() == 50
+
+    def test_over_capacity_rejected(self):
+        with pytest.raises(ValueError, match="exceed total capacity"):
+            run_light(1000, 100, seed=1)  # capacity 2*100 < 1000
+
+    def test_exact_capacity_completes(self):
+        # n_balls == capacity * n_bins forces the tightest packing; the
+        # sweep fallback guarantees completion.
+        out = run_light(64, 32, seed=5)
+        assert out.loads.sum() == 64
+        assert out.max_load <= 2
+
+    def test_zero_balls(self):
+        out = run_light(0, 10, seed=1)
+        assert out.loads.sum() == 0
+        assert out.rounds == 0
+
+    def test_deterministic(self):
+        a = run_light(1000, 1000, seed=11)
+        b = run_light(1000, 1000, seed=11)
+        assert np.array_equal(a.assignment, b.assignment)
+        assert a.total_messages == b.total_messages
+
+    def test_ball_messages_tracked(self):
+        out = run_light(800, 800, seed=2)
+        assert out.ball_messages.shape == (800,)
+        # every ball sends >= 1 request and receives >= 1 accept (+1
+        # commit per accept): minimum 3 interactions on the happy path.
+        assert out.ball_messages.min() >= 3
+        assert out.ball_messages.sum() == out.total_messages
+
+    def test_metrics_round_progression(self):
+        out = run_light(2000, 2000, seed=8)
+        hist = out.metrics.unallocated_history
+        assert hist[0] == 2000
+        assert all(a > b for a, b in zip(hist, hist[1:]))
+
+    def test_round_budget_decay(self):
+        """The unallocated count must collapse super-geometrically: by
+        round 3 fewer than 2% of balls remain."""
+        out = run_light(10_000, 10_000, seed=4)
+        hist = out.metrics.unallocated_history + [0]
+        if len(hist) > 3:
+            assert hist[3] < 200
+
+    def test_ball_ids_length_validated(self):
+        with pytest.raises(ValueError, match="ball_ids"):
+            run_light(10, 10, seed=1, ball_ids=np.arange(5))
+
+
+class TestLightConfig:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            run_light(10, 10, seed=1, config=LightConfig(capacity=0))
+
+    def test_max_contacts_respected(self):
+        """Per-round request count never exceeds max_contacts * active."""
+        cfg = LightConfig(max_contacts=4)
+        out = run_light(2000, 2000, seed=3, config=cfg)
+        for r in out.metrics.rounds:
+            assert r.requests_sent <= 4 * r.unallocated_start
+        assert out.max_load <= 2
+
+    def test_round_budget_slack_zero_falls_back_fast(self):
+        """With no randomized budget the sweep fallback must engage and
+        still satisfy the load cap."""
+        cfg = LightConfig(round_budget_slack=-10)  # budget <= 0
+        out = run_light(100, 100, seed=3, config=cfg)
+        assert out.used_fallback
+        assert out.max_load <= 2
+        assert out.loads.sum() == 100

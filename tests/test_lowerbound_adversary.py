@@ -1,0 +1,72 @@
+"""Tests for the threshold adversaries."""
+
+import numpy as np
+import pytest
+
+from repro.lowerbound.adversary import (
+    ALL_ADVERSARIES,
+    dyadic_adversary,
+    hoarding_adversary,
+    random_split_adversary,
+    two_tier_adversary,
+    uniform_adversary,
+)
+
+
+@pytest.mark.parametrize("adversary", ALL_ADVERSARIES, ids=lambda a: a.name)
+class TestBudgetContract:
+    def test_sum_exact(self, adversary, rng):
+        m_balls, n, extra = 10_000, 64, 64
+        thresholds = adversary.thresholds(m_balls, n, extra, rng)
+        assert thresholds.sum() == m_balls + extra
+
+    def test_non_negative(self, adversary, rng):
+        thresholds = adversary.thresholds(5000, 32, 100, rng)
+        assert thresholds.min() >= 0
+
+    def test_shape(self, adversary, rng):
+        assert adversary.thresholds(5000, 32, 10, rng).shape == (32,)
+
+    def test_negative_extra_rejected(self, adversary, rng):
+        with pytest.raises(ValueError):
+            adversary.thresholds(100, 4, -1, rng)
+
+
+class TestSpecificShapes:
+    def test_uniform_is_flat(self, rng):
+        thresholds = uniform_adversary.thresholds(6400, 64, 0, rng)
+        assert thresholds.max() - thresholds.min() <= 1
+
+    def test_two_tier_has_two_levels(self, rng):
+        thresholds = two_tier_adversary.thresholds(6400, 64, 0, rng)
+        lo, hi = thresholds[32:].mean(), thresholds[:32].mean()
+        assert hi > 2 * lo
+
+    def test_hoarding_concentrates(self, rng):
+        thresholds = hoarding_adversary.thresholds(6400, 64, 0, rng)
+        top = np.sort(thresholds)[::-1][:4].sum()
+        assert top > 0.9 * thresholds.sum()
+
+    def test_dyadic_spreads_classes(self, rng):
+        m_balls, n = 2**16, 256
+        thresholds = dyadic_adversary.thresholds(m_balls, n, n, rng)
+        # must produce at least 3 distinct threshold levels
+        assert len(np.unique(thresholds)) >= 3
+
+    def test_random_split_deterministic_per_stream(self):
+        a = random_split_adversary.thresholds(
+            1000, 16, 0, np.random.default_rng(5)
+        )
+        b = random_split_adversary.thresholds(
+            1000, 16, 0, np.random.default_rng(5)
+        )
+        assert np.array_equal(a, b)
+
+    def test_random_split_varies(self):
+        a = random_split_adversary.thresholds(
+            1000, 16, 0, np.random.default_rng(1)
+        )
+        b = random_split_adversary.thresholds(
+            1000, 16, 0, np.random.default_rng(2)
+        )
+        assert not np.array_equal(a, b)

@@ -1,0 +1,113 @@
+"""Tests for the M_i recursion trace and the degree-d simulation."""
+
+import numpy as np
+import pytest
+
+from repro.lowerbound.recursion import trace_recursion
+from repro.lowerbound.simulate_degree import (
+    run_degree_d_direct,
+    run_degree_d_simulated,
+)
+
+
+class TestTraceRecursion:
+    def test_trajectory_starts_at_m(self):
+        trace = trace_recursion(2**20, 1024, seed=1)
+        assert trace.measured[0] == 2**20
+
+    def test_trajectory_decreasing(self):
+        trace = trace_recursion(2**20, 1024, seed=1)
+        assert all(
+            a > b for a, b in zip(trace.measured, trace.measured[1:])
+        )
+
+    def test_stops_at_On(self):
+        trace = trace_recursion(2**20, 1024, seed=1, stop_factor=4.0)
+        assert trace.measured[-1] <= 4.0 * 1024 or trace.measured[-1] == 0
+
+    def test_measured_dominates_floor(self):
+        """Theorem 2: the measured best-case trajectory must stay above
+        the induction floor wherever the floor is meaningful."""
+        trace = trace_recursion(2**24, 4096, seed=2)
+        for i in range(1, min(len(trace.measured), len(trace.theoretical))):
+            if trace.theoretical[i] > 8 * 4096:
+                assert trace.measured[i] >= 0.9 * trace.theoretical[i]
+
+    def test_rounds_at_least_predicted(self):
+        trace = trace_recursion(2**24, 4096, seed=2)
+        assert trace.rounds_to_On >= trace.predicted_rounds
+
+    def test_rounds_grow_like_loglog(self):
+        n = 1024
+        r_small = trace_recursion(n * 2**6, n, seed=3).rounds_to_On
+        r_large = trace_recursion(n * 2**24, n, seed=3).rounds_to_On
+        assert r_small <= r_large <= r_small + 8
+
+    def test_deterministic(self):
+        a = trace_recursion(2**18, 512, seed=9)
+        b = trace_recursion(2**18, 512, seed=9)
+        assert a.measured == b.measured
+
+    def test_requires_heavy(self):
+        with pytest.raises(ValueError):
+            trace_recursion(10, 100, seed=1)
+
+
+class TestDegreeSimulation:
+    THRESHOLDS = [10, 14, 15, 16, 18]
+
+    def test_lemma2_bitwise_equality(self):
+        """The core of Lemmas 2/3: identical randomness => identical
+        loads, for several degrees and seeds."""
+        for d in (1, 2, 3):
+            for seed in (0, 1, 2):
+                direct = run_degree_d_direct(
+                    4096, 256, d, self.THRESHOLDS, seed=seed
+                )
+                sim = run_degree_d_simulated(
+                    4096, 256, d, self.THRESHOLDS, seed=seed
+                )
+                assert np.array_equal(direct.loads, sim.loads)
+                assert np.array_equal(direct.assignment, sim.assignment)
+
+    def test_round_accounting(self):
+        d = 3
+        direct = run_degree_d_direct(2048, 128, d, self.THRESHOLDS, seed=1)
+        sim = run_degree_d_simulated(2048, 128, d, self.THRESHOLDS, seed=1)
+        assert sim.rounds == d * direct.rounds
+        assert sim.phases == direct.phases
+
+    def test_loads_respect_thresholds(self):
+        direct = run_degree_d_direct(4096, 256, 2, self.THRESHOLDS, seed=4)
+        assert direct.loads.max() <= self.THRESHOLDS[-1]
+
+    def test_conservation(self):
+        out = run_degree_d_direct(4096, 256, 2, self.THRESHOLDS, seed=4)
+        assert out.loads.sum() + out.remaining == 4096
+        allocated = (out.assignment >= 0).sum()
+        assert allocated == out.loads.sum()
+
+    def test_degree_wastes_capacity_under_saturation(self):
+        """Protocol-family semantics (steps 3-5): accepts consume
+        capacity for the whole phase even when the ball commits
+        elsewhere and revokes at phase end.  With d > 1 and thresholds
+        below the *request* rate d*m/n, a large share of accepts lands
+        on multi-accepted balls and is wasted — higher degree then
+        allocates strictly fewer balls per phase.  (This is the paper's
+        remark that collecting over phases 'is not a good strategy for
+        algorithms' made quantitative.)"""
+        t = [20]  # request rate: d=1 -> 16/bin, d=3 -> 48/bin
+        d1 = run_degree_d_direct(4096, 256, 1, t, seed=5)
+        d3 = run_degree_d_direct(4096, 256, 3, t, seed=5)
+        assert d3.remaining > d1.remaining
+
+    def test_assignment_matches_loads(self):
+        out = run_degree_d_direct(2048, 128, 2, self.THRESHOLDS, seed=6)
+        assigned = out.assignment[out.assignment >= 0]
+        recomputed = np.bincount(assigned, minlength=128)
+        assert np.array_equal(recomputed, out.loads)
+
+    def test_empty_thresholds_no_phases(self):
+        out = run_degree_d_direct(100, 10, 2, [], seed=1)
+        assert out.phases == 0
+        assert out.remaining == 100

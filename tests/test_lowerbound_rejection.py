@@ -1,0 +1,125 @@
+"""Tests for the Theorem 7 rejection machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import theorem7_t
+from repro.lowerbound.adversary import ALL_ADVERSARIES, uniform_adversary
+from repro.lowerbound.rejection import (
+    dyadic_class_decomposition,
+    measure_rejections,
+)
+
+
+class TestMeasureRejections:
+    def test_basic_fields(self, rng):
+        thresholds = uniform_adversary.thresholds(10_000, 64, 64, rng)
+        (out,) = measure_rejections(10_000, 64, thresholds, seed=1)
+        assert out.m_balls == 10_000
+        assert 0 <= out.rejected <= 10_000
+        assert out.floor > 0
+        assert out.t == theorem7_t(10_000, 64)
+
+    def test_trials_count(self, rng):
+        thresholds = uniform_adversary.thresholds(1000, 16, 16, rng)
+        outs = measure_rejections(1000, 16, thresholds, seed=1, trials=7)
+        assert len(outs) == 7
+
+    def test_zero_thresholds_reject_everything(self):
+        outs = measure_rejections(
+            1000, 16, np.zeros(16, dtype=np.int64), seed=1
+        )
+        assert outs[0].rejected == 1000
+        assert outs[0].overloaded_bins == 16
+
+    def test_huge_thresholds_reject_nothing(self):
+        outs = measure_rejections(
+            1000, 16, np.full(16, 10**6, dtype=np.int64), seed=1
+        )
+        assert outs[0].rejected == 0
+
+    def test_theorem7_floor_holds(self, rng):
+        """The core lower bound: rejections >= Omega(sqrt(Mn)/t) for
+        every adversary in the panel."""
+        m_balls, n = 2**18, 1024
+        for adversary in ALL_ADVERSARIES:
+            thresholds = adversary.thresholds(m_balls, n, n, rng)
+            outs = measure_rejections(
+                m_balls, n, thresholds, seed=rng, trials=5
+            )
+            reference = math.sqrt(m_balls * n) / theorem7_t(m_balls, n)
+            mean_rej = np.mean([o.rejected for o in outs])
+            assert mean_rej >= 0.05 * reference, adversary.name
+
+    def test_deterministic(self, rng):
+        thresholds = uniform_adversary.thresholds(5000, 32, 32, rng)
+        a = measure_rejections(5000, 32, thresholds, seed=3, trials=2)
+        b = measure_rejections(5000, 32, thresholds, seed=3, trials=2)
+        assert [x.rejected for x in a] == [x.rejected for x in b]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            measure_rejections(100, 4, np.zeros(5, dtype=np.int64))
+        with pytest.raises(ValueError):
+            measure_rejections(100, 4, np.array([-1, 1, 1, 1]))
+
+
+class TestDyadicDecomposition:
+    def test_s_values_formula(self):
+        m_balls, n = 6400, 64
+        thresholds = np.full(n, 90)
+        dec = dyadic_class_decomposition(m_balls, n, thresholds)
+        mu = 100.0
+        expected = mu + 2 * math.sqrt(mu) - 90
+        assert dec.s_values[0] == pytest.approx(expected)
+
+    def test_class_assignment(self):
+        m_balls, n = 6400, 64
+        mu = 100.0
+        # S = 30 -> class floor(log2 30) = 4
+        thresholds = np.full(n, int(mu + 2 * math.sqrt(mu) - 30))
+        dec = dyadic_class_decomposition(m_balls, n, thresholds)
+        assert (dec.class_of_bin == 4).all()
+        assert dec.heaviest_class == 4
+
+    def test_star_class(self):
+        m_balls, n = 6400, 64
+        mu = 100.0
+        thresholds = np.full(n, int(math.ceil(mu + 2 * math.sqrt(mu) - 0.5)))
+        dec = dyadic_class_decomposition(m_balls, n, thresholds)
+        assert set(np.unique(dec.class_of_bin)) <= {-1, -2}
+
+    def test_negative_margin_class(self):
+        dec = dyadic_class_decomposition(
+            640, 64, np.full(64, 10**6)
+        )
+        assert (dec.class_of_bin == -2).all()
+        assert dec.heaviest_class is None
+        assert dec.expected_rejections_bound == 0.0
+
+    def test_mass_sums_match(self, rng):
+        m_balls, n = 2**14, 256
+        thresholds = uniform_adversary.thresholds(m_balls, n, n, rng)
+        dec = dyadic_class_decomposition(m_balls, n, thresholds)
+        total_mass = sum(dec.class_mass.values())
+        s_pos = dec.s_values[dec.s_values >= 1].sum()
+        assert total_mass == pytest.approx(s_pos)
+
+    def test_structural_bound_sqrtMn(self, rng):
+        """For budget-respecting thresholds the margin mass is at least
+        ~2 sqrt(Mn) - extra (Corollary 1's computation)."""
+        m_balls, n = 2**16, 256
+        thresholds = uniform_adversary.thresholds(m_balls, n, n, rng)
+        dec = dyadic_class_decomposition(m_balls, n, thresholds)
+        target = 2 * math.sqrt(m_balls * n) - n
+        assert dec.expected_rejections_bound >= 0.9 * target
+
+    def test_window_bounds(self, rng):
+        m_balls, n = 2**14, 128
+        thresholds = uniform_adversary.thresholds(m_balls, n, 0, rng)
+        dec = dyadic_class_decomposition(m_balls, n, thresholds)
+        assert dec.k_min <= dec.k_max
+        if dec.heaviest_class is not None:
+            assert dec.k_min <= dec.heaviest_class <= dec.k_max

@@ -1,0 +1,155 @@
+"""Integration tests asserting the paper's theorem-level claims.
+
+One test per quantitative statement, at test-friendly scales.  These
+are the "does the reproduction actually reproduce" checks, complementary
+to the per-module unit tests.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import predicted_rounds, theorem7_t
+from repro.baselines import run_greedy_d, run_single_choice
+from repro.core import run_asymmetric, run_heavy
+from repro.fastpath.sampling import multinomial_occupancy
+from repro.light import run_light
+from repro.lowerbound.adversary import uniform_adversary
+from repro.lowerbound.recursion import trace_recursion
+from repro.utils.logstar import log_star
+from repro.utils.seeding import RngFactory
+
+
+class TestTheorem1:
+    """Symmetric algorithm: m/n + O(1) load, O(log log(m/n) + log* n)
+    rounds, O(m) messages, per-ball O(1)/O(log n)."""
+
+    def test_load_gap_constant_over_m_sweep(self):
+        n = 512
+        for ratio in (8, 64, 512, 4096):
+            res = run_heavy(n * ratio, n, seed=42, mode="aggregate")
+            assert res.gap <= 8.0, f"ratio {ratio}: gap {res.gap}"
+
+    def test_gap_does_not_grow_with_m(self):
+        """The defining contrast with single-choice: the heavy gap is
+        m-independent."""
+        n = 512
+        g_small = run_heavy(n * 8, n, seed=1).gap
+        g_huge = run_heavy(n * 2**20, n, seed=1, mode="aggregate").gap
+        assert g_huge <= g_small + 4
+
+    def test_round_scaling(self):
+        n = 512
+        rounds = [
+            run_heavy(n * 2**e, n, seed=1, mode="aggregate").rounds
+            for e in (2, 8, 16, 24)
+        ]
+        # growth must slow down (double-log): consecutive deltas shrink
+        deltas = [b - a for a, b in zip(rounds, rounds[1:])]
+        assert deltas[-1] <= deltas[0] + 2
+        assert rounds[-1] <= predicted_rounds(n * 2**24, n) + 4
+
+    def test_message_budget(self):
+        m, n = 2**20, 1024
+        res = run_heavy(m, n, seed=1)
+        assert res.total_messages <= 4 * m
+        s = res.messages.summary()
+        assert s["per_ball_mean"] <= 8
+        assert s["per_ball_max"] <= 12 * math.log(n)
+
+
+class TestTheorem1VsNaive:
+    def test_heavy_beats_single_choice_decisively(self):
+        m, n = 2**20, 1024
+        heavy_gap = run_heavy(m, n, seed=7).gap
+        naive_gap = run_single_choice(m, n, seed=7).gap
+        # naive pays sqrt((m/n) log n) ~ 84; heavy pays O(1).
+        assert naive_gap > 10 * heavy_gap
+
+    def test_heavy_matches_sequential_quality(self):
+        """The point of the paper: parallel O(1) gap, like greedy[2]'s
+        O(log log n), without sequential processing."""
+        m, n = 2**19, 1024
+        heavy_gap = run_heavy(m, n, seed=7).gap
+        greedy_gap = run_greedy_d(m, n, 2, seed=7).gap
+        assert abs(heavy_gap - greedy_gap) <= 5
+
+
+class TestTheorem2:
+    """Lower bound: threshold algorithms with uniform contacts need
+    Omega(log log(m/n)) rounds."""
+
+    def test_single_round_rejection_floor(self):
+        m_balls, n = 2**18, 1024
+        rng = RngFactory(3).stream("claims")
+        thresholds = uniform_adversary.thresholds(m_balls, n, n, rng)
+        counts = multinomial_occupancy(m_balls, n, rng)
+        rejected = int(np.maximum(counts - thresholds, 0).sum())
+        floor = math.sqrt(m_balls * n) / theorem7_t(m_balls, n)
+        assert rejected >= 0.05 * floor
+
+    def test_recursion_rounds_lower_bound(self):
+        m, n = 2**24, 4096
+        trace = trace_recursion(m, n, seed=3)
+        assert trace.rounds_to_On >= trace.predicted_rounds
+        # and the upper bound side: A_heavy's phase-1 round count is
+        # within a constant factor of the measured best case.
+        res = run_heavy(m, n, seed=3, mode="aggregate")
+        assert res.extra["phase1_rounds"] <= 4 * max(trace.rounds_to_On, 1) + 4
+
+    def test_matching_bounds_sandwich(self):
+        """Upper bound (Thm 1) and lower bound (Thm 2) must bracket:
+        measured A_heavy rounds = Theta(log log (m/n))."""
+        n = 1024
+        for e in (8, 16):
+            m = n * 2**e
+            loglog = math.log2(e)
+            res = run_heavy(m, n, seed=5, mode="aggregate")
+            assert 0.5 * loglog <= res.rounds <= 6 * loglog + 10
+
+
+class TestTheorem3:
+    """Asymmetric: m/n + O(1) in O(1) rounds."""
+
+    def test_constant_rounds_sweep(self):
+        n = 256
+        rounds = [
+            run_asymmetric(n * 2**e, n, seed=11).rounds for e in (4, 8, 12, 16)
+        ]
+        assert max(rounds) <= 8
+
+    def test_gap_sweep(self):
+        n = 256
+        for e in (4, 8, 12):
+            res = run_asymmetric(n * 2**e, n, seed=11)
+            assert res.gap <= 8.0
+
+    def test_faster_than_symmetric(self):
+        """Asymmetry buys rounds: O(1) vs O(log log(m/n))."""
+        m, n = 2**24, 256
+        asym = run_asymmetric(m, n, seed=2)
+        sym = run_heavy(m, n, seed=2, mode="aggregate")
+        assert asym.rounds <= sym.rounds
+
+
+class TestTheorem5:
+    """A_light black-box guarantees used by phase 2."""
+
+    def test_all_guarantees_at_once(self):
+        for n in (512, 8192):
+            out = run_light(n, n, seed=13)
+            assert out.max_load <= 2
+            assert out.rounds <= log_star(n) + 6
+            assert out.total_messages <= 12 * n
+            assert not out.used_fallback
+
+
+class TestSuccessProbabilityNote:
+    def test_trivial_within_budget_when_n_tiny(self):
+        from repro.core import run_combined
+
+        res = run_combined(2**22, 3, seed=1)
+        assert res.extra["branch"] == "trivial"
+        assert res.rounds <= 3
+        assert res.max_load == math.ceil(2**22 / 3)

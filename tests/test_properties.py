@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Each property is an invariant the paper's model demands of *any*
+allocation, checked over randomly drawn instances:
+
+* conservation: loads sum to the number of allocated balls;
+* cap-respect: accept kernels never exceed capacity;
+* schedule monotonicity and integrality;
+* determinism: equal seeds produce equal outcomes;
+* simulation faithfulness (Lemma 2) over random thresholds.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import PaperSchedule, run_heavy, run_trivial
+from repro.core.asymmetric import superbin_blocks
+from repro.fastpath.sampling import grouped_accept, multinomial_occupancy
+from repro.light import run_light
+from repro.lowerbound.adversary import uniform_adversary
+from repro.lowerbound.simulate_degree import (
+    run_degree_d_direct,
+    run_degree_d_simulated,
+)
+
+COMMON = settings(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON
+@given(
+    n=st.integers(2, 128),
+    ratio=st.integers(1, 64),
+    seed=st.integers(0, 2**31),
+)
+def test_heavy_conservation_and_cap(n, ratio, seed):
+    m = n * ratio
+    res = run_heavy(m, n, seed=seed)
+    assert res.complete
+    assert res.loads.sum() == m
+    assert res.loads.min() >= 0
+    # O(1) gap with a generous constant (small-n instances are noisier;
+    # the virtual-bin factor contributes up to 2g).
+    assert res.gap <= 14.0
+
+
+@COMMON
+@given(
+    n=st.integers(1, 64),
+    m=st.integers(1, 4000),
+    seed=st.integers(0, 2**31),
+)
+def test_trivial_always_perfect(n, m, seed):
+    res = run_trivial(m, n, seed=seed)
+    assert res.complete
+    assert res.max_load == -(-m // n)  # ceil
+    assert res.rounds <= n
+
+
+@COMMON
+@given(
+    n_balls=st.integers(0, 500),
+    n_bins=st.integers(1, 500),
+    seed=st.integers(0, 2**31),
+)
+def test_light_never_exceeds_capacity(n_balls, n_bins, seed):
+    if n_balls > 2 * n_bins:
+        return  # outside the protocol's contract
+    out = run_light(n_balls, n_bins, seed=seed)
+    assert out.loads.max(initial=0) <= 2
+    assert out.loads.sum() == n_balls
+
+
+@COMMON
+@given(
+    k=st.integers(0, 2000),
+    n=st.integers(1, 50),
+    cap=st.integers(0, 100),
+    seed=st.integers(0, 2**31),
+)
+def test_grouped_accept_cap_invariant(k, n, cap, seed):
+    rng = np.random.default_rng(seed)
+    choices = rng.integers(0, n, size=k)
+    capacity = rng.integers(0, cap + 1, size=n)
+    mask = grouped_accept(choices, capacity, rng)
+    per_bin = np.bincount(choices[mask], minlength=n)
+    assert (per_bin <= capacity).all()
+    # accepted count is maximal: a bin with requests and spare capacity
+    # must accept min(requests, capacity).
+    req = np.bincount(choices, minlength=n)
+    assert (per_bin == np.minimum(req, capacity)).all()
+
+
+@COMMON
+@given(
+    k=st.integers(0, 10**6),
+    n=st.integers(1, 64),
+    seed=st.integers(0, 2**31),
+)
+def test_multinomial_occupancy_conserves(k, n, seed):
+    rng = np.random.default_rng(seed)
+    counts = multinomial_occupancy(k, n, rng)
+    assert counts.sum() == k
+    assert counts.min() >= 0
+
+
+@COMMON
+@given(
+    n=st.integers(2, 256),
+    exponent=st.integers(1, 40),
+)
+def test_paper_schedule_invariants(n, exponent):
+    m = n * 2**exponent
+    sched = PaperSchedule(m, n)
+    rounds = sched.phase1_rounds()
+    prev = -1
+    for i in range(rounds):
+        t = sched.threshold(i)
+        assert isinstance(t, int)
+        assert t >= prev  # monotone
+        assert t <= m // n  # never above the mean
+        prev = t
+    # estimates decrease to the stop region
+    assert sched.estimate(rounds) <= 2 * n
+
+
+@COMMON
+@given(
+    n=st.integers(1, 200),
+    n_r=st.integers(1, 200),
+)
+def test_superbin_blocks_partition(n, n_r):
+    if n_r > n:
+        return
+    blocks = superbin_blocks(n, n_r)
+    sizes = np.diff(blocks)
+    assert sizes.sum() == n
+    assert sizes.min() >= 1
+    assert sizes.max() - sizes.min() <= 1
+
+
+@COMMON
+@given(
+    seed=st.integers(0, 2**31),
+    d=st.integers(1, 3),
+)
+def test_lemma2_simulation_property(seed, d):
+    """Random-seeded Lemma 2 equivalence over a fixed schedule."""
+    thresholds = [4, 6, 7, 9]
+    direct = run_degree_d_direct(512, 64, d, thresholds, seed=seed)
+    sim = run_degree_d_simulated(512, 64, d, thresholds, seed=seed)
+    assert np.array_equal(direct.loads, sim.loads)
+    assert sim.rounds == d * direct.rounds
+
+
+@COMMON
+@given(
+    m_balls=st.integers(100, 10**5),
+    n=st.integers(2, 128),
+    extra=st.integers(0, 500),
+    seed=st.integers(0, 2**31),
+)
+def test_adversary_budget_property(m_balls, n, extra, seed):
+    rng = np.random.default_rng(seed)
+    thresholds = uniform_adversary.thresholds(m_balls, n, extra, rng)
+    assert thresholds.sum() == m_balls + extra
+    assert thresholds.min() >= 0
+
+
+@COMMON
+@given(seed=st.integers(0, 2**31))
+def test_determinism_property(seed):
+    a = run_heavy(20_000, 64, seed=seed)
+    b = run_heavy(20_000, 64, seed=seed)
+    assert np.array_equal(a.loads, b.loads)
+    assert a.total_messages == b.total_messages
+    assert a.rounds == b.rounds
+
+
+@COMMON
+@given(
+    n=st.integers(4, 128),
+    ratio=st.integers(2, 256),
+    seed=st.integers(0, 2**31),
+)
+def test_asymmetric_invariants(n, ratio, seed):
+    from repro.core import run_asymmetric
+
+    m = n * ratio
+    res = run_asymmetric(m, n, seed=seed)
+    assert res.complete
+    assert res.loads.sum() == m
+    # O(1) rounds with an absolute ceiling, O(1)-ish gap with slack for
+    # tiny instances where log n terms dominate.
+    assert res.rounds <= 10
+    assert res.gap <= 6 + 2 * np.log(n)
+
+
+@COMMON
+@given(
+    seed=st.integers(0, 2**31),
+    crash=st.floats(0.0, 0.2),
+    loss=st.floats(0.0, 0.3),
+)
+def test_faulty_conservation_property(seed, crash, loss):
+    from repro.core import run_heavy_faulty
+
+    m, n = 10_000, 64
+    res = run_heavy_faulty(
+        m, n, seed=seed, crash_prob=crash, loss_prob=loss
+    )
+    # Conservation under faults: placed + crashed + stragglers == m,
+    # and every surviving ball is placed at most once.
+    assert res.loads.sum() + res.unallocated == m
+    assert res.loads.min() >= 0
+    assert res.extra["crashed"] <= res.unallocated
+
+
+@COMMON
+@given(
+    d=st.integers(1, 4),
+    seed=st.integers(0, 2**31),
+)
+def test_multicontact_invariants(d, seed):
+    from repro.core import run_heavy_multicontact
+
+    m, n = 8192, 64
+    res = run_heavy_multicontact(m, n, d, seed=seed)
+    assert res.complete
+    assert res.loads.sum() == m
+    assert res.gap <= 14.0

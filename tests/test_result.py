@@ -1,0 +1,80 @@
+"""Tests for AllocationResult."""
+
+import numpy as np
+import pytest
+
+from repro.result import AllocationResult
+
+
+def mk(loads, m=None, **kw):
+    loads = np.asarray(loads)
+    if m is None:
+        m = int(loads.sum())
+    return AllocationResult(
+        algorithm="test",
+        m=m,
+        n=loads.size,
+        loads=loads,
+        rounds=1,
+        **kw,
+    )
+
+
+class TestValidation:
+    def test_conservation_enforced(self):
+        with pytest.raises(ValueError, match="loads sum"):
+            mk([1, 2], m=5)
+
+    def test_unallocated_accounting(self):
+        res = mk([1, 2], m=5, complete=False, unallocated=2)
+        assert res.unallocated == 2
+
+    def test_complete_with_unallocated_rejected(self):
+        with pytest.raises(ValueError):
+            mk([1, 2], m=5, complete=True, unallocated=2)
+
+    def test_wrong_shape(self):
+        with pytest.raises(ValueError):
+            AllocationResult(
+                algorithm="x", m=4, n=3, loads=np.array([2, 2]), rounds=0
+            )
+
+
+class TestDerived:
+    def test_max_load_and_gap(self):
+        res = mk([3, 5, 4])
+        assert res.max_load == 5
+        assert res.gap == pytest.approx(5 - 12 / 3)
+
+    def test_average_load(self):
+        assert mk([2, 2]).average_load == 2.0
+
+    def test_statistics_roundtrip(self):
+        res = mk([2, 3, 4])
+        stats = res.statistics()
+        assert stats.max_load == 4
+        assert stats.m == 9
+
+    def test_statistics_requires_complete(self):
+        res = mk([1, 1], m=4, complete=False, unallocated=2)
+        with pytest.raises(ValueError):
+            res.statistics()
+
+    def test_unallocated_history_empty_without_metrics(self):
+        assert mk([1, 1]).unallocated_history == []
+
+
+class TestRendering:
+    def test_describe_mentions_key_fields(self):
+        text = mk([3, 5, 4]).describe()
+        assert "max load" in text
+        assert "rounds" in text
+        assert "test" in text
+
+    def test_str_compact(self):
+        s = str(mk([3, 5, 4]))
+        assert "max_load=5" in s
+
+    def test_incomplete_describe(self):
+        res = mk([1, 1], m=4, complete=False, unallocated=2)
+        assert "2 left" in res.describe()

@@ -1,0 +1,227 @@
+"""Tests for the synchronous engine — the model's reference semantics."""
+
+from typing import Optional, Sequence
+
+import numpy as np
+import pytest
+
+from repro.simulation.agents import BallAgent, BinAgent
+from repro.simulation.engine import EngineConfig, SyncEngine
+from repro.simulation.messages import Message, MessageKind
+from repro.utils.seeding import RngFactory
+
+
+class OneShotBall(BallAgent):
+    """Contacts one uniform bin per round, commits on first accept."""
+
+    def choose_requests(self, round_no, n_bins):
+        return [int(self.rng.integers(0, n_bins))]
+
+    def receive_replies(self, round_no, replies):
+        for msg in replies:
+            if msg.kind is MessageKind.ACCEPT:
+                return msg.bin
+        return None
+
+
+class CappedBin(BinAgent):
+    """Accepts requests up to a fixed total capacity."""
+
+    def __init__(self, index, rng, capacity=2):
+        super().__init__(index, rng)
+        self.capacity = capacity
+
+    def respond(self, round_no, requests):
+        free = max(0, self.capacity - self.load)
+        return list(range(min(free, len(requests))))
+
+
+class GreedyBin(BinAgent):
+    """Accepts everything (no cap)."""
+
+    def respond(self, round_no, requests):
+        return list(range(len(requests)))
+
+
+class MultiContactBall(OneShotBall):
+    """Contacts two bins per round (exercises multi-accept revocation)."""
+
+    def choose_requests(self, round_no, n_bins):
+        return [int(b) for b in self.rng.integers(0, n_bins, size=2)]
+
+
+def build(n_balls, n_bins, ball_cls=OneShotBall, bin_cls=GreedyBin, seed=0, **cfg):
+    factory = RngFactory(seed)
+    balls = [ball_cls(i, factory.stream("ball", i)) for i in range(n_balls)]
+    bins = [bin_cls(j, factory.stream("bin", j)) for j in range(n_bins)]
+    return SyncEngine(
+        balls, bins, config=EngineConfig(**cfg), rng_factory=factory
+    )
+
+
+class TestEngineBasics:
+    def test_greedy_bins_finish_in_one_round(self):
+        engine = build(50, 8)
+        out = engine.run()
+        assert out.complete
+        assert out.rounds == 1
+        assert out.loads.sum() == 50
+
+    def test_load_conservation_with_caps(self):
+        engine = build(30, 20, bin_cls=CappedBin)
+        out = engine.run()
+        assert out.complete
+        assert out.loads.sum() == 30
+        assert out.loads.max() <= 2
+
+    def test_commitments_consistent_with_loads(self):
+        engine = build(40, 30, bin_cls=CappedBin)  # capacity 60 >= 40
+        out = engine.run()
+        assert out.complete
+        recomputed = np.bincount(out.commitments, minlength=30)
+        assert np.array_equal(recomputed, out.loads)
+
+    def test_max_rounds_abort(self):
+        # 30 balls into 10 bins of capacity 2 = capacity 20 < 30: can
+        # never complete; engine must stop at the cap.
+        engine = build(30, 10, bin_cls=CappedBin, max_rounds=5)
+        out = engine.run()
+        assert not out.complete
+        assert out.rounds == 5
+        assert out.unallocated == 30 - out.loads.sum()
+
+    def test_deterministic_under_seed(self):
+        out1 = build(60, 16, bin_cls=CappedBin, seed=9).run()
+        out2 = build(60, 16, bin_cls=CappedBin, seed=9).run()
+        assert np.array_equal(out1.loads, out2.loads)
+        assert out1.counter.total == out2.counter.total
+
+    def test_different_seeds_differ(self):
+        out1 = build(200, 16, seed=1).run()
+        out2 = build(200, 16, seed=2).run()
+        assert not np.array_equal(out1.loads, out2.loads)
+
+
+class TestMessageAccounting:
+    def test_request_accept_counts(self):
+        engine = build(25, 5)
+        out = engine.run()
+        # every ball: 1 request + 1 accept + 1 commit (count_commits on)
+        assert out.counter.total == 25 * 3
+
+    def test_commit_counting_disabled(self):
+        engine = build(25, 5, count_commits=False)
+        out = engine.run()
+        assert out.counter.total == 25 * 2
+
+    def test_explicit_rejects_counted(self):
+        engine = build(30, 3, bin_cls=CappedBin, explicit_rejects=True)
+        engine.step()
+        m = engine.metrics.rounds[0]
+        assert m.rejects_sent > 0
+        # rejects are bin->ball sends
+        assert engine.counter.total >= m.requests_sent + m.accepts_sent
+
+    def test_per_round_metrics_progress(self):
+        engine = build(40, 40, bin_cls=CappedBin)
+        out = engine.run()
+        history = out.metrics.unallocated_history
+        assert history[0] == 40
+        assert all(a >= b for a, b in zip(history, history[1:]))
+
+
+class TestRevocation:
+    def test_multi_accept_revokes_cleanly(self):
+        # Balls contacting 2 bins may get 2 accepts; exactly one commit
+        # must survive and bin loads must match commitments.
+        engine = build(50, 10, ball_cls=MultiContactBall, bin_cls=CappedBin)
+        out = engine.run()
+        if out.complete:
+            assert out.loads.sum() == 50
+        recomputed = np.bincount(
+            out.commitments[out.commitments >= 0], minlength=10
+        )
+        assert np.array_equal(recomputed, out.loads)
+        # engine-tracked bin loads equal final committed loads
+        for j, bin_ in enumerate(engine.bins):
+            assert bin_.load == out.loads[j]
+
+
+class TestSymmetricRouting:
+    def test_symmetric_uniformity(self):
+        # With symmetric routing, a ball that always requests local port
+        # 0 must still spread uniformly over bins (private permutations).
+        class Port0Ball(OneShotBall):
+            def choose_requests(self, round_no, n_bins):
+                return [0]
+
+        engine = build(4000, 8, ball_cls=Port0Ball)
+        out = engine.run()
+        # Uniform w.h.p.: each bin gets 500 +- 5 sigma (~110)
+        assert out.loads.min() > 300
+        assert out.loads.max() < 700
+
+    def test_asymmetric_port0_concentrates(self):
+        class Port0Ball(OneShotBall):
+            def choose_requests(self, round_no, n_bins):
+                return [0]
+
+        engine = build(100, 8, ball_cls=Port0Ball, symmetric=False)
+        out = engine.run()
+        assert out.loads[0] == 100
+
+
+class TestValidation:
+    def test_agent_index_mismatch(self):
+        factory = RngFactory(0)
+        balls = [OneShotBall(1, factory.stream("b", 0))]  # wrong index
+        bins = [GreedyBin(0, factory.stream("c", 0))]
+        with pytest.raises(ValueError, match="index"):
+            SyncEngine(balls, bins)
+
+    def test_no_bins_rejected(self):
+        with pytest.raises(ValueError):
+            SyncEngine([], [])
+
+    def test_invalid_bin_request_caught(self):
+        class BadBall(OneShotBall):
+            def choose_requests(self, round_no, n_bins):
+                return [n_bins + 5]
+
+        engine = build(1, 2, ball_cls=BadBall)
+        with pytest.raises(ValueError, match="invalid bin"):
+            engine.step()
+
+    def test_double_accept_caught(self):
+        class BadBin(GreedyBin):
+            def respond(self, round_no, requests):
+                return [0, 0] if requests else []
+
+        engine = build(1, 1, bin_cls=BadBin)
+        with pytest.raises(ValueError, match="twice"):
+            engine.step()
+
+    def test_out_of_range_accept_caught(self):
+        class BadBin(GreedyBin):
+            def respond(self, round_no, requests):
+                return [len(requests)]
+
+        engine = build(1, 1, bin_cls=BadBin)
+        with pytest.raises(ValueError, match="invalid position"):
+            engine.step()
+
+    def test_commit_without_accept_caught(self):
+        class LyingBall(OneShotBall):
+            def receive_replies(self, round_no, replies):
+                return 0  # commits to port 0 regardless of accepts
+
+        class StingyBin(GreedyBin):
+            def respond(self, round_no, requests):
+                return []
+
+        engine = build(1, 4, ball_cls=LyingBall, bin_cls=StingyBin)
+        # ball gets no accept -> receive_replies not called unless
+        # replies or pending accepts exist; with explicit rejects it is.
+        engine.config = EngineConfig(explicit_rejects=True)
+        with pytest.raises(ValueError, match="outstanding accept"):
+            engine.step()

@@ -1,0 +1,55 @@
+"""Tests for repro.simulation.messages."""
+
+import pytest
+
+from repro.simulation.messages import Message, MessageKind
+
+
+class TestMessage:
+    def test_request_direction(self):
+        msg = Message(MessageKind.REQUEST, ball=1, bin=2, round_no=0)
+        assert msg.from_ball and not msg.from_bin
+
+    def test_commit_direction(self):
+        msg = Message(MessageKind.COMMIT, ball=1, bin=2, round_no=0)
+        assert msg.from_ball
+
+    def test_accept_direction(self):
+        msg = Message(MessageKind.ACCEPT, ball=1, bin=2, round_no=0)
+        assert msg.from_bin and not msg.from_ball
+
+    def test_reject_direction(self):
+        msg = Message(MessageKind.REJECT, ball=1, bin=2, round_no=0)
+        assert msg.from_bin
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(ball=-1, bin=0, round_no=0),
+            dict(ball=0, bin=-1, round_no=0),
+            dict(ball=0, bin=0, round_no=-1),
+        ],
+    )
+    def test_invalid_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            Message(MessageKind.REQUEST, **kwargs)
+
+    def test_frozen(self):
+        msg = Message(MessageKind.REQUEST, 0, 0, 0)
+        with pytest.raises(AttributeError):
+            msg.ball = 5  # type: ignore[misc]
+
+    def test_payload_not_compared(self):
+        a = Message(MessageKind.ACCEPT, 1, 2, 3, payload="x")
+        b = Message(MessageKind.ACCEPT, 1, 2, 3, payload="y")
+        assert a == b
+
+    def test_describe_contains_direction(self):
+        msg = Message(MessageKind.REQUEST, ball=7, bin=3, round_no=2)
+        text = msg.describe()
+        assert "ball 7 -> bin 3" in text
+        assert "r2" in text
+
+    def test_describe_bin_to_ball(self):
+        msg = Message(MessageKind.ACCEPT, ball=7, bin=3, round_no=2)
+        assert "bin 3 -> ball 7" in msg.describe()

@@ -1,0 +1,123 @@
+"""Tests for repro.simulation.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.metrics import MessageCounter, RoundMetrics, RunMetrics
+
+
+class TestMessageCounter:
+    def test_single_records(self):
+        c = MessageCounter(3, 2)
+        c.record_ball_to_bin(0, 1)
+        c.record_bin_to_ball(1, 0)
+        assert c.total == 2
+        assert c.ball_sent[0] == 1
+        assert c.ball_received[0] == 1
+        assert c.bin_received[1] == 1
+        assert c.bin_sent[1] == 1
+
+    def test_counted_with_multiplicity(self):
+        c = MessageCounter(1, 1)
+        c.record_ball_to_bin(0, 0, count=5)
+        assert c.total == 5
+        assert c.bin_received[0] == 5
+
+    def test_bulk_matches_loop(self):
+        c1 = MessageCounter(10, 4)
+        c2 = MessageCounter(10, 4)
+        balls = np.array([0, 1, 2, 2, 5])
+        bins = np.array([3, 0, 1, 1, 2])
+        c1.record_bulk_ball_to_bin(bins, balls)
+        for b, t in zip(balls, bins):
+            c2.record_ball_to_bin(int(b), int(t))
+        assert np.array_equal(c1.ball_sent, c2.ball_sent)
+        assert np.array_equal(c1.bin_received, c2.bin_received)
+        assert c1.total == c2.total
+
+    def test_bulk_bin_to_ball(self):
+        c = MessageCounter(5, 3)
+        c.record_bulk_bin_to_ball(np.array([0, 0, 2]), np.array([1, 2, 3]))
+        assert c.bin_sent[0] == 2
+        assert c.ball_received[3] == 1
+        assert c.total == 3
+
+    def test_summary_keys(self):
+        c = MessageCounter(2, 2)
+        c.record_ball_to_bin(0, 0)
+        s = c.summary()
+        assert s["total"] == 1.0
+        assert s["per_ball_max"] == 1.0
+        assert s["per_bin_received_max"] == 1.0
+
+    def test_ball_total_combines(self):
+        c = MessageCounter(2, 2)
+        c.record_ball_to_bin(1, 0)
+        c.record_bin_to_ball(0, 1)
+        assert c.ball_total[1] == 2
+        assert c.max_ball_messages() == 2
+
+    def test_empty_counter(self):
+        c = MessageCounter(0, 1)
+        assert c.mean_ball_messages() == 0.0
+        assert c.max_ball_messages() == 0
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            MessageCounter(-1, 1)
+        with pytest.raises(ValueError):
+            MessageCounter(1, 0)
+
+
+class TestRoundMetrics:
+    def _mk(self, i=0):
+        return RoundMetrics(
+            round_no=i,
+            unallocated_start=10,
+            requests_sent=10,
+            accepts_sent=8,
+            rejects_sent=0,
+            commits=8,
+            unallocated_end=2,
+            max_load=3,
+        )
+
+    def test_str_includes_progress(self):
+        text = str(self._mk())
+        assert "10 -> 2" in text
+
+    def test_threshold_rendered(self):
+        m = RoundMetrics(
+            round_no=0,
+            unallocated_start=1,
+            requests_sent=1,
+            accepts_sent=1,
+            rejects_sent=0,
+            commits=1,
+            unallocated_end=0,
+            max_load=1,
+            threshold=7.0,
+        )
+        assert "T=7.00" in str(m)
+
+
+class TestRunMetrics:
+    def test_add_and_query(self):
+        run = RunMetrics(10, 2)
+        run.add_round(
+            RoundMetrics(0, 10, 10, 7, 0, 7, 3, 4)
+        )
+        run.add_round(
+            RoundMetrics(1, 3, 3, 3, 0, 3, 0, 5)
+        )
+        assert run.num_rounds == 2
+        assert run.unallocated_history == [10, 3]
+        assert run.total_requests == 13
+
+    def test_rounds_must_increase(self):
+        run = RunMetrics(10, 2)
+        run.add_round(RoundMetrics(1, 10, 10, 7, 0, 7, 3, 4))
+        with pytest.raises(ValueError):
+            run.add_round(RoundMetrics(1, 3, 3, 3, 0, 3, 0, 5))
+        with pytest.raises(ValueError):
+            run.add_round(RoundMetrics(0, 3, 3, 3, 0, 3, 0, 5))

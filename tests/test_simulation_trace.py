@@ -1,0 +1,81 @@
+"""Tests for the engine trace recorder."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.trace import RoundTrace, TraceRecorder, render_trace
+from tests.test_simulation_engine import CappedBin, OneShotBall, build
+
+
+class TestTraceRecorder:
+    def test_records_every_round(self):
+        engine = build(100, 20, bin_cls=CappedBin, seed=3)
+        recorder = TraceRecorder(engine)
+        out = engine.run()
+        assert len(recorder.events) == out.rounds
+        assert recorder.events[0].active_before == 100
+
+    def test_progress_consistent_with_metrics(self):
+        engine = build(200, 50, bin_cls=CappedBin, seed=4)
+        recorder = TraceRecorder(engine)
+        engine.run()
+        for ev, metrics in zip(recorder.events, engine.metrics.rounds):
+            assert ev.requests == metrics.requests_sent
+            assert ev.commits == metrics.commits
+            assert ev.active_after == metrics.unallocated_end
+
+    def test_busiest_bin_tracked(self):
+        engine = build(500, 10, seed=5)
+        recorder = TraceRecorder(engine)
+        engine.run()
+        first = recorder.events[0]
+        assert 0 <= first.busiest_bin < 10
+        # with 500 requests over 10 bins, the hottest bin saw >= mean
+        assert first.busiest_bin_requests >= 50
+
+    def test_detach_stops_recording(self):
+        engine = build(100, 50, bin_cls=CappedBin, seed=6)
+        recorder = TraceRecorder(engine)
+        engine.step()
+        recorder.detach()
+        engine.step()
+        assert len(recorder.events) == 1
+
+    def test_engine_outcome_unchanged_by_tracing(self):
+        plain = build(150, 30, bin_cls=CappedBin, seed=7).run()
+        traced_engine = build(150, 30, bin_cls=CappedBin, seed=7)
+        TraceRecorder(traced_engine)
+        traced = traced_engine.run()
+        assert np.array_equal(plain.loads, traced.loads)
+
+
+class TestRenderTrace:
+    def _events(self, k=3):
+        return [
+            RoundTrace(
+                round_no=i,
+                active_before=100 - 10 * i,
+                requests=100 - 10 * i,
+                accepts=10,
+                rejects=0,
+                commits=10,
+                active_after=90 - 10 * i,
+                max_load=i + 1,
+                busiest_bin=2,
+                busiest_bin_requests=17,
+            )
+            for i in range(k)
+        ]
+
+    def test_renders_rows(self):
+        text = render_trace(self._events())
+        assert "rnd" in text
+        assert text.count("\n") == 3  # header + 3 rows
+
+    def test_max_rounds_truncates(self):
+        text = render_trace(self._events(5), max_rounds=2)
+        assert "more rounds shown" in text
+
+    def test_contains_hot_bin(self):
+        text = render_trace(self._events(1))
+        assert "(17 rx)" in text

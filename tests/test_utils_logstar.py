@@ -1,0 +1,112 @@
+"""Tests for repro.utils.logstar."""
+
+import math
+
+import pytest
+
+from repro.utils.logstar import ilog2, iterated_log2, log_star, loglog2, tower
+
+
+class TestIlog2:
+    def test_powers_of_two_exact(self):
+        for k in range(0, 60):
+            assert ilog2(2**k) == k
+
+    def test_between_powers(self):
+        assert ilog2(3) == 1
+        assert ilog2(5) == 2
+        assert ilog2(1023) == 9
+        assert ilog2(1025) == 10
+
+    def test_float_input(self):
+        assert ilog2(8.0) == 3
+        assert ilog2(7.9) == 2
+
+    def test_one(self):
+        assert ilog2(1) == 0
+
+    def test_below_one_raises(self):
+        with pytest.raises(ValueError):
+            ilog2(0.5)
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+
+class TestLoglog2:
+    def test_known_values(self):
+        assert loglog2(4) == 1.0
+        assert loglog2(16) == 2.0
+        assert loglog2(256) == 3.0
+        assert loglog2(65536) == 4.0
+
+    def test_clamps_small(self):
+        assert loglog2(1) == 0.0
+        assert loglog2(2) == 0.0
+        assert loglog2(0.5) == 0.0
+
+    def test_monotone(self):
+        values = [loglog2(2.0**k) for k in range(2, 30)]
+        assert values == sorted(values)
+
+
+class TestIteratedLog:
+    def test_zero_times_identity(self):
+        assert iterated_log2(100.0, 0) == 100.0
+
+    def test_once_is_log2(self):
+        assert iterated_log2(8, 1) == 3.0
+
+    def test_twice(self):
+        assert iterated_log2(256, 2) == 3.0
+
+    def test_clamps_at_zero(self):
+        assert iterated_log2(2, 5) == 0.0
+
+    def test_negative_times_raises(self):
+        with pytest.raises(ValueError):
+            iterated_log2(10, -1)
+
+
+class TestLogStar:
+    def test_small_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+
+    def test_tower_inverse(self):
+        # log*(tower(h)) == h for h up to 4.
+        for h in range(5):
+            assert log_star(tower(h + 1)) == h + 1 or tower(h + 1) == float(
+                "inf"
+            )
+
+    def test_practical_range_at_most_five(self):
+        assert log_star(2**63) == 5
+        assert log_star(1e300) == 5
+
+    def test_custom_base(self):
+        assert log_star(10, base=10) == 1
+        assert log_star(10**10, base=10) == 2
+
+    def test_bad_base_raises(self):
+        with pytest.raises(ValueError):
+            log_star(10, base=1.0)
+
+
+class TestTower:
+    def test_values(self):
+        assert tower(0) == 1
+        assert tower(1) == 2
+        assert tower(2) == 4
+        assert tower(3) == 16
+        assert tower(4) == 65536
+
+    def test_cap(self):
+        assert tower(4, cap=100) == 100
+        assert tower(10, cap=1000) == 1000
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            tower(-1)

@@ -1,0 +1,103 @@
+"""Tests for repro.utils.seeding."""
+
+import numpy as np
+import pytest
+
+from repro.utils.seeding import RngFactory, as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_deterministic(self):
+        a = as_generator(5).integers(1 << 40)
+        b = as_generator(5).integers(1 << 40)
+        assert a == b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(1, 5)
+        assert len(gens) == 5
+
+    def test_zero_count(self):
+        assert spawn_generators(1, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)
+
+    def test_deterministic(self):
+        a = [g.integers(1 << 40) for g in spawn_generators(9, 3)]
+        b = [g.integers(1 << 40) for g in spawn_generators(9, 3)]
+        assert a == b
+
+    def test_independent_streams(self):
+        g1, g2 = spawn_generators(9, 2)
+        x = g1.random(1000)
+        y = g2.random(1000)
+        assert abs(np.corrcoef(x, y)[0, 1]) < 0.15
+
+    def test_from_generator(self):
+        gens = spawn_generators(np.random.default_rng(3), 2)
+        assert len(gens) == 2
+
+
+class TestRngFactory:
+    def test_same_key_same_stream(self):
+        f1 = RngFactory(7)
+        f2 = RngFactory(7)
+        a = f1.stream("ball", 12).integers(1 << 40)
+        b = f2.stream("ball", 12).integers(1 << 40)
+        assert a == b
+
+    def test_different_keys_differ(self):
+        f = RngFactory(7)
+        a = f.stream("ball", 12).random(100)
+        b = f.stream("ball", 13).random(100)
+        assert not np.allclose(a, b)
+
+    def test_string_vs_int_keys_disjoint(self):
+        f = RngFactory(7)
+        a = f.stream("a", 1).random(50)
+        b = f.stream("b", 1).random(50)
+        assert not np.allclose(a, b)
+
+    def test_child_factory_deterministic(self):
+        a = RngFactory(1).child_factory("phase1").stream("x").random(10)
+        b = RngFactory(1).child_factory("phase1").stream("x").random(10)
+        assert np.allclose(a, b)
+
+    def test_child_factory_independent_of_parent_stream(self):
+        f = RngFactory(1)
+        a = f.child_factory("sub").stream("x").random(10)
+        _ = f.stream("unrelated").random(10)
+        b = f.child_factory("sub").stream("x").random(10)
+        assert np.allclose(a, b)
+
+    def test_spawn(self):
+        f = RngFactory(2)
+        gens = f.spawn(3)
+        assert len(gens) == 3
+
+    def test_root_entropy_exposed(self):
+        f = RngFactory(42)
+        assert f.root_entropy == (42,)
+
+    def test_invalid_key_type(self):
+        f = RngFactory(1)
+        with pytest.raises(TypeError):
+            f.stream(3.14)
+
+    def test_generator_seed_frozen(self):
+        gen = np.random.default_rng(0)
+        f1 = RngFactory(gen)
+        # A factory from a generator must be internally deterministic.
+        a = f1.stream("k").integers(1 << 30)
+        b = f1.stream("k").integers(1 << 30)
+        assert a == b
