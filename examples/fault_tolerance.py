@@ -51,8 +51,8 @@ def main() -> None:
         (0.01, 0.05),
         (0.05, 0.10),
     ):
-        res = repro.run_heavy_faulty(
-            m, n, seed=args.seed, crash_prob=crash, loss_prob=loss
+        res = repro.allocate(
+            "faulty", m, n, seed=args.seed, crash_prob=crash, loss_prob=loss
         )
         survivors = m - res.extra["crashed"]
         gap = res.max_load - survivors / n
@@ -62,7 +62,7 @@ def main() -> None:
             f"{res.max_load:12,d} {gap:+14.1f}"
         )
     print()
-    naive_gap = repro.run_single_choice(m, n, seed=args.seed).gap
+    naive_gap = repro.allocate("single", m, n, seed=args.seed).gap
     print(
         "even at 25% message loss the dispatch gap stays a fraction of "
         f"the fault-free naive baseline's ({naive_gap:+.0f}): the "

@@ -30,24 +30,26 @@ def dispatch_table(m: int, n: int, seed: int) -> None:
     print(f"burst: {m:,} jobs over {n:,} servers (mean backlog {mean:.0f})\n")
     rows = []
 
-    naive = repro.run_single_choice(m, n, seed=seed)
+    # Every policy goes through the one dispatch API; the registry
+    # names here are what `python -m repro list` prints.
+    naive = repro.allocate("single", m, n, seed=seed)
     rows.append(("random (one-shot)", naive))
 
-    stemann = repro.run_stemann(m, n, seed=seed)
+    stemann = repro.allocate("stemann", m, n, seed=seed)
     rows.append(("collision protocol [Ste96]", stemann))
 
-    batched = repro.run_batched_dchoice(m, n, 2, seed=seed)
+    batched = repro.allocate("batched", m, n, seed=seed, d=2)
     rows.append(("batched 2-choice [BCE+12]", batched))
 
-    heavy = repro.run_heavy(m, n, seed=seed)
+    heavy = repro.allocate("heavy", m, n, seed=seed)
     rows.append(("threshold (paper, Thm 1)", heavy))
 
-    asym = repro.run_asymmetric(m, n, seed=seed)
+    asym = repro.allocate("asymmetric", m, n, seed=seed)
     rows.append(("superbins (paper, Thm 3)", asym))
 
     # Sequential reference: what a central least-loaded-of-2 queue
     # would achieve, processing jobs one at a time.
-    greedy = repro.run_greedy_d(min(m, 2_000_000), n, 2, seed=seed)
+    greedy = repro.allocate("greedy", min(m, 2_000_000), n, seed=seed, d=2)
     rows.append(("sequential 2-choice [BCSV06]", greedy))
 
     header = f"{'policy':32s} {'max backlog':>12s} {'over mean':>10s} {'rounds':>7s} {'msgs/job':>9s}"

@@ -69,7 +69,7 @@ def recursion_view(m: int, n: int, seed: int) -> None:
         f"\ninduction lower bound        : {trace.predicted_rounds}"
     )
 
-    heavy = repro.run_heavy(m, n, seed=seed, mode="aggregate")
+    heavy = repro.allocate("heavy", m, n, seed=seed, mode="aggregate")
     print(f"A_heavy phase-1 rounds (upper): {heavy.extra['phase1_rounds']}")
     print(
         "\nThe sandwich: no threshold algorithm can finish its bulk phase "

@@ -20,20 +20,22 @@ def main() -> None:
 
     print(f"instance: m={m:,} balls, n={n:,} bins (average load {m // n})\n")
 
+    # One entry point runs every registered algorithm; see
+    # `python -m repro list` for the full registry.
     # --- the paper's symmetric algorithm (Theorem 1) -------------------
-    heavy = repro.run_heavy(m, n, seed=seed)
+    heavy = repro.allocate("heavy", m, n, seed=seed)
     print("A_heavy (paper, Theorem 1)")
     print(heavy.describe())
     print()
 
     # --- the naive single-choice baseline ------------------------------
-    naive = repro.run_single_choice(m, n, seed=seed)
+    naive = repro.allocate("single", m, n, seed=seed)
     print("single-choice baseline")
     print(naive.describe())
     print()
 
     # --- the asymmetric algorithm (Theorem 3) --------------------------
-    asym = repro.run_asymmetric(m, n, seed=seed)
+    asym = repro.allocate("asymmetric", m, n, seed=seed)
     print("asymmetric algorithm (Theorem 3)")
     print(asym.describe())
     print()
@@ -45,7 +47,8 @@ def main() -> None:
     improvement = naive.gap / max(heavy.gap, 1)
     print(f"  -> {improvement:.0f}x less overload than naive randomization")
 
-    # Reproducibility: every run is replayable from its seed.
+    # Reproducibility: every run is replayable from its seed, and the
+    # dispatch API is bitwise-identical to the direct entry point.
     again = repro.run_heavy(m, n, seed=seed)
     assert again.max_load == heavy.max_load
     print("\n(rerun with the same seed reproduced the identical outcome)")

@@ -43,8 +43,11 @@ def main() -> None:
     for exponent in (2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40):
         ratio = 2**exponent
         m = n * ratio
-        res = repro.run_heavy(m, n, seed=args.seed, mode="aggregate")
-        asym = repro.run_asymmetric(m, n, seed=args.seed, mode="aggregate")
+        # mode="auto" resolves to the O(n)-per-round aggregate path as
+        # soon as m crosses repro.api.AGGREGATE_THRESHOLD; force it here
+        # so the whole curve uses one execution path.
+        res = repro.allocate("heavy", m, n, seed=args.seed, mode="aggregate")
+        asym = repro.allocate("asymmetric", m, n, seed=args.seed, mode="aggregate")
         naive_gap = expected_max_load_single_choice(m, n) - m / n
         print(
             f"{ratio:12,} {res.rounds:7d} {predicted_rounds(m, n):10d} "

@@ -31,7 +31,9 @@ import repro
 
 
 def place_wave(m: int, n: int, seed: int, label: str) -> np.ndarray:
-    res = repro.run_asymmetric(m, n, seed=seed)
+    # perball: the whole point here is per-node message accounting,
+    # which the aggregate fast path (mode="auto" at large m) drops.
+    res = repro.allocate("asymmetric", m, n, seed=seed, mode="perball")
     s = res.messages.summary()
     print(f"{label}: {m:,} objects -> {n} nodes")
     print(f"  max node load : {res.max_load:,} (gap {res.gap:+.1f})")
@@ -72,7 +74,7 @@ def main() -> None:
 
     # Contrast: consistent-hashing-style single-choice placement of the
     # same total would have paid a sqrt overload:
-    naive = repro.run_single_choice(total, n, seed=args.seed, mode="aggregate")
+    naive = repro.allocate("single", total, n, seed=args.seed, mode="aggregate")
     print(
         f"for reference, hash-random placement of the same {total:,} "
         f"objects lands at gap {naive.gap:+.1f} "

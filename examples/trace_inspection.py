@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 
+import repro
 from repro.core.heavy_agents import (
     ThresholdBallAgent,
     ThresholdBinAgent,
@@ -37,6 +38,13 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=11)
     args = parser.parse_args()
     m, n = args.balls, args.bins
+
+    # "engine" is one of the registered execution modes of the heavy
+    # allocator — the registry knows it, and `repro.allocate(...,
+    # mode="engine")` runs the same object-level machinery this example
+    # dissects by hand.
+    spec = repro.get_spec("heavy")
+    print(f"allocator {spec.name!r} ({spec.paper_ref}): modes {spec.modes}")
 
     schedule = PaperSchedule(m, n)
     print(
@@ -67,6 +75,15 @@ def main() -> None:
         f"loads now range {outcome.loads.min()}..{outcome.loads.max()} "
         f"around the mean {m / n:.0f}: the conservatively-low thresholds "
         "kept every bin equally filled, which is the whole trick."
+    )
+
+    # Cross-check against the dispatch API's engine mode: the full
+    # protocol (phase 1 + A_light hand-off) through the same machinery.
+    full = repro.allocate("heavy", m, n, seed=args.seed, mode="engine")
+    print(
+        f"\nfull run via repro.allocate(..., mode='engine'): "
+        f"max load {full.max_load} (gap {full.gap:+.1f}) in "
+        f"{full.rounds} rounds"
     )
 
 

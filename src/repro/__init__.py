@@ -10,24 +10,55 @@ regenerates every quantitative claim.
 Quickstart
 ----------
 >>> import repro
->>> result = repro.run_heavy(m=1_000_000, n=1_000, seed=7)
+>>> result = repro.allocate("heavy", m=1_000_000, n=1_000, seed=7)
 >>> result.max_load - result.m // result.n <= 4   # m/n + O(1)
 True
 
-Public entry points (all return :class:`repro.AllocationResult`):
+Unified API (see ``docs/api.md``)
+---------------------------------
+Every algorithm is registered with :func:`repro.register_allocator` and
+runs through one dispatch layer:
 
 ========================  ====================================================
-``run_heavy``             Algorithm ``A_heavy`` (Theorem 1)
-``run_asymmetric``        The constant-round asymmetric algorithm (Theorem 3)
-``run_combined``          The combined dispatcher (Section 3 note)
-``run_trivial``           Deterministic n-round algorithm
-``run_light``             The [LW16]-style light-load subroutine (Theorem 5)
-``run_single_choice``     Naive one-shot random allocation
-``run_greedy_d``          Sequential greedy[d]  [ABKU99/BCSV06]
-``run_parallel_dchoice``  Non-adaptive parallel d-choice  [ACMR98]
-``run_stemann``           Collision protocol  [Ste96]
-``run_batched_dchoice``   Batched multiple-choice  [BCE+12]
+``allocate``              Run any registered algorithm by name (one code
+                          path: option validation, config normalization,
+                          automatic mode selection)
+``allocate_many``         Repeat one instance over seed-spawned independent
+                          RNG streams, optionally across processes
+``sweep``                 Run a grid of instances, each repeated
+``list_allocators``       All registered :class:`AllocatorSpec` entries
+``get_spec``              Look up one spec by name or alias
 ========================  ====================================================
+
+``python -m repro list`` prints the registry; every algorithm below is
+also a generated CLI subcommand.
+
+Registered algorithms (all return :class:`repro.AllocationResult`;
+the historical ``run_*`` entry points remain and are what the registry
+dispatches to, so both spellings give bitwise-identical results
+whenever the resolved mode matches the runner's default — always below
+``repro.api.AGGREGATE_THRESHOLD``, or with ``mode=None``):
+
+============  ========================  ==================================
+registry      direct entry point        what it is
+============  ========================  ==================================
+``heavy``     ``run_heavy``             Algorithm ``A_heavy`` (Theorem 1)
+``asymmetric``  ``run_asymmetric``      Constant-round asymmetric
+                                        algorithm (Theorem 3)
+``combined``  ``run_combined``          The combined dispatcher (Sec. 3)
+``trivial``   ``run_trivial``           Deterministic n-round algorithm
+``light``     ``run_light_allocation``  [LW16]-style light-load
+                                        subroutine (Theorem 5)
+``faulty``    ``run_heavy_faulty``      ``A_heavy`` under crashes and
+                                        message loss
+``multicontact``  ``run_heavy_multicontact``  Degree-d threshold variant
+``single``    ``run_single_choice``     Naive one-shot random allocation
+``greedy``    ``run_greedy_d``          Sequential greedy[d] [ABKU99]
+``dchoice``   ``run_parallel_dchoice``  Non-adaptive parallel d-choice
+                                        [ACMR98]
+``stemann``   ``run_stemann``           Collision protocol [Ste96]
+``batched``   ``run_batched_dchoice``   Batched multiple-choice [BCE+12]
+============  ========================  ==================================
 """
 
 from repro.baselines import (
@@ -53,13 +84,27 @@ from repro.core import (
     run_trivial,
     should_use_trivial,
 )
-from repro.light import LightConfig, run_light
+from repro.light import LightConfig, run_light, run_light_allocation
 from repro.result import AllocationResult
 
-__version__ = "1.0.0"
+# The api package is imported after the algorithm packages above, so
+# every registration has run by the time allocate() is reachable.
+from repro.api import (
+    AllocatorSpec,
+    allocate,
+    allocate_many,
+    allocator_names,
+    get_spec,
+    list_allocators,
+    register_allocator,
+    sweep,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
     "AllocationResult",
+    "AllocatorSpec",
     "AsymmetricConfig",
     "ExponentSchedule",
     "FixedSchedule",
@@ -68,6 +113,12 @@ __all__ = [
     "PaperSchedule",
     "ThresholdSchedule",
     "__version__",
+    "allocate",
+    "allocate_many",
+    "allocator_names",
+    "get_spec",
+    "list_allocators",
+    "register_allocator",
     "run_asymmetric",
     "run_batched_dchoice",
     "run_combined",
@@ -76,10 +127,12 @@ __all__ = [
     "run_heavy_faulty",
     "run_heavy_multicontact",
     "run_light",
+    "run_light_allocation",
     "run_parallel_dchoice",
     "run_single_choice",
     "run_stemann",
     "run_threshold_protocol",
     "run_trivial",
     "should_use_trivial",
+    "sweep",
 ]

@@ -1,11 +1,16 @@
-"""Command-line interface: run any allocation algorithm from the shell.
+"""Command-line interface: run any registered allocator from the shell.
 
-Usage::
+Subcommands are generated from the allocator registry
+(:mod:`repro.api`), so every algorithm — paper, baseline, extension —
+gets a CLI entry with the same shape, ``--mode`` choices that exactly
+match what the algorithm supports, and numeric option flags derived
+from the function signature.  Usage::
 
+    python -m repro list                             # registry + capabilities
     python -m repro heavy --m 1000000 --n 1000 --seed 7
     python -m repro heavy --m 1000000000000 --n 1024 --mode aggregate
-    python -m repro asymmetric --m 1000000 --n 1000
     python -m repro greedy --m 100000 --n 1000 --d 2
+    python -m repro faulty --m 100000 --n 256 --crash-prob 0.01
     python -m repro compare --m 1000000 --n 1000     # side-by-side table
     python -m repro experiments T2                   # alias for
                                                      # python -m repro.experiments
@@ -18,10 +23,8 @@ from __future__ import annotations
 
 import argparse
 import time
-from typing import Callable
 
-import repro
-from repro.result import AllocationResult
+from repro.api import allocate, get_spec, list_allocators
 
 __all__ = ["main"]
 
@@ -40,35 +43,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_heavy = sub.add_parser("heavy", help="A_heavy (Theorem 1)")
-    _add_common(p_heavy)
-    p_heavy.add_argument(
-        "--mode",
-        choices=("perball", "aggregate", "engine"),
-        default="perball",
+    sub.add_parser(
+        "list", help="list registered allocators and their capabilities"
     )
 
-    p_asym = sub.add_parser("asymmetric", help="superbin algorithm (Thm 3)")
-    _add_common(p_asym)
-    p_asym.add_argument(
-        "--mode", choices=("perball", "aggregate"), default="perball"
-    )
-
-    p_single = sub.add_parser("single", help="naive single-choice baseline")
-    _add_common(p_single)
-    p_single.add_argument(
-        "--mode", choices=("perball", "aggregate"), default="perball"
-    )
-
-    p_greedy = sub.add_parser("greedy", help="sequential greedy[d] [BCSV06]")
-    _add_common(p_greedy)
-    p_greedy.add_argument("--d", type=int, default=2)
-
-    p_trivial = sub.add_parser("trivial", help="deterministic n-round algorithm")
-    _add_common(p_trivial)
-
-    p_combined = sub.add_parser("combined", help="Section 3 dispatcher")
-    _add_common(p_combined)
+    for spec in list_allocators():
+        help_text = spec.summary
+        if spec.paper_ref:
+            help_text += f" ({spec.paper_ref})"
+        p = sub.add_parser(spec.name, help=help_text)
+        _add_common(p)
+        if spec.modes:
+            p.add_argument(
+                "--mode",
+                choices=("auto",) + spec.modes,
+                default="auto",
+                help="execution mode (auto picks the fastest eligible)",
+            )
+        for option, (typ, default) in sorted(spec.cli_options.items()):
+            p.add_argument(
+                f"--{option.replace('_', '-')}",
+                dest=option,
+                type=typ,
+                default=default,
+                help=f"{spec.name} option (default: {default})",
+            )
 
     p_compare = sub.add_parser(
         "compare", help="run all parallel algorithms side by side"
@@ -81,51 +80,66 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_single_result(args: argparse.Namespace) -> AllocationResult:
-    dispatch: dict[str, Callable[[], AllocationResult]] = {
-        "heavy": lambda: repro.run_heavy(
-            args.m, args.n, seed=args.seed, mode=args.mode
-        ),
-        "asymmetric": lambda: repro.run_asymmetric(
-            args.m, args.n, seed=args.seed, mode=args.mode
-        ),
-        "single": lambda: repro.run_single_choice(
-            args.m, args.n, seed=args.seed, mode=args.mode
-        ),
-        "greedy": lambda: repro.run_greedy_d(
-            args.m, args.n, args.d, seed=args.seed
-        ),
-        "trivial": lambda: repro.run_trivial(args.m, args.n, seed=args.seed),
-        "combined": lambda: repro.run_combined(args.m, args.n, seed=args.seed),
+def _list_registry() -> None:
+    specs = list_allocators()
+    name_w = max(len(s.name) for s in specs)
+    mode_w = max(len(",".join(s.modes)) or 1 for s in specs)
+    cap_w = max(len(",".join(s.capabilities())) or 1 for s in specs)
+    ref_w = max(len(s.paper_ref) or 1 for s in specs)
+    header = (
+        f"{'name':{name_w}s}  {'modes':{mode_w}s}  "
+        f"{'capabilities':{cap_w}s}  {'reference':{ref_w}s}  summary"
+    )
+    print(header)
+    print("-" * len(header))
+    for spec in specs:
+        modes = ",".join(spec.modes) or "-"
+        caps = ",".join(spec.capabilities()) or "-"
+        print(
+            f"{spec.name:{name_w}s}  {modes:{mode_w}s}  {caps:{cap_w}s}  "
+            f"{spec.paper_ref:{ref_w}s}  {spec.summary}"
+        )
+        if spec.aliases:
+            print(f"{'':{name_w}s}  aliases: {', '.join(spec.aliases)}")
+
+
+def _run_allocator(args: argparse.Namespace):
+    spec = get_spec(args.command)
+    options = {
+        option: getattr(args, option)
+        for option in spec.cli_options
+        if getattr(args, option) is not None
     }
-    return dispatch[args.command]()
+    return allocate(
+        spec.name,
+        args.m,
+        args.n,
+        seed=args.seed,
+        mode=getattr(args, "mode", "auto"),
+        **options,
+    )
 
 
 def _compare(args: argparse.Namespace) -> None:
-    mode = "aggregate" if args.m > 4_000_000 else "perball"
-    runs = [
-        ("single-choice", lambda: repro.run_single_choice(
-            args.m, args.n, seed=args.seed, mode=mode)),
-        ("stemann", lambda: repro.run_stemann(args.m, args.n, seed=args.seed)),
-        ("batched[2]", lambda: repro.run_batched_dchoice(
-            args.m, args.n, 2, seed=args.seed)),
-        ("heavy (Thm 1)", lambda: repro.run_heavy(
-            args.m, args.n, seed=args.seed, mode=mode)),
-        ("asymmetric (Thm 3)", lambda: repro.run_asymmetric(
-            args.m, args.n, seed=args.seed, mode=mode)),
-    ]
+    rows = (
+        ("single-choice", "single", {}),
+        ("stemann", "stemann", {}),
+        ("batched[2]", "batched", {"d": 2}),
+        ("heavy (Thm 1)", "heavy", {}),
+        ("asymmetric (Thm 3)", "asymmetric", {}),
+    )
     header = (
         f"{'algorithm':20s} {'max load':>10s} {'gap':>8s} "
         f"{'rounds':>7s} {'messages':>12s} {'time':>8s}"
     )
     print(header)
     print("-" * len(header))
-    for name, fn in runs:
+    for label, name, options in rows:
         start = time.perf_counter()
-        res = fn()
+        res = allocate(name, args.m, args.n, seed=args.seed, **options)
         elapsed = time.perf_counter() - start
         print(
-            f"{name:20s} {res.max_load:10,d} {res.gap:+8.1f} "
+            f"{label:20s} {res.max_load:10,d} {res.gap:+8.1f} "
             f"{res.rounds:7d} {res.total_messages:12,d} {elapsed:7.2f}s"
         )
 
@@ -136,11 +150,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.__main__ import main as exp_main
 
         return exp_main(args.args)
+    if args.command == "list":
+        _list_registry()
+        return 0
     if args.command == "compare":
         _compare(args)
         return 0
     start = time.perf_counter()
-    result = _run_single_result(args)
+    result = _run_allocator(args)
     elapsed = time.perf_counter() - start
     print(result.describe())
     print(f"wall time     : {elapsed:.2f}s")

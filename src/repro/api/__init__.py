@@ -1,0 +1,37 @@
+"""Unified allocator API: registry, dispatch, and batch execution.
+
+The package's algorithms register themselves here (see
+:func:`register_allocator`); :func:`allocate` runs any of them through
+one validated code path, and :func:`allocate_many` / :func:`sweep`
+batch over seeds and instance grids with independent RNG streams.
+
+>>> import repro
+>>> sorted(s.name for s in repro.list_allocators())[:3]
+['asymmetric', 'batched', 'combined']
+"""
+
+from repro.api.batch import allocate_many, spawn_seeds, sweep
+from repro.api.dispatch import AGGREGATE_THRESHOLD, allocate, resolve_mode
+from repro.api.spec import (
+    AllocatorSpec,
+    allocator_names,
+    get_spec,
+    list_allocators,
+    register_allocator,
+    resolve_name,
+)
+
+__all__ = [
+    "AGGREGATE_THRESHOLD",
+    "AllocatorSpec",
+    "allocate",
+    "allocate_many",
+    "allocator_names",
+    "get_spec",
+    "list_allocators",
+    "register_allocator",
+    "resolve_mode",
+    "resolve_name",
+    "spawn_seeds",
+    "sweep",
+]

@@ -1,0 +1,185 @@
+"""Batch execution on top of :func:`repro.api.dispatch.allocate`.
+
+Two entry points:
+
+* :func:`allocate_many` — repeat one instance across independent
+  seed-spawned RNG streams (the numpy ``SeedSequence.spawn`` idiom, so
+  repetitions are statistically independent yet exactly reproducible
+  from one root seed);
+* :func:`sweep` — run a grid of ``(m, n)`` points, each repeated, with
+  per-run spawned streams.
+
+Both take ``workers=`` for optional process parallelism: the CPU-bound
+numpy simulations cannot share a core under the GIL, so fan-out goes
+through the process-pool machinery of
+:mod:`repro.experiments.parallel` (imported lazily to keep the api
+package import-light).  Results come back in task order either way, so
+``workers`` never changes the values, only the wall clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.api.dispatch import allocate
+
+__all__ = ["allocate_many", "spawn_seeds", "sweep"]
+
+SweepPoint = Union[tuple[int, int], dict[str, Any]]
+
+
+def spawn_seeds(seed, count: int) -> list[np.random.SeedSequence]:
+    """``count`` independent child seeds from one root seed.
+
+    Children are spawned from a :class:`numpy.random.SeedSequence`, so
+    streams are independent even for adjacent root seeds, and the whole
+    batch replays exactly from the root.  Accepts the package-wide seed
+    forms (int, None, SeedSequence, Generator); a Generator is frozen
+    into a root entropy value, mirroring
+    :class:`repro.utils.seeding.RngFactory`.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if isinstance(seed, np.random.Generator):
+        seed = int(seed.integers(0, 2**63, dtype=np.int64))
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    return root.spawn(count)
+
+
+def _run_tasks(tasks: list[tuple], workers: Optional[int]) -> list:
+    if workers is not None and workers > 1 and len(tasks) > 1:
+        from repro.experiments.parallel import allocate_batch
+
+        return allocate_batch(tasks, workers=workers)
+    return [
+        allocate(algorithm, m, n, seed=s, mode=mode, **options)
+        for algorithm, m, n, s, mode, options in tasks
+    ]
+
+
+def allocate_many(
+    algorithm: str,
+    m: int,
+    n: int,
+    *,
+    repeats: int,
+    seed=None,
+    mode: str = "auto",
+    workers: Optional[int] = None,
+    **options: Any,
+):
+    """Run ``algorithm`` ``repeats`` times with independent streams.
+
+    Parameters
+    ----------
+    algorithm, m, n, mode, options:
+        As for :func:`~repro.api.dispatch.allocate`.
+    repeats:
+        Number of independent runs (must be >= 1).
+    seed:
+        Root seed; each run gets its own spawned child stream, so runs
+        are independent but the whole batch replays exactly.
+    workers:
+        ``None``/``1`` runs in-process; ``>= 2`` fans out over worker
+        processes via :mod:`repro.experiments.parallel`.
+
+    Returns
+    -------
+    list[AllocationResult]
+        In repeat order; ``extra["api"]["repeat"]`` records the index.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    children = spawn_seeds(seed, repeats)
+    tasks = [
+        (algorithm, m, n, child, mode, options) for child in children
+    ]
+    results = _run_tasks(tasks, workers)
+    for i, result in enumerate(results):
+        result.extra["api"]["repeat"] = i
+    return results
+
+
+def _point_to_task(
+    algorithm: str,
+    point: SweepPoint,
+    child: np.random.SeedSequence,
+    mode: str,
+    common: dict[str, Any],
+) -> tuple:
+    if isinstance(point, dict):
+        merged = dict(common)
+        merged.update(point)
+        try:
+            m = merged.pop("m")
+            n = merged.pop("n")
+        except KeyError as exc:
+            raise ValueError(
+                f"sweep point {point!r} must provide 'm' and 'n'"
+            ) from exc
+        point_mode = merged.pop("mode", mode)
+        return (algorithm, m, n, child, point_mode, merged)
+    m, n = point
+    return (algorithm, m, n, child, mode, dict(common))
+
+
+def sweep(
+    algorithm: str,
+    points: Iterable[SweepPoint] | Sequence[SweepPoint],
+    *,
+    repeats: int = 1,
+    seed=None,
+    mode: str = "auto",
+    workers: Optional[int] = None,
+    **options: Any,
+):
+    """Run a parameter sweep: every point, ``repeats`` times each.
+
+    Parameters
+    ----------
+    algorithm:
+        Registry name or alias.
+    points:
+        Iterable of instance points: ``(m, n)`` tuples, or dicts with
+        ``m``/``n`` plus per-point option overrides (a dict may also
+        override ``mode``).
+    repeats:
+        Independent runs per point.
+    seed:
+        Root seed; every (point, repeat) cell gets its own spawned
+        stream, so cells are mutually independent and the whole sweep
+        replays from the root.
+    workers:
+        Optional process fan-out, as in :func:`allocate_many`.
+    options:
+        Options common to every point (per-point dicts override).
+
+    Returns
+    -------
+    list[AllocationResult]
+        Flat, ordered point-major then repeat; each result's
+        ``extra["api"]`` records ``point`` and ``repeat`` indices.
+        Persist with :func:`repro.experiments.export.results_to_json`.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    point_list = list(points)
+    if not point_list:
+        raise ValueError("sweep needs at least one point")
+    children = spawn_seeds(seed, len(point_list) * repeats)
+    tasks = []
+    for p_idx, point in enumerate(point_list):
+        for r_idx in range(repeats):
+            child = children[p_idx * repeats + r_idx]
+            tasks.append(_point_to_task(algorithm, point, child, mode, options))
+    results = _run_tasks(tasks, workers)
+    for i, result in enumerate(results):
+        result.extra["api"]["point"] = i // repeats
+        result.extra["api"]["repeat"] = i % repeats
+    return results

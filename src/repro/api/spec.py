@@ -1,0 +1,319 @@
+"""Allocator specifications and the global registry.
+
+Every allocation algorithm in the package — the paper's algorithms in
+:mod:`repro.core`, the baselines in :mod:`repro.baselines`, and the
+light-load subroutine in :mod:`repro.light` — declares itself to a
+single registry via the :func:`register_allocator` decorator.  A
+registration records an :class:`AllocatorSpec`: the callable, its
+supported execution modes, capability flags, config dataclass, and the
+exact set of keyword options it accepts (derived from the function
+signature, so the spec can never drift from the implementation).
+
+The registry is what makes the rest of the package uniform:
+
+* :func:`repro.api.dispatch.allocate` validates options against the
+  spec and dispatches by name;
+* the CLI (``python -m repro``) generates one subcommand per spec,
+  with ``--mode`` choices and numeric option flags taken from the
+  spec rather than hand-maintained per algorithm;
+* :mod:`repro.experiments.parallel` resolves algorithm names (and
+  their aliases) through the same table.
+
+This module deliberately imports nothing from the algorithm packages:
+they import *it* at definition time, so the registry populates as a
+side effect of ``import repro``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "AllocatorSpec",
+    "register_allocator",
+    "get_spec",
+    "list_allocators",
+    "allocator_names",
+    "resolve_name",
+]
+
+#: Execution modes any spec may declare.  ``perball`` is the exact
+#: per-ball simulation, ``aggregate`` the O(n)-per-round fast path,
+#: ``engine`` the object-level reference engine.
+KNOWN_MODES = ("perball", "aggregate", "engine")
+
+#: Parameters every runner shares; everything else in the signature
+#: becomes a validated option.
+_COMMON_PARAMS = frozenset({"m", "n", "seed", "mode", "config"})
+
+_INT_ANNOTATION = re.compile(r"\bint\b")
+_FLOAT_ANNOTATION = re.compile(r"\bfloat\b")
+
+
+@dataclass(frozen=True)
+class AllocatorSpec:
+    """Everything the dispatch layer knows about one algorithm.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry key (also the CLI subcommand).
+    runner:
+        The underlying entry point (e.g. :func:`repro.run_heavy`).
+        Called as ``runner(m, n, seed=..., **options)`` (plus
+        ``mode=...`` when ``modes`` is non-empty).
+    summary:
+        One-line human description, shown by ``python -m repro list``.
+    paper_ref:
+        Where the algorithm lives in the paper (or the baseline's
+        citation).
+    aliases:
+        Alternate names accepted by :func:`resolve_name` (legacy
+        spellings, paper names).
+    modes:
+        Execution modes the runner's ``mode=`` keyword accepts; empty
+        when the runner has no ``mode`` parameter.
+    default_mode:
+        Mode used when the caller asks for ``"auto"`` on a small
+        instance (defaults to the first entry of ``modes``).
+    sequential:
+        True for non-parallel baselines whose "rounds" are not
+        message rounds (greedy[d]).
+    fault_tolerant:
+        True when the runner models crashes / message loss.
+    supports_multicontact:
+        True when the runner takes a per-ball fan-out parameter ``d``
+        (contacts several bins per round or per ball).
+    config_type:
+        Optional config dataclass accepted via ``config=``; its fields
+        may also be passed flat to :func:`~repro.api.dispatch.allocate`
+        and are assembled into an instance automatically.
+    options:
+        Names of keyword options the runner accepts beyond the common
+        ``m, n, seed, mode, config`` set.
+    config_fields:
+        Field names of ``config_type`` (empty when there is none).
+    cli_options:
+        Subset of options (and config fields) exposable as numeric CLI
+        flags: mapping of option name to (type, default).
+    """
+
+    name: str
+    runner: Callable[..., Any]
+    summary: str
+    paper_ref: str = ""
+    aliases: tuple[str, ...] = ()
+    modes: tuple[str, ...] = ()
+    default_mode: Optional[str] = None
+    sequential: bool = False
+    fault_tolerant: bool = False
+    supports_multicontact: bool = False
+    config_type: Optional[type] = None
+    options: tuple[str, ...] = ()
+    config_fields: tuple[str, ...] = ()
+    cli_options: dict[str, tuple[type, Any]] = field(default_factory=dict)
+
+    @property
+    def all_names(self) -> tuple[str, ...]:
+        return (self.name,) + self.aliases
+
+    @property
+    def valid_options(self) -> tuple[str, ...]:
+        """Every keyword ``allocate()`` will accept for this spec."""
+        names = list(self.options)
+        if self.config_type is not None:
+            names.append("config")
+            names.extend(f for f in self.config_fields if f not in names)
+        return tuple(names)
+
+    def capabilities(self) -> tuple[str, ...]:
+        caps = []
+        if self.sequential:
+            caps.append("sequential")
+        if self.fault_tolerant:
+            caps.append("fault_tolerant")
+        if self.supports_multicontact:
+            caps.append("multicontact")
+        return tuple(caps)
+
+
+#: name (normalized) -> canonical spec name.  Populated by registration.
+_ALIASES: dict[str, str] = {}
+#: canonical name -> spec.
+_REGISTRY: dict[str, AllocatorSpec] = {}
+
+
+def _normalize(name: str) -> str:
+    """Names are case-insensitive and hyphen/underscore-agnostic."""
+    return name.strip().lower().replace("-", "_")
+
+
+def _flag_type(default: Any, annotation: Any) -> Optional[type]:
+    """Numeric CLI type for an option, or None if not flag-friendly."""
+    if isinstance(default, bool):
+        return None
+    if isinstance(default, int):
+        return int
+    if isinstance(default, float):
+        return float
+    text = annotation if isinstance(annotation, str) else getattr(
+        annotation, "__name__", str(annotation)
+    )
+    if _INT_ANNOTATION.search(text):
+        return int
+    if _FLOAT_ANNOTATION.search(text):
+        return float
+    return None
+
+
+def _derive_options(
+    runner: Callable[..., Any], config_type: Optional[type]
+) -> tuple[tuple[str, ...], tuple[str, ...], dict[str, tuple[type, Any]]]:
+    """Inspect the runner signature for its option set and CLI flags."""
+    sig = inspect.signature(runner)
+    options: list[str] = []
+    cli: dict[str, tuple[type, Any]] = {}
+    for param in sig.parameters.values():
+        if param.name in _COMMON_PARAMS:
+            continue
+        if param.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        options.append(param.name)
+        typ = _flag_type(param.default, param.annotation)
+        if typ is not None:
+            default = param.default
+            cli[param.name] = (typ, None if default is inspect.Parameter.empty else default)
+    config_fields: tuple[str, ...] = ()
+    if config_type is not None:
+        fields = dataclasses.fields(config_type)
+        config_fields = tuple(f.name for f in fields)
+        for f in fields:
+            if f.name in cli or f.name in options:
+                continue
+            default = (
+                f.default
+                if f.default is not dataclasses.MISSING
+                else None
+            )
+            typ = _flag_type(default, f.type)
+            if typ is not None:
+                cli[f.name] = (typ, default)
+    return tuple(options), config_fields, cli
+
+
+def register_allocator(
+    name: str,
+    *,
+    summary: str,
+    paper_ref: str = "",
+    aliases: Iterable[str] = (),
+    modes: Iterable[str] = (),
+    default_mode: Optional[str] = None,
+    sequential: bool = False,
+    fault_tolerant: bool = False,
+    supports_multicontact: bool = False,
+    config_type: Optional[type] = None,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Record the decorated entry point in the global registry.
+
+    Returns the function unchanged: registration is bookkeeping only,
+    so ``run_heavy`` et al. stay the canonical implementations and the
+    dispatch layer adds no per-call overhead to direct use.
+    """
+    modes = tuple(modes)
+    for mode in modes:
+        if mode not in KNOWN_MODES:
+            raise ValueError(
+                f"unknown mode {mode!r} for allocator {name!r}; "
+                f"known modes: {', '.join(KNOWN_MODES)}"
+            )
+    resolved_default = default_mode or (modes[0] if modes else None)
+    if resolved_default is not None and resolved_default not in modes:
+        raise ValueError(
+            f"default_mode {resolved_default!r} not among modes {modes!r}"
+        )
+
+    def decorator(runner: Callable[..., Any]) -> Callable[..., Any]:
+        options, config_fields, cli_options = _derive_options(
+            runner, config_type
+        )
+        spec = AllocatorSpec(
+            name=name,
+            runner=runner,
+            summary=summary,
+            paper_ref=paper_ref,
+            aliases=tuple(aliases),
+            modes=modes,
+            default_mode=resolved_default,
+            sequential=sequential,
+            fault_tolerant=fault_tolerant,
+            supports_multicontact=supports_multicontact,
+            config_type=config_type,
+            options=options,
+            config_fields=config_fields,
+            cli_options=cli_options,
+        )
+        key = _normalize(name)
+        existing = _ALIASES.get(key)
+        if existing is not None and _REGISTRY[existing].runner is not runner:
+            raise ValueError(f"allocator name {name!r} already registered")
+        _REGISTRY[key] = spec
+        for alias in spec.all_names:
+            alias_key = _normalize(alias)
+            claimed = _ALIASES.get(alias_key)
+            if claimed is not None and claimed != key:
+                raise ValueError(
+                    f"alias {alias!r} of allocator {name!r} already "
+                    f"claimed by {claimed!r}"
+                )
+            _ALIASES[alias_key] = key
+        return runner
+
+    return decorator
+
+
+def _ensure_populated() -> None:
+    """Import the algorithm packages so their registrations run.
+
+    Makes ``from repro.api import allocate`` self-sufficient even when
+    the top-level ``repro`` package has not been imported yet.
+    """
+    import repro.baselines  # noqa: F401
+    import repro.core  # noqa: F401
+    import repro.light  # noqa: F401
+
+
+def resolve_name(name: str) -> str:
+    """Canonical spec name for ``name`` (alias-, case-, dash-tolerant)."""
+    _ensure_populated()
+    key = _ALIASES.get(_normalize(name))
+    if key is None:
+        raise ValueError(
+            f"unknown algorithm {name!r}; registered: "
+            f"{', '.join(allocator_names())}"
+        )
+    return key
+
+
+def get_spec(name: str) -> AllocatorSpec:
+    """Look up the spec for an algorithm name or alias."""
+    return _REGISTRY[resolve_name(name)]
+
+
+def allocator_names() -> tuple[str, ...]:
+    """Sorted canonical names of every registered allocator."""
+    _ensure_populated()
+    return tuple(sorted(_REGISTRY))
+
+
+def list_allocators() -> list[AllocatorSpec]:
+    """All registered specs, sorted by canonical name."""
+    _ensure_populated()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]

@@ -32,6 +32,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.spec import register_allocator
 from repro.result import AllocationResult
 from repro.simulation.metrics import RoundMetrics, RunMetrics
 from repro.utils.seeding import RngFactory
@@ -40,6 +41,13 @@ from repro.utils.validation import check_positive_int, ensure_m_n
 __all__ = ["run_parallel_dchoice"]
 
 
+@register_allocator(
+    "dchoice",
+    summary="non-adaptive parallel d-choice collision protocol",
+    paper_ref="baseline [ACMR98]",
+    aliases=("parallel_dchoice", "adler"),
+    supports_multicontact=True,
+)
 def run_parallel_dchoice(
     m: int,
     n: int,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.spec import register_allocator
 from repro.result import AllocationResult
 from repro.simulation.metrics import RoundMetrics, RunMetrics
 from repro.utils.seeding import RngFactory
@@ -28,6 +29,13 @@ from repro.utils.validation import check_positive_int, ensure_m_n
 __all__ = ["run_batched_dchoice"]
 
 
+@register_allocator(
+    "batched",
+    summary="batched d-choice on stale loads",
+    paper_ref="baseline [BCE+12]",
+    aliases=("batched_dchoice",),
+    supports_multicontact=True,
+)
 def run_batched_dchoice(
     m: int,
     n: int,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.spec import register_allocator
 from repro.baselines.single_choice import run_single_choice
 from repro.result import AllocationResult
 from repro.simulation.metrics import RoundMetrics, RunMetrics
@@ -64,6 +65,14 @@ def greedy_d_loads(
     return loads
 
 
+@register_allocator(
+    "greedy",
+    summary="sequential greedy[d]: least-loaded of d random bins",
+    paper_ref="baseline [ABKU99/BCSV06]",
+    aliases=("greedy_d",),
+    sequential=True,
+    supports_multicontact=True,
+)
 def run_greedy_d(
     m: int,
     n: int,

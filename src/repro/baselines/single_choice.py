@@ -17,6 +17,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro.api.spec import register_allocator
 from repro.fastpath.sampling import multinomial_occupancy, sample_uniform_choices
 from repro.result import AllocationResult
 from repro.simulation.metrics import MessageCounter, RoundMetrics, RunMetrics
@@ -26,6 +27,13 @@ from repro.utils.validation import ensure_m_n
 __all__ = ["run_single_choice"]
 
 
+@register_allocator(
+    "single",
+    summary="naive one-shot uniform random allocation",
+    paper_ref="baseline",
+    aliases=("single_choice", "one_choice"),
+    modes=("perball", "aggregate"),
+)
 def run_single_choice(
     m: int,
     n: int,

@@ -26,6 +26,7 @@ import math
 
 import numpy as np
 
+from repro.api.spec import register_allocator
 from repro.fastpath.sampling import sample_uniform_choices
 from repro.result import AllocationResult
 from repro.simulation.metrics import RoundMetrics, RunMetrics
@@ -35,6 +36,11 @@ from repro.utils.validation import ensure_m_n
 __all__ = ["run_stemann"]
 
 
+@register_allocator(
+    "stemann",
+    summary="collision protocol with a fixed load bound",
+    paper_ref="baseline [Ste96]",
+)
 def run_stemann(
     m: int,
     n: int,

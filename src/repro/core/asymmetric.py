@@ -46,6 +46,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.spec import register_allocator
 from repro.fastpath.sampling import grouped_accept, sample_uniform_choices
 from repro.result import AllocationResult
 from repro.simulation.metrics import MessageCounter, RoundMetrics, RunMetrics
@@ -139,6 +140,14 @@ def _schedule_params(
     return n_term, delta_term, l_term, True
 
 
+@register_allocator(
+    "asymmetric",
+    summary="constant-round superbin algorithm for labelled bins",
+    paper_ref="Theorem 3",
+    aliases=("superbin", "asym"),
+    modes=("perball", "aggregate"),
+    config_type=AsymmetricConfig,
+)
 def run_asymmetric(
     m: int,
     n: int,

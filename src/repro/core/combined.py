@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.api.spec import register_allocator
 from repro.core.heavy import HeavyConfig, run_heavy
 from repro.core.trivial import run_trivial
 from repro.result import AllocationResult
@@ -35,6 +36,13 @@ def should_use_trivial(m: int, n: int) -> bool:
     return n < loglog2(m / n)
 
 
+@register_allocator(
+    "combined",
+    summary="Section 3 dispatcher: trivial for tiny n, else A_heavy",
+    paper_ref="Section 3",
+    modes=("perball", "aggregate", "engine"),
+    config_type=HeavyConfig,
+)
 def run_combined(
     m: int,
     n: int,

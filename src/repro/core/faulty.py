@@ -32,6 +32,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.spec import register_allocator
 from repro.core.thresholds import PaperSchedule, ThresholdSchedule
 from repro.fastpath.sampling import grouped_accept, sample_uniform_choices
 from repro.light.virtual import run_light_on_virtual_bins
@@ -43,6 +44,13 @@ from repro.utils.validation import check_probability, ensure_m_n
 __all__ = ["run_heavy_faulty"]
 
 
+@register_allocator(
+    "faulty",
+    summary="A_heavy phase 1 under ball crashes and message loss",
+    paper_ref="extension (experiment A4)",
+    aliases=("heavy_faulty",),
+    fault_tolerant=True,
+)
 def run_heavy_faulty(
     m: int,
     n: int,

@@ -35,6 +35,7 @@ from typing import Literal, Optional
 
 import numpy as np
 
+from repro.api.spec import register_allocator
 from repro.core.thresholds import PaperSchedule, ThresholdSchedule
 from repro.fastpath.sampling import (
     grouped_accept,
@@ -203,6 +204,14 @@ def run_threshold_protocol(
     )
 
 
+@register_allocator(
+    "heavy",
+    summary="A_heavy: adaptive thresholds, then A_light on stragglers",
+    paper_ref="Theorem 1",
+    aliases=("a_heavy",),
+    modes=("perball", "aggregate", "engine"),
+    config_type=HeavyConfig,
+)
 def run_heavy(
     m: int,
     n: int,

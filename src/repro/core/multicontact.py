@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.spec import register_allocator
 from repro.core.thresholds import PaperSchedule, ThresholdSchedule
 from repro.light.virtual import run_light_on_virtual_bins
 from repro.lowerbound.simulate_degree import phase_resolution
@@ -35,6 +36,13 @@ from repro.utils.validation import check_positive_int, ensure_m_n
 __all__ = ["run_heavy_multicontact"]
 
 
+@register_allocator(
+    "multicontact",
+    summary="degree-d threshold algorithm on the paper's schedule",
+    paper_ref="extension (experiment A3)",
+    aliases=("heavy_multicontact",),
+    supports_multicontact=True,
+)
 def run_heavy_multicontact(
     m: int,
     n: int,

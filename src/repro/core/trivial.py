@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.spec import register_allocator
 from repro.fastpath.sampling import grouped_accept
 from repro.result import AllocationResult
 from repro.simulation.metrics import RoundMetrics, RunMetrics
@@ -31,6 +32,11 @@ from repro.utils.validation import ensure_m_n
 __all__ = ["run_trivial"]
 
 
+@register_allocator(
+    "trivial",
+    summary="deterministic n-round algorithm, max load ceil(m/n)",
+    paper_ref="Section 3",
+)
 def run_trivial(
     m: int,
     n: int,

@@ -9,10 +9,18 @@ seed list out over worker *processes*, following the message-passing
 idiom of the HPC guides (each worker owns its instance; only small
 result summaries cross process boundaries).
 
-Workers re-import :mod:`repro` and dispatch by *algorithm name* (plain
-strings and kwargs are picklable where closures are not), so the entry
-point works under the default ``fork`` and ``spawn`` start methods
-alike.
+Workers re-import :mod:`repro` and dispatch by *algorithm name* through
+the allocator registry (plain strings and kwargs are picklable where
+closures are not), so the entry point works under the default ``fork``
+and ``spawn`` start methods alike, and every registered algorithm —
+including aliases like ``greedy_d`` — is runnable without touching
+this module.
+
+:func:`allocate_batch` is the lower-level primitive behind
+:func:`repro.allocate_many` / :func:`repro.sweep`: it maps full
+dispatch tasks (algorithm, instance, spawned seed, mode, options) over
+a pool and returns complete :class:`~repro.result.AllocationResult`
+objects instead of summaries.
 """
 
 from __future__ import annotations
@@ -21,19 +29,50 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Optional, Sequence
 
-__all__ = ["ALGORITHMS", "run_one", "parallel_results", "parallel_gaps"]
+__all__ = [
+    "ALGORITHMS",
+    "allocate_batch",
+    "run_one",
+    "parallel_results",
+    "parallel_gaps",
+]
 
-#: Names accepted by :func:`run_one`; each maps to a repro entry point.
-ALGORITHMS: tuple[str, ...] = (
-    "heavy",
-    "asymmetric",
-    "single_choice",
-    "greedy_d",
-    "stemann",
-    "batched",
-    "trivial",
-    "combined",
-)
+
+def _algorithm_names() -> tuple[str, ...]:
+    from repro.api import allocator_names
+
+    return allocator_names()
+
+
+class _AlgorithmNames(tuple):
+    """Registry-backed view kept for backward compatibility.
+
+    Historically a hard-coded tuple; now resolved from the allocator
+    registry so it can never drift.  Membership is alias-aware.
+    """
+
+    def __new__(cls, names=None):
+        # The optional argument keeps tuple pickling/deepcopy working
+        # (both reconstruct via cls(iterable)).
+        return super().__new__(
+            cls, _algorithm_names() if names is None else names
+        )
+
+    def __contains__(self, name: object) -> bool:
+        if tuple.__contains__(self, name):
+            return True
+        try:
+            from repro.api import resolve_name
+
+            resolve_name(str(name))
+            return True
+        except ValueError:
+            return False
+
+
+#: Names accepted by :func:`run_one` (canonical registry names;
+#: aliases such as ``greedy_d`` or ``single_choice`` also resolve).
+ALGORITHMS: tuple[str, ...] = _AlgorithmNames()
 
 
 def run_one(algorithm: str, m: int, n: int, seed: int, **kwargs: Any) -> dict:
@@ -42,23 +81,13 @@ def run_one(algorithm: str, m: int, n: int, seed: int, **kwargs: Any) -> dict:
     Returns only small plain data (gap, max load, rounds, messages) so
     the inter-process payload stays negligible.
     """
-    import repro
+    from repro.api import allocate
 
-    dispatch = {
-        "heavy": repro.run_heavy,
-        "asymmetric": repro.run_asymmetric,
-        "single_choice": repro.run_single_choice,
-        "greedy_d": repro.run_greedy_d,
-        "stemann": repro.run_stemann,
-        "batched": repro.run_batched_dchoice,
-        "trivial": repro.run_trivial,
-        "combined": repro.run_combined,
-    }
-    if algorithm not in dispatch:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
-        )
-    result = dispatch[algorithm](m, n, seed=seed, **kwargs)
+    # No explicit mode means the algorithm's own default (mode=None),
+    # not "auto": the harness's historical numbers must reproduce
+    # bitwise from the same seeds regardless of instance size.
+    mode = kwargs.pop("mode", None)
+    result = allocate(algorithm, m, n, seed=seed, mode=mode, **kwargs)
     return {
         "algorithm": result.algorithm,
         "seed": seed,
@@ -68,6 +97,34 @@ def run_one(algorithm: str, m: int, n: int, seed: int, **kwargs: Any) -> dict:
         "total_messages": result.total_messages,
         "complete": result.complete,
     }
+
+
+def _allocate_task(task: tuple):
+    algorithm, m, n, seed, mode, options = task
+    from repro.api import allocate
+
+    return allocate(algorithm, m, n, seed=seed, mode=mode, **options)
+
+
+def allocate_batch(
+    tasks: Sequence[tuple], *, workers: Optional[int] = None
+) -> list:
+    """Run dispatch tasks, optionally across worker processes.
+
+    Each task is ``(algorithm, m, n, seed, mode, options)`` — exactly
+    the arguments of :func:`repro.allocate`.  Everything in a task must
+    be picklable (spawned :class:`numpy.random.SeedSequence` objects
+    are).  Results return in task order regardless of worker count, so
+    parallelism never changes values, only wall clock.
+    """
+    task_list = list(tasks)
+    if not task_list:
+        return []
+    max_workers = workers or min(len(task_list), os.cpu_count() or 1)
+    if max_workers <= 1 or len(task_list) == 1:
+        return [_allocate_task(t) for t in task_list]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_allocate_task, task_list))
 
 
 def parallel_results(
@@ -84,7 +141,7 @@ def parallel_results(
     Parameters
     ----------
     algorithm:
-        One of :data:`ALGORITHMS`.
+        Any registered allocator name or alias (see :data:`ALGORITHMS`).
     m, n:
         Instance size.
     seeds:
@@ -94,10 +151,9 @@ def parallel_results(
     kwargs:
         Forwarded to the algorithm (e.g. ``mode="aggregate"``, ``d=2``).
     """
-    if algorithm not in ALGORITHMS:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
-        )
+    from repro.api import resolve_name
+
+    resolve_name(algorithm)  # fail fast, before spinning up workers
     if not seeds:
         raise ValueError("need at least one seed")
     max_workers = workers or min(len(seeds), os.cpu_count() or 1)

@@ -17,7 +17,12 @@ load 2 using ``O(n)`` messages.  This subpackage provides:
   load.
 """
 
-from repro.light.lw16 import LightConfig, LightOutcome, run_light
+from repro.light.lw16 import (
+    LightConfig,
+    LightOutcome,
+    run_light,
+    run_light_allocation,
+)
 from repro.light.virtual import VirtualBinMap, run_light_on_virtual_bins
 
 __all__ = [
@@ -25,5 +30,6 @@ __all__ = [
     "LightOutcome",
     "VirtualBinMap",
     "run_light",
+    "run_light_allocation",
     "run_light_on_virtual_bins",
 ]

@@ -33,13 +33,20 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.spec import register_allocator
 from repro.fastpath.sampling import grouped_accept
 from repro.simulation.metrics import RoundMetrics, RunMetrics
 from repro.utils.logstar import log_star
-from repro.utils.seeding import as_generator
+from repro.utils.seeding import RngFactory, as_generator
 from repro.utils.validation import check_positive_int
 
-__all__ = ["LightConfig", "LightOutcome", "run_light", "tower_schedule"]
+__all__ = [
+    "LightConfig",
+    "LightOutcome",
+    "run_light",
+    "run_light_allocation",
+    "tower_schedule",
+]
 
 
 @dataclass(frozen=True)
@@ -255,4 +262,46 @@ def run_light(
         metrics=metrics,
         used_fallback=used_fallback,
         ball_messages=ball_messages,
+    )
+
+
+@register_allocator(
+    "light",
+    summary="A_light collision protocol (lightly loaded, cap 2)",
+    paper_ref="Theorem 5",
+    aliases=("a_light", "lw16"),
+    config_type=LightConfig,
+)
+def run_light_allocation(
+    m: int,
+    n: int,
+    *,
+    seed=None,
+    config: LightConfig = LightConfig(),
+):
+    """Run ``A_light`` standalone and return an ``AllocationResult``.
+
+    The registry-facing wrapper around :func:`run_light`: same
+    protocol, but the outcome is packaged in the package-wide result
+    type so the light subroutine is comparable to every other
+    allocator.  Requires ``m <= config.capacity * n``.
+
+    The ball-to-bin assignment and the fallback flag are preserved in
+    ``extra`` (keys ``assignment`` is omitted — loads carry the
+    distributional content — and ``used_fallback``).
+    """
+    from repro.result import AllocationResult
+
+    factory = RngFactory(seed)
+    outcome = run_light(m, n, seed=factory.stream("light"), config=config)
+    return AllocationResult(
+        algorithm="light",
+        m=m,
+        n=n,
+        loads=outcome.loads,
+        rounds=outcome.rounds,
+        metrics=outcome.metrics,
+        total_messages=outcome.total_messages,
+        seed_entropy=factory.root_entropy,
+        extra={"used_fallback": outcome.used_fallback},
     )

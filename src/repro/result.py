@@ -7,15 +7,40 @@ and tests can treat them uniformly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Optional
 
 import numpy as np
 
 from repro.analysis.stats import RunStatistics, summarize_loads
-from repro.simulation.metrics import MessageCounter, RunMetrics
+from repro.simulation.metrics import MessageCounter, RoundMetrics, RunMetrics
 
 __all__ = ["AllocationResult"]
+
+
+def _json_safe(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays and tuples to JSON types.
+
+    Anything without a JSON analogue falls back to ``repr`` — export is
+    lossy only for exotic ``extra`` payloads (e.g. schedule objects),
+    never for the numeric record.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if value is None or isinstance(value, str):
+        return value
+    if isinstance(value, np.ndarray):
+        return [_json_safe(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [_json_safe(v) for v in items]
+    return repr(value)
 
 
 @dataclass
@@ -117,6 +142,93 @@ class AllocationResult:
         if self.metrics is None:
             return []
         return self.metrics.unallocated_history
+
+    # -- persistence ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict capturing the full result.
+
+        Numpy arrays become lists, tuples become lists, and numpy
+        scalars become native ints/floats, so ``json.dumps`` works on
+        the output directly.  Round-trips through :meth:`from_dict`:
+        loads, per-round metrics, and message counters are restored
+        exactly (``extra`` values survive as their JSON projections).
+        """
+        metrics = None
+        if self.metrics is not None:
+            metrics = {
+                "m": int(self.metrics.m),
+                "n": int(self.metrics.n),
+                "rounds": [_json_safe(asdict(r)) for r in self.metrics.rounds],
+            }
+        messages = None
+        if self.messages is not None:
+            messages = {
+                "m": int(self.messages.m),
+                "n": int(self.messages.n),
+                "ball_sent": self.messages.ball_sent.tolist(),
+                "ball_received": self.messages.ball_received.tolist(),
+                "bin_sent": self.messages.bin_sent.tolist(),
+                "bin_received": self.messages.bin_received.tolist(),
+                "total": int(self.messages.total),
+            }
+        return {
+            "schema": 1,
+            "algorithm": self.algorithm,
+            "m": int(self.m),
+            "n": int(self.n),
+            "loads": self.loads.tolist(),
+            "rounds": int(self.rounds),
+            "metrics": metrics,
+            "messages": messages,
+            "total_messages": int(self.total_messages),
+            "complete": bool(self.complete),
+            "unallocated": int(self.unallocated),
+            "sequential": bool(self.sequential),
+            "seed_entropy": [int(e) for e in self.seed_entropy],
+            "extra": _json_safe(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AllocationResult":
+        """Rebuild a result from :meth:`to_dict` output (or parsed JSON)."""
+        schema = data.get("schema", 1)
+        if schema != 1:
+            raise ValueError(f"unsupported AllocationResult schema {schema!r}")
+        metrics = None
+        if data.get("metrics") is not None:
+            m_data = data["metrics"]
+            metrics = RunMetrics(m=int(m_data["m"]), n=int(m_data["n"]))
+            for row in m_data["rounds"]:
+                metrics.add_round(RoundMetrics(**row))
+        messages = None
+        if data.get("messages") is not None:
+            c_data = data["messages"]
+            messages = MessageCounter(int(c_data["m"]), int(c_data["n"]))
+            messages.ball_sent = np.asarray(c_data["ball_sent"], dtype=np.int64)
+            messages.ball_received = np.asarray(
+                c_data["ball_received"], dtype=np.int64
+            )
+            messages.bin_sent = np.asarray(c_data["bin_sent"], dtype=np.int64)
+            messages.bin_received = np.asarray(
+                c_data["bin_received"], dtype=np.int64
+            )
+            messages.total = int(c_data["total"])
+        return cls(
+            algorithm=data["algorithm"],
+            m=int(data["m"]),
+            n=int(data["n"]),
+            loads=np.asarray(data["loads"], dtype=np.int64),
+            rounds=int(data["rounds"]),
+            metrics=metrics,
+            messages=messages,
+            total_messages=int(data["total_messages"]),
+            complete=bool(data["complete"]),
+            unallocated=int(data["unallocated"]),
+            sequential=bool(data["sequential"]),
+            seed_entropy=tuple(int(e) for e in data.get("seed_entropy", ())),
+            extra=dict(data.get("extra") or {}),
+        )
 
     def describe(self) -> str:
         """Multi-line human-readable report."""

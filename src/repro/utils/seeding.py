@@ -86,13 +86,31 @@ class RngFactory:
         else:
             self._root = np.random.SeedSequence(seed)
 
+    def _root_material(self) -> list:
+        """Entropy plus spawn key, so spawned children stay distinct.
+
+        A ``SeedSequence.spawn()`` child shares its parent's entropy and
+        differs only in ``spawn_key`` — dropping the key would collapse
+        every spawned child onto the parent's streams (the bug this
+        guards against).  Sequences with an empty spawn key (ints, None,
+        fresh sequences) produce exactly the historical material, so
+        existing seeds reproduce bitwise.
+        """
+        entropy = self._root.entropy
+        material = list(
+            entropy if isinstance(entropy, (list, tuple)) else [entropy]
+        )
+        material.extend(int(k) for k in self._root.spawn_key)
+        return material
+
     @property
     def root_entropy(self) -> Sequence[int]:
-        """The root entropy tuple (for logging/reproduction)."""
-        entropy = self._root.entropy
-        if isinstance(entropy, (int, np.integer)):
-            return (int(entropy),)
-        return tuple(int(e) for e in entropy)
+        """The root entropy tuple (for logging/reproduction).
+
+        Includes the spawn key for spawned sequences, so independent
+        repetitions of a batch record distinct reproduction tuples.
+        """
+        return tuple(int(e) for e in self._root_material())
 
     def stream(self, *key: Union[str, int]) -> np.random.Generator:
         """Return the generator for a hierarchical key.
@@ -101,7 +119,7 @@ class RngFactory:
         round numbers).  The same key always yields a generator with the
         same state; distinct keys yield independent streams.
         """
-        material = list(self._root.entropy if isinstance(self._root.entropy, (list, tuple)) else [self._root.entropy])
+        material = self._root_material()
         for part in key:
             if isinstance(part, str):
                 material.extend(part.encode("utf-8"))
@@ -120,7 +138,7 @@ class RngFactory:
 
     def child_factory(self, *key: Union[str, int]) -> "RngFactory":
         """A sub-factory rooted at a hierarchical key."""
-        material = list(self._root.entropy if isinstance(self._root.entropy, (list, tuple)) else [self._root.entropy])
+        material = self._root_material()
         for part in key:
             if isinstance(part, str):
                 material.extend(part.encode("utf-8"))

@@ -1,0 +1,369 @@
+"""Tests for the unified allocator registry and dispatch API."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import (
+    AGGREGATE_THRESHOLD,
+    allocate,
+    allocate_many,
+    allocator_names,
+    get_spec,
+    list_allocators,
+    resolve_name,
+    spawn_seeds,
+    sweep,
+)
+
+M, N, SEED = 10_000, 64, 7
+
+#: Every public ``run_*`` entry point that returns an AllocationResult
+#: must be the registered runner of exactly this spec.
+EXPECTED_RUNNERS = {
+    "heavy": repro.run_heavy,
+    "asymmetric": repro.run_asymmetric,
+    "combined": repro.run_combined,
+    "trivial": repro.run_trivial,
+    "light": repro.run_light_allocation,
+    "faulty": repro.run_heavy_faulty,
+    "multicontact": repro.run_heavy_multicontact,
+    "single": repro.run_single_choice,
+    "greedy": repro.run_greedy_d,
+    "dchoice": repro.run_parallel_dchoice,
+    "stemann": repro.run_stemann,
+    "batched": repro.run_batched_dchoice,
+}
+
+
+class TestRegistryCompleteness:
+    def test_every_public_entry_point_registered(self):
+        assert set(allocator_names()) == set(EXPECTED_RUNNERS)
+        for name, runner in EXPECTED_RUNNERS.items():
+            assert get_spec(name).runner is runner, name
+
+    def test_every_public_run_function_covered(self):
+        """No ``run_*`` in repro.__all__ may bypass the registry.
+
+        ``run_light`` is covered via its ``run_light_allocation``
+        wrapper; ``run_threshold_protocol`` is a phase subroutine (it
+        returns a ThresholdPhaseOutcome, not an AllocationResult).
+        """
+        registered = {spec.runner for spec in list_allocators()}
+        exempt = {"run_light", "run_threshold_protocol"}
+        public = [
+            name
+            for name in repro.__all__
+            if name.startswith("run_") and name not in exempt
+        ]
+        assert public, "sanity: repro exports run_* entry points"
+        for name in public:
+            assert getattr(repro, name) in registered, name
+
+    def test_aliases_resolve(self):
+        assert resolve_name("greedy_d") == "greedy"
+        assert resolve_name("single_choice") == "single"
+        assert resolve_name("batched_dchoice") == "batched"
+        assert resolve_name("A_HEAVY") == "heavy"
+        assert resolve_name("parallel-dchoice") == "dchoice"
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            resolve_name("quantum")
+
+    def test_capability_flags(self):
+        assert get_spec("greedy").sequential
+        assert get_spec("faulty").fault_tolerant
+        assert get_spec("multicontact").supports_multicontact
+        assert not get_spec("heavy").sequential
+        assert not get_spec("heavy").fault_tolerant
+
+    def test_specs_expose_signature_options(self):
+        spec = get_spec("faulty")
+        assert "crash_prob" in spec.options
+        assert "loss_prob" in spec.options
+        heavy = get_spec("heavy")
+        assert heavy.config_type is repro.HeavyConfig
+        assert "stop_factor" in heavy.config_fields
+
+
+class TestOptionValidation:
+    def test_unknown_option_rejected_with_valid_list(self):
+        with pytest.raises(ValueError, match="bogus.*valid options"):
+            allocate("heavy", M, N, seed=SEED, bogus=3)
+
+    def test_option_for_other_algorithm_rejected(self):
+        # d belongs to greedy/multicontact, not heavy.
+        with pytest.raises(ValueError, match="unknown option"):
+            allocate("heavy", M, N, seed=SEED, d=2)
+
+    def test_mode_unsupported_by_algorithm(self):
+        with pytest.raises(ValueError, match="supported: perball, aggregate"):
+            allocate("asymmetric", M, N, seed=SEED, mode="engine")
+
+    def test_mode_on_modeless_algorithm(self):
+        with pytest.raises(ValueError, match="does not take an execution"):
+            allocate("trivial", M, N, seed=SEED, mode="aggregate")
+
+    def test_config_fields_passed_flat(self):
+        via_api = allocate("heavy", M, N, seed=SEED, stop_factor=3.0)
+        direct = repro.run_heavy(
+            M, N, seed=SEED, config=repro.HeavyConfig(stop_factor=3.0)
+        )
+        assert np.array_equal(via_api.loads, direct.loads)
+
+    def test_config_and_flat_fields_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            allocate(
+                "heavy",
+                M,
+                N,
+                seed=SEED,
+                config=repro.HeavyConfig(),
+                stop_factor=3.0,
+            )
+
+    def test_runner_kwargs_forwarded(self):
+        res = allocate("greedy", M, N, seed=SEED, d=3)
+        assert res.algorithm == "greedy[3]"
+
+
+class TestModeAuto:
+    def test_auto_picks_perball_for_small_instances(self):
+        res = allocate("single", M, N, seed=SEED)
+        assert res.extra["api"]["mode"] == "perball"
+
+    def test_auto_picks_aggregate_above_threshold(self):
+        res = allocate("single", AGGREGATE_THRESHOLD, N, seed=SEED)
+        assert res.extra["api"]["mode"] == "aggregate"
+
+    def test_auto_none_for_modeless_algorithms(self):
+        res = allocate("trivial", M, N, seed=SEED)
+        assert res.extra["api"]["mode"] is None
+
+    def test_explicit_mode_respected(self):
+        res = allocate("heavy", M, N, seed=SEED, mode="aggregate")
+        assert res.extra["api"]["mode"] == "aggregate"
+
+    def test_mode_none_never_upgrades(self):
+        # None = the algorithm's own default, even above the threshold
+        # — the behavior of calling run_* directly.
+        res = allocate("single", AGGREGATE_THRESHOLD, N, seed=SEED, mode=None)
+        assert res.extra["api"]["mode"] == "perball"
+
+    def test_run_one_reproduces_direct_defaults_at_large_m(self):
+        # The experiments harness must keep returning the historical
+        # (perball-default) numbers for any m unless a mode is given.
+        from repro.experiments.parallel import run_one
+
+        summary = run_one("single", AGGREGATE_THRESHOLD, N, seed=3)
+        direct = repro.run_single_choice(
+            AGGREGATE_THRESHOLD, N, seed=3, mode="perball"
+        )
+        assert summary["max_load"] == direct.max_load
+        assert summary["total_messages"] == direct.total_messages
+
+    def test_algorithms_tuple_picklable(self):
+        import copy
+        import pickle
+
+        from repro.experiments.parallel import ALGORITHMS
+
+        assert pickle.loads(pickle.dumps(ALGORITHMS)) == tuple(ALGORITHMS)
+        assert copy.deepcopy(ALGORITHMS) == tuple(ALGORITHMS)
+        assert "greedy_d" in ALGORITHMS  # alias-aware membership
+
+
+class TestShimEquivalence:
+    """allocate(name, ...) must be bitwise-identical to run_*(...)."""
+
+    CASES = [
+        ("heavy", {}),
+        ("asymmetric", {}),
+        ("combined", {}),
+        ("trivial", {}),
+        ("single", {}),
+        ("greedy", {"d": 2}),
+        ("stemann", {}),
+        ("batched", {"d": 2}),
+        ("dchoice", {"d": 2}),
+        ("faulty", {"crash_prob": 0.01, "loss_prob": 0.02}),
+        ("multicontact", {"d": 2}),
+    ]
+
+    @pytest.mark.parametrize("name,options", CASES)
+    def test_loads_bitwise_match(self, name, options):
+        runner = EXPECTED_RUNNERS[name]
+        via_api = allocate(name, M, N, seed=SEED, **options)
+        direct = runner(M, N, seed=SEED, **options)
+        assert np.array_equal(via_api.loads, direct.loads)
+        assert via_api.rounds == direct.rounds
+        assert via_api.total_messages == direct.total_messages
+
+    def test_light_equivalence(self):
+        # light requires m <= 2n; its registered runner IS the wrapper.
+        via_api = allocate("light", 100, N, seed=SEED)
+        direct = repro.run_light_allocation(100, N, seed=SEED)
+        assert np.array_equal(via_api.loads, direct.loads)
+        assert via_api.max_load <= 2
+
+
+class TestBatchExecution:
+    def test_spawn_seeds_independent_and_reproducible(self):
+        a = spawn_seeds(5, 3)
+        b = spawn_seeds(5, 3)
+        states = [tuple(s.generate_state(4)) for s in a]
+        assert len(set(states)) == 3
+        assert states == [tuple(s.generate_state(4)) for s in b]
+
+    def test_allocate_many_seed_independence(self):
+        results = allocate_many("single", M, N, repeats=3, seed=5)
+        assert len(results) == 3
+        for i in range(3):
+            assert results[i].extra["api"]["repeat"] == i
+            for j in range(i + 1, 3):
+                assert not np.array_equal(results[i].loads, results[j].loads)
+
+    def test_allocate_many_reproducible_from_root_seed(self):
+        first = allocate_many("single", M, N, repeats=3, seed=5)
+        again = allocate_many("single", M, N, repeats=3, seed=5)
+        for a, b in zip(first, again):
+            assert np.array_equal(a.loads, b.loads)
+            assert a.seed_entropy == b.seed_entropy
+
+    def test_allocate_many_workers_match_serial(self):
+        serial = allocate_many("single", M, N, repeats=4, seed=9)
+        pooled = allocate_many("single", M, N, repeats=4, seed=9, workers=2)
+        for a, b in zip(serial, pooled):
+            assert np.array_equal(a.loads, b.loads)
+
+    def test_allocate_many_accepts_generator_seed(self):
+        # The package-wide SeedLike forms all work, Generator included.
+        first = allocate_many(
+            "single", M, N, repeats=2, seed=np.random.default_rng(5)
+        )
+        again = allocate_many(
+            "single", M, N, repeats=2, seed=np.random.default_rng(5)
+        )
+        assert not np.array_equal(first[0].loads, first[1].loads)
+        for a, b in zip(first, again):
+            assert np.array_equal(a.loads, b.loads)
+
+    def test_allocate_many_rejects_bad_repeats(self):
+        with pytest.raises(ValueError, match="repeats"):
+            allocate_many("single", M, N, repeats=0, seed=1)
+
+    def test_sweep_grid_and_coordinates(self):
+        results = sweep("single", [(M, 32), (2 * M, 64)], repeats=2, seed=3)
+        assert [(r.m, r.n) for r in results] == [
+            (M, 32),
+            (M, 32),
+            (2 * M, 64),
+            (2 * M, 64),
+        ]
+        assert [
+            (r.extra["api"]["point"], r.extra["api"]["repeat"])
+            for r in results
+        ] == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_sweep_cells_independent(self):
+        results = sweep("single", [(M, 32)], repeats=2, seed=3)
+        assert not np.array_equal(results[0].loads, results[1].loads)
+
+    def test_sweep_dict_points_override_options(self):
+        results = sweep(
+            "greedy", [{"m": M, "n": 32, "d": 3}, (M, 32)], seed=1, d=2
+        )
+        assert results[0].algorithm == "greedy[3]"
+        assert results[1].algorithm == "greedy[2]"
+
+    def test_sweep_point_requires_m_and_n(self):
+        with pytest.raises(ValueError, match="must provide 'm' and 'n'"):
+            sweep("single", [{"m": M}], seed=1)
+
+    def test_sweep_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            sweep("single", [], seed=1)
+
+
+class TestSerialization:
+    def test_round_trip_through_json(self):
+        res = allocate("heavy", M, N, seed=SEED)
+        data = res.to_dict()
+        text = json.dumps(data)  # must be JSON-safe as-is
+        back = repro.AllocationResult.from_dict(json.loads(text))
+        assert np.array_equal(back.loads, res.loads)
+        assert back.max_load == res.max_load
+        assert back.metrics.rounds == res.metrics.rounds
+        assert np.array_equal(
+            back.messages.bin_received, res.messages.bin_received
+        )
+        assert back.to_dict() == data  # stable under re-serialization
+
+    def test_sweep_results_persist_via_export(self):
+        from repro.experiments.export import (
+            results_from_json,
+            results_to_json,
+        )
+
+        results = sweep("single", [(M, 32)], repeats=2, seed=3)
+        text = results_to_json(results)
+        back = results_from_json(text)
+        assert len(back) == 2
+        for orig, restored in zip(results, back):
+            assert np.array_equal(orig.loads, restored.loads)
+            assert restored.extra["api"]["repeat"] == orig.extra["api"]["repeat"]
+
+    def test_incomplete_result_round_trips(self):
+        res = allocate("heavy", M, N, seed=SEED, handoff=False)
+        assert not res.complete
+        back = repro.AllocationResult.from_dict(res.to_dict())
+        assert back.unallocated == res.unallocated
+        assert not back.complete
+
+
+class TestCliRegistryDriven:
+    def test_list_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in allocator_names():
+            assert name in out
+        assert "fault_tolerant" in out
+        assert "Theorem 1" in out
+
+    def test_every_spec_is_a_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["light", "--m", "50", "--n", "32", "--seed", "1"]) == 0
+        assert "light" in capsys.readouterr().out
+        assert main(["faulty", "--m", "2000", "--n", "32", "--seed", "1",
+                     "--crash-prob", "0.01"]) == 0
+        assert "faulty" in capsys.readouterr().out
+
+    def test_mode_choices_derived_from_registry(self, capsys):
+        from repro.__main__ import main
+
+        # asymmetric does not support engine mode: argparse must reject
+        # it (choices come from the spec, not a hand-written list).
+        with pytest.raises(SystemExit) as excinfo:
+            main(["asymmetric", "--m", "100", "--n", "10", "--mode", "engine"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        # trivial has no modes at all, so --mode is not even an option.
+        with pytest.raises(SystemExit):
+            main(["trivial", "--m", "100", "--n", "10", "--mode", "perball"])
+
+    def test_api_doctests(self):
+        import doctest
+
+        import repro.api
+        import repro.api.dispatch
+
+        for module in (repro.api, repro.api.dispatch):
+            results = doctest.testmod(module, verbose=False)
+            assert results.failed == 0, module.__name__

@@ -78,3 +78,42 @@ class TestRendering:
     def test_incomplete_describe(self):
         res = mk([1, 1], m=4, complete=False, unallocated=2)
         assert "2 left" in res.describe()
+
+
+class TestSerialization:
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        res = mk([3, 5, 4], seed_entropy=(7,), extra={"x": np.int64(2)})
+        text = json.dumps(res.to_dict())
+        assert '"x": 2' in text
+
+    def test_round_trip_preserves_fields(self):
+        res = mk(
+            [1, 1],
+            m=4,
+            complete=False,
+            unallocated=2,
+            sequential=True,
+            seed_entropy=(5, 1),
+        )
+        back = AllocationResult.from_dict(res.to_dict())
+        assert np.array_equal(back.loads, res.loads)
+        assert back.m == res.m and back.n == res.n
+        assert back.unallocated == 2 and not back.complete
+        assert back.sequential
+        assert back.seed_entropy == (5, 1)
+        assert back.to_dict() == res.to_dict()
+
+    def test_numpy_extras_normalized(self):
+        res = mk([2, 2], extra={"arr": np.array([1, 2]), "tup": (1, 2)})
+        data = res.to_dict()
+        assert data["extra"]["arr"] == [1, 2]
+        assert data["extra"]["tup"] == [1, 2]
+
+    def test_unknown_schema_rejected(self):
+        res = mk([2, 2])
+        data = res.to_dict()
+        data["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            AllocationResult.from_dict(data)
