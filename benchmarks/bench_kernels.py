@@ -2,18 +2,28 @@
 
 These time the primitives the HPC guides direct us to optimize:
 whole-array sampling, the grouped-accept lexsort kernel, the multinomial
-aggregate round, and end-to-end algorithm runs at the two granularities.
-They guard against performance regressions (the per-round kernels are
-what caps the feasible ``m``).
+aggregate round, the shared :class:`RoundState` round-step kernels, and
+end-to-end algorithm runs at the two granularities.  They guard against
+performance regressions (the per-round kernels are what caps the
+feasible ``m``), and ``TestKernelVsEngine`` pins the headline claim:
+the kernel backends beat the object-level agent engine by far more than
+the required 5x at ``m = 10^6``.
+
+Run ``python benchmarks/run_benchmarks.py`` for the pinned-seed JSON
+trajectory (``BENCH_kernels.json``).
 """
 
 from __future__ import annotations
+
+import os
+import time
 
 import numpy as np
 import pytest
 
 from repro.baselines import run_single_choice
 from repro.core import run_asymmetric, run_heavy
+from repro.fastpath.roundstate import RoundState
 from repro.fastpath.sampling import (
     grouped_accept,
     multinomial_occupancy,
@@ -46,6 +56,99 @@ class TestSamplingKernels:
         capacity = np.full(4096, 200)
         mask = benchmark(grouped_accept, choices, capacity, rng)
         assert mask.sum() <= 4096 * 200
+
+
+class TestRoundStateKernels:
+    """The shared round-step kernels every protocol now drives."""
+
+    def test_roundstate_perball_round_1m(self, benchmark, rng):
+        def one_round():
+            state = RoundState(1_000_000, 4096)
+            batch = state.sample_contacts(rng)
+            decision = state.group_and_accept(
+                batch, np.full(4096, 300, dtype=np.int64), rng
+            )
+            state.commit_and_revoke(batch, decision)
+            return state
+
+        state = benchmark(one_round)
+        assert state.rounds == 1
+        assert state.loads.sum() + state.active_count == 1_000_000
+
+    def test_roundstate_aggregate_round_1t(self, benchmark, rng):
+        """One aggregate kernel round at 10^12 balls is O(n)."""
+
+        def one_round():
+            state = RoundState(10**12, 4096, granularity="aggregate")
+            batch = state.sample_contacts(rng)
+            decision = state.group_and_accept(
+                batch, np.full(4096, 10**8, dtype=np.int64)
+            )
+            state.commit_and_revoke(batch, decision)
+            return state
+
+        state = benchmark(one_round)
+        assert state.loads.sum() + state.active_count == 10**12
+
+    def test_priority_commit_round_1m_d2(self, benchmark, rng):
+        def one_round():
+            state = RoundState(1_000_000, 4096)
+            batch = state.sample_contacts(rng, d=2)
+            decision = state.group_and_accept(
+                batch,
+                np.full(4096, 300, dtype=np.int64),
+                rng,
+                policy="priority_commit",
+            )
+            state.commit_and_revoke(batch, decision, accept_cost=2)
+            return state
+
+        state = benchmark(one_round)
+        assert state.loads.sum() + state.active_count == 1_000_000
+
+
+class TestKernelVsEngine:
+    """ISSUE-2 acceptance: >= 5x over the agent engine at m = 10^6.
+
+    The engine is O(m) Python objects per round; the kernels are
+    whole-array numpy.  Measured ratios are ~10^3 (per-ball) and ~10^5
+    (aggregate) — asserted with generous slack so the test pins the
+    architecture claim, not machine noise.
+
+    Opt-in (set ``RUN_ENGINE_BENCH=1``): the engine at m = 10^6 takes
+    several minutes, which would ambush a plain
+    ``pytest benchmarks/bench_kernels.py`` run.  The same 5x bar is
+    enforced unconditionally — engine-normalized per ball — by
+    ``benchmarks/run_benchmarks.py`` (CI runs its smoke scale).
+    """
+
+    M, N = 1_000_000, 1024
+
+    @pytest.mark.skipif(
+        not os.environ.get("RUN_ENGINE_BENCH"),
+        reason="multi-minute engine run; set RUN_ENGINE_BENCH=1",
+    )
+    def test_heavy_kernel_5x_faster_than_engine_1m(self):
+        start = time.perf_counter()
+        eng = run_heavy(self.M, self.N, seed=0, mode="engine")
+        engine_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        vec = run_heavy(self.M, self.N, seed=0, mode="perball")
+        perball_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        agg = run_heavy(self.M, self.N, seed=0, mode="aggregate")
+        aggregate_s = time.perf_counter() - start
+
+        assert eng.complete and vec.complete and agg.complete
+        print(
+            f"\nengine {engine_s:.2f}s | perball {perball_s:.3f}s "
+            f"({engine_s / perball_s:,.0f}x) | aggregate {aggregate_s:.4f}s "
+            f"({engine_s / aggregate_s:,.0f}x)"
+        )
+        assert engine_s / perball_s >= 5
+        assert engine_s / aggregate_s >= 5
 
 
 class TestAlgorithmThroughput:

@@ -29,6 +29,13 @@ from repro.api import allocate, get_spec, list_allocators
 __all__ = ["main"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--m", type=int, required=True, help="number of balls")
     parser.add_argument("--n", type=int, required=True, help="number of bins")
@@ -73,6 +80,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "compare", help="run all parallel algorithms side by side"
     )
     _add_common(p_compare)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time every registered allocator (kernel backends) at one "
+        "instance size",
+    )
+    _add_common(p_bench)
+    p_bench.add_argument(
+        "--seeds",
+        type=_positive_int,
+        default=1,
+        help="number of pinned seeds per (algorithm, mode), counting up "
+        "from --seed (default: 1 run of seed 0)",
+    )
+    p_bench.add_argument(
+        "--algorithms",
+        type=str,
+        default=None,
+        help="comma-separated registry names/aliases (default: all)",
+    )
+    p_bench.add_argument(
+        "--include-engine",
+        action="store_true",
+        help="also time the object-level engine modes (slow)",
+    )
+    p_bench.add_argument(
+        "--include-sequential",
+        action="store_true",
+        help="also time sequential baselines (greedy[d])",
+    )
+    p_bench.add_argument(
+        "--kernel-only",
+        action="store_true",
+        help="restrict to kernel-backed allocators",
+    )
+    p_bench.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        dest="json_path",
+        help="also write the records as JSON to this path",
+    )
 
     p_exp = sub.add_parser("experiments", help="experiment harness passthrough")
     p_exp.add_argument("args", nargs=argparse.REMAINDER)
@@ -144,6 +193,36 @@ def _compare(args: argparse.Namespace) -> None:
         )
 
 
+def _bench(args: argparse.Namespace) -> None:
+    from repro.api.bench import benchmark_registry, render_table
+
+    algorithms = (
+        [a.strip() for a in args.algorithms.split(",") if a.strip()]
+        if args.algorithms
+        else None
+    )
+    base_seed = args.seed if args.seed is not None else 0
+    try:
+        records = benchmark_registry(
+            args.m,
+            args.n,
+            seeds=tuple(range(base_seed, base_seed + args.seeds)),
+            algorithms=algorithms,
+            include_engine=args.include_engine,
+            include_sequential=args.include_sequential,
+            kernel_only=args.kernel_only,
+        )
+    except ValueError as exc:  # e.g. unknown --algorithms entry
+        raise SystemExit(f"python -m repro bench: error: {exc}")
+    print(render_table(records))
+    if args.json_path:
+        import json
+
+        with open(args.json_path, "w") as fh:
+            json.dump([r.to_dict() for r in records], fh, indent=2)
+        print(f"wrote {len(records)} records to {args.json_path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "experiments":
@@ -155,6 +234,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "compare":
         _compare(args)
+        return 0
+    if args.command == "bench":
+        _bench(args)
         return 0
     start = time.perf_counter()
     result = _run_allocator(args)

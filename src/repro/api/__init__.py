@@ -11,6 +11,11 @@ batch over seeds and instance grids with independent RNG streams.
 """
 
 from repro.api.batch import allocate_many, spawn_seeds, sweep
+from repro.api.bench import (
+    BenchRecord,
+    benchmark_engine_reference,
+    benchmark_registry,
+)
 from repro.api.dispatch import AGGREGATE_THRESHOLD, allocate, resolve_mode
 from repro.api.spec import (
     AllocatorSpec,
@@ -24,9 +29,12 @@ from repro.api.spec import (
 __all__ = [
     "AGGREGATE_THRESHOLD",
     "AllocatorSpec",
+    "BenchRecord",
     "allocate",
     "allocate_many",
     "allocator_names",
+    "benchmark_engine_reference",
+    "benchmark_registry",
     "get_spec",
     "list_allocators",
     "register_allocator",

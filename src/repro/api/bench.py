@@ -1,0 +1,193 @@
+"""Registry-driven benchmark harness for the kernel backends.
+
+One function, :func:`benchmark_registry`, walks the allocator registry
+(exactly like ``python -m repro list``) and times every registered
+allocator in each of its vectorized execution modes at a pinned
+instance size and seed set.  It backs two front ends:
+
+* ``python -m repro bench`` — the CLI subcommand, printing a throughput
+  table for any instance size;
+* ``benchmarks/run_benchmarks.py`` — the pinned-seed perf-trajectory
+  runner that writes ``BENCH_kernels.json`` (engine-reference timings
+  included, so the kernel-vs-engine speedup is recorded per run).
+
+Timings use ``time.perf_counter`` around the public ``allocate`` entry
+point, so what is measured is exactly what a user gets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.api.dispatch import allocate
+from repro.api.spec import AllocatorSpec, list_allocators, resolve_name
+
+__all__ = [
+    "BenchRecord",
+    "benchmark_registry",
+    "benchmark_engine_reference",
+    "render_table",
+]
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One timed allocation run."""
+
+    algorithm: str
+    mode: Optional[str]
+    m: int
+    n: int
+    seeds: int
+    seconds_mean: float
+    seconds_min: float
+    balls_per_sec: float
+    max_load: int
+    gap: float
+    rounds: int
+    total_messages: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _instance_for(spec: AllocatorSpec, m: int, n: int) -> tuple[int, int]:
+    """Clamp the instance to the allocator's own regime.
+
+    ``light`` requires ``m <= capacity * n`` (Theorem 5); ``dchoice``
+    issues one grant per bin per round, so heavy instances need ``~m/n``
+    rounds (the point of the baseline, but quadratic wall time) — both
+    are benchmarked at their natural near-``n`` scale.  Every other
+    allocator takes the requested size as-is.
+    """
+    if spec.name == "light":
+        return min(m, 2 * n), n
+    if spec.name == "dchoice":
+        return min(m, 4 * n), n
+    return m, n
+
+
+def _bench_modes(spec: AllocatorSpec, include_engine: bool) -> list[Optional[str]]:
+    if not spec.modes:
+        return [None]
+    modes = [mode for mode in spec.modes if mode != "engine" or include_engine]
+    return modes
+
+
+def _time_allocations(
+    name: str, mode: Optional[str], m: int, n: int, seeds: Sequence[int]
+) -> BenchRecord:
+    """Time ``allocate(name, m, n, mode=mode)`` once per pinned seed.
+
+    Wall-time stats aggregate over all seeds; the result stats
+    (max_load, gap, rounds, total_messages) are those of the *first*
+    seed, so extending the seed list refines the timing without
+    changing the recorded outcome — the perf trajectory stays
+    like-with-like across PRs.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed to benchmark")
+    times = []
+    first_result = None
+    for seed in seeds:
+        start = time.perf_counter()
+        result = allocate(name, m, n, seed=seed, mode=mode)
+        times.append(time.perf_counter() - start)
+        if first_result is None:
+            first_result = result
+    mean = sum(times) / len(times)
+    return BenchRecord(
+        algorithm=name,
+        mode=mode,
+        m=m,
+        n=n,
+        seeds=len(times),
+        seconds_mean=mean,
+        seconds_min=min(times),
+        balls_per_sec=m / mean if mean > 0 else float("inf"),
+        max_load=first_result.max_load,
+        gap=first_result.gap,
+        rounds=first_result.rounds,
+        total_messages=first_result.total_messages,
+    )
+
+
+def benchmark_registry(
+    m: int,
+    n: int,
+    *,
+    seeds: Sequence[int] = (0,),
+    algorithms: Optional[Iterable[str]] = None,
+    include_engine: bool = False,
+    include_sequential: bool = False,
+    kernel_only: bool = False,
+) -> list[BenchRecord]:
+    """Time every registered allocator at ``(m, n)`` over pinned seeds.
+
+    Parameters
+    ----------
+    m, n:
+        Instance size (clamped per-allocator where the algorithm's
+        regime demands it, e.g. ``light``).
+    seeds:
+        Pinned seeds; each (allocator, mode) runs once per seed and the
+        record reports mean/min wall time.
+    algorithms:
+        Restrict to these registry names/aliases (default: all).
+    include_engine:
+        Also time ``mode="engine"`` where supported (O(m) Python
+        objects — slow; this is the reference the kernels are measured
+        against).
+    include_sequential:
+        Also time sequential baselines (greedy[d]); off by default
+        because their Python-loop cost at large ``m`` dwarfs every
+        vectorized path.
+    kernel_only:
+        Restrict to kernel-backed specs (the ``kernel`` capability).
+    """
+    wanted: Optional[set[str]] = None
+    if algorithms is not None:
+        wanted = {resolve_name(a) for a in algorithms}
+    records: list[BenchRecord] = []
+    for spec in list_allocators():
+        if wanted is not None and spec.name not in wanted:
+            continue
+        if spec.sequential and not include_sequential and wanted is None:
+            continue
+        if kernel_only and not spec.kernel_backed:
+            continue
+        m_run, n_run = _instance_for(spec, m, n)
+        for mode in _bench_modes(spec, include_engine):
+            records.append(
+                _time_allocations(spec.name, mode, m_run, n_run, seeds)
+            )
+    return records
+
+
+def benchmark_engine_reference(
+    m: int, n: int, *, seeds: Sequence[int] = (0,)
+) -> BenchRecord:
+    """Time the object-level agent engine (``heavy`` in engine mode).
+
+    This is the executable specification the vectorized kernels are
+    validated against; its wall time is the denominator of the
+    kernel-speedup figures in ``BENCH_kernels.json``.
+    """
+    return _time_allocations("heavy", "engine", m, n, seeds)
+
+
+def render_table(records: Sequence[BenchRecord]) -> str:
+    """Human-readable fixed-width table of benchmark records."""
+    header = (
+        f"{'algorithm':14s} {'mode':10s} {'m':>12s} {'n':>7s} "
+        f"{'time':>9s} {'balls/s':>12s} {'gap':>8s} {'rounds':>7s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        lines.append(
+            f"{r.algorithm:14s} {(r.mode or '-'):10s} {r.m:12,d} {r.n:7,d} "
+            f"{r.seconds_mean:8.3f}s {r.balls_per_sec:12,.0f} "
+            f"{r.gap:+8.1f} {r.rounds:7d}"
+        )
+    return "\n".join(lines)

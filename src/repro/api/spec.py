@@ -88,6 +88,12 @@ class AllocatorSpec:
     supports_multicontact:
         True when the runner takes a per-ball fan-out parameter ``d``
         (contacts several bins per round or per ball).
+    kernel_backed:
+        True when the runner's vectorized modes execute on the shared
+        :class:`repro.fastpath.roundstate.RoundState` round kernels
+        (sample contacts / group-and-accept / commit-and-revoke) —
+        the capability ``mode="auto"`` relies on to pick the ``O(n)``-
+        per-round aggregate backend at large ``m``.
     config_type:
         Optional config dataclass accepted via ``config=``; its fields
         may also be passed flat to :func:`~repro.api.dispatch.allocate`
@@ -112,6 +118,7 @@ class AllocatorSpec:
     sequential: bool = False
     fault_tolerant: bool = False
     supports_multicontact: bool = False
+    kernel_backed: bool = False
     config_type: Optional[type] = None
     options: tuple[str, ...] = ()
     config_fields: tuple[str, ...] = ()
@@ -132,6 +139,8 @@ class AllocatorSpec:
 
     def capabilities(self) -> tuple[str, ...]:
         caps = []
+        if self.kernel_backed:
+            caps.append("kernel")
         if self.sequential:
             caps.append("sequential")
         if self.fault_tolerant:
@@ -219,6 +228,7 @@ def register_allocator(
     sequential: bool = False,
     fault_tolerant: bool = False,
     supports_multicontact: bool = False,
+    kernel_backed: bool = False,
     config_type: Optional[type] = None,
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Record the decorated entry point in the global registry.
@@ -255,6 +265,7 @@ def register_allocator(
             sequential=sequential,
             fault_tolerant=fault_tolerant,
             supports_multicontact=supports_multicontact,
+            kernel_backed=kernel_backed,
             config_type=config_type,
             options=options,
             config_fields=config_fields,

@@ -33,8 +33,8 @@ from typing import Optional
 import numpy as np
 
 from repro.api.spec import register_allocator
+from repro.fastpath.roundstate import RoundState
 from repro.result import AllocationResult
-from repro.simulation.metrics import RoundMetrics, RunMetrics
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import check_positive_int, ensure_m_n
 
@@ -47,6 +47,7 @@ __all__ = ["run_parallel_dchoice"]
     paper_ref="baseline [ACMR98]",
     aliases=("parallel_dchoice", "adler"),
     supports_multicontact=True,
+    kernel_backed=True,
 )
 def run_parallel_dchoice(
     m: int,
@@ -87,65 +88,29 @@ def run_parallel_dchoice(
     grant_rng = factory.stream("adler", "grants")
 
     candidates = rng.integers(0, n, size=(m, d), dtype=np.int64)
-    loads = np.zeros(n, dtype=np.int64)
-    active = np.arange(m, dtype=np.int64)
-    metrics = RunMetrics(m, n)
-    total_messages = 0
-    round_no = 0
+    state = RoundState(m, n)
 
-    while active.size > 0 and round_no < max_rounds:
-        u = active.size
-        # All candidates of all active balls request simultaneously.
-        reqs = candidates[active].reshape(-1)  # u * d flat targets
-        requester_pos = np.repeat(np.arange(u), d)
-        # Each bin grants up to `grants_per_round`, but never beyond its
-        # residual capacity.
-        per_round_cap = np.minimum(grants_per_round, cap - loads)
-        # uniform selection among requests, per bin
-        from repro.fastpath.sampling import grouped_accept
+    while state.active_count > 0 and state.rounds < max_rounds:
+        # Non-adaptive: each ball re-requests its fixed candidate set;
+        # each bin grants up to `grants_per_round` (uniformly among
+        # requests), never beyond its residual capacity; a ball with
+        # several grants commits to the first and the rest are revoked.
+        batch = state.sample_contacts(targets=candidates[state.active], d=d)
+        per_round_cap = np.minimum(grants_per_round, cap - state.loads)
+        decision = state.group_and_accept(batch, per_round_cap, grant_rng)
+        state.commit_and_revoke(batch, decision, count_commits=True)
 
-        granted = grouped_accept(reqs, per_round_cap, grant_rng)
-        grants = int(granted.sum())
-        commits = 0
-        if grants:
-            g_pos = requester_pos[granted]
-            g_bins = reqs[granted]
-            order = np.argsort(g_pos, kind="stable")
-            g_pos, g_bins = g_pos[order], g_bins[order]
-            first = np.concatenate(([True], g_pos[1:] != g_pos[:-1]))
-            winners_pos = g_pos[first]
-            winners_bin = g_bins[first]
-            np.add.at(loads, winners_bin, 1)
-            commits = winners_pos.size
-            keep = np.ones(u, dtype=bool)
-            keep[winners_pos] = False
-            active = active[keep]
-        total_messages += u * d + grants + commits
-        metrics.add_round(
-            RoundMetrics(
-                round_no=round_no,
-                unallocated_start=u,
-                requests_sent=u * d,
-                accepts_sent=grants,
-                rejects_sent=0,
-                commits=commits,
-                unallocated_end=int(active.size),
-                max_load=int(loads.max(initial=0)),
-            )
-        )
-        round_no += 1
-
-    complete = active.size == 0
+    remaining = state.active_count
     return AllocationResult(
         algorithm=f"parallel-dchoice[{d}]",
         m=m,
         n=n,
-        loads=loads,
-        rounds=round_no,
-        metrics=metrics,
-        total_messages=total_messages,
-        complete=complete,
-        unallocated=int(active.size),
+        loads=state.loads,
+        rounds=state.rounds,
+        metrics=state.metrics,
+        total_messages=state.total_messages,
+        complete=remaining == 0,
+        unallocated=remaining,
         seed_entropy=factory.root_entropy,
         extra={"capacity": cap, "d": d},
     )

@@ -15,12 +15,9 @@ from __future__ import annotations
 
 from typing import Literal
 
-import numpy as np
-
 from repro.api.spec import register_allocator
-from repro.fastpath.sampling import multinomial_occupancy, sample_uniform_choices
+from repro.fastpath.roundstate import RoundState
 from repro.result import AllocationResult
-from repro.simulation.metrics import MessageCounter, RoundMetrics, RunMetrics
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import ensure_m_n
 
@@ -33,6 +30,7 @@ __all__ = ["run_single_choice"]
     paper_ref="baseline",
     aliases=("single_choice", "one_choice"),
     modes=("perball", "aggregate"),
+    kernel_backed=True,
 )
 def run_single_choice(
     m: int,
@@ -54,41 +52,31 @@ def run_single_choice(
         ``"aggregate"`` (multinomial occupancy, ``O(n)`` memory).
     """
     m, n = ensure_m_n(m, n)
+    if mode not in ("perball", "aggregate"):
+        raise ValueError(f"mode must be 'perball' or 'aggregate', got {mode!r}")
     factory = RngFactory(seed)
     rng = factory.stream("single", "choices")
-    metrics = RunMetrics(m, n)
-    counter = None
 
-    if mode == "perball":
-        choices = sample_uniform_choices(m, n, rng)
-        loads = np.bincount(choices, minlength=n).astype(np.int64)
-        counter = MessageCounter(m, n)
-        counter.record_bulk_ball_to_bin(choices, np.arange(m, dtype=np.int64))
-    elif mode == "aggregate":
-        loads = multinomial_occupancy(m, n, rng)
-    else:
-        raise ValueError(f"mode must be 'perball' or 'aggregate', got {mode!r}")
-
-    metrics.add_round(
-        RoundMetrics(
-            round_no=0,
-            unallocated_start=m,
-            requests_sent=m,
-            accepts_sent=m,
-            rejects_sent=0,
-            commits=m,
-            unallocated_end=0,
-            max_load=int(loads.max(initial=0)),
-        )
+    # One kernel round with unbounded capacity: every request is
+    # accepted, and accepts are implicit (the ball's single message is
+    # the commitment), hence accept_cost=0 / no bin->ball records.
+    state = RoundState(
+        m, n, granularity=mode, track_messages=(mode == "perball")
     )
+    batch = state.sample_contacts(rng)
+    decision = state.group_and_accept(batch, None)
+    state.commit_and_revoke(
+        batch, decision, accept_cost=0, record_accepts=False
+    )
+
     return AllocationResult(
         algorithm="single-choice",
         m=m,
         n=n,
-        loads=loads,
+        loads=state.loads,
         rounds=1,
-        metrics=metrics,
-        messages=counter,
-        total_messages=m,
+        metrics=state.metrics,
+        messages=state.counter,
+        total_messages=state.total_messages,
         seed_entropy=factory.root_entropy,
     )

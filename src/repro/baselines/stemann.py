@@ -18,18 +18,24 @@ With ``L = collision_factor * ceil(m/n)`` the protocol terminates in
 ``O(log n)`` rounds w.h.p. with max load ``<= L = O(m/n)`` — the
 behaviour experiments T1/T2 contrast against ``A_heavy``'s
 ``m/n + O(1)`` in ``O(log log(m/n))`` rounds.
+
+The round loop is the shared
+:class:`~repro.fastpath.roundstate.RoundState` kernels with the
+``all_or_nothing`` accept policy.  Because that rule depends only on
+the per-bin request *count*, the protocol also has an exact
+``"aggregate"`` mode (``O(n)`` per round, multinomial counts) —
+identical in distribution to the per-ball run for every per-bin
+statistic.
 """
 
 from __future__ import annotations
 
 import math
-
-import numpy as np
+from typing import Literal
 
 from repro.api.spec import register_allocator
-from repro.fastpath.sampling import sample_uniform_choices
+from repro.fastpath.roundstate import RoundState
 from repro.result import AllocationResult
-from repro.simulation.metrics import RoundMetrics, RunMetrics
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import ensure_m_n
 
@@ -40,12 +46,15 @@ __all__ = ["run_stemann"]
     "stemann",
     summary="collision protocol with a fixed load bound",
     paper_ref="baseline [Ste96]",
+    modes=("perball", "aggregate"),
+    kernel_backed=True,
 )
 def run_stemann(
     m: int,
     n: int,
     *,
     seed=None,
+    mode: Literal["perball", "aggregate"] = "perball",
     collision_factor: float = 2.0,
     max_rounds: int = 100_000,
 ) -> AllocationResult:
@@ -58,6 +67,11 @@ def run_stemann(
         Instance size.
     seed:
         Reproducibility seed.
+    mode:
+        ``"perball"`` (explicit choices) or ``"aggregate"`` (per-bin
+        multinomial request counts, ``O(n)`` per round; the
+        all-or-nothing rule is count-determined, so the two modes are
+        identical in law).
     collision_factor:
         Multiplicative headroom above the average load; must be > 1 for
         termination (capacity must exceed ``m``).
@@ -65,6 +79,8 @@ def run_stemann(
         Abort bound; result marked incomplete if hit.
     """
     m, n = ensure_m_n(m, n)
+    if mode not in ("perball", "aggregate"):
+        raise ValueError(f"mode must be 'perball' or 'aggregate', got {mode!r}")
     if collision_factor <= 1.0:
         raise ValueError(
             f"collision_factor must be > 1, got {collision_factor}"
@@ -73,50 +89,25 @@ def run_stemann(
     factory = RngFactory(seed)
     rng = factory.stream("stemann", "choices")
 
-    loads = np.zeros(n, dtype=np.int64)
-    active = np.arange(m, dtype=np.int64)
-    metrics = RunMetrics(m, n)
-    total_messages = 0
-    round_no = 0
-
-    while active.size > 0 and round_no < max_rounds:
-        u = active.size
-        choices = sample_uniform_choices(u, n, rng)
-        counts = np.bincount(choices, minlength=n)
-        # All-or-nothing: bin accepts its entire batch iff it fits.
-        accept_bin = (loads + counts <= bound) & (counts > 0)
-        accepted_mask = accept_bin[choices]
-        accepted_bins = choices[accepted_mask]
-        loads += np.where(accept_bin, counts, 0)
-        accepts = int(accepted_mask.sum())
-        total_messages += u + accepts
-        metrics.add_round(
-            RoundMetrics(
-                round_no=round_no,
-                unallocated_start=u,
-                requests_sent=u,
-                accepts_sent=accepts,
-                rejects_sent=0,
-                commits=accepts,
-                unallocated_end=u - accepts,
-                max_load=int(loads.max(initial=0)),
-                threshold=float(bound),
-            )
+    state = RoundState(m, n, granularity=mode)
+    while state.active_count > 0 and state.rounds < max_rounds:
+        batch = state.sample_contacts(rng)
+        decision = state.group_and_accept(
+            batch, bound - state.loads, policy="all_or_nothing"
         )
-        active = active[~accepted_mask]
-        round_no += 1
+        state.commit_and_revoke(batch, decision, threshold=bound)
 
-    complete = active.size == 0
+    remaining = state.active_count
     return AllocationResult(
         algorithm="stemann",
         m=m,
         n=n,
-        loads=loads,
-        rounds=round_no,
-        metrics=metrics,
-        total_messages=total_messages,
-        complete=complete,
-        unallocated=int(active.size),
+        loads=state.loads,
+        rounds=state.rounds,
+        metrics=state.metrics,
+        total_messages=state.total_messages,
+        complete=remaining == 0,
+        unallocated=remaining,
         seed_entropy=factory.root_entropy,
         extra={"collision_bound": bound},
     )

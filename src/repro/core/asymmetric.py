@@ -47,9 +47,8 @@ from typing import Optional
 import numpy as np
 
 from repro.api.spec import register_allocator
-from repro.fastpath.sampling import grouped_accept, sample_uniform_choices
+from repro.fastpath.roundstate import RoundState
 from repro.result import AllocationResult
-from repro.simulation.metrics import MessageCounter, RoundMetrics, RunMetrics
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import ensure_m_n
 
@@ -140,12 +139,48 @@ def _schedule_params(
     return n_term, delta_term, l_term, True
 
 
+def _waterfill_members(
+    loads: np.ndarray,
+    accepted_per_super: np.ndarray,
+    blocks: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Distribute each superbin's accepted count over its members:
+    ``floor(a_s / b_s)`` each plus the remainder to the lowest-loaded
+    members (random tie-break).  Returns the per-bin intake vector.
+
+    This water-filling is the paper's round-robin relaxed to unequal
+    block sizes and loads (the equal-size round-robin is the special
+    case of equal loads and equal blocks); it is the one protocol
+    policy the asymmetric algorithm layers on top of the shared round
+    kernels, used identically by the per-ball and aggregate modes.
+    """
+    n = loads.size
+    n_r = len(blocks) - 1
+    block_sizes = np.diff(blocks)
+    base = accepted_per_super // block_sizes
+    remainder = accepted_per_super % block_sizes
+    block_of_bin = np.repeat(np.arange(n_r), block_sizes)
+    # Bins grouped by block, lowest current load first (random
+    # tie-break); contiguous blocks keep the grouping exact.
+    sorted_bins = np.lexsort((rng.random(n), loads, block_of_bin))
+    starts_b = np.concatenate(([0], np.cumsum(block_sizes)[:-1]))
+    rank_in_block = np.arange(n) - np.repeat(starts_b, block_sizes)
+    intake_sorted = base[block_of_bin] + (
+        rank_in_block < remainder[block_of_bin]
+    ).astype(np.int64)
+    intake = np.zeros(n, dtype=np.int64)
+    intake[sorted_bins] = intake_sorted
+    return intake
+
+
 @register_allocator(
     "asymmetric",
     summary="constant-round superbin algorithm for labelled bins",
     paper_ref="Theorem 3",
     aliases=("superbin", "asym"),
     modes=("perball", "aggregate"),
+    kernel_backed=True,
     config_type=AsymmetricConfig,
 )
 def run_asymmetric(
@@ -176,65 +211,55 @@ def run_asymmetric(
         counts — identical in distribution for loads/rounds/per-bin
         statistics; no per-ball counters).
 
+    Both modes drive the same loop over the shared
+    :class:`~repro.fastpath.roundstate.RoundState` kernels; the only
+    protocol policies are the superbin schedule
+    (:func:`_schedule_params`) and the member water-filling
+    (:func:`_waterfill_members`).
+
     Returns
     -------
     AllocationResult
         ``extra`` records ``scheduled_rounds``, ``cleanup_rounds``,
-        ``presymmetric_used`` and the per-round ``(n_r, L_r)`` schedule.
+        ``presymmetric_used`` and the per-round ``(n_r, L_r)`` schedule
+        (plus ``bin_received_max`` in aggregate mode).
     """
-    if mode == "aggregate":
-        return _run_asymmetric_aggregate(
-            m, n, seed=seed, config=config, presymmetric=presymmetric
-        )
-    if mode != "perball":
+    if mode not in ("perball", "aggregate"):
         raise ValueError(f"mode must be 'perball' or 'aggregate', got {mode!r}")
     m, n = ensure_m_n(m, n, require_heavy=True)
+    perball = mode == "perball"
     factory = RngFactory(seed)
-    rng = factory.stream("asym", "choices")
-    accept_rng = factory.stream("asym", "accept")
+    label = "asym" if perball else "asym-agg"
+    rng = factory.stream(label, "choices")
+    accept_rng = factory.stream(label, "accept")
 
-    loads = np.zeros(n, dtype=np.int64)
-    counter = MessageCounter(m, n) if config.track_per_ball else None
-    metrics = RunMetrics(m, n)
-    total_messages = 0
-    round_no = 0
+    state = RoundState(
+        m,
+        n,
+        granularity=mode,
+        track_messages=perball and config.track_per_ball,
+    )
+    # Aggregate mode has no per-ball counter; per-bin receives are the
+    # statistic Theorem 3 bounds, so track them directly.
+    bin_received = None if perball else np.zeros(n, dtype=np.int64)
     schedule_log: list[tuple[int, int]] = []
 
     log_n = math.log(max(n, 2))
     use_pre = presymmetric if presymmetric is not None else (m > n * log_n)
-
-    active = np.arange(m, dtype=np.int64)
-    _presym_t0 = 0
+    presym_t0 = 0
 
     if use_pre and m > n:
         # One round of the symmetric algorithm: threshold
         # T_0 = m/n - (m/n)^(2/3); w.h.p. every bin fills to exactly T_0.
         t0 = max(0, math.floor(m / n - (m / n) ** (2.0 / 3.0)))
-        _presym_t0 = t0
-        choices = sample_uniform_choices(active.size, n, rng)
-        accepted = grouped_accept(choices, np.full(n, t0, dtype=np.int64), accept_rng)
-        accepted_bins = choices[accepted]
-        np.add.at(loads, accepted_bins, 1)
-        if counter is not None:
-            counter.record_bulk_ball_to_bin(choices, active)
-            counter.record_bulk_bin_to_ball(accepted_bins, active[accepted])
-        accepts = int(accepted.sum())
-        total_messages += int(active.size) + accepts
-        metrics.add_round(
-            RoundMetrics(
-                round_no=round_no,
-                unallocated_start=int(active.size),
-                requests_sent=int(active.size),
-                accepts_sent=accepts,
-                rejects_sent=0,
-                commits=accepts,
-                unallocated_end=int(active.size) - accepts,
-                max_load=int(loads.max(initial=0)),
-                threshold=float(t0),
-            )
+        presym_t0 = t0
+        batch = state.sample_contacts(rng)
+        decision = state.group_and_accept(
+            batch, np.full(n, t0, dtype=np.int64), accept_rng
         )
-        active = active[~accepted]
-        round_no += 1
+        if bin_received is not None:
+            bin_received += batch.counts
+        state.commit_and_revoke(batch, decision, threshold=t0)
 
     # Scheduled superbin rounds.  m_sched follows the paper's recursion —
     # bins cannot observe the true active count.  After the presymmetric
@@ -242,15 +267,15 @@ def run_asymmetric(
     # Claim 2); the true count may deviate on low-probability events,
     # which the terminal round's delta-margin absorbs.
     if use_pre and m > n:
-        m_sched = max(int(active.size), m - _presym_t0 * n)
+        m_sched = max(state.active_count, m - presym_t0 * n)
     else:
-        m_sched = int(active.size)
+        m_sched = state.active_count
     m_invoked = max(m_sched, 1)  # the asymmetric instance's own "m"
     scheduled_rounds = 0
     cleanup_rounds = 0
     terminal_seen = False
 
-    while active.size > 0 and round_no < config.max_rounds:
+    while state.active_count > 0 and state.rounds < config.max_rounds:
         n_r, _delta, l_r, terminal = _schedule_params(
             max(m_sched, 1), m_invoked, n, config.c
         )
@@ -263,79 +288,82 @@ def run_asymmetric(
         blocks = superbin_blocks(n, n_r)
         leaders = blocks[:-1]
         block_sizes = np.diff(blocks)
-
-        # Step 3: each active ball samples a uniform *bin* and contacts
-        # the leader of that bin's superbin.  With bin IDs globally
-        # known (asymmetric model) this is computable locally, makes the
-        # per-superbin request rate proportional to block size, and
-        # degenerates to the paper's uniform-superbin choice in the
-        # divisible case n_r | n (all blocks equal).
-        bin_pick = sample_uniform_choices(active.size, n, rng)
-        superbin_choice = np.searchsorted(blocks, bin_pick, side="right") - 1
-        leader_of_ball = leaders[superbin_choice]
         # Step 4: leaders accept up to L_r scaled by block size (the
         # factor-2 relaxation of footnote 6: per-member intake stays
         # uniform when blocks differ in size).
         avg_block = n / n_r
-        capacity = np.ceil(l_r * block_sizes / avg_block).astype(np.int64)
-        accepted = grouped_accept(superbin_choice, capacity, accept_rng)
-        acc_super = superbin_choice[accepted]
-        # Round-robin assignment, water-filling within the block: every
-        # member gets floor(a_s / b_s) balls and the remainder goes to
-        # the members with the lowest current load (leaders track the
-        # loads they assigned; the paper's equal-size round-robin is the
-        # special case of equal loads and equal blocks).
-        k = acc_super.size
-        if k:
-            a_per_super = np.bincount(acc_super, minlength=n_r)
-            base = a_per_super // block_sizes
-            remainder = a_per_super % block_sizes
-            block_of_bin = np.repeat(np.arange(n_r), block_sizes)
-            # Bins grouped by block, lowest current load first (random
-            # tie-break); contiguous blocks keep the grouping exact.
-            sorted_bins = np.lexsort(
-                (accept_rng.random(n), loads, block_of_bin)
+        caps = np.ceil(l_r * block_sizes / avg_block).astype(np.int64)
+
+        if perball:
+            # Step 3: each active ball samples a uniform *bin* and
+            # contacts the leader of that bin's superbin.  With bin IDs
+            # globally known (asymmetric model) this is computable
+            # locally, makes the per-superbin request rate proportional
+            # to block size, and degenerates to the paper's
+            # uniform-superbin choice in the divisible case n_r | n.
+            bin_pick = state.sample_contacts(rng)
+            superbin_choice = (
+                np.searchsorted(blocks, bin_pick.choices, side="right") - 1
             )
-            starts_b = np.concatenate(([0], np.cumsum(block_sizes)[:-1]))
-            rank_in_block = np.arange(n) - np.repeat(starts_b, block_sizes)
-            intake = base[block_of_bin] + (
-                rank_in_block < remainder[block_of_bin]
-            ).astype(np.int64)
-            # Per-ball member targets, grouped by superbin — matching
-            # the superbin-sorted order of accepted balls (the exact
-            # ball<->member pairing is immaterial: balls are
-            # exchangeable and accounting only needs the target bin).
-            member_bins = np.repeat(sorted_bins, intake)
-            np.add.at(loads, member_bins, 1)
+            batch = state.sample_contacts(targets=superbin_choice, n_targets=n_r)
+            decision = state.group_and_accept(batch, caps, accept_rng)
+            accepted = decision.accepted
+            k = decision.accepts_sent
+            if k:
+                a_per_super = np.bincount(
+                    superbin_choice[accepted], minlength=n_r
+                )
+                intake = _waterfill_members(
+                    state.loads, a_per_super, blocks, accept_rng
+                )
+                member_bins = np.repeat(np.arange(n), intake)
+            else:
+                member_bins = np.zeros(0, dtype=np.int64)
+            if state.counter is not None:
+                # Messages: request (ball->leader), response
+                # (leader->ball), allocation notice (ball->member bin;
+                # sent even when member is the leader itself, matching
+                # step 5's unconditional inform).  Contacts live in
+                # superbin space, so the protocol records these itself.
+                balls = state.active
+                leader_of_ball = leaders[superbin_choice]
+                accepted_ball_ids = balls[accepted]
+                state.counter.record_bulk_ball_to_bin(leader_of_ball, balls)
+                state.counter.record_bulk_bin_to_ball(
+                    leader_of_ball[accepted], accepted_ball_ids
+                )
+                state.counter.record_bulk_ball_to_bin(
+                    member_bins, accepted_ball_ids
+                )
+            state.commit_and_revoke(
+                batch,
+                decision,
+                threshold=l_r,
+                target_bins=member_bins,
+                accept_cost=2,
+                record_counter=False,
+            )
         else:
-            member_bins = np.zeros(0, dtype=np.int64)
-        accepts = k
-        accepted_ball_ids = active[accepted]
-        # Messages: request (ball->leader), response (leader->ball),
-        # allocation notice (ball->member bin; sent even when member is
-        # the leader itself, matching step 5's unconditional inform).
-        if counter is not None:
-            counter.record_bulk_ball_to_bin(leader_of_ball, active)
-            counter.record_bulk_bin_to_ball(
-                leader_of_ball[accepted], accepted_ball_ids
+            # Requests per superbin: balls pick a uniform bin, hence a
+            # superbin with probability block_size/n.
+            batch = state.sample_contacts(
+                rng, n_targets=n_r, pvals=block_sizes / n
             )
-            counter.record_bulk_ball_to_bin(member_bins, accepted_ball_ids)
-        total_messages += int(active.size) + 2 * accepts
-        metrics.add_round(
-            RoundMetrics(
-                round_no=round_no,
-                unallocated_start=int(active.size),
-                requests_sent=int(active.size),
-                accepts_sent=accepts,
-                rejects_sent=0,
-                commits=accepts,
-                unallocated_end=int(active.size) - accepts,
-                max_load=int(loads.max(initial=0)),
-                threshold=float(l_r),
+            decision = state.group_and_accept(batch, caps)
+            intake = _waterfill_members(
+                state.loads, decision.accepted_per_bin, blocks, accept_rng
             )
-        )
-        active = active[~accepted]
-        round_no += 1
+            # Message accounting: requests land at leaders; responses
+            # and allocation notices at members.
+            np.add.at(bin_received, leaders, batch.counts)
+            bin_received += intake
+            state.commit_and_revoke(
+                batch,
+                decision,
+                threshold=l_r,
+                target_counts=intake,
+                accept_cost=2,
+            )
 
         if terminal:
             terminal_seen = True
@@ -347,202 +375,35 @@ def run_asymmetric(
             # leaders reporting their rejection totals upward, one extra
             # round already counted in the loop.
             m_sched = max(0, m_sched - l_r * n_r)
-            if m_sched == 0 and active.size > 0:
-                m_sched = int(active.size)
+            if m_sched == 0 and state.active_count > 0:
+                m_sched = state.active_count
         else:
             m_sched = max(0, m_sched - l_r * n_r)
 
-    if active.size > 0:
+    if state.active_count > 0:
         raise RuntimeError(
             f"asymmetric algorithm exceeded max_rounds={config.max_rounds} "
-            f"with {active.size} balls left"
+            f"with {state.active_count} balls left"
         )
+
+    extra: dict = {
+        "scheduled_rounds": scheduled_rounds,
+        "cleanup_rounds": cleanup_rounds,
+        "presymmetric_used": bool(use_pre),
+        "schedule": schedule_log,
+    }
+    if bin_received is not None:
+        extra["bin_received_max"] = int(bin_received.max(initial=0))
 
     return AllocationResult(
         algorithm="asymmetric",
         m=m,
         n=n,
-        loads=loads,
-        rounds=round_no,
-        metrics=metrics,
-        messages=counter,
-        total_messages=total_messages,
+        loads=state.loads,
+        rounds=state.rounds,
+        metrics=state.metrics,
+        messages=state.counter,
+        total_messages=state.total_messages,
         seed_entropy=factory.root_entropy,
-        extra={
-            "scheduled_rounds": scheduled_rounds,
-            "cleanup_rounds": cleanup_rounds,
-            "presymmetric_used": bool(use_pre),
-            "schedule": schedule_log,
-        },
+        extra=extra,
     )
-
-
-def _waterfill_members(
-    loads: np.ndarray,
-    accepted_per_super: np.ndarray,
-    blocks: np.ndarray,
-    rng: np.random.Generator,
-) -> np.ndarray:
-    """Distribute each superbin's accepted count over its members:
-    ``floor(a_s / b_s)`` each plus the remainder to the lowest-loaded
-    members (random tie-break).  Returns the per-bin intake vector."""
-    n = loads.size
-    n_r = len(blocks) - 1
-    block_sizes = np.diff(blocks)
-    base = accepted_per_super // block_sizes
-    remainder = accepted_per_super % block_sizes
-    block_of_bin = np.repeat(np.arange(n_r), block_sizes)
-    sorted_bins = np.lexsort((rng.random(n), loads, block_of_bin))
-    starts_b = np.concatenate(([0], np.cumsum(block_sizes)[:-1]))
-    rank_in_block = np.arange(n) - np.repeat(starts_b, block_sizes)
-    intake_sorted = base[block_of_bin] + (
-        rank_in_block < remainder[block_of_bin]
-    ).astype(np.int64)
-    intake = np.zeros(n, dtype=np.int64)
-    intake[sorted_bins] = intake_sorted
-    return intake
-
-
-def _run_asymmetric_aggregate(
-    m: int,
-    n: int,
-    *,
-    seed=None,
-    config: AsymmetricConfig = AsymmetricConfig(),
-    presymmetric: Optional[bool] = None,
-) -> AllocationResult:
-    """Aggregate (O(n)-per-round) execution of the asymmetric algorithm.
-
-    Balls are exchangeable within every round: the per-superbin request
-    counts are Multinomial(active, block_size/n) and the per-bin
-    presymmetric counts are Multinomial(m, 1/n), so the aggregate run is
-    identical in law to the per-ball run for every per-bin statistic.
-    """
-    from repro.fastpath.sampling import multinomial_occupancy
-
-    m, n = ensure_m_n(m, n, require_heavy=True)
-    factory = RngFactory(seed)
-    rng = factory.stream("asym-agg", "choices")
-    accept_rng = factory.stream("asym-agg", "accept")
-
-    loads = np.zeros(n, dtype=np.int64)
-    bin_received = np.zeros(n, dtype=np.int64)
-    metrics = RunMetrics(m, n)
-    total_messages = 0
-    round_no = 0
-    schedule_log: list[tuple[int, int]] = []
-
-    log_n = math.log(max(n, 2))
-    use_pre = presymmetric if presymmetric is not None else (m > n * log_n)
-    active = m
-    presym_t0 = 0
-
-    if use_pre and m > n:
-        t0 = max(0, math.floor(m / n - (m / n) ** (2.0 / 3.0)))
-        presym_t0 = t0
-        counts = multinomial_occupancy(active, n, rng)
-        accepted = np.minimum(counts, t0)
-        loads += accepted
-        bin_received += counts
-        accepts = int(accepted.sum())
-        total_messages += active + accepts
-        metrics.add_round(
-            RoundMetrics(
-                round_no=round_no,
-                unallocated_start=active,
-                requests_sent=active,
-                accepts_sent=accepts,
-                rejects_sent=0,
-                commits=accepts,
-                unallocated_end=active - accepts,
-                max_load=int(loads.max(initial=0)),
-                threshold=float(t0),
-            )
-        )
-        active -= accepts
-        round_no += 1
-
-    if use_pre and m > n:
-        m_sched = max(active, m - presym_t0 * n)
-    else:
-        m_sched = active
-    m_invoked = max(m_sched, 1)
-    scheduled_rounds = 0
-    cleanup_rounds = 0
-    terminal_seen = False
-
-    while active > 0 and round_no < config.max_rounds:
-        n_r, _delta, l_r, terminal = _schedule_params(
-            max(m_sched, 1), m_invoked, n, config.c
-        )
-        if terminal_seen:
-            cleanup_rounds += 1
-        else:
-            scheduled_rounds += 1
-        schedule_log.append((n_r, l_r))
-        blocks = superbin_blocks(n, n_r)
-        leaders = blocks[:-1]
-        block_sizes = np.diff(blocks)
-        avg_block = n / n_r
-        caps = np.ceil(l_r * block_sizes / avg_block).astype(np.int64)
-        # Requests per superbin: balls pick a uniform bin, hence a
-        # superbin with probability block_size/n.
-        pvals = block_sizes / n
-        counts_super = rng.multinomial(active, pvals).astype(np.int64)
-        accepted_super = np.minimum(counts_super, caps)
-        accepts = int(accepted_super.sum())
-        intake = _waterfill_members(loads, accepted_super, blocks, accept_rng)
-        loads += intake
-        # Message accounting: requests land at leaders; responses and
-        # allocation notices at members.
-        np.add.at(bin_received, leaders, counts_super)
-        bin_received += intake
-        total_messages += active + 2 * accepts
-        metrics.add_round(
-            RoundMetrics(
-                round_no=round_no,
-                unallocated_start=active,
-                requests_sent=active,
-                accepts_sent=accepts,
-                rejects_sent=0,
-                commits=accepts,
-                unallocated_end=active - accepts,
-                max_load=int(loads.max(initial=0)),
-                threshold=float(l_r),
-            )
-        )
-        active -= accepts
-        round_no += 1
-        if terminal:
-            terminal_seen = True
-            m_sched = max(0, m_sched - l_r * n_r)
-            if m_sched == 0 and active > 0:
-                m_sched = active
-        else:
-            m_sched = max(0, m_sched - l_r * n_r)
-
-    if active > 0:
-        raise RuntimeError(
-            f"aggregate asymmetric run exceeded max_rounds="
-            f"{config.max_rounds} with {active} balls left"
-        )
-
-    result = AllocationResult(
-        algorithm="asymmetric",
-        m=m,
-        n=n,
-        loads=loads,
-        rounds=round_no,
-        metrics=metrics,
-        messages=None,
-        total_messages=total_messages,
-        seed_entropy=factory.root_entropy,
-        extra={
-            "scheduled_rounds": scheduled_rounds,
-            "cleanup_rounds": cleanup_rounds,
-            "presymmetric_used": bool(use_pre),
-            "schedule": schedule_log,
-            "bin_received_max": int(bin_received.max(initial=0)),
-        },
-    )
-    return result

@@ -41,6 +41,7 @@ def should_use_trivial(m: int, n: int) -> bool:
     summary="Section 3 dispatcher: trivial for tiny n, else A_heavy",
     paper_ref="Section 3",
     modes=("perball", "aggregate", "engine"),
+    kernel_backed=True,
     config_type=HeavyConfig,
 )
 def run_combined(

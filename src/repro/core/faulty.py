@@ -34,10 +34,9 @@ import numpy as np
 
 from repro.api.spec import register_allocator
 from repro.core.thresholds import PaperSchedule, ThresholdSchedule
-from repro.fastpath.sampling import grouped_accept, sample_uniform_choices
+from repro.fastpath.roundstate import AcceptDecision, RoundState
 from repro.light.virtual import run_light_on_virtual_bins
 from repro.result import AllocationResult
-from repro.simulation.metrics import RoundMetrics, RunMetrics
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import check_probability, ensure_m_n
 
@@ -50,6 +49,7 @@ __all__ = ["run_heavy_faulty"]
     paper_ref="extension (experiment A4)",
     aliases=("heavy_faulty",),
     fault_tolerant=True,
+    kernel_backed=True,
 )
 def run_heavy_faulty(
     m: int,
@@ -107,68 +107,59 @@ def run_heavy_faulty(
     base_rounds = planned if planned is not None else 64
     rounds_budget = base_rounds + extra_rounds
 
-    loads = np.zeros(n, dtype=np.int64)
+    state = RoundState(m, n)
     ghosts = np.zeros(n, dtype=np.int64)
-    active = np.arange(m, dtype=np.int64)
     crashed = 0
-    metrics = RunMetrics(m, n)
-    total_messages = 0
-    round_no = 0
 
-    while round_no < rounds_budget and active.size > 0:
-        # Crashes: balls vanish before sending.
-        if crash_prob > 0 and active.size:
-            alive = fault_rng.random(active.size) >= crash_prob
-            crashed += int(active.size - alive.sum())
-            active = active[alive]
-        u = active.size
+    while state.rounds < rounds_budget and state.active_count > 0:
+        # Crashes: balls vanish before sending (protocol-level policy on
+        # the shared state's public active set).
+        if crash_prob > 0 and state.active_count:
+            alive = fault_rng.random(state.active_count) >= crash_prob
+            crashed += int(alive.size - alive.sum())
+            state.active = state.active[alive]
+        u = state.active_count
         if u == 0:
             break
         # Thresholds: schedule value, held at its last level past the
         # planned horizon (the bins keep their final capacity open).
-        threshold = sched.threshold(min(round_no, base_rounds - 1))
-        choices = sample_uniform_choices(u, n, rng)
-        # Request loss.
+        threshold = sched.threshold(min(state.rounds, base_rounds - 1))
+        batch = state.sample_contacts(rng)
+        # Request loss: only delivered requests reach their bins (and
+        # only they are charged as sent).
         if loss_prob > 0:
             delivered = fault_rng.random(u) >= loss_prob
         else:
             delivered = np.ones(u, dtype=bool)
-        capacity = np.maximum(threshold - loads - ghosts, 0)
-        accepted = np.zeros(u, dtype=bool)
-        if delivered.any():
-            sub_accept = grouped_accept(
-                choices[delivered], capacity, factory.stream("faulty", "acc", round_no)
-            )
-            accepted[np.flatnonzero(delivered)[sub_accept]] = True
+        batch.requests_sent = int(delivered.sum())
+        # Capacity: a real bin cannot distinguish a lost accept from a
+        # silent ball, so its residual counts ghosts as occupied.
+        capacity = np.maximum(threshold - state.loads - ghosts, 0)
+        decision = state.group_and_accept(
+            batch,
+            capacity,
+            factory.stream("faulty", "acc", state.rounds),
+            delivered=delivered,
+        )
+        accepted = decision.accepted
         # Accept loss: the bin reserved the slot, the ball never hears.
         if loss_prob > 0 and accepted.any():
             heard = fault_rng.random(int(accepted.sum())) >= loss_prob
             acc_idx = np.flatnonzero(accepted)
             ghost_idx = acc_idx[~heard]
-            np.add.at(ghosts, choices[ghost_idx], 1)
+            np.add.at(ghosts, batch.choices[ghost_idx], 1)
             accepted[ghost_idx] = False
-        accepted_bins = choices[accepted]
-        np.add.at(loads, accepted_bins, 1)
-        commits = int(accepted.sum())
-        total_messages += int(delivered.sum()) + commits
-        metrics.add_round(
-            RoundMetrics(
-                round_no=round_no,
-                unallocated_start=u,
-                requests_sent=int(delivered.sum()),
-                accepts_sent=commits,
-                rejects_sent=0,
-                commits=commits,
-                unallocated_end=u - commits,
-                max_load=int(loads.max(initial=0)),
-                threshold=float(threshold),
-            )
+        state.commit_and_revoke(
+            batch,
+            AcceptDecision(accepts_sent=int(accepted.sum()), accepted=accepted),
+            threshold=threshold,
         )
-        active = active[~accepted]
-        round_no += 1
 
-    phase1_rounds = round_no
-    remaining = int(active.size)
+    phase1_rounds = state.rounds
+    remaining = state.active_count
+    loads = state.loads
+    metrics = state.metrics
+    total_messages = state.total_messages
     extra = {
         "crash_prob": crash_prob,
         "loss_prob": loss_prob,

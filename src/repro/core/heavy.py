@@ -37,15 +37,11 @@ import numpy as np
 
 from repro.api.spec import register_allocator
 from repro.core.thresholds import PaperSchedule, ThresholdSchedule
-from repro.fastpath.sampling import (
-    grouped_accept,
-    multinomial_occupancy,
-    sample_uniform_choices,
-)
+from repro.fastpath.roundstate import RoundState
 from repro.light.lw16 import LightConfig
 from repro.light.virtual import run_light_on_virtual_bins
 from repro.result import AllocationResult
-from repro.simulation.metrics import MessageCounter, RoundMetrics, RunMetrics
+from repro.simulation.metrics import RoundMetrics
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import ensure_m_n
 
@@ -119,8 +115,14 @@ def run_threshold_protocol(
     Message accounting counts one request per active ball per round plus
     one accept per allocated ball; rejections are silent, matching the
     paper's protocol (Theorem 6 counts only sent messages).
+
+    The round body is three calls into the shared
+    :class:`~repro.fastpath.roundstate.RoundState` kernels; the only
+    protocol policy is the oblivious threshold schedule.
     """
     m, n = ensure_m_n(m, n, require_heavy=True)
+    if mode not in ("perball", "aggregate"):
+        raise ValueError(f"mode must be 'perball' or 'aggregate', got {mode!r}")
     factory = rng_factory or RngFactory()
     rng = factory.stream("threshold", "choices")
     accept_rng = factory.stream("threshold", "accept")
@@ -130,76 +132,32 @@ def run_threshold_protocol(
     if planned is not None:
         cap_rounds = min(cap_rounds, planned)
 
-    loads = np.zeros(n, dtype=np.int64)
-    metrics = RunMetrics(m, n)
-    counter = (
-        MessageCounter(m, n) if (mode == "perball" and track_per_ball) else None
+    state = RoundState(
+        m,
+        n,
+        granularity=mode,
+        track_messages=(mode == "perball" and track_per_ball),
     )
-    total_messages = 0
     thresholds: list[int] = []
 
-    if mode == "perball":
-        active = np.arange(m, dtype=np.int64)
-    elif mode == "aggregate":
-        active_count = m
-    else:
-        raise ValueError(f"mode must be 'perball' or 'aggregate', got {mode!r}")
-
-    round_no = 0
-    while round_no < cap_rounds:
-        m_i = int(active.size) if mode == "perball" else active_count
-        if stop_when_empty and m_i == 0:
+    while state.rounds < cap_rounds:
+        if stop_when_empty and state.active_count == 0:
             break
-        threshold = schedule.threshold(round_no)
+        threshold = schedule.threshold(state.rounds)
         thresholds.append(threshold)
-        capacity = np.maximum(threshold - loads, 0)
+        capacity = np.maximum(threshold - state.loads, 0)
+        batch = state.sample_contacts(rng)
+        decision = state.group_and_accept(batch, capacity, accept_rng)
+        state.commit_and_revoke(batch, decision, threshold=threshold)
 
-        if mode == "perball":
-            choices = sample_uniform_choices(m_i, n, rng)
-            accepted_mask = grouped_accept(choices, capacity, accept_rng)
-            accepted_bins = choices[accepted_mask]
-            np.add.at(loads, accepted_bins, 1)
-            accepts = int(accepted_mask.sum())
-            if counter is not None:
-                counter.record_bulk_ball_to_bin(choices, active)
-                counter.record_bulk_bin_to_ball(
-                    accepted_bins, active[accepted_mask]
-                )
-            active = active[~accepted_mask]
-            m_next = int(active.size)
-        else:
-            counts = multinomial_occupancy(m_i, n, rng)
-            accepted_per_bin = np.minimum(counts, capacity)
-            loads += accepted_per_bin
-            accepts = int(accepted_per_bin.sum())
-            active_count = m_i - accepts
-            m_next = active_count
-
-        total_messages += m_i + accepts
-        metrics.add_round(
-            RoundMetrics(
-                round_no=round_no,
-                unallocated_start=m_i,
-                requests_sent=m_i,
-                accepts_sent=accepts,
-                rejects_sent=0,
-                commits=accepts,
-                unallocated_end=m_next,
-                max_load=int(loads.max(initial=0)),
-                threshold=float(threshold),
-            )
-        )
-        round_no += 1
-
-    remaining = int(active.size) if mode == "perball" else active_count
     return ThresholdPhaseOutcome(
-        loads=loads,
-        remaining=remaining,
-        remaining_ids=active if mode == "perball" else None,
-        rounds=round_no,
-        metrics=metrics,
-        counter=counter,
-        total_messages=total_messages,
+        loads=state.loads,
+        remaining=state.active_count,
+        remaining_ids=state.active,
+        rounds=state.rounds,
+        metrics=state.metrics,
+        counter=state.counter,
+        total_messages=state.total_messages,
         thresholds=thresholds,
     )
 
@@ -210,6 +168,7 @@ def run_threshold_protocol(
     paper_ref="Theorem 1",
     aliases=("a_heavy",),
     modes=("perball", "aggregate", "engine"),
+    kernel_backed=True,
     config_type=HeavyConfig,
 )
 def run_heavy(

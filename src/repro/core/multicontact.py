@@ -6,8 +6,10 @@ threshold family, even with ``d = O(1)`` contacts per round.  This
 module makes the question executable: ``run_heavy_multicontact`` runs
 the paper's schedule with each unallocated ball contacting ``d``
 uniformly random bins per round (the degree-``d`` member of the
-Section 4 family, executed phase-per-round via the machinery of
-:mod:`repro.lowerbound.simulate_degree`).
+Section 4 family, executed phase-per-round via the shared
+``priority_commit`` round kernel of
+:mod:`repro.fastpath.roundstate` — the same kernel that powers the
+Lemma 2/3 simulations in :mod:`repro.lowerbound.simulate_degree`).
 
 Expected outcome (experiment A3): extra contacts do **not** reduce the
 round count below ``Theta(log log(m/n))`` — they only shave lower-order
@@ -26,10 +28,9 @@ import numpy as np
 
 from repro.api.spec import register_allocator
 from repro.core.thresholds import PaperSchedule, ThresholdSchedule
+from repro.fastpath.roundstate import RoundState
 from repro.light.virtual import run_light_on_virtual_bins
-from repro.lowerbound.simulate_degree import phase_resolution
 from repro.result import AllocationResult
-from repro.simulation.metrics import RoundMetrics, RunMetrics
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import check_positive_int, ensure_m_n
 
@@ -42,6 +43,7 @@ __all__ = ["run_heavy_multicontact"]
     paper_ref="extension (experiment A3)",
     aliases=("heavy_multicontact",),
     supports_multicontact=True,
+    kernel_backed=True,
 )
 def run_heavy_multicontact(
     m: int,
@@ -78,45 +80,30 @@ def run_heavy_multicontact(
     planned = sched.phase1_rounds()
     rounds_budget = planned if planned is not None else max_rounds
 
-    loads = np.zeros(n, dtype=np.int64)
-    active = np.arange(m, dtype=np.int64)
-    metrics = RunMetrics(m, n)
-    total_messages = 0
-    round_no = 0
+    state = RoundState(m, n)
 
-    while round_no < rounds_budget and active.size > 0:
-        u = active.size
-        threshold = sched.threshold(round_no)
-        contacts = rng.integers(0, n, size=(u, d), dtype=np.int64)
-        marks = rng.random(size=(u, d))
-        committed_mask, committed_bin = phase_resolution(
-            contacts, marks, loads, threshold
-        )
-        commits = int(committed_mask.sum())
-        np.add.at(loads, committed_bin[committed_mask], 1)
+    while state.rounds < rounds_budget and state.active_count > 0:
+        threshold = sched.threshold(state.rounds)
+        batch = state.sample_contacts(rng, d=d)
         # Messages: u*d requests; accepts are bounded by capacity opened
         # this round — count commits plus revoked accepts conservatively
         # as <= u*d responses; we track requests + one accept + one
-        # commit per allocated ball (the dominant terms).
-        total_messages += u * d + 2 * commits
-        metrics.add_round(
-            RoundMetrics(
-                round_no=round_no,
-                unallocated_start=u,
-                requests_sent=u * d,
-                accepts_sent=commits,
-                rejects_sent=0,
-                commits=commits,
-                unallocated_end=u - commits,
-                max_load=int(loads.max(initial=0)),
-                threshold=float(threshold),
-            )
+        # commit per allocated ball (the dominant terms): accept_cost=2.
+        decision = state.group_and_accept(
+            batch,
+            np.maximum(threshold - state.loads, 0),
+            rng,
+            policy="priority_commit",
         )
-        active = active[~committed_mask]
-        round_no += 1
+        state.commit_and_revoke(
+            batch, decision, threshold=threshold, accept_cost=2
+        )
 
-    phase1_rounds = round_no
-    phase1_remaining = int(active.size)
+    loads = state.loads
+    metrics = state.metrics
+    total_messages = state.total_messages
+    phase1_rounds = state.rounds
+    phase1_remaining = state.active_count
     extra = {
         "d": d,
         "phase1_rounds": phase1_rounds,

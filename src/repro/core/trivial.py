@@ -23,9 +23,8 @@ from typing import Optional
 import numpy as np
 
 from repro.api.spec import register_allocator
-from repro.fastpath.sampling import grouped_accept
+from repro.fastpath.roundstate import RoundState
 from repro.result import AllocationResult
-from repro.simulation.metrics import RoundMetrics, RunMetrics
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import ensure_m_n
 
@@ -36,6 +35,7 @@ __all__ = ["run_trivial"]
     "trivial",
     summary="deterministic n-round algorithm, max load ceil(m/n)",
     paper_ref="Section 3",
+    kernel_backed=True,
 )
 def run_trivial(
     m: int,
@@ -66,48 +66,27 @@ def run_trivial(
     factory = RngFactory(seed)
     accept_rng = factory.stream("trivial", "accept")
 
-    loads = np.zeros(n, dtype=np.int64)
-    active = np.arange(m, dtype=np.int64)
-    metrics = RunMetrics(m, n)
-    total_messages = 0
-    round_no = 0
-
-    while active.size > 0:
-        if round_no >= n:  # impossible by the monotonicity argument
+    state = RoundState(m, n)
+    while state.active_count > 0:
+        if state.rounds >= n:  # impossible by the monotonicity argument
             raise RuntimeError(
                 "trivial algorithm exceeded n rounds; invariant violated"
             )
-        targets = (active + round_no) % n
-        capacity = cap - loads
-        accepted = grouped_accept(targets, capacity, accept_rng)
-        accepted_bins = targets[accepted]
-        np.add.at(loads, accepted_bins, 1)
-        accepts = int(accepted.sum())
-        total_messages += int(active.size) + accepts
-        metrics.add_round(
-            RoundMetrics(
-                round_no=round_no,
-                unallocated_start=int(active.size),
-                requests_sent=int(active.size),
-                accepts_sent=accepts,
-                rejects_sent=0,
-                commits=accepts,
-                unallocated_end=int(active.size) - accepts,
-                max_load=int(loads.max(initial=0)),
-                threshold=float(cap),
-            )
-        )
-        active = active[~accepted]
-        round_no += 1
+        # Protocol policy: ball b deterministically visits bin (b + r)
+        # mod n; bins cap at the fixed threshold.
+        targets = (state.active + state.rounds) % n
+        batch = state.sample_contacts(targets=targets)
+        decision = state.group_and_accept(batch, cap - state.loads, accept_rng)
+        state.commit_and_revoke(batch, decision, threshold=cap)
 
     return AllocationResult(
         algorithm="trivial",
         m=m,
         n=n,
-        loads=loads,
-        rounds=round_no,
-        metrics=metrics,
-        total_messages=total_messages,
+        loads=state.loads,
+        rounds=state.rounds,
+        metrics=state.metrics,
+        total_messages=state.total_messages,
         seed_entropy=factory.root_entropy,
         extra={"threshold": cap},
     )

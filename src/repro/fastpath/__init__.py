@@ -13,10 +13,24 @@ executes.  Two granularities are offered:
   ``O(n)`` per round and scales to ``m ≈ 10^12`` while remaining
   distributionally identical for every per-bin and global statistic.
 
+:mod:`repro.fastpath.roundstate` layers the shared round skeleton on
+top of the sampling kernels: :class:`RoundState` owns the flat arrays
+(loads, active balls, metrics, message tallies) and exposes the three
+kernel steps — ``sample_contacts``, ``group_and_accept``,
+``commit_and_revoke`` — that every protocol's vectorized mode drives
+(see ``docs/performance.md``).
+
 Cross-validation tests assert both paths agree with the object-level
 engine on conserved quantities and in distribution.
 """
 
+from repro.fastpath.roundstate import (
+    AcceptDecision,
+    ContactBatch,
+    RoundOutcome,
+    RoundState,
+    priority_commit_accept,
+)
 from repro.fastpath.sampling import (
     grouped_accept,
     multinomial_occupancy,
@@ -24,7 +38,12 @@ from repro.fastpath.sampling import (
 )
 
 __all__ = [
+    "AcceptDecision",
+    "ContactBatch",
+    "RoundOutcome",
+    "RoundState",
     "grouped_accept",
     "multinomial_occupancy",
+    "priority_commit_accept",
     "sample_uniform_choices",
 ]

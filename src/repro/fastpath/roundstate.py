@@ -1,0 +1,676 @@
+"""The shared vectorized round-kernel layer: one backend for all protocols.
+
+Every allocation protocol in the package — the paper's algorithms in
+:mod:`repro.core`, the baselines in :mod:`repro.baselines`, and the
+light-load subroutine in :mod:`repro.light` — executes the same round
+skeleton:
+
+1. **sample contacts** — active balls pick target bins (uniformly, with
+   fan-out ``d``, or by a protocol-supplied deterministic rule);
+2. **group and accept** — bins group the requests addressed to them and
+   accept a subset under a capacity rule;
+3. **commit and revoke** — accepted balls commit (resolving multiple
+   accepts to one), loads/active sets/metrics/message tallies update.
+
+Historically each protocol carried its own copy of that loop; this
+module centralizes it.  :class:`RoundState` owns the flat numpy state
+(per-bin loads, active-ball ids or the aggregate active count, the
+round metrics, and message accounting) and exposes the three kernel
+steps as methods.  A protocol is reduced to a *policy*: a per-round
+choice of targets, capacities, accept rule, and message-cost shape.
+
+Two granularities share the API:
+
+* ``"perball"`` — exact per-ball semantics over arrays of ball choices
+  (``O(m_i log m_i)`` work per round; practical to ``m ≈ 10^7``);
+* ``"aggregate"`` — per-bin request *counts* drawn directly from the
+  multinomial distribution (``O(n)`` per round, ``m ≈ 10^12``),
+  identical in law for every per-bin and global statistic because the
+  balls of a uniform-contact round are exchangeable.
+
+Accept policies (the ``policy`` argument of :meth:`RoundState.group_and_accept`):
+
+``"uniform"``
+    Each bin accepts up to its capacity, chosen uniformly among its
+    requesters (:func:`repro.fastpath.sampling.grouped_accept`); the
+    aggregate form is ``min(counts, capacity)``.
+``"all_or_nothing"``
+    Stemann's collision rule: a bin accepts its entire request batch
+    iff it fits within capacity, else none of it.
+``"priority_commit"``
+    The degree-``d`` phase rule of Lemmas 2/3: bins accept the
+    smallest-mark requests up to capacity, balls commit to their
+    smallest-mark accept, and revoked accepts return capacity within
+    the same resolution (capacity is consumed by *commits* only).
+
+The RNG draw order of each kernel deliberately matches the historical
+per-protocol loops, so refactored protocols remain seed-for-seed
+reproducible with their pre-kernel implementations — with one scoped
+exception: a round whose bins are all saturated (zero residual
+capacity everywhere) now skips its vacuous priority draws entirely
+(see :func:`repro.fastpath.sampling.grouped_accept`), which offsets
+the accept stream relative to pre-kernel code from that round on.
+Such rounds reject everything in both versions; only the stream
+offset differs, never the distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.fastpath.sampling import (
+    grouped_accept,
+    multinomial_occupancy,
+    sample_uniform_choices,
+)
+from repro.simulation.metrics import MessageCounter, RoundMetrics, RunMetrics
+
+__all__ = [
+    "AcceptDecision",
+    "ContactBatch",
+    "Granularity",
+    "RoundOutcome",
+    "RoundState",
+    "priority_commit_accept",
+]
+
+Granularity = Literal["perball", "aggregate"]
+
+
+@dataclass
+class ContactBatch:
+    """One round's worth of requests, at either granularity.
+
+    Attributes
+    ----------
+    n_targets:
+        Size of the target space.  Usually the bin count, but protocols
+        may group requests over a coarser space (the asymmetric
+        algorithm's superbins).
+    d:
+        Contacts per active ball.
+    requests_sent:
+        Request messages charged for this batch.  Protocols that model
+        message loss lower this to the delivered count before the
+        commit step.
+    choices:
+        Per-ball granularity: flat int64 array of request targets
+        (``u * d`` entries, ball-major).
+    requester_pos:
+        Flat-request index -> position into the active-ball array.
+        ``None`` means the identity (``d == 1``).
+    counts:
+        Aggregate granularity: per-target request counts.
+    """
+
+    n_targets: int
+    d: int
+    requests_sent: int
+    choices: Optional[np.ndarray] = None
+    requester_pos: Optional[np.ndarray] = None
+    counts: Optional[np.ndarray] = None
+
+    def positions(self) -> np.ndarray:
+        """Requester position of every flat request (identity for d=1)."""
+        if self.requester_pos is not None:
+            return self.requester_pos
+        if self.choices is None:
+            raise ValueError("aggregate batches have no per-request positions")
+        return np.arange(self.choices.size, dtype=np.int64)
+
+
+@dataclass
+class AcceptDecision:
+    """Outcome of the group-and-accept step.
+
+    Exactly one representation is populated:
+
+    * ``accepted`` — per-ball granularity, boolean over flat requests
+      (``uniform`` / ``all_or_nothing`` policies);
+    * ``accepted_per_bin`` — aggregate granularity, per-target counts;
+    * ``committed_pos``/``committed_bin`` — ``priority_commit`` policy,
+      where accept and commit resolve in one pass (``resolved=True``).
+
+    ``accepts_sent`` is the number of accept messages the bins sent
+    (for ``priority_commit`` that equals the commits: revoked accepts
+    return capacity and are modeled as not consuming a message, the
+    accounting used by the degree-d family).
+    """
+
+    accepts_sent: int
+    accepted: Optional[np.ndarray] = None
+    accepted_per_bin: Optional[np.ndarray] = None
+    committed_pos: Optional[np.ndarray] = None
+    committed_bin: Optional[np.ndarray] = None
+    resolved: bool = False
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """What one kernel round did, for protocol-level accounting."""
+
+    round_no: int
+    unallocated_start: int
+    requests_sent: int
+    accepts_sent: int
+    commits: int
+    commit_messages: int
+    unallocated_end: int
+    #: Global ids of the balls that committed this round (perball only).
+    committed_balls: Optional[np.ndarray] = None
+    #: Their target bins, aligned with ``committed_balls``.
+    committed_bins: Optional[np.ndarray] = None
+    #: Requester positions of every accepted request (perball, multi-
+    #: contact resolution only) — for per-ball receive accounting.
+    accepted_positions: Optional[np.ndarray] = None
+    #: Requester positions, one per accept held by a committing ball —
+    #: the commit/revoke notifications of step 3.
+    commit_notice_positions: Optional[np.ndarray] = None
+
+
+def priority_commit_accept(
+    choices: np.ndarray,
+    marks: np.ndarray,
+    requester_pos: np.ndarray,
+    n_balls: int,
+    capacity: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Resolve one degree-``d`` phase (Lemmas 2/3 accept rule).
+
+    Bin-side: accept the requests with the smallest tie-break marks, up
+    to capacity (i.i.d. marks uniformize the adversarial port order).
+    Ball-side: commit to the accepting bin with the smallest mark;
+    revoked accepts return capacity within the same resolution, so
+    capacity is consumed by commits only.
+
+    Parameters
+    ----------
+    choices, marks, requester_pos:
+        Flat per-request targets, priorities, and requester positions.
+    n_balls:
+        Number of active balls (the requester-position space).
+    capacity:
+        Per-bin residual capacities.
+
+    Returns
+    -------
+    (committed_mask, committed_bin)
+        Over the active-ball axis; ``committed_bin`` is -1 for balls
+        that did not commit.
+    """
+    k = choices.size
+    cap = np.maximum(capacity, 0)
+    # Accept pass: per bin, smallest-mark requests up to capacity.
+    order = np.lexsort((marks, choices))
+    sorted_bins = choices[order]
+    change = np.flatnonzero(np.diff(sorted_bins)) + 1
+    starts = np.concatenate(([0], change))
+    lengths = np.diff(np.concatenate((starts, [k])))
+    rank = np.arange(k) - np.repeat(starts, lengths)
+    accepted_sorted = rank < cap[sorted_bins]
+    accepted = np.zeros(k, dtype=bool)
+    accepted[order[accepted_sorted]] = True
+    # Commit pass: each ball takes its smallest-mark accept.
+    committed_mask = np.zeros(n_balls, dtype=bool)
+    committed_bin = np.full(n_balls, -1, dtype=np.int64)
+    if accepted.any():
+        acc_ball = requester_pos[accepted]
+        acc_bin = choices[accepted]
+        acc_mark = marks[accepted]
+        order2 = np.lexsort((acc_mark, acc_ball))
+        b_sorted = acc_ball[order2]
+        first = np.concatenate(([True], b_sorted[1:] != b_sorted[:-1]))
+        winners = order2[first]
+        committed_mask[acc_ball[winners]] = True
+        committed_bin[acc_ball[winners]] = acc_bin[winners]
+    return committed_mask, committed_bin
+
+
+class RoundState:
+    """Flat-array round state shared by every vectorized protocol.
+
+    Owns the per-bin load vector, the active-ball set (ids at per-ball
+    granularity, a count at aggregate granularity), the per-round
+    :class:`~repro.simulation.metrics.RunMetrics`, the running message
+    total, and — when ``track_messages`` — the full per-ball/per-bin
+    :class:`~repro.simulation.metrics.MessageCounter`.
+
+    Protocols drive it with the three kernel steps::
+
+        state = RoundState(m, n, granularity=mode)
+        while state.active_count and state.rounds < budget:
+            capacity = np.maximum(threshold(state.rounds) - state.loads, 0)
+            batch = state.sample_contacts(rng)
+            decision = state.group_and_accept(batch, capacity, accept_rng)
+            state.commit_and_revoke(batch, decision, threshold=threshold(...))
+
+    ``active`` is a public array: protocols with ball-level policy
+    outside the kernel steps (fault injection crashes, handoff of
+    stragglers) may shrink it between rounds.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        n: int,
+        *,
+        granularity: Granularity = "perball",
+        track_messages: bool = False,
+        track_assignment: bool = False,
+        metrics: Optional[RunMetrics] = None,
+    ) -> None:
+        if m < 0 or n < 1:
+            raise ValueError(f"need m >= 0 and n >= 1, got m={m}, n={n}")
+        if granularity not in ("perball", "aggregate"):
+            raise ValueError(
+                f"granularity must be 'perball' or 'aggregate', "
+                f"got {granularity!r}"
+            )
+        self.m = m
+        self.n = n
+        self.granularity: Granularity = granularity
+        self.loads = np.zeros(n, dtype=np.int64)
+        self.metrics = metrics if metrics is not None else RunMetrics(m, n)
+        self.total_messages = 0
+        self.rounds = 0
+        if granularity == "perball":
+            self.active: Optional[np.ndarray] = np.arange(m, dtype=np.int64)
+            self._active_count = m
+            self.counter = MessageCounter(m, n) if track_messages else None
+            self.assignment = (
+                np.full(m, -1, dtype=np.int64) if track_assignment else None
+            )
+        else:
+            if track_messages or track_assignment:
+                raise ValueError(
+                    "per-ball accounting requires granularity='perball'"
+                )
+            self.active = None
+            self._active_count = m
+            self.counter = None
+            self.assignment = None
+
+    @property
+    def active_count(self) -> int:
+        """Unallocated balls right now, at either granularity."""
+        if self.active is not None:
+            return int(self.active.size)
+        return self._active_count
+
+    # -- kernel step 1: sample contacts ---------------------------------
+
+    def sample_contacts(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        d: int = 1,
+        targets: Optional[np.ndarray] = None,
+        n_targets: Optional[int] = None,
+        pvals: Optional[np.ndarray] = None,
+    ) -> ContactBatch:
+        """Draw (or adopt) this round's request targets.
+
+        Parameters
+        ----------
+        rng:
+            Random stream for uniform/multinomial sampling (unused when
+            ``targets`` is given).
+        d:
+            Contacts per active ball (requests are laid out ball-major,
+            matching ``rng.integers(..., size=(u, d))`` flattening).
+        targets:
+            Protocol-supplied flat targets (deterministic rules, derived
+            spaces like superbins).  Length must be ``active_count * d``.
+        n_targets:
+            Size of the target space when it is not the bin count.
+        pvals:
+            Aggregate granularity: non-uniform target probabilities
+            (e.g. superbin block sizes); default uniform over bins.
+        """
+        u = self.active_count
+        space = n_targets if n_targets is not None else self.n
+        if self.granularity == "aggregate":
+            if targets is not None:
+                raise ValueError(
+                    "aggregate granularity draws counts; pass pvals, "
+                    "not per-ball targets"
+                )
+            if d != 1:
+                raise ValueError("aggregate granularity supports d=1 only")
+            if pvals is not None:
+                counts = rng.multinomial(u, pvals).astype(np.int64)
+            else:
+                counts = multinomial_occupancy(u, space, rng)
+            return ContactBatch(
+                n_targets=space, d=1, requests_sent=u, counts=counts
+            )
+        if targets is not None:
+            choices = np.asarray(targets, dtype=np.int64)
+            if choices.ndim == 2:
+                choices = choices.reshape(-1)
+            if choices.size != u * d:
+                raise ValueError(
+                    f"targets has {choices.size} entries, expected "
+                    f"active_count * d = {u} * {d}"
+                )
+        else:
+            choices = sample_uniform_choices(u * d, space, rng)
+        requester_pos = (
+            np.repeat(np.arange(u, dtype=np.int64), d) if d > 1 else None
+        )
+        return ContactBatch(
+            n_targets=space,
+            d=d,
+            requests_sent=u * d,
+            choices=choices,
+            requester_pos=requester_pos,
+        )
+
+    # -- kernel step 2: group and accept --------------------------------
+
+    def group_and_accept(
+        self,
+        batch: ContactBatch,
+        capacity: Optional[np.ndarray],
+        rng: Optional[np.random.Generator] = None,
+        *,
+        policy: str = "uniform",
+        delivered: Optional[np.ndarray] = None,
+    ) -> AcceptDecision:
+        """Group requests per target and accept under ``capacity``.
+
+        Parameters
+        ----------
+        batch:
+            The contact batch from :meth:`sample_contacts`.
+        capacity:
+            Per-target residual capacities; ``None`` accepts everything
+            (one-shot processes).
+        rng:
+            Random stream for within-bin selection (``uniform``) or
+            tie-break marks (``priority_commit``).
+        policy:
+            ``"uniform"``, ``"all_or_nothing"``, or ``"priority_commit"``
+            (see module docstring).
+        delivered:
+            Optional boolean mask over flat requests: only delivered
+            requests reach their bins (message-loss modeling).  The
+            returned ``accepted`` mask still spans all requests.
+        """
+        if batch.counts is not None:
+            return self._group_and_accept_aggregate(batch, capacity, policy)
+        choices = batch.choices
+        k = choices.size
+        if capacity is None:
+            if policy != "uniform":
+                raise ValueError("capacity=None requires policy='uniform'")
+            return AcceptDecision(
+                accepts_sent=k, accepted=np.ones(k, dtype=bool)
+            )
+        if policy == "uniform":
+            if delivered is not None:
+                accepted = np.zeros(k, dtype=bool)
+                if delivered.any():
+                    sub = grouped_accept(choices[delivered], capacity, rng)
+                    accepted[np.flatnonzero(delivered)[sub]] = True
+            else:
+                accepted = grouped_accept(choices, capacity, rng)
+            return AcceptDecision(
+                accepts_sent=int(accepted.sum()), accepted=accepted
+            )
+        if policy == "all_or_nothing":
+            if delivered is not None:
+                raise ValueError(
+                    "delivered masks are not supported for all_or_nothing"
+                )
+            counts = np.bincount(choices, minlength=batch.n_targets)
+            fits = (counts > 0) & (counts <= np.maximum(capacity, 0))
+            accepted = fits[choices]
+            return AcceptDecision(
+                accepts_sent=int(accepted.sum()), accepted=accepted
+            )
+        if policy == "priority_commit":
+            if delivered is not None:
+                raise ValueError(
+                    "delivered masks are not supported for priority_commit"
+                )
+            marks = rng.random(k)
+            committed_mask, committed_bin = priority_commit_accept(
+                choices, marks, batch.positions(), self.active_count, capacity
+            )
+            commits = int(committed_mask.sum())
+            return AcceptDecision(
+                accepts_sent=commits,
+                committed_pos=committed_mask,
+                committed_bin=committed_bin,
+                resolved=True,
+            )
+        raise ValueError(f"unknown accept policy {policy!r}")
+
+    def _group_and_accept_aggregate(
+        self,
+        batch: ContactBatch,
+        capacity: Optional[np.ndarray],
+        policy: str,
+    ) -> AcceptDecision:
+        counts = batch.counts
+        if capacity is None:
+            accepted = counts.copy()
+        elif policy == "uniform":
+            accepted = np.minimum(counts, np.maximum(capacity, 0))
+        elif policy == "all_or_nothing":
+            fits = (counts > 0) & (counts <= np.maximum(capacity, 0))
+            accepted = np.where(fits, counts, 0)
+        else:
+            raise ValueError(
+                f"policy {policy!r} has no aggregate form "
+                "(priority_commit needs per-ball identity)"
+            )
+        return AcceptDecision(
+            accepts_sent=int(accepted.sum()), accepted_per_bin=accepted
+        )
+
+    # -- kernel step 3: commit and revoke -------------------------------
+
+    def commit_and_revoke(
+        self,
+        batch: ContactBatch,
+        decision: AcceptDecision,
+        *,
+        threshold: Optional[float] = None,
+        target_bins: Optional[np.ndarray] = None,
+        target_counts: Optional[np.ndarray] = None,
+        accept_cost: int = 1,
+        count_commits: bool = False,
+        commit_notifications: bool = False,
+        record_counter: bool = True,
+        record_accepts: bool = True,
+    ) -> RoundOutcome:
+        """Commit accepted balls, update state, and close the round.
+
+        Resolves multiple accepts per ball (first accepted request in
+        ball order — uniform among acceptors, since the accept pass
+        already applied random priorities), bumps loads, shrinks the
+        active set, appends the
+        :class:`~repro.simulation.metrics.RoundMetrics` row, and adds
+        this round's messages.
+
+        Parameters
+        ----------
+        threshold:
+            Recorded in the metrics row (the round's capacity rule).
+        target_bins / target_counts:
+            Override where committed balls land (per-ball bins /
+            aggregate per-bin intake) when commits go to a different
+            space than the contacts — the asymmetric algorithm's
+            leader-to-member redirection.
+        accept_cost:
+            Messages charged per accept (0: accepts are silent, as in
+            the one-shot baseline; 2: accept plus allocation notice).
+        count_commits:
+            Charge one extra message per commit (collision protocols
+            where the commit is a distinct message).
+        commit_notifications:
+            Charge one message per accept held by a committing ball
+            (commit/revoke notices of the light protocol) and expose
+            ``commit_notice_positions`` on the outcome.
+        record_counter:
+            Feed the per-ball/per-bin
+            :class:`~repro.simulation.metrics.MessageCounter` (when the
+            state tracks one) with the canonical request/accept pattern.
+            Protocols whose contacts live in a derived space record
+            their own messages instead.
+        record_accepts:
+            Within ``record_counter``: also record bin->ball accepts
+            (off for one-shot processes whose accepts are implicit).
+        """
+        u = self.active_count
+        if self.granularity == "aggregate" or batch.counts is not None:
+            accepted = decision.accepted_per_bin
+            commits = accepts = int(accepted.sum())
+            self.loads += target_counts if target_counts is not None else accepted
+            self._active_count = u - commits
+            outcome = self._close_round(
+                batch,
+                decision,
+                threshold=threshold,
+                unallocated_start=u,
+                commits=commits,
+                commit_messages=0,
+                accept_cost=accept_cost,
+                count_commits=count_commits,
+                commit_notifications=commit_notifications,
+                committed_balls=None,
+                committed_bins=None,
+                accepted_positions=None,
+                commit_notice_positions=None,
+            )
+            return outcome
+
+        balls = self.active
+        accepted_positions: Optional[np.ndarray] = None
+        notice_positions: Optional[np.ndarray] = None
+        commit_messages = 0
+        if decision.resolved:
+            committed_mask = decision.committed_pos
+            commit_bins = decision.committed_bin[committed_mask]
+        elif batch.requester_pos is None:
+            committed_mask = decision.accepted
+            commit_bins = batch.choices[committed_mask]
+            if commit_notifications:
+                # d == 1: every committing ball holds exactly one accept.
+                accepted_positions = np.flatnonzero(committed_mask)
+                notice_positions = accepted_positions
+                commit_messages = int(accepted_positions.size)
+        else:
+            accepted = decision.accepted
+            acc_positions = batch.requester_pos[accepted]
+            acc_bins = batch.choices[accepted]
+            accepted_positions = acc_positions
+            committed_mask = np.zeros(u, dtype=bool)
+            commit_bins = np.zeros(0, dtype=np.int64)
+            notice_positions = np.zeros(0, dtype=np.int64)
+            if acc_positions.size:
+                order = np.argsort(acc_positions, kind="stable")
+                sorted_positions = acc_positions[order]
+                sorted_bins = acc_bins[order]
+                first = np.concatenate(
+                    ([True], sorted_positions[1:] != sorted_positions[:-1])
+                )
+                winners_pos = sorted_positions[first]
+                commit_bins = sorted_bins[first]
+                committed_mask[winners_pos] = True
+                if commit_notifications:
+                    # Every ball holding an accept commits under this
+                    # policy, so each accepted request gets a notice.
+                    notice_positions = sorted_positions
+                    commit_messages = int(sorted_positions.size)
+        commits = int(committed_mask.sum())
+        committed_balls = balls[committed_mask]
+        bins_for_load = target_bins if target_bins is not None else commit_bins
+        np.add.at(self.loads, bins_for_load, 1)
+        if self.assignment is not None and target_bins is None:
+            self.assignment[committed_balls] = commit_bins
+        if (
+            record_counter
+            and self.counter is not None
+            and not decision.resolved
+            and batch.requester_pos is None
+        ):
+            self.counter.record_bulk_ball_to_bin(batch.choices, balls)
+            if record_accepts:
+                self.counter.record_bulk_bin_to_ball(
+                    commit_bins, committed_balls
+                )
+        self.active = balls[~committed_mask]
+        return self._close_round(
+            batch,
+            decision,
+            threshold=threshold,
+            unallocated_start=u,
+            commits=commits,
+            commit_messages=commit_messages,
+            accept_cost=accept_cost,
+            count_commits=count_commits,
+            commit_notifications=commit_notifications,
+            committed_balls=committed_balls,
+            committed_bins=bins_for_load,
+            accepted_positions=accepted_positions,
+            commit_notice_positions=notice_positions,
+        )
+
+    def _close_round(
+        self,
+        batch: ContactBatch,
+        decision: AcceptDecision,
+        *,
+        threshold: Optional[float],
+        unallocated_start: int,
+        commits: int,
+        commit_messages: int,
+        accept_cost: int,
+        count_commits: bool,
+        commit_notifications: bool,
+        committed_balls: Optional[np.ndarray],
+        committed_bins: Optional[np.ndarray],
+        accepted_positions: Optional[np.ndarray],
+        commit_notice_positions: Optional[np.ndarray],
+    ) -> RoundOutcome:
+        unallocated_end = self.active_count
+        messages = batch.requests_sent + accept_cost * decision.accepts_sent
+        if count_commits:
+            messages += commits
+        if commit_notifications:
+            messages += commit_messages
+        self.total_messages += messages
+        self.metrics.add_round(
+            RoundMetrics(
+                round_no=self.rounds,
+                unallocated_start=unallocated_start,
+                requests_sent=batch.requests_sent,
+                accepts_sent=decision.accepts_sent,
+                rejects_sent=0,
+                commits=commits,
+                unallocated_end=unallocated_end,
+                max_load=int(self.loads.max(initial=0)),
+                threshold=None if threshold is None else float(threshold),
+            )
+        )
+        outcome = RoundOutcome(
+            round_no=self.rounds,
+            unallocated_start=unallocated_start,
+            requests_sent=batch.requests_sent,
+            accepts_sent=decision.accepts_sent,
+            commits=commits,
+            commit_messages=commit_messages,
+            unallocated_end=unallocated_end,
+            committed_balls=committed_balls,
+            committed_bins=committed_bins,
+            accepted_positions=accepted_positions,
+            commit_notice_positions=commit_notice_positions,
+        )
+        self.rounds += 1
+        return outcome

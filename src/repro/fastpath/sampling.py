@@ -81,13 +81,24 @@ def grouped_accept(
         Random stream for the within-bin selection.
     """
     choices = np.asarray(choices)
-    capacity = np.asarray(capacity)
+    capacity = np.atleast_1d(np.asarray(capacity))
     k = choices.size
     if k == 0:
+        # Empty request round (e.g. a schedule running past the last
+        # active ball with ``stop_when_empty=False``): nothing to
+        # group, no RNG consumed.
         return np.zeros(0, dtype=bool)
+    if not np.issubdtype(choices.dtype, np.integer):
+        raise ValueError(
+            f"choices must be an integer array, got dtype {choices.dtype}"
+        )
     if choices.min() < 0 or choices.max() >= capacity.size:
         raise ValueError("request target out of range for capacity array")
     cap = np.maximum(capacity, 0)
+    if int(cap.max(initial=0)) == 0:
+        # Every bin saturated (zero-capacity round): all requests are
+        # rejected; skip the O(k log k) sort and its priority draws.
+        return np.zeros(k, dtype=bool)
     order = np.lexsort((rng.random(k), choices))
     sorted_bins = choices[order]
     change = np.flatnonzero(np.diff(sorted_bins)) + 1

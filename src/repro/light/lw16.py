@@ -34,7 +34,7 @@ from typing import Optional
 import numpy as np
 
 from repro.api.spec import register_allocator
-from repro.fastpath.sampling import grouped_accept
+from repro.fastpath.roundstate import RoundState
 from repro.simulation.metrics import RoundMetrics, RunMetrics
 from repro.utils.logstar import log_star
 from repro.utils.seeding import RngFactory, as_generator
@@ -144,122 +144,79 @@ def run_light(
             f"{config.capacity} * {n_bins} = {total_capacity}"
         )
     rng = as_generator(seed)
-    loads = np.zeros(n_bins, dtype=np.int64)
-    assignment = np.full(n_balls, -1, dtype=np.int64)
+    state = RoundState(n_balls, n_bins, track_assignment=True)
     ball_messages = np.zeros(n_balls, dtype=np.int64)
-    active = np.arange(n_balls, dtype=np.int64)
-    metrics = RunMetrics(n_balls, n_bins)
-    total_messages = 0
-    round_no = 0
     used_fallback = False
     budget = log_star(n_bins) + config.round_budget_slack
 
-    while active.size > 0 and round_no < budget:
-        k_r = tower_schedule(round_no, min(config.max_contacts, n_bins))
-        u = active.size
-        # Step 1: requests. flat layout: request j belongs to ball
-        # active[j // k_r].
-        choices = rng.integers(0, n_bins, size=u * k_r, dtype=np.int64)
-        requester = np.repeat(active, k_r)
-        requester_pos = np.repeat(np.arange(u), k_r)
-        capacity = (config.capacity - loads).astype(np.int64)
-        # Step 2: bins accept up to residual capacity.
-        accepted = grouped_accept(choices, capacity, rng)
-        accepts_sent = int(accepted.sum())
-        # Step 3: each accepted ball commits to one acceptor (uniformly:
-        # the accept mask was already uniformized by random priorities, so
-        # taking the first accepted request per ball is uniform among its
-        # acceptors).  Sort accepted requests by ball position.
-        acc_positions = requester_pos[accepted]
-        acc_bins = choices[accepted]
-        # Accounting: request sends and accept receives, per ball.
-        np.add.at(ball_messages, requester, 1)
-        np.add.at(ball_messages, active[acc_positions], 1)
-        commits = 0
-        commit_msgs = 0
-        if acc_positions.size:
-            order = np.argsort(acc_positions, kind="stable")
-            sorted_positions = acc_positions[order]
-            sorted_bins = acc_bins[order]
-            first_of_ball = np.concatenate(
-                ([True], sorted_positions[1:] != sorted_positions[:-1])
-            )
-            winners_pos = sorted_positions[first_of_ball]
-            winners_bin = sorted_bins[first_of_ball]
-            committed_balls = active[winners_pos]
-            assignment[committed_balls] = winners_bin
-            np.add.at(loads, winners_bin, 1)
-            commits = winners_pos.size
-            # Commit notifications: a committing ball informs every bin
-            # that accepted it (True for the chosen, False = revoke for
-            # the rest); one message per accept it holds.
-            committed_mask = np.isin(sorted_positions, winners_pos)
-            commit_msgs = int(committed_mask.sum())
-            np.add.at(
-                ball_messages, active[sorted_positions[committed_mask]], 1
-            )
-            still_active_mask = np.ones(u, dtype=bool)
-            still_active_mask[winners_pos] = False
-            active = active[still_active_mask]
-        round_msgs = u * k_r + accepts_sent + commit_msgs
-        total_messages += round_msgs
-        metrics.add_round(
-            RoundMetrics(
-                round_no=round_no,
-                unallocated_start=u,
-                requests_sent=u * k_r,
-                accepts_sent=accepts_sent,
-                rejects_sent=0,
-                commits=commits,
-                unallocated_end=int(active.size),
-                max_load=int(loads.max(initial=0)),
-            )
+    while state.active_count > 0 and state.rounds < budget:
+        k_r = tower_schedule(state.rounds, min(config.max_contacts, n_bins))
+        balls = state.active
+        # Step 1: requests — ``k_r`` uniform contacts per active ball
+        # (flat layout: request j belongs to ball active[j // k_r]).
+        batch = state.sample_contacts(rng, d=k_r)
+        # Step 2: bins accept up to residual capacity, uniformly among
+        # requesters.
+        decision = state.group_and_accept(
+            batch, (config.capacity - state.loads).astype(np.int64), rng
         )
-        round_no += 1
+        # Step 3: each accepted ball commits to one acceptor (uniform:
+        # the accept pass already applied random priorities, so the
+        # first accepted request per ball is uniform among acceptors)
+        # and notifies every bin that accepted it (commit/revoke).
+        out = state.commit_and_revoke(
+            batch, decision, commit_notifications=True
+        )
+        # Per-ball accounting: k_r sends, one receive per accept, one
+        # send per commit/revoke notice.
+        ball_messages[balls] += k_r
+        np.add.at(ball_messages, balls[out.accepted_positions], 1)
+        np.add.at(ball_messages, balls[out.commit_notice_positions], 1)
 
     # Deterministic sweep fallback (probability n^{-c} path): scan bins
     # in index order, filling residual capacity.  Each sweep round lets a
     # ball contact one bin, exactly the trivial algorithm of Section 3.
-    if active.size > 0:
+    if state.active_count > 0:
         used_fallback = True
-        residual = config.capacity - loads
+        active = state.active
+        residual = config.capacity - state.loads
         slots = np.repeat(np.arange(n_bins), residual)
         if slots.size < active.size:  # unreachable given capacity check
             raise RuntimeError("fallback found insufficient capacity")
         chosen = slots[: active.size]
-        assignment[active] = chosen
-        np.add.at(loads, chosen, 1)
+        state.assignment[active] = chosen
+        np.add.at(state.loads, chosen, 1)
         # Message cost of the sweep: ball b finds a free bin after at
         # most (chosen position + 1) contacts; we charge 1 per ball per
         # sweep round and fold the sweep into one reported round per
         # paper's trivial algorithm (n rounds worst case — recorded via
         # the metrics entry below).
-        total_messages += int(active.size)
+        state.total_messages += int(active.size)
         ball_messages[active] += 2  # request + accept
-        metrics.add_round(
+        state.metrics.add_round(
             RoundMetrics(
-                round_no=round_no,
+                round_no=state.rounds,
                 unallocated_start=int(active.size),
                 requests_sent=int(active.size),
                 accepts_sent=int(active.size),
                 rejects_sent=0,
                 commits=int(active.size),
                 unallocated_end=0,
-                max_load=int(loads.max(initial=0)),
+                max_load=int(state.loads.max(initial=0)),
             )
         )
-        round_no += 1
-        active = active[:0]
+        state.rounds += 1
+        state.active = active[:0]
 
     if ball_ids is not None:
         if len(ball_ids) != n_balls:
             raise ValueError("ball_ids must have length n_balls")
     return LightOutcome(
-        loads=loads,
-        assignment=assignment,
-        rounds=round_no,
-        total_messages=total_messages,
-        metrics=metrics,
+        loads=state.loads,
+        assignment=state.assignment,
+        rounds=state.rounds,
+        total_messages=state.total_messages,
+        metrics=state.metrics,
         used_fallback=used_fallback,
         ball_messages=ball_messages,
     )
@@ -270,6 +227,7 @@ def run_light(
     summary="A_light collision protocol (lightly loaded, cap 2)",
     paper_ref="Theorem 5",
     aliases=("a_light", "lw16"),
+    kernel_backed=True,
     config_type=LightConfig,
 )
 def run_light_allocation(

@@ -65,44 +65,28 @@ def _phase_resolution(
     marks, up to ``threshold - load`` (the adversarial port order is
     uniformized by the i.i.d. marks).  Ball-side rule: commit to the
     accepting bin with the smallest mark; revoked accepts return
-    capacity *within the same phase resolution* — modeled by the
-    two-pass structure below (accept pass, then commit pass; bins'
-    capacity consumed only by commits, mirroring step 5 of the family's
+    capacity *within the same phase resolution* (bins' capacity is
+    consumed only by commits, mirroring step 5 of the family's
     definition where revocations precede the next phase).
+
+    This is the shared ``priority_commit`` round kernel
+    (:func:`repro.fastpath.roundstate.priority_commit_accept`) applied
+    to phase-shaped ``(u, d)`` inputs; the same kernel drives
+    :func:`repro.core.multicontact.run_heavy_multicontact`.
 
     Returns ``(committed_mask, committed_bin)`` over the active-ball
     axis.
     """
+    from repro.fastpath.roundstate import priority_commit_accept
+
     u, d = contacts.shape
-    n = loads.size
-    flat_bins = contacts.reshape(-1)
-    flat_marks = marks.reshape(-1)
-    flat_ball = np.repeat(np.arange(u), d)
-    capacity = np.maximum(threshold - loads, 0)
-    # Accept pass: per bin, smallest-mark requests up to capacity.
-    order = np.lexsort((flat_marks, flat_bins))
-    sorted_bins = flat_bins[order]
-    change = np.flatnonzero(np.diff(sorted_bins)) + 1
-    starts = np.concatenate(([0], change))
-    lengths = np.diff(np.concatenate((starts, [u * d])))
-    rank = np.arange(u * d) - np.repeat(starts, lengths)
-    accepted_sorted = rank < capacity[sorted_bins]
-    accepted = np.zeros(u * d, dtype=bool)
-    accepted[order[accepted_sorted]] = True
-    # Commit pass: each ball takes its smallest-mark accept.
-    committed_mask = np.zeros(u, dtype=bool)
-    committed_bin = np.full(u, -1, dtype=np.int64)
-    if accepted.any():
-        acc_ball = flat_ball[accepted]
-        acc_bin = flat_bins[accepted]
-        acc_mark = flat_marks[accepted]
-        order2 = np.lexsort((acc_mark, acc_ball))
-        b_sorted = acc_ball[order2]
-        first = np.concatenate(([True], b_sorted[1:] != b_sorted[:-1]))
-        winners = order2[first]
-        committed_mask[acc_ball[winners]] = True
-        committed_bin[acc_ball[winners]] = acc_bin[winners]
-    return committed_mask, committed_bin
+    return priority_commit_accept(
+        contacts.reshape(-1),
+        marks.reshape(-1),
+        np.repeat(np.arange(u), d),
+        u,
+        np.maximum(threshold - loads, 0),
+    )
 
 
 #: Public alias: the phase-resolution kernel is also the round kernel of

@@ -26,6 +26,14 @@ class TestSingleChoice:
         res = run_single_choice(10**8, 100, seed=1, mode="aggregate")
         assert res.loads.sum() == 10**8
 
+    def test_aggregate_is_o_n_not_o_m(self):
+        """Regression: aggregate mode must run on the aggregate
+        granularity of the kernel state — 10^12 balls is only feasible
+        as a multinomial occupancy draw, never as per-ball arrays."""
+        res = run_single_choice(10**12, 256, seed=2, mode="aggregate")
+        assert res.loads.sum() == 10**12
+        assert res.messages is None  # no per-ball counters at O(n)
+
     def test_gap_matches_prediction(self):
         m, n = 10**6, 1000
         gaps = [run_single_choice(m, n, seed=s).gap for s in range(5)]

@@ -4,12 +4,19 @@ The three execution paths implement the same protocols at different
 granularity; they cannot be bitwise identical (different RNG consumption
 patterns) but must agree (a) exactly on conserved/structural quantities
 and (b) statistically on distributions.
+
+Since the RoundState refactor, every vectorized protocol executes on
+the shared kernels in :mod:`repro.fastpath.roundstate`; the
+``TestKernelBackendsCrossValidation`` suite asserts each kernel-backed
+protocol still matches the agent engine (where one exists) and its own
+aggregate mode on load distributions and message counts at pinned
+seeds.
 """
 
 import numpy as np
 import pytest
 
-from repro.core import run_heavy
+from repro.core import run_asymmetric, run_heavy
 from repro.core.heavy_agents import run_heavy_engine, run_light_engine
 from repro.light import run_light
 from repro.utils.logstar import log_star
@@ -108,3 +115,147 @@ class TestPerballVsAggregate:
         hp, ha = p.unallocated_history, a.unallocated_history
         for x, y in zip(hp, ha):
             assert abs(x - y) <= 0.05 * max(x, y, 1) + 100
+
+
+class TestKernelBackendsCrossValidation:
+    """Every kernel-backed vectorized protocol vs its reference.
+
+    Pinned seeds throughout: these runs are deterministic, so the
+    tolerances encode genuine distributional agreement rather than
+    retry luck.
+    """
+
+    def test_heavy_perball_vs_engine_messages_and_loads(self):
+        m, n = 6000, 32
+        eng = run_heavy_engine(m, n, seed=11)
+        vec = run_heavy(m, n, seed=11)
+        # Same protocol, same accounting rules: totals within 2x.
+        assert 0.5 <= eng.total_messages / vec.total_messages <= 2.0
+        # Claim 2 concentration: sorted load vectors nearly coincide.
+        assert np.abs(np.sort(eng.loads) - np.sort(vec.loads)).max() <= 6
+
+    def test_heavy_aggregate_vs_engine(self):
+        m, n = 6000, 32
+        eng = run_heavy_engine(m, n, seed=12)
+        agg = run_heavy(m, n, seed=12, mode="aggregate")
+        assert agg.complete
+        assert abs(eng.gap - agg.gap) <= 6
+        assert 0.5 <= eng.total_messages / agg.total_messages <= 2.0
+
+    def test_light_vectorized_vs_engine_messages(self):
+        n = 300
+        eng = run_light_engine(n, n, seed=13)
+        vec = run_light(n, n, seed=13)
+        assert eng.counter.total > 0
+        assert 0.4 <= eng.counter.total / vec.total_messages <= 2.5
+        assert abs(int(eng.loads.max()) - vec.max_load) <= 1
+
+    def test_asymmetric_perball_vs_aggregate(self):
+        m, n = 60000, 128
+        p = run_asymmetric(m, n, seed=14, mode="perball")
+        a = run_asymmetric(m, n, seed=14, mode="aggregate")
+        # The schedule is oblivious: scheduled round structure matches.
+        assert p.extra["scheduled_rounds"] == a.extra["scheduled_rounds"]
+        assert [row[0] for row in p.extra["schedule"]] == [
+            row[0] for row in a.extra["schedule"]
+        ]
+        assert abs(p.rounds - a.rounds) <= 2
+        assert np.abs(np.sort(p.loads) - np.sort(a.loads)).max() <= 4
+        assert 0.9 <= p.total_messages / a.total_messages <= 1.1
+
+    def test_asymmetric_perball_counter_matches_aggregate_bin_stats(self):
+        m, n = 60000, 128
+        p = run_asymmetric(m, n, seed=15, mode="perball")
+        a = run_asymmetric(m, n, seed=15, mode="aggregate")
+        assert p.messages is not None
+        # Conservation at both granularities: every received message
+        # was sent by a ball, and counts match total_messages exactly.
+        assert (
+            int(p.messages.bin_received.sum()) == int(p.messages.ball_sent.sum())
+        )
+        assert p.messages.total == p.total_messages
+        # Theorem 3's per-bin receive bound: both modes report the same
+        # order for the hottest bin.
+        per_bin_max_p = p.messages.max_bin_received()
+        per_bin_max_a = a.extra["bin_received_max"]
+        assert 0.5 <= per_bin_max_p / per_bin_max_a <= 2.0
+
+    def test_stemann_perball_vs_aggregate(self):
+        from repro.baselines import run_stemann
+
+        # collision_factor 1.1 keeps the bound tight enough that the
+        # all-or-nothing rule actually rejects (multi-round behaviour)
+        # without entering the heavy-tailed straggler regime where
+        # round counts are high-variance by nature.
+        m, n = 60000, 128
+        p = run_stemann(m, n, seed=16, mode="perball", collision_factor=1.1)
+        a = run_stemann(m, n, seed=16, mode="aggregate", collision_factor=1.1)
+        assert p.complete and a.complete
+        bound = p.extra["collision_bound"]
+        assert bound == a.extra["collision_bound"]
+        # The collision bound is a hard cap in both modes.
+        assert p.max_load <= bound and a.max_load <= bound
+        assert abs(p.rounds - a.rounds) <= 4
+        # Load distributions agree within multinomial noise.
+        scale = np.sqrt(m / n)
+        assert abs(p.max_load - a.max_load) <= 6 * scale
+        assert 0.8 <= p.total_messages / a.total_messages <= 1.25
+
+    def test_single_perball_vs_aggregate_occupancy(self):
+        from repro.baselines import run_single_choice
+
+        m, n = 200000, 64
+        p = run_single_choice(m, n, seed=17, mode="perball")
+        a = run_single_choice(m, n, seed=17, mode="aggregate")
+        assert p.loads.sum() == a.loads.sum() == m
+        assert p.total_messages == a.total_messages == m
+        # Multinomial occupancy: sorted loads agree within CLT noise.
+        scale = np.sqrt(m / n)
+        assert np.abs(np.sort(p.loads) - np.sort(a.loads)).max() <= 6 * scale
+
+    def test_multicontact_d1_matches_heavy_phase1(self):
+        from repro.core.multicontact import run_heavy_multicontact
+
+        m, n = 60000, 128
+        mc = run_heavy_multicontact(m, n, 1, seed=18, handoff=False)
+        hv = run_heavy(m, n, seed=18, handoff=False)
+        assert mc.extra["phase1_rounds"] == hv.extra["phase1_rounds"]
+        assert (
+            abs(mc.extra["phase1_remaining"] - hv.extra["phase1_remaining"])
+            <= 0.2 * n + 50
+        )
+        assert np.abs(np.sort(mc.loads) - np.sort(hv.loads)).max() <= 4
+
+    def test_faulty_zero_faults_matches_heavy_distribution(self):
+        from repro.core.faulty import run_heavy_faulty
+
+        m, n = 60000, 128
+        f = run_heavy_faulty(m, n, seed=19, crash_prob=0.0, loss_prob=0.0)
+        h = run_heavy(m, n, seed=19)
+        assert f.complete and h.complete
+        assert abs(f.gap - h.gap) <= 4
+        assert 0.8 <= f.total_messages / h.total_messages <= 1.25
+
+    @pytest.mark.parametrize(
+        "name,options",
+        [
+            ("heavy", {}),
+            ("asymmetric", {}),
+            ("stemann", {}),
+            ("single", {}),
+        ],
+    )
+    def test_message_accounting_consistent_with_metrics(self, name, options):
+        """For every kernel-backed mode: per-round metrics rows exist,
+        conserve balls, and never exceed the declared message total."""
+        import repro
+
+        for mode in ("perball", "aggregate"):
+            res = repro.allocate(name, 40000, 64, seed=20, mode=mode, **options)
+            assert res.complete
+            rows = res.metrics.rounds
+            assert rows, f"{name}[{mode}] recorded no rounds"
+            commits = sum(r.commits for r in rows)
+            assert commits == 40000 - res.unallocated
+            requests = sum(r.requests_sent for r in rows)
+            assert requests <= res.total_messages
