@@ -5,7 +5,11 @@ Runs a fixed subset of the benchmark suite — the shared RoundState
 kernel backends of every registered allocator plus the object-level
 agent-engine reference — at pinned seeds and writes the results to
 ``BENCH_kernels.json`` (checked in at the repo root), so successive PRs
-record a comparable perf trajectory.
+record a comparable perf trajectory.  A second artifact,
+``BENCH_workloads.json``, times the workload-capable allocators in
+both granularities under Zipf choice skew (plus geometric weights and
+a proportional capacity profile) at the same pinned seeds — the
+perball-vs-aggregate trajectory of the workload subsystem.
 
 Scales::
 
@@ -54,6 +58,12 @@ SCALES = {
 #: Pinned seeds — the trajectory compares like with like across PRs.
 SEEDS = (0, 1)
 
+#: Workload artifact: pinned scenario and the allocators whose
+#: perball-vs-aggregate agreement it tracks (both granularities exist
+#: and are exact-in-law for these).
+WORKLOAD_SPEC = "zipf:1.1+geomw:0.5+propcap"
+WORKLOAD_ALGORITHMS = ("heavy", "single", "stemann")
+
 
 def run(scale: str) -> dict:
     kernel_m, kernel_n, engine_m, engine_n = SCALES[scale]
@@ -90,6 +100,54 @@ def run(scale: str) -> dict:
     }
 
 
+def run_workloads(scale: str) -> dict:
+    """Time the workload subsystem: perball vs aggregate under skew.
+
+    One pinned scenario (Zipf choice skew + geometric weights +
+    proportional capacities) over the allocators with both
+    granularities; the artifact records, per algorithm, the timings of
+    each granularity and the perball/aggregate agreement of the first
+    seed's load statistics — a drift alarm for the workload kernels.
+    """
+    kernel_m, kernel_n, _, _ = SCALES[scale]
+    records = benchmark_registry(
+        kernel_m,
+        kernel_n,
+        seeds=SEEDS,
+        algorithms=WORKLOAD_ALGORITHMS,
+        workload=WORKLOAD_SPEC,
+    )
+    by_algo: dict = {}
+    for r in records:
+        by_algo.setdefault(r.algorithm, {})[r.mode] = r
+    agreement = {}
+    for algo, modes in by_algo.items():
+        if "perball" not in modes or "aggregate" not in modes:
+            continue
+        p, a = modes["perball"], modes["aggregate"]
+        agreement[algo] = {
+            "gap_perball": p.gap,
+            "gap_aggregate": a.gap,
+            "rounds_perball": p.rounds,
+            "rounds_aggregate": a.rounds,
+            "aggregate_speedup": round(
+                p.seconds_mean / a.seconds_mean, 2
+            )
+            if a.seconds_mean > 0
+            else None,
+        }
+    return {
+        "schema": 1,
+        "scale": scale,
+        "seeds": list(SEEDS),
+        "workload": WORKLOAD_SPEC,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "records": [r.to_dict() for r in records],
+        "perball_vs_aggregate": agreement,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", choices=sorted(SCALES), default="full")
@@ -99,9 +157,25 @@ def main(argv=None) -> int:
         default=REPO_ROOT / "BENCH_kernels.json",
         help="output path (default: BENCH_kernels.json at the repo root)",
     )
+    parser.add_argument(
+        "--workloads-output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_workloads.json",
+        help="workload-artifact path (default: BENCH_workloads.json at "
+        "the repo root)",
+    )
     args = parser.parse_args(argv)
     payload = run(args.scale)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    workloads_payload = run_workloads(args.scale)
+    args.workloads_output.write_text(
+        json.dumps(workloads_payload, indent=2) + "\n"
+    )
+    print(
+        f"wrote {args.workloads_output} "
+        f"({len(workloads_payload['records'])} workload records, "
+        f"workload {workloads_payload['workload']})"
+    )
     heavy_perball = payload["speedups_vs_engine"].get("heavy[perball]")
     print(f"wrote {args.output} ({len(payload['records'])} records)")
     print(f"engine reference : {payload['engine_reference']['seconds_mean']:.2f}s "

@@ -14,6 +14,11 @@ consumed.  The numbers show the paper's trade-off: the threshold
 algorithm matches the quality of sequential least-loaded dispatch
 while running in a handful of parallel message rounds.
 
+A second table re-runs the burst under a *skewed, weighted* workload
+(Zipf-popular servers — think locality-affine dispatch — and
+geometric job sizes): the threshold dispatch keeps the hot servers
+capped while hash-random dispatch inherits the full skew.
+
 Run:
     python examples/job_scheduler.py [--jobs 2000000] [--servers 2000]
 """
@@ -72,6 +77,36 @@ def dispatch_table(m: int, n: int, seed: int) -> None:
     )
 
 
+def skewed_burst(m: int, n: int, seed: int) -> None:
+    # Same burst, non-uniform scenario: job affinity follows a Zipf
+    # popularity law over servers and jobs carry geometric sizes
+    # (mean 2 work units).  One workload spec threads the scenario
+    # through the same dispatch API.
+    workload = "zipf:1.1+geomw:0.5"
+    print(f"\nskewed burst (workload {workload}):")
+    header = (
+        f"{'policy':32s} {'max backlog':>12s} {'max work':>10s} "
+        f"{'rounds':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, name in (
+        ("random (one-shot)", "single"),
+        ("threshold (paper, Thm 1)", "heavy"),
+    ):
+        res = repro.allocate(name, m, n, seed=seed, workload=workload)
+        wrec = res.extra["workload"]
+        print(
+            f"{label:32s} {res.max_load:12,d} "
+            f"{wrec['weighted_max_load']:10,.0f} {res.rounds:7d}"
+        )
+    print(
+        "\nskew takeaway: the threshold dispatch's capacity rule is\n"
+        "oblivious to demand, so hot servers stay capped near m/n; the\n"
+        "hash-random baseline's hottest server absorbs the skew in full."
+    )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=2_000_000)
@@ -79,6 +114,7 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=7)
     args = parser.parse_args()
     dispatch_table(args.jobs, args.servers, args.seed)
+    skewed_burst(args.jobs, args.servers, args.seed)
 
 
 if __name__ == "__main__":

@@ -14,6 +14,16 @@ Quickstart
 >>> result.max_load - result.m // result.n <= 4   # m/n + O(1)
 True
 
+Scenarios beyond the paper's uniform/unit/homogeneous setting are one
+keyword away (see ``docs/workloads.md``): Zipf-skewed demand, weighted
+jobs, heterogeneous capacities —
+
+>>> skewed = repro.allocate(
+...     "heavy", m=100_000, n=256, seed=7, workload="zipf:1.1+propcap"
+... )
+>>> skewed.complete
+True
+
 Unified API (see ``docs/api.md``)
 ---------------------------------
 Every algorithm is registered with :func:`repro.register_allocator` and
@@ -86,6 +96,7 @@ from repro.core import (
 )
 from repro.light import LightConfig, run_light, run_light_allocation
 from repro.result import AllocationResult
+from repro.workloads import Workload, parse_workload
 
 # The api package is imported after the algorithm packages above, so
 # every registration has run by the time allocate() is reachable.
@@ -112,12 +123,14 @@ __all__ = [
     "LightConfig",
     "PaperSchedule",
     "ThresholdSchedule",
+    "Workload",
     "__version__",
     "allocate",
     "allocate_many",
     "allocator_names",
     "get_spec",
     "list_allocators",
+    "parse_workload",
     "register_allocator",
     "run_asymmetric",
     "run_batched_dchoice",

@@ -9,6 +9,7 @@ from the function signature.  Usage::
     python -m repro list                             # registry + capabilities
     python -m repro heavy --m 1000000 --n 1000 --seed 7
     python -m repro heavy --m 1000000000000 --n 1024 --mode aggregate
+    python -m repro heavy --m 1000000 --n 1000 --workload zipf:1.1
     python -m repro greedy --m 100000 --n 1000 --d 2
     python -m repro faulty --m 100000 --n 256 --crash-prob 0.01
     python -m repro compare --m 1000000 --n 1000     # side-by-side table
@@ -67,6 +68,14 @@ def _build_parser() -> argparse.ArgumentParser:
                 default="auto",
                 help="execution mode (auto picks the fastest eligible)",
             )
+        if spec.workload_capable:
+            p.add_argument(
+                "--workload",
+                type=str,
+                default=None,
+                help="workload spec, e.g. zipf:1.1, hotset:0.1:0.5, "
+                "zipf:1.2+geomw:0.5+propcap (see docs/workloads.md)",
+            )
         for option, (typ, default) in sorted(spec.cli_options.items()):
             p.add_argument(
                 f"--{option.replace('_', '-')}",
@@ -114,6 +123,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--kernel-only",
         action="store_true",
         help="restrict to kernel-backed allocators",
+    )
+    p_bench.add_argument(
+        "--workload",
+        type=str,
+        default=None,
+        help="bench under a workload spec (e.g. zipf:1.1); restricts "
+        "to workload-capable allocators",
     )
     p_bench.add_argument(
         "--json",
@@ -165,6 +181,7 @@ def _run_allocator(args: argparse.Namespace):
         args.n,
         seed=args.seed,
         mode=getattr(args, "mode", "auto"),
+        workload=getattr(args, "workload", None),
         **options,
     )
 
@@ -211,6 +228,7 @@ def _bench(args: argparse.Namespace) -> None:
             include_engine=args.include_engine,
             include_sequential=args.include_sequential,
             kernel_only=args.kernel_only,
+            workload=args.workload,
         )
     except ValueError as exc:  # e.g. unknown --algorithms entry
         raise SystemExit(f"python -m repro bench: error: {exc}")

@@ -89,6 +89,13 @@ def allocate_many(
         ``None``/``1`` runs in-process; ``>= 2`` fans out over worker
         processes via :mod:`repro.experiments.parallel`.
 
+    Notes
+    -----
+    ``workload=`` (a :class:`repro.workloads.Workload` or spec string)
+    passes through ``options`` into :func:`~repro.api.dispatch.allocate`
+    per run; because each run's stream is spawned from the root seed,
+    results are identical for any ``workers`` count, workload or not.
+
     Returns
     -------
     list[AllocationResult]

@@ -47,6 +47,8 @@ class BenchRecord:
     gap: float
     rounds: int
     total_messages: int
+    #: Workload spec string the run used (None = uniform).
+    workload: Optional[str] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -76,7 +78,12 @@ def _bench_modes(spec: AllocatorSpec, include_engine: bool) -> list[Optional[str
 
 
 def _time_allocations(
-    name: str, mode: Optional[str], m: int, n: int, seeds: Sequence[int]
+    name: str,
+    mode: Optional[str],
+    m: int,
+    n: int,
+    seeds: Sequence[int],
+    workload=None,
 ) -> BenchRecord:
     """Time ``allocate(name, m, n, mode=mode)`` once per pinned seed.
 
@@ -92,7 +99,7 @@ def _time_allocations(
     first_result = None
     for seed in seeds:
         start = time.perf_counter()
-        result = allocate(name, m, n, seed=seed, mode=mode)
+        result = allocate(name, m, n, seed=seed, mode=mode, workload=workload)
         times.append(time.perf_counter() - start)
         if first_result is None:
             first_result = result
@@ -110,6 +117,7 @@ def _time_allocations(
         gap=first_result.gap,
         rounds=first_result.rounds,
         total_messages=first_result.total_messages,
+        workload=first_result.extra.get("api", {}).get("workload"),
     )
 
 
@@ -122,6 +130,7 @@ def benchmark_registry(
     include_engine: bool = False,
     include_sequential: bool = False,
     kernel_only: bool = False,
+    workload=None,
 ) -> list[BenchRecord]:
     """Time every registered allocator at ``(m, n)`` over pinned seeds.
 
@@ -145,7 +154,16 @@ def benchmark_registry(
         vectorized path.
     kernel_only:
         Restrict to kernel-backed specs (the ``kernel`` capability).
+    workload:
+        Optional workload spec string (or
+        :class:`repro.workloads.Workload`) applied to every run.  A
+        non-uniform workload restricts the sweep to workload-capable
+        allocators and skips engine modes (which accept only the
+        uniform workload).
     """
+    from repro.workloads import as_workload
+
+    wl = as_workload(workload)
     wanted: Optional[set[str]] = None
     if algorithms is not None:
         wanted = {resolve_name(a) for a in algorithms}
@@ -157,10 +175,22 @@ def benchmark_registry(
             continue
         if kernel_only and not spec.kernel_backed:
             continue
+        if wl is not None and not spec.workload_capable:
+            if wanted is not None:
+                raise ValueError(
+                    f"algorithm {spec.name!r} supports the uniform "
+                    f"workload only; drop it from --algorithms or the "
+                    f"--workload flag"
+                )
+            continue
         m_run, n_run = _instance_for(spec, m, n)
-        for mode in _bench_modes(spec, include_engine):
+        for mode in _bench_modes(
+            spec, include_engine and wl is None
+        ):
             records.append(
-                _time_allocations(spec.name, mode, m_run, n_run, seeds)
+                _time_allocations(
+                    spec.name, mode, m_run, n_run, seeds, workload=wl
+                )
             )
     return records
 
@@ -179,15 +209,21 @@ def benchmark_engine_reference(
 
 def render_table(records: Sequence[BenchRecord]) -> str:
     """Human-readable fixed-width table of benchmark records."""
+    with_workload = any(r.workload for r in records)
     header = (
         f"{'algorithm':14s} {'mode':10s} {'m':>12s} {'n':>7s} "
         f"{'time':>9s} {'balls/s':>12s} {'gap':>8s} {'rounds':>7s}"
     )
+    if with_workload:
+        header += f"  {'workload':s}"
     lines = [header, "-" * len(header)]
     for r in records:
-        lines.append(
+        line = (
             f"{r.algorithm:14s} {(r.mode or '-'):10s} {r.m:12,d} {r.n:7,d} "
             f"{r.seconds_mean:8.3f}s {r.balls_per_sec:12,.0f} "
             f"{r.gap:+8.1f} {r.rounds:7d}"
         )
+        if with_workload:
+            line += f"  {r.workload or 'uniform'}"
+        lines.append(line)
     return "\n".join(lines)

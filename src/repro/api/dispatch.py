@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.api.spec import AllocatorSpec, get_spec
+from repro.api.spec import AllocatorSpec, get_spec, list_allocators
 
 __all__ = ["allocate", "AGGREGATE_THRESHOLD", "resolve_mode"]
 
@@ -117,6 +117,38 @@ def _split_options(
     return runner_kwargs
 
 
+def _resolve_workload(spec: AllocatorSpec, workload, resolved_mode):
+    """Parse/validate the ``workload=`` argument against the spec.
+
+    Returns the bound-ready :class:`~repro.workloads.Workload` or
+    ``None`` for the uniform scenario.  Uniform workloads (including
+    the explicit string ``"uniform"``) are never forwarded to the
+    runner, which is what keeps the default path bitwise-identical to
+    a direct ``run_*`` call.
+    """
+    from repro.workloads import as_workload
+
+    wl = as_workload(workload)
+    if wl is None:
+        return None
+    if not spec.workload_capable:
+        capable = ", ".join(
+            s.name for s in list_allocators() if s.workload_capable
+        )
+        raise ValueError(
+            f"algorithm {spec.name!r} supports the uniform workload only "
+            f"(got workload {wl.describe()!r}); workload-capable "
+            f"allocators: {capable}"
+        )
+    if resolved_mode == "engine":
+        raise ValueError(
+            f"mode 'engine' supports the uniform workload only (got "
+            f"workload {wl.describe()!r}); use mode='perball' or "
+            f"'aggregate'"
+        )
+    return wl
+
+
 def allocate(
     algorithm: str,
     m: int,
@@ -124,6 +156,7 @@ def allocate(
     *,
     seed=None,
     mode: Optional[str] = "auto",
+    workload=None,
     **options: Any,
 ):
     """Allocate ``m`` balls into ``n`` bins with any registered algorithm.
@@ -149,6 +182,16 @@ def allocate(
         exact behavior of calling the ``run_*`` function directly.
         Explicit values are validated against the spec's supported
         modes.
+    workload:
+        Optional :class:`repro.workloads.Workload` or spec string
+        (``"zipf:1.1"``, ``"hotset:0.1:0.5+geomw:0.5+propcap"``, ...)
+        describing a non-uniform scenario: skewed choice distribution,
+        weighted balls, heterogeneous bin capacities.  Only
+        ``workload_capable`` allocators accept a non-uniform workload
+        (others raise with the capable list), and engine modes accept
+        only the uniform one.  The uniform workload — ``None`` or
+        ``"uniform"`` — is never forwarded, keeping the default path
+        bitwise-identical to the direct ``run_*`` call.
     options:
         Algorithm-specific keywords, validated against the registered
         signature (e.g. ``d=3`` for ``greedy``, ``crash_prob=0.05``
@@ -164,9 +207,16 @@ def allocate(
     """
     spec = get_spec(algorithm)
     resolved_mode = resolve_mode(spec, m, mode)
+    wl = _resolve_workload(spec, workload, resolved_mode)
     kwargs = _split_options(spec, options)
     if resolved_mode is not None:
         kwargs["mode"] = resolved_mode
+    if wl is not None:
+        kwargs["workload"] = wl
     result = spec.runner(m, n, seed=seed, **kwargs)
-    result.extra["api"] = {"algorithm": spec.name, "mode": resolved_mode}
+    result.extra["api"] = {
+        "algorithm": spec.name,
+        "mode": resolved_mode,
+        "workload": wl.describe() if wl is not None else None,
+    }
     return result

@@ -47,8 +47,11 @@ __all__ = [
 KNOWN_MODES = ("perball", "aggregate", "engine")
 
 #: Parameters every runner shares; everything else in the signature
-#: becomes a validated option.
-_COMMON_PARAMS = frozenset({"m", "n", "seed", "mode", "config"})
+#: becomes a validated option.  ``workload`` is common because the
+#: dispatch layer owns its parsing/validation (see
+#: :func:`repro.api.dispatch.allocate` and the ``workload_capable``
+#: capability flag).
+_COMMON_PARAMS = frozenset({"m", "n", "seed", "mode", "config", "workload"})
 
 _INT_ANNOTATION = re.compile(r"\bint\b")
 _FLOAT_ANNOTATION = re.compile(r"\bfloat\b")
@@ -94,6 +97,13 @@ class AllocatorSpec:
         (sample contacts / group-and-accept / commit-and-revoke) —
         the capability ``mode="auto"`` relies on to pick the ``O(n)``-
         per-round aggregate backend at large ``m``.
+    workload_capable:
+        True when the runner takes a ``workload=`` keyword (a
+        :class:`repro.workloads.Workload` scenario: non-uniform choice
+        distributions, weighted balls, heterogeneous capacities).
+        Allocators without the flag accept only the uniform workload;
+        :func:`~repro.api.dispatch.allocate` raises a clear error
+        before calling them with anything else.
     config_type:
         Optional config dataclass accepted via ``config=``; its fields
         may also be passed flat to :func:`~repro.api.dispatch.allocate`
@@ -119,6 +129,7 @@ class AllocatorSpec:
     fault_tolerant: bool = False
     supports_multicontact: bool = False
     kernel_backed: bool = False
+    workload_capable: bool = False
     config_type: Optional[type] = None
     options: tuple[str, ...] = ()
     config_fields: tuple[str, ...] = ()
@@ -141,6 +152,8 @@ class AllocatorSpec:
         caps = []
         if self.kernel_backed:
             caps.append("kernel")
+        if self.workload_capable:
+            caps.append("workload")
         if self.sequential:
             caps.append("sequential")
         if self.fault_tolerant:
@@ -229,6 +242,7 @@ def register_allocator(
     fault_tolerant: bool = False,
     supports_multicontact: bool = False,
     kernel_backed: bool = False,
+    workload_capable: bool = False,
     config_type: Optional[type] = None,
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Record the decorated entry point in the global registry.
@@ -254,6 +268,13 @@ def register_allocator(
         options, config_fields, cli_options = _derive_options(
             runner, config_type
         )
+        if workload_capable and "workload" not in inspect.signature(
+            runner
+        ).parameters:
+            raise ValueError(
+                f"allocator {name!r} declares workload_capable but its "
+                f"runner takes no 'workload' keyword"
+            )
         spec = AllocatorSpec(
             name=name,
             runner=runner,
@@ -266,6 +287,7 @@ def register_allocator(
             fault_tolerant=fault_tolerant,
             supports_multicontact=supports_multicontact,
             kernel_backed=kernel_backed,
+            workload_capable=workload_capable,
             config_type=config_type,
             options=options,
             config_fields=config_fields,

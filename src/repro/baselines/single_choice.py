@@ -20,6 +20,7 @@ from repro.fastpath.roundstate import RoundState
 from repro.result import AllocationResult
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import ensure_m_n
+from repro.workloads import bind_workload
 
 __all__ = ["run_single_choice"]
 
@@ -31,6 +32,7 @@ __all__ = ["run_single_choice"]
     aliases=("single_choice", "one_choice"),
     modes=("perball", "aggregate"),
     kernel_backed=True,
+    workload_capable=True,
 )
 def run_single_choice(
     m: int,
@@ -38,8 +40,9 @@ def run_single_choice(
     *,
     seed=None,
     mode: Literal["perball", "aggregate"] = "perball",
+    workload=None,
 ) -> AllocationResult:
-    """One-shot uniform random allocation.
+    """One-shot random allocation.
 
     Parameters
     ----------
@@ -50,24 +53,47 @@ def run_single_choice(
     mode:
         ``"perball"`` (explicit choices, per-ball accounting) or
         ``"aggregate"`` (multinomial occupancy, ``O(n)`` memory).
+    workload:
+        Optional :class:`repro.workloads.Workload` (or spec string):
+        the choice distribution replaces the uniform draw and ball
+        weights feed the weighted-load statistics.  The process has no
+        admission control, so a capacity profile is structurally
+        inapplicable (recorded in ``extra["workload"]``).  Uniform
+        workloads are bitwise-identical to the historical run.
     """
     m, n = ensure_m_n(m, n)
     if mode not in ("perball", "aggregate"):
         raise ValueError(f"mode must be 'perball' or 'aggregate', got {mode!r}")
     factory = RngFactory(seed)
+    bound = bind_workload(workload, m, n, factory, granularity=mode)
     rng = factory.stream("single", "choices")
 
     # One kernel round with unbounded capacity: every request is
     # accepted, and accepts are implicit (the ball's single message is
     # the commitment), hence accept_cost=0 / no bin->ball records.
     state = RoundState(
-        m, n, granularity=mode, track_messages=(mode == "perball")
+        m,
+        n,
+        granularity=mode,
+        track_messages=(mode == "perball"),
+        weights=bound.weights,
+        weight_sum_sampler=bound.weight_sum_sampler,
     )
-    batch = state.sample_contacts(rng)
+    batch = state.sample_contacts(rng, pvals=bound.pvals)
     decision = state.group_and_accept(batch, None)
     state.commit_and_revoke(
         batch, decision, accept_cost=0, record_accepts=False
     )
+
+    extra: dict = {}
+    workload_record = bound.extra_record(
+        state.weighted_loads,
+        inapplicable=(
+            ("capacity",) if bound.capacity_scale is not None else ()
+        ),
+    )
+    if workload_record is not None:
+        extra["workload"] = workload_record
 
     return AllocationResult(
         algorithm="single-choice",
@@ -79,4 +105,5 @@ def run_single_choice(
         messages=state.counter,
         total_messages=state.total_messages,
         seed_entropy=factory.root_entropy,
+        extra=extra,
     )

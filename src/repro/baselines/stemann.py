@@ -38,6 +38,7 @@ from repro.fastpath.roundstate import RoundState
 from repro.result import AllocationResult
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import ensure_m_n
+from repro.workloads import bind_workload
 
 __all__ = ["run_stemann"]
 
@@ -48,6 +49,7 @@ __all__ = ["run_stemann"]
     paper_ref="baseline [Ste96]",
     modes=("perball", "aggregate"),
     kernel_backed=True,
+    workload_capable=True,
 )
 def run_stemann(
     m: int,
@@ -57,6 +59,7 @@ def run_stemann(
     mode: Literal["perball", "aggregate"] = "perball",
     collision_factor: float = 2.0,
     max_rounds: int = 100_000,
+    workload=None,
 ) -> AllocationResult:
     """Collision-threshold protocol with bound
     ``L = ceil(collision_factor * ceil(m/n))``.
@@ -77,6 +80,14 @@ def run_stemann(
         termination (capacity must exceed ``m``).
     max_rounds:
         Abort bound; result marked incomplete if hit.
+    workload:
+        Optional :class:`repro.workloads.Workload` (or spec string):
+        skewed choice distribution, per-bin collision bounds scaled by
+        the capacity profile, weighted-load tracking.  Note that under
+        heavy choice skew the all-or-nothing rule can strand balls at
+        the hot bins — the measured pathology, not a bug; raise
+        ``collision_factor`` or use a proportional capacity profile.
+        Uniform workloads are bitwise-identical to the historical run.
     """
     m, n = ensure_m_n(m, n)
     if mode not in ("perball", "aggregate"):
@@ -87,17 +98,29 @@ def run_stemann(
         )
     bound = math.ceil(collision_factor * math.ceil(m / n))
     factory = RngFactory(seed)
+    wl = bind_workload(workload, m, n, factory, granularity=mode)
+    bounds = wl.capacities(bound)
     rng = factory.stream("stemann", "choices")
 
-    state = RoundState(m, n, granularity=mode)
+    state = RoundState(
+        m,
+        n,
+        granularity=mode,
+        weights=wl.weights,
+        weight_sum_sampler=wl.weight_sum_sampler,
+    )
     while state.active_count > 0 and state.rounds < max_rounds:
-        batch = state.sample_contacts(rng)
+        batch = state.sample_contacts(rng, pvals=wl.pvals)
         decision = state.group_and_accept(
-            batch, bound - state.loads, policy="all_or_nothing"
+            batch, bounds - state.loads, policy="all_or_nothing"
         )
         state.commit_and_revoke(batch, decision, threshold=bound)
 
     remaining = state.active_count
+    extra: dict = {"collision_bound": bound}
+    workload_record = wl.extra_record(state.weighted_loads)
+    if workload_record is not None:
+        extra["workload"] = workload_record
     return AllocationResult(
         algorithm="stemann",
         m=m,
@@ -109,5 +132,5 @@ def run_stemann(
         complete=remaining == 0,
         unallocated=remaining,
         seed_entropy=factory.root_entropy,
-        extra={"collision_bound": bound},
+        extra=extra,
     )

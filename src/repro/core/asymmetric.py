@@ -51,6 +51,7 @@ from repro.fastpath.roundstate import RoundState
 from repro.result import AllocationResult
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import ensure_m_n
+from repro.workloads import bind_workload
 
 __all__ = ["AsymmetricConfig", "run_asymmetric", "superbin_blocks"]
 
@@ -181,6 +182,7 @@ def _waterfill_members(
     aliases=("superbin", "asym"),
     modes=("perball", "aggregate"),
     kernel_backed=True,
+    workload_capable=True,
     config_type=AsymmetricConfig,
 )
 def run_asymmetric(
@@ -191,6 +193,7 @@ def run_asymmetric(
     config: AsymmetricConfig = AsymmetricConfig(),
     presymmetric: Optional[bool] = None,
     mode: str = "perball",
+    workload=None,
 ) -> AllocationResult:
     """Allocate ``m`` balls into ``n`` labelled bins (Theorem 3).
 
@@ -217,6 +220,15 @@ def run_asymmetric(
     (:func:`_schedule_params`) and the member water-filling
     (:func:`_waterfill_members`).
 
+    ``workload`` (optional :class:`repro.workloads.Workload` or spec
+    string): balls pick a *bin* from the choice distribution and
+    contact its superbin's leader, so skew concentrates requests on the
+    superbins owning hot bins; the capacity profile scales each
+    superbin's leader cap by its members' mean capacity factor; ball
+    weights feed the weighted-load statistics (water-filling still
+    balances ball *counts* — the leader's round-robin rule).  Uniform
+    workloads are bitwise-identical to the historical run.
+
     Returns
     -------
     AllocationResult
@@ -229,6 +241,7 @@ def run_asymmetric(
     m, n = ensure_m_n(m, n, require_heavy=True)
     perball = mode == "perball"
     factory = RngFactory(seed)
+    wl = bind_workload(workload, m, n, factory, granularity=mode)
     label = "asym" if perball else "asym-agg"
     rng = factory.stream(label, "choices")
     accept_rng = factory.stream(label, "accept")
@@ -238,6 +251,8 @@ def run_asymmetric(
         n,
         granularity=mode,
         track_messages=perball and config.track_per_ball,
+        weights=wl.weights,
+        weight_sum_sampler=wl.weight_sum_sampler,
     )
     # Aggregate mode has no per-ball counter; per-bin receives are the
     # statistic Theorem 3 bounds, so track them directly.
@@ -253,10 +268,12 @@ def run_asymmetric(
         # T_0 = m/n - (m/n)^(2/3); w.h.p. every bin fills to exactly T_0.
         t0 = max(0, math.floor(m / n - (m / n) ** (2.0 / 3.0)))
         presym_t0 = t0
-        batch = state.sample_contacts(rng)
-        decision = state.group_and_accept(
-            batch, np.full(n, t0, dtype=np.int64), accept_rng
-        )
+        batch = state.sample_contacts(rng, pvals=wl.pvals)
+        if wl.capacity_scale is None:
+            presym_caps = np.full(n, t0, dtype=np.int64)
+        else:
+            presym_caps = wl.capacities(t0)
+        decision = state.group_and_accept(batch, presym_caps, accept_rng)
         if bin_received is not None:
             bin_received += batch.counts
         state.commit_and_revoke(batch, decision, threshold=t0)
@@ -290,18 +307,28 @@ def run_asymmetric(
         block_sizes = np.diff(blocks)
         # Step 4: leaders accept up to L_r scaled by block size (the
         # factor-2 relaxation of footnote 6: per-member intake stays
-        # uniform when blocks differ in size).
+        # uniform when blocks differ in size) and, under a workload
+        # capacity profile, by the block's mean capacity factor.
         avg_block = n / n_r
-        caps = np.ceil(l_r * block_sizes / avg_block).astype(np.int64)
+        if wl.capacity_scale is None:
+            caps = np.ceil(l_r * block_sizes / avg_block).astype(np.int64)
+        else:
+            block_scale = (
+                np.add.reduceat(wl.capacity_scale, blocks[:-1]) / block_sizes
+            )
+            caps = np.ceil(
+                l_r * block_sizes / avg_block * block_scale
+            ).astype(np.int64)
 
         if perball:
-            # Step 3: each active ball samples a uniform *bin* and
-            # contacts the leader of that bin's superbin.  With bin IDs
-            # globally known (asymmetric model) this is computable
-            # locally, makes the per-superbin request rate proportional
-            # to block size, and degenerates to the paper's
+            # Step 3: each active ball samples a *bin* (uniform, or the
+            # workload's choice distribution) and contacts the leader of
+            # that bin's superbin.  With bin IDs globally known
+            # (asymmetric model) this is computable locally, makes the
+            # per-superbin request rate proportional to block size (or
+            # traffic share), and degenerates to the paper's
             # uniform-superbin choice in the divisible case n_r | n.
-            bin_pick = state.sample_contacts(rng)
+            bin_pick = state.sample_contacts(rng, pvals=wl.pvals)
             superbin_choice = (
                 np.searchsorted(blocks, bin_pick.choices, side="right") - 1
             )
@@ -310,13 +337,22 @@ def run_asymmetric(
             accepted = decision.accepted
             k = decision.accepts_sent
             if k:
-                a_per_super = np.bincount(
-                    superbin_choice[accepted], minlength=n_r
-                )
+                acc_super = superbin_choice[accepted]
+                a_per_super = np.bincount(acc_super, minlength=n_r)
                 intake = _waterfill_members(
                     state.loads, a_per_super, blocks, accept_rng
                 )
-                member_bins = np.repeat(np.arange(n), intake)
+                # Member slots sorted by bin index are also grouped by
+                # superbin (blocks are contiguous); hand each accepted
+                # ball a slot of *its own* superbin by grouping the
+                # accepted balls the same way, then restoring ball
+                # order — commit_and_revoke pairs ``target_bins``
+                # positionally with the committed balls (weighted-load
+                # and assignment accounting rely on that alignment).
+                slots = np.repeat(np.arange(n), intake)
+                by_super = np.argsort(acc_super, kind="stable")
+                member_bins = np.empty(k, dtype=np.int64)
+                member_bins[by_super] = slots
             else:
                 member_bins = np.zeros(0, dtype=np.int64)
             if state.counter is not None:
@@ -344,11 +380,15 @@ def run_asymmetric(
                 record_counter=False,
             )
         else:
-            # Requests per superbin: balls pick a uniform bin, hence a
-            # superbin with probability block_size/n.
-            batch = state.sample_contacts(
-                rng, n_targets=n_r, pvals=block_sizes / n
-            )
+            # Requests per superbin: balls pick a bin (uniform or
+            # workload-skewed), hence a superbin with probability equal
+            # to its members' total traffic share (block_size/n when
+            # uniform).
+            if wl.pvals is None:
+                super_pvals = block_sizes / n
+            else:
+                super_pvals = np.add.reduceat(wl.pvals, blocks[:-1])
+            batch = state.sample_contacts(rng, n_targets=n_r, pvals=super_pvals)
             decision = state.group_and_accept(batch, caps)
             intake = _waterfill_members(
                 state.loads, decision.accepted_per_bin, blocks, accept_rng
@@ -394,6 +434,9 @@ def run_asymmetric(
     }
     if bin_received is not None:
         extra["bin_received_max"] = int(bin_received.max(initial=0))
+    workload_record = wl.extra_record(state.weighted_loads)
+    if workload_record is not None:
+        extra["workload"] = workload_record
 
     return AllocationResult(
         algorithm="asymmetric",

@@ -42,6 +42,7 @@ def should_use_trivial(m: int, n: int) -> bool:
     paper_ref="Section 3",
     modes=("perball", "aggregate", "engine"),
     kernel_backed=True,
+    workload_capable=True,
     config_type=HeavyConfig,
 )
 def run_combined(
@@ -51,17 +52,20 @@ def run_combined(
     seed=None,
     config: Optional[HeavyConfig] = None,
     mode: str = "perball",
+    workload=None,
 ) -> AllocationResult:
     """Run the combined algorithm of Section 3.
 
     Dispatches to :func:`~repro.core.trivial.run_trivial` when
     ``n < log log(m/n)`` and to :func:`~repro.core.heavy.run_heavy`
     otherwise.  The chosen branch is recorded in
-    ``result.extra["branch"]``.
+    ``result.extra["branch"]``.  ``workload`` is forwarded to the
+    chosen branch (see each branch's docstring for its workload
+    semantics; engine mode supports the uniform workload only).
     """
     m, n = ensure_m_n(m, n, require_heavy=True)
     if should_use_trivial(m, n):
-        result = run_trivial(m, n, seed=seed)
+        result = run_trivial(m, n, seed=seed, workload=workload)
         result.extra["branch"] = "trivial"
     else:
         result = run_heavy(
@@ -70,6 +74,7 @@ def run_combined(
             seed=seed,
             mode=mode,  # type: ignore[arg-type]
             config=config or HeavyConfig(),
+            workload=workload,
         )
         result.extra["branch"] = "heavy"
     result.algorithm = "combined"

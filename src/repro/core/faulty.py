@@ -39,6 +39,7 @@ from repro.light.virtual import run_light_on_virtual_bins
 from repro.result import AllocationResult
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import check_probability, ensure_m_n
+from repro.workloads import bind_workload
 
 __all__ = ["run_heavy_faulty"]
 
@@ -50,6 +51,7 @@ __all__ = ["run_heavy_faulty"]
     aliases=("heavy_faulty",),
     fault_tolerant=True,
     kernel_backed=True,
+    workload_capable=True,
 )
 def run_heavy_faulty(
     m: int,
@@ -62,6 +64,7 @@ def run_heavy_faulty(
     stop_factor: float = 2.0,
     handoff: bool = True,
     extra_rounds: int = 8,
+    workload=None,
 ) -> AllocationResult:
     """Run phase 1 under fault injection, then a reliable handoff.
 
@@ -86,6 +89,14 @@ def run_heavy_faulty(
     handoff:
         Run the (reliable) ``A_light`` phase on the stragglers.
 
+    workload:
+        Optional :class:`repro.workloads.Workload` (or spec string):
+        skewed contact draws, per-bin thresholds scaled by the capacity
+        profile, weighted-load tracking.  The fault machinery composes
+        with it unchanged (crashes and losses act on balls/messages,
+        not on the scenario).  Uniform workloads are
+        bitwise-identical to the historical run.
+
     Notes
     -----
     Ghost slots: a lost accept leaves the bin's capacity consumed
@@ -99,6 +110,7 @@ def run_heavy_faulty(
     crash_prob = check_probability(crash_prob, "crash_prob")
     loss_prob = check_probability(loss_prob, "loss_prob")
     factory = RngFactory(seed)
+    wl = bind_workload(workload, m, n, factory)
     rng = factory.stream("faulty", "choices")
     fault_rng = factory.stream("faulty", "faults")
 
@@ -107,7 +119,7 @@ def run_heavy_faulty(
     base_rounds = planned if planned is not None else 64
     rounds_budget = base_rounds + extra_rounds
 
-    state = RoundState(m, n)
+    state = RoundState(m, n, weights=wl.weights)
     ghosts = np.zeros(n, dtype=np.int64)
     crashed = 0
 
@@ -124,7 +136,7 @@ def run_heavy_faulty(
         # Thresholds: schedule value, held at its last level past the
         # planned horizon (the bins keep their final capacity open).
         threshold = sched.threshold(min(state.rounds, base_rounds - 1))
-        batch = state.sample_contacts(rng)
+        batch = state.sample_contacts(rng, pvals=wl.pvals)
         # Request loss: only delivered requests reach their bins (and
         # only they are charged as sent).
         if loss_prob > 0:
@@ -134,7 +146,7 @@ def run_heavy_faulty(
         batch.requests_sent = int(delivered.sum())
         # Capacity: a real bin cannot distinguish a lost accept from a
         # silent ball, so its residual counts ghosts as occupied.
-        capacity = np.maximum(threshold - state.loads - ghosts, 0)
+        capacity = np.maximum(wl.capacities(threshold) - state.loads - ghosts, 0)
         decision = state.group_and_accept(
             batch,
             capacity,
@@ -171,16 +183,27 @@ def run_heavy_faulty(
     }
     rounds = phase1_rounds
     unallocated = remaining
+    weighted_loads = state.weighted_loads
 
     if handoff and remaining > 0:
         real_loads, light, vmap = run_light_on_virtual_bins(
             remaining, n, seed=factory.stream("light")
         )
         loads += real_loads
+        if weighted_loads is not None:
+            np.add.at(
+                weighted_loads,
+                vmap.to_real(light.assignment),
+                wl.weights[state.active],
+            )
         rounds += light.rounds
         total_messages += light.total_messages
         extra["phase2_rounds"] = light.rounds
         unallocated = 0
+
+    workload_record = wl.extra_record(weighted_loads)
+    if workload_record is not None:
+        extra["workload"] = workload_record
 
     # ``unallocated`` counts surviving stragglers plus crashed balls
     # (both are balls of the original m not present in any bin); a run

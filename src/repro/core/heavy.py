@@ -41,9 +41,10 @@ from repro.fastpath.roundstate import RoundState
 from repro.light.lw16 import LightConfig
 from repro.light.virtual import run_light_on_virtual_bins
 from repro.result import AllocationResult
-from repro.simulation.metrics import RoundMetrics
+from repro.simulation.metrics import MessageCounter, RoundMetrics, RunMetrics
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import ensure_m_n
+from repro.workloads import Workload, as_workload, bind_workload
 
 __all__ = [
     "HeavyConfig",
@@ -91,6 +92,8 @@ class ThresholdPhaseOutcome:
     counter: Optional[MessageCounter]
     total_messages: int
     thresholds: list[int]
+    #: Per-bin weighted intake (None for unit-weight workloads).
+    weighted_loads: Optional[np.ndarray] = None
 
 
 def run_threshold_protocol(
@@ -103,11 +106,14 @@ def run_threshold_protocol(
     max_rounds: Optional[int] = None,
     track_per_ball: bool = True,
     stop_when_empty: bool = True,
+    workload=None,
 ) -> ThresholdPhaseOutcome:
     """Run the symmetric threshold protocol under any oblivious schedule.
 
-    Each round: active balls contact one uniform bin; bins accept up to
-    ``schedule.threshold(i) - load``.  The run ends when the schedule's
+    Each round: active balls contact one bin drawn from the workload's
+    choice distribution (uniform by default); bins accept up to
+    ``schedule.threshold(i) - load`` (per-bin thresholds scaled by the
+    workload's capacity profile).  The run ends when the schedule's
     :meth:`~repro.core.thresholds.ThresholdSchedule.phase1_rounds` are
     exhausted, all balls are allocated (if ``stop_when_empty``), or
     ``max_rounds`` is hit — whichever comes first.
@@ -118,12 +124,16 @@ def run_threshold_protocol(
 
     The round body is three calls into the shared
     :class:`~repro.fastpath.roundstate.RoundState` kernels; the only
-    protocol policy is the oblivious threshold schedule.
+    protocol policies are the oblivious threshold schedule and the
+    workload (a :class:`repro.workloads.Workload`, spec string, or an
+    already-bound workload from a composing caller; the default uniform
+    workload leaves the run bitwise-identical to the pre-workload code).
     """
     m, n = ensure_m_n(m, n, require_heavy=True)
     if mode not in ("perball", "aggregate"):
         raise ValueError(f"mode must be 'perball' or 'aggregate', got {mode!r}")
     factory = rng_factory or RngFactory()
+    bound = bind_workload(workload, m, n, factory, granularity=mode)
     rng = factory.stream("threshold", "choices")
     accept_rng = factory.stream("threshold", "accept")
 
@@ -137,6 +147,8 @@ def run_threshold_protocol(
         n,
         granularity=mode,
         track_messages=(mode == "perball" and track_per_ball),
+        weights=bound.weights,
+        weight_sum_sampler=bound.weight_sum_sampler,
     )
     thresholds: list[int] = []
 
@@ -145,8 +157,8 @@ def run_threshold_protocol(
             break
         threshold = schedule.threshold(state.rounds)
         thresholds.append(threshold)
-        capacity = np.maximum(threshold - state.loads, 0)
-        batch = state.sample_contacts(rng)
+        capacity = np.maximum(bound.capacities(threshold) - state.loads, 0)
+        batch = state.sample_contacts(rng, pvals=bound.pvals)
         decision = state.group_and_accept(batch, capacity, accept_rng)
         state.commit_and_revoke(batch, decision, threshold=threshold)
 
@@ -159,6 +171,7 @@ def run_threshold_protocol(
         counter=state.counter,
         total_messages=state.total_messages,
         thresholds=thresholds,
+        weighted_loads=state.weighted_loads,
     )
 
 
@@ -169,6 +182,7 @@ def run_threshold_protocol(
     aliases=("a_heavy",),
     modes=("perball", "aggregate", "engine"),
     kernel_backed=True,
+    workload_capable=True,
     config_type=HeavyConfig,
 )
 def run_heavy(
@@ -180,6 +194,7 @@ def run_heavy(
     config: HeavyConfig = HeavyConfig(),
     schedule: Optional[ThresholdSchedule] = None,
     handoff: bool = True,
+    workload: Optional[Workload] = None,
 ) -> AllocationResult:
     """Allocate ``m`` balls into ``n`` bins with Algorithm ``A_heavy``.
 
@@ -203,22 +218,41 @@ def run_heavy(
         Run phase 2 (``A_light``) on the leftover balls.  Disabling it
         (experiment A2) leaves stragglers unallocated and sets
         ``complete=False`` on the result.
+    workload:
+        Optional :class:`repro.workloads.Workload` (or spec string,
+        e.g. ``"zipf:1.1+geomw:0.5"``): skewed choice distribution for
+        the phase-1 contacts, per-bin threshold scaling from the
+        capacity profile, and weighted-load tracking.  Phase 2 always
+        rebalances the stragglers uniformly over virtual bins (its
+        correctness relies on the symmetric contact pattern); straggler
+        weights still land in the weighted-load accounting.  The
+        default (uniform) workload leaves the run bitwise-identical to
+        the pre-workload implementation.  Engine mode supports the
+        uniform workload only.
 
     Returns
     -------
     AllocationResult
         With ``extra`` keys ``phase1_rounds``, ``phase2_rounds``,
         ``phase1_remaining`` (balls left for ``A_light``) and
-        ``light_used_fallback``.
+        ``light_used_fallback`` (plus ``workload`` for non-uniform
+        workloads).
     """
     m, n = ensure_m_n(m, n, require_heavy=True)
     if mode == "engine":
+        if as_workload(workload) is not None:
+            raise ValueError(
+                "engine mode supports the uniform workload only; "
+                "use mode='perball' or 'aggregate' for non-uniform "
+                "workloads"
+            )
         from repro.core.heavy_agents import run_heavy_engine
 
         return run_heavy_engine(
             m, n, seed=seed, config=config, schedule=schedule, handoff=handoff
         )
     factory = RngFactory(seed)
+    bound = bind_workload(workload, m, n, factory, granularity=mode)
     sched = schedule or PaperSchedule(m, n, stop_factor=config.stop_factor)
     phase1 = run_threshold_protocol(
         m,
@@ -228,6 +262,7 @@ def run_heavy(
         mode=mode,
         max_rounds=config.max_rounds,
         track_per_ball=config.track_per_ball,
+        workload=bound,
     )
 
     loads = phase1.loads.copy()
@@ -242,6 +277,11 @@ def run_heavy(
     }
     counter = phase1.counter
     metrics = phase1.metrics
+    weighted_loads = (
+        phase1.weighted_loads.copy()
+        if phase1.weighted_loads is not None
+        else None
+    )
 
     unallocated = phase1.remaining
     if handoff and unallocated > 0:
@@ -252,6 +292,20 @@ def run_heavy(
             config=config.light,
         )
         loads += real_loads
+        if weighted_loads is not None:
+            if bound.weights is not None:
+                # Per-ball mode: the stragglers keep the weights they
+                # were born with; fold them through the light phase's
+                # virtual-bin assignment.
+                np.add.at(
+                    weighted_loads,
+                    vmap.to_real(light.assignment),
+                    bound.weights[phase1.remaining_ids],
+                )
+            else:
+                # Aggregate mode: straggler weights are fresh i.i.d.
+                # draws (exchangeability makes this identical in law).
+                weighted_loads += bound.weight_sum_sampler(real_loads)
         rounds += light.rounds
         total_messages += light.total_messages
         extra["phase2_rounds"] = light.rounds
@@ -282,6 +336,10 @@ def run_heavy(
             assigned_real = vmap.to_real(light.assignment)
             np.add.at(counter.bin_received, assigned_real, 1)
         unallocated = 0
+
+    workload_record = bound.extra_record(weighted_loads)
+    if workload_record is not None:
+        extra["workload"] = workload_record
 
     result = AllocationResult(
         algorithm="heavy" if schedule is None else f"threshold[{type(sched).__name__}]",

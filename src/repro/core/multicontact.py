@@ -33,6 +33,7 @@ from repro.light.virtual import run_light_on_virtual_bins
 from repro.result import AllocationResult
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import check_positive_int, ensure_m_n
+from repro.workloads import bind_workload
 
 __all__ = ["run_heavy_multicontact"]
 
@@ -44,6 +45,7 @@ __all__ = ["run_heavy_multicontact"]
     aliases=("heavy_multicontact",),
     supports_multicontact=True,
     kernel_backed=True,
+    workload_capable=True,
 )
 def run_heavy_multicontact(
     m: int,
@@ -55,6 +57,7 @@ def run_heavy_multicontact(
     stop_factor: float = 2.0,
     handoff: bool = True,
     max_rounds: int = 1024,
+    workload=None,
 ) -> AllocationResult:
     """Run the degree-``d`` threshold algorithm on the paper's schedule.
 
@@ -66,6 +69,11 @@ def run_heavy_multicontact(
     ``d = 1`` coincides in distribution with
     :func:`repro.core.heavy.run_heavy`'s phase 1.
 
+    ``workload`` (optional :class:`repro.workloads.Workload` or spec
+    string) skews the per-round contact draws, scales the per-bin
+    thresholds by the capacity profile, and tracks weighted loads; the
+    uniform default is bitwise-identical to the historical run.
+
     Returns
     -------
     AllocationResult
@@ -75,23 +83,24 @@ def run_heavy_multicontact(
     m, n = ensure_m_n(m, n, require_heavy=True)
     d = check_positive_int(d, "d")
     factory = RngFactory(seed)
+    wl = bind_workload(workload, m, n, factory)
     rng = factory.stream("multicontact", d)
     sched = schedule or PaperSchedule(m, n, stop_factor=stop_factor)
     planned = sched.phase1_rounds()
     rounds_budget = planned if planned is not None else max_rounds
 
-    state = RoundState(m, n)
+    state = RoundState(m, n, weights=wl.weights)
 
     while state.rounds < rounds_budget and state.active_count > 0:
         threshold = sched.threshold(state.rounds)
-        batch = state.sample_contacts(rng, d=d)
+        batch = state.sample_contacts(rng, d=d, pvals=wl.pvals)
         # Messages: u*d requests; accepts are bounded by capacity opened
         # this round — count commits plus revoked accepts conservatively
         # as <= u*d responses; we track requests + one accept + one
         # commit per allocated ball (the dominant terms): accept_cost=2.
         decision = state.group_and_accept(
             batch,
-            np.maximum(threshold - state.loads, 0),
+            np.maximum(wl.capacities(threshold) - state.loads, 0),
             rng,
             policy="priority_commit",
         )
@@ -112,17 +121,28 @@ def run_heavy_multicontact(
     }
     unallocated = phase1_remaining
     rounds = phase1_rounds
+    weighted_loads = state.weighted_loads
 
     if handoff and unallocated > 0:
         real_loads, light, vmap = run_light_on_virtual_bins(
             unallocated, n, seed=factory.stream("light")
         )
         loads += real_loads
+        if weighted_loads is not None:
+            np.add.at(
+                weighted_loads,
+                vmap.to_real(light.assignment),
+                wl.weights[state.active],
+            )
         rounds += light.rounds
         total_messages += light.total_messages
         extra["phase2_rounds"] = light.rounds
         extra["virtual_factor"] = vmap.factor
         unallocated = 0
+
+    workload_record = wl.extra_record(weighted_loads)
+    if workload_record is not None:
+        extra["workload"] = workload_record
 
     return AllocationResult(
         algorithm=f"heavy-multicontact[{d}]",

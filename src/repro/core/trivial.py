@@ -27,6 +27,7 @@ from repro.fastpath.roundstate import RoundState
 from repro.result import AllocationResult
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import ensure_m_n
+from repro.workloads import bind_workload
 
 __all__ = ["run_trivial"]
 
@@ -36,6 +37,7 @@ __all__ = ["run_trivial"]
     summary="deterministic n-round algorithm, max load ceil(m/n)",
     paper_ref="Section 3",
     kernel_backed=True,
+    workload_capable=True,
 )
 def run_trivial(
     m: int,
@@ -43,6 +45,7 @@ def run_trivial(
     *,
     seed=None,
     threshold: Optional[int] = None,
+    workload=None,
 ) -> AllocationResult:
     """Deterministically allocate with max load ``ceil(m/n)`` in <= n rounds.
 
@@ -56,28 +59,49 @@ def run_trivial(
     threshold:
         Override the per-bin cap (default ``ceil(m/n)``).  Must satisfy
         ``threshold * n >= m`` or the run cannot complete.
+    workload:
+        Optional :class:`repro.workloads.Workload` (or spec string).
+        The capacity profile scales the per-bin cap (total capacity
+        must still cover ``m``) and ball weights feed the weighted-load
+        statistics.  The contact rule is deterministic, so a choice
+        distribution is structurally inapplicable (recorded in
+        ``extra["workload"]``).  The ``n``-round completion argument
+        survives heterogeneous caps: a ball rejected everywhere would
+        imply every bin full, i.e. total capacity ``>= m`` balls placed
+        while one remains.
     """
     m, n = ensure_m_n(m, n)
     cap = threshold if threshold is not None else math.ceil(m / n)
-    if cap * n < m:
-        raise ValueError(
-            f"threshold {cap} gives total capacity {cap * n} < m={m}"
-        )
     factory = RngFactory(seed)
+    wl = bind_workload(workload, m, n, factory)
+    caps = wl.capacities(cap)
+    total_capacity = int(caps.sum()) if isinstance(caps, np.ndarray) else cap * n
+    if total_capacity < m:
+        raise ValueError(
+            f"threshold {cap} gives total capacity {total_capacity} < m={m}"
+        )
     accept_rng = factory.stream("trivial", "accept")
 
-    state = RoundState(m, n)
+    state = RoundState(m, n, weights=wl.weights)
     while state.active_count > 0:
         if state.rounds >= n:  # impossible by the monotonicity argument
             raise RuntimeError(
                 "trivial algorithm exceeded n rounds; invariant violated"
             )
         # Protocol policy: ball b deterministically visits bin (b + r)
-        # mod n; bins cap at the fixed threshold.
+        # mod n; bins cap at the fixed threshold (workload-scaled).
         targets = (state.active + state.rounds) % n
         batch = state.sample_contacts(targets=targets)
-        decision = state.group_and_accept(batch, cap - state.loads, accept_rng)
+        decision = state.group_and_accept(batch, caps - state.loads, accept_rng)
         state.commit_and_revoke(batch, decision, threshold=cap)
+
+    extra: dict = {"threshold": cap}
+    workload_record = wl.extra_record(
+        state.weighted_loads,
+        inapplicable=(("choice",) if wl.pvals is not None else ()),
+    )
+    if workload_record is not None:
+        extra["workload"] = workload_record
 
     return AllocationResult(
         algorithm="trivial",
@@ -88,5 +112,5 @@ def run_trivial(
         metrics=state.metrics,
         total_messages=state.total_messages,
         seed_entropy=factory.root_entropy,
-        extra={"threshold": cap},
+        extra=extra,
     )

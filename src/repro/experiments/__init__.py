@@ -2,8 +2,10 @@
 
 The paper (a theory paper) contains no numeric tables or figures; the
 experiment set is derived from its theorems and claims — the mapping is
-DESIGN.md §4 and each experiment's docstring cites the claim it
-reproduces.  Every experiment returns an
+the :data:`~repro.experiments.registry.EXPERIMENTS` table (listed by
+``python -m repro.experiments`` with no argument) and each
+experiment's docstring cites the claim it reproduces.  Every
+experiment returns an
 :class:`~repro.experiments.report.ExperimentReport` with prediction and
 measurement columns; EXPERIMENTS.md archives one full run.
 

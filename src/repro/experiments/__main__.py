@@ -17,7 +17,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         nargs="?",
-        help="experiment id (T1..T8, F1..F5, A1..A2) or 'all'; omit to list",
+        help="experiment id (T1..T9, F1..F5, A1..A4, W1) or 'all'; "
+        "omit to list",
     )
     parser.add_argument("--scale", choices=("quick", "full"), default="quick")
     parser.add_argument("--seed", type=int, default=20190416)

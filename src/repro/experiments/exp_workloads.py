@@ -1,0 +1,107 @@
+"""Experiment W1: allocation quality under increasing choice skew.
+
+The paper's guarantees are stated for uniform contacts, but the
+threshold mechanism is *oblivious to the request distribution*: bins
+accept up to ``T_i - load`` no matter where requests come from, so the
+load cap survives arbitrary skew — what degrades is progress (cold
+bins stop being contacted, so stragglers ride the phase-2 handoff).
+The naive one-shot process has no such cap: its hottest bin absorbs
+the full skew, and the non-adaptive parallel d-choice baseline pays in
+rounds (one grant per hot bin per round).  W1 measures all three
+across a Zipf exponent sweep through the workload-aware dispatch API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import allocate
+from repro.experiments.plotting import ascii_chart
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import seed_list
+
+__all__ = ["exp_w1"]
+
+
+def exp_w1(scale: str = "quick", seed: int = 20190416) -> ExperimentReport:
+    """W1 — max-load gap of heavy/single/dchoice under Zipf choice skew."""
+    report = ExperimentReport(
+        exp_id="W1",
+        title="Max-load gap vs Zipf choice-skew exponent",
+        claim="extension: oblivious thresholds cap skewed demand at "
+        "~T_i + O(1) while the naive gap tracks the hottest bin's "
+        "excess mass (p_max * m - m/n) and parallel d-choice pays in "
+        "rounds",
+        columns=[
+            "zipf s",
+            "p_max*n",
+            "heavy gap",
+            "heavy rounds",
+            "naive gap",
+            "naive(pred)",
+            "dchoice rounds",
+        ],
+    )
+    if scale == "quick":
+        n, ratio, reps = 256, 64, 2
+        exponents = [0.0, 0.5, 1.0]
+    else:
+        n, ratio, reps = 1024, 64, 3
+        exponents = [0.0, 0.25, 0.5, 0.75, 1.0, 1.25]
+    m = n * ratio
+    # dchoice issues one grant per bin per round, so it runs at its
+    # natural near-n scale (as in the bench harness) — the metric of
+    # interest is its round blow-up, not the gap.
+    m_dchoice = 4 * n
+
+    ok = True
+    heavy_gaps, naive_gaps = [], []
+    for s in exponents:
+        workload = None if s == 0 else f"zipf:{s:g}"
+        from repro.workloads import Workload
+
+        pvals = Workload.zipf(s).pvals(n) if s > 0 else np.full(n, 1.0 / n)
+        p_max = float(pvals.max())
+        h_gap = h_rounds = nv_gap = dc_rounds = 0.0
+        for rep_seed in seed_list(seed, reps):
+            h = allocate("heavy", m, n, seed=rep_seed, workload=workload)
+            nv = allocate("single", m, n, seed=rep_seed, workload=workload)
+            dc = allocate(
+                "dchoice", m_dchoice, n, seed=rep_seed, workload=workload
+            )
+            h_gap += h.gap / reps
+            h_rounds += h.rounds / reps
+            nv_gap += nv.gap / reps
+            dc_rounds += dc.rounds / reps
+            ok = ok and h.complete
+        naive_pred = p_max * m - m / n
+        report.add_row(
+            s, p_max * n, h_gap, h_rounds, nv_gap, naive_pred, dc_rounds
+        )
+        heavy_gaps.append(h_gap)
+        naive_gaps.append(nv_gap)
+        # The threshold cap: heavy's gap must stay far below the naive
+        # skew penalty once skew is material (hot bin >= 2x fair share).
+        if p_max * n >= 2.0:
+            ok = ok and h_gap <= 0.25 * naive_pred
+    # Uniform sanity: at s=0 heavy keeps its O(1) gap.
+    ok = ok and heavy_gaps[0] <= 8.0
+    report.charts.append(
+        ascii_chart(
+            exponents,
+            {"heavy": heavy_gaps, "naive": naive_gaps},
+            title="max-load gap vs Zipf exponent (thresholds cap skew)",
+            x_label="zipf s",
+        )
+    )
+    report.passed = ok
+    report.notes.append(
+        "heavy's bins still accept only T_i - load requests, so skew "
+        "converts into phase-2 handoff work, not load; the naive "
+        "process inherits the hottest bin's full excess mass."
+    )
+    report.notes.append(
+        "dchoice runs at m=4n (its natural scale): skew shows up as "
+        "extra rounds because a hot bin grants one accept per round."
+    )
+    return report

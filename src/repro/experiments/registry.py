@@ -16,13 +16,19 @@ from repro.experiments.exp_misc import (
     exp_t7,
     exp_t8,
 )
+from repro.experiments.exp_workloads import exp_w1
 from repro.experiments.report import ExperimentReport
 
 __all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
 
 ExperimentFn = Callable[..., ExperimentReport]
 
-#: Registry: experiment id -> implementation.  Ids match DESIGN.md §4.
+#: Registry: experiment id -> implementation.  The authoritative
+#: experiment table is this mapping itself: ``python -m
+#: repro.experiments`` (no argument) lists every id with the first line
+#: of its docstring, and each docstring cites the paper claim it
+#: reproduces (T* = theorem checks, F* = figure-style shape checks,
+#: A* = ablations/extensions, W* = workload scenarios).
 EXPERIMENTS: dict[str, ExperimentFn] = {
     "T1": exp_t1,
     "T2": exp_t2,
@@ -42,6 +48,7 @@ EXPERIMENTS: dict[str, ExperimentFn] = {
     "A2": exp_a2,
     "A3": exp_a3,
     "A4": exp_a4,
+    "W1": exp_w1,
 }
 
 

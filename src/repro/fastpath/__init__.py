@@ -34,7 +34,9 @@ from repro.fastpath.roundstate import (
 from repro.fastpath.sampling import (
     grouped_accept,
     multinomial_occupancy,
+    sample_choices,
     sample_uniform_choices,
+    validate_pvals,
 )
 
 __all__ = [
@@ -45,5 +47,7 @@ __all__ = [
     "grouped_accept",
     "multinomial_occupancy",
     "priority_commit_accept",
+    "sample_choices",
     "sample_uniform_choices",
+    "validate_pvals",
 ]

@@ -64,7 +64,7 @@ import numpy as np
 from repro.fastpath.sampling import (
     grouped_accept,
     multinomial_occupancy,
-    sample_uniform_choices,
+    sample_choices,
 )
 from repro.simulation.metrics import MessageCounter, RoundMetrics, RunMetrics
 
@@ -250,6 +250,14 @@ class RoundState:
     ``active`` is a public array: protocols with ball-level policy
     outside the kernel steps (fault injection crashes, handoff of
     stragglers) may shrink it between rounds.
+
+    Workload support: ``weights`` (per-ball granularity) or
+    ``weight_sum_sampler`` (aggregate) switch on the parallel
+    ``weighted_loads`` vector — the per-bin weighted intake tracked
+    alongside the count-based ``loads`` that all capacity rules use.
+    ``sample_contacts`` accepts workload choice ``pvals`` at both
+    granularities.  With all workload arguments at their defaults the
+    state is bitwise-identical to the pre-workload kernels.
     """
 
     def __init__(
@@ -261,6 +269,8 @@ class RoundState:
         track_messages: bool = False,
         track_assignment: bool = False,
         metrics: Optional[RunMetrics] = None,
+        weights: Optional[np.ndarray] = None,
+        weight_sum_sampler=None,
     ) -> None:
         if m < 0 or n < 1:
             raise ValueError(f"need m >= 0 and n >= 1, got m={m}, n={n}")
@@ -276,6 +286,36 @@ class RoundState:
         self.metrics = metrics if metrics is not None else RunMetrics(m, n)
         self.total_messages = 0
         self.rounds = 0
+        # Workload weights: ``loads`` stays the ball-count vector that
+        # drives every capacity rule (bitwise-identical to the unit
+        # protocol); ``weighted_loads`` additionally accumulates the
+        # per-bin weighted intake.  Per-ball granularity indexes an
+        # explicit per-ball weight array by global ball id; aggregate
+        # granularity draws per-bin weight *sums* from a sampler (i.i.d.
+        # weights are exchangeable, so the law matches per-ball runs).
+        if weights is not None and granularity != "perball":
+            raise ValueError(
+                "per-ball weights require granularity='perball'; "
+                "aggregate runs take weight_sum_sampler instead"
+            )
+        if weight_sum_sampler is not None and granularity != "aggregate":
+            raise ValueError(
+                "weight_sum_sampler requires granularity='aggregate'; "
+                "per-ball runs take the weights array instead"
+            )
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (m,):
+                raise ValueError(
+                    f"weights must have shape ({m},), got {weights.shape}"
+                )
+        self.weights = weights
+        self.weight_sum_sampler = weight_sum_sampler
+        self.weighted_loads: Optional[np.ndarray] = (
+            np.zeros(n, dtype=np.float64)
+            if (weights is not None or weight_sum_sampler is not None)
+            else None
+        )
         if granularity == "perball":
             self.active: Optional[np.ndarray] = np.arange(m, dtype=np.int64)
             self._active_count = m
@@ -327,8 +367,11 @@ class RoundState:
         n_targets:
             Size of the target space when it is not the bin count.
         pvals:
-            Aggregate granularity: non-uniform target probabilities
-            (e.g. superbin block sizes); default uniform over bins.
+            Non-uniform target probabilities: workload choice skew, or
+            derived spaces with unequal blocks (superbins).  Default
+            uniform over the target space at both granularities; the
+            uniform path consumes the RNG exactly as the historical
+            samplers did.
         """
         u = self.active_count
         space = n_targets if n_targets is not None else self.n
@@ -340,14 +383,13 @@ class RoundState:
                 )
             if d != 1:
                 raise ValueError("aggregate granularity supports d=1 only")
-            if pvals is not None:
-                counts = rng.multinomial(u, pvals).astype(np.int64)
-            else:
-                counts = multinomial_occupancy(u, space, rng)
+            counts = multinomial_occupancy(u, space, rng, pvals)
             return ContactBatch(
                 n_targets=space, d=1, requests_sent=u, counts=counts
             )
         if targets is not None:
+            if pvals is not None:
+                raise ValueError("pass either targets or pvals, not both")
             choices = np.asarray(targets, dtype=np.int64)
             if choices.ndim == 2:
                 choices = choices.reshape(-1)
@@ -357,7 +399,7 @@ class RoundState:
                     f"active_count * d = {u} * {d}"
                 )
         else:
-            choices = sample_uniform_choices(u * d, space, rng)
+            choices = sample_choices(u * d, space, rng, pvals)
         requester_pos = (
             np.repeat(np.arange(u, dtype=np.int64), d) if d > 1 else None
         )
@@ -531,7 +573,10 @@ class RoundState:
         if self.granularity == "aggregate" or batch.counts is not None:
             accepted = decision.accepted_per_bin
             commits = accepts = int(accepted.sum())
-            self.loads += target_counts if target_counts is not None else accepted
+            intake = target_counts if target_counts is not None else accepted
+            self.loads += intake
+            if self.weight_sum_sampler is not None:
+                self.weighted_loads += self.weight_sum_sampler(intake)
             self._active_count = u - commits
             outcome = self._close_round(
                 batch,
@@ -592,6 +637,15 @@ class RoundState:
         committed_balls = balls[committed_mask]
         bins_for_load = target_bins if target_bins is not None else commit_bins
         np.add.at(self.loads, bins_for_load, 1)
+        if self.weights is not None and commits:
+            # ``bins_for_load`` is aligned with the committed set (its
+            # pairing is the assignment the protocol chose), so the
+            # committing balls' weights land where the balls did.
+            np.add.at(
+                self.weighted_loads,
+                bins_for_load,
+                self.weights[committed_balls],
+            )
         if self.assignment is not None and target_bins is None:
             self.assignment[committed_balls] = commit_bins
         if (

@@ -1,11 +1,17 @@
 """Vectorized sampling kernels shared by every fast-path protocol.
 
-Three primitives cover all the paper's protocols:
+Four primitives cover all the paper's protocols and their workload
+generalizations:
 
 * :func:`sample_uniform_choices` — each of ``k`` requests picks a bin
   uniformly and independently at random (step 1 of every round);
+* :func:`sample_choices` — the non-uniform generalization: ``k`` i.i.d.
+  bin indices drawn from an arbitrary probability vector ``pvals``
+  (inverse-CDF sampling); with ``pvals=None`` it delegates to
+  :func:`sample_uniform_choices` and is bitwise-identical to it;
 * :func:`multinomial_occupancy` — the aggregate equivalent: per-bin
-  request *counts* for ``k`` exchangeable requests, ``O(n)`` memory;
+  request *counts* for ``k`` exchangeable requests, ``O(n)`` memory,
+  uniform by default or under any ``pvals``;
 * :func:`grouped_accept` — step 2: given flat request targets and
   per-bin residual capacities, select which requests are accepted, each
   bin choosing uniformly at random among its requesters (equivalently:
@@ -15,13 +21,60 @@ Three primitives cover all the paper's protocols:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 __all__ = [
     "grouped_accept",
     "multinomial_occupancy",
+    "sample_choices",
     "sample_uniform_choices",
+    "validate_pvals",
 ]
+
+#: Absolute tolerance for a probability vector's sum; within it the
+#: vector is renormalized exactly, beyond it the caller made an error.
+_PVALS_SUM_ATOL = 1e-6
+
+
+def validate_pvals(pvals: np.ndarray, n_bins: int) -> np.ndarray:
+    """Validate and exactly normalize a bin probability vector.
+
+    Accepts any float-convertible 1-D array of length ``n_bins`` whose
+    entries are finite, non-negative, and sum to 1 within a small float
+    tolerance (zero-probability bins are fine).  Returns a fresh
+    float64 copy renormalized to sum to exactly 1, so downstream
+    inverse-CDF and multinomial sampling never sees drift.
+    """
+    arr = np.asarray(pvals)
+    if not (
+        np.issubdtype(arr.dtype, np.floating)
+        or np.issubdtype(arr.dtype, np.integer)
+    ):
+        raise ValueError(
+            f"pvals must be a numeric array, got dtype {arr.dtype}"
+        )
+    arr = arr.astype(np.float64, copy=True)
+    if arr.ndim != 1 or arr.size != n_bins:
+        raise ValueError(
+            f"pvals must be 1-D of length n_bins={n_bins}, "
+            f"got shape {arr.shape}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("pvals must be finite")
+    if arr.min(initial=0.0) < 0:
+        raise ValueError("pvals must be non-negative")
+    total = float(arr.sum())
+    if abs(total - 1.0) > _PVALS_SUM_ATOL:
+        raise ValueError(
+            f"pvals must sum to 1 (within {_PVALS_SUM_ATOL}), got {total}"
+        )
+    # Renormalize only when the sum actually drifted: dividing by an
+    # exact 1.0 is the identity, and skipping it keeps historical
+    # probability vectors (e.g. superbin block_sizes/n with power-of-2
+    # n) bitwise-unchanged through this validator.
+    return arr if total == 1.0 else arr / total
 
 
 def sample_uniform_choices(
@@ -35,15 +88,53 @@ def sample_uniform_choices(
     return rng.integers(0, n_bins, size=k, dtype=np.int64)
 
 
-def multinomial_occupancy(
-    k: int, n_bins: int, rng: np.random.Generator
+def sample_choices(
+    k: int,
+    n_bins: int,
+    rng: np.random.Generator,
+    pvals: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Per-bin request counts for ``k`` uniform exchangeable requests.
+    """``k`` i.i.d. bin indices drawn from ``pvals`` (uniform if None).
 
-    Exactly the distribution of ``np.bincount(sample_uniform_choices(k,
-    n, rng), minlength=n)`` at a fraction of the cost for ``k >> n``.
+    The uniform path (``pvals=None``) is exactly
+    :func:`sample_uniform_choices` — same RNG consumption, bitwise
+    identical — so workload-aware call sites stay seed-compatible with
+    the historical uniform samplers.  The non-uniform path uses
+    inverse-CDF sampling (``searchsorted`` on the cumulative
+    distribution), one uniform draw per request.
+    """
+    if pvals is None:
+        return sample_uniform_choices(k, n_bins, rng)
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    p = validate_pvals(pvals, n_bins)
+    if k == 0:
+        return np.zeros(0, dtype=np.int64)
+    cdf = np.cumsum(p)
+    cdf[-1] = 1.0  # guard the top edge against cumsum rounding
+    choices = np.searchsorted(cdf, rng.random(k), side="right")
+    # searchsorted can only exceed the range if rng.random() returned a
+    # value >= cdf[-1] = 1.0, which it cannot; clip keeps this airtight
+    # for subnormal pathologies at zero cost.
+    return np.minimum(choices, n_bins - 1).astype(np.int64, copy=False)
+
+
+def multinomial_occupancy(
+    k: int,
+    n_bins: int,
+    rng: np.random.Generator,
+    pvals: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-bin request counts for ``k`` exchangeable requests.
+
+    Exactly the distribution of ``np.bincount(sample_choices(k, n, rng,
+    pvals), minlength=n)`` at a fraction of the cost for ``k >> n``.
     Uses the conditional binomial decomposition internally via numpy's
-    ``multinomial``, which accepts 64-bit ``k``.
+    ``multinomial``, which accepts 64-bit ``k``.  ``pvals=None`` is the
+    historical uniform path (bitwise unchanged); any validated
+    probability vector generalizes it to skewed choice distributions.
     """
     if k < 0:
         raise ValueError(f"k must be >= 0, got {k}")
@@ -51,8 +142,11 @@ def multinomial_occupancy(
         raise ValueError(f"n_bins must be >= 1, got {n_bins}")
     if k == 0:
         return np.zeros(n_bins, dtype=np.int64)
-    pvals = np.full(n_bins, 1.0 / n_bins)
-    return rng.multinomial(k, pvals).astype(np.int64)
+    if pvals is None:
+        p = np.full(n_bins, 1.0 / n_bins)
+    else:
+        p = validate_pvals(pvals, n_bins)
+    return rng.multinomial(k, p).astype(np.int64)
 
 
 def grouped_accept(

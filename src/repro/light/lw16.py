@@ -39,6 +39,7 @@ from repro.simulation.metrics import RoundMetrics, RunMetrics
 from repro.utils.logstar import log_star
 from repro.utils.seeding import RngFactory, as_generator
 from repro.utils.validation import check_positive_int
+from repro.workloads import BoundWorkload, as_workload
 
 __all__ = [
     "LightConfig",
@@ -81,6 +82,8 @@ class LightOutcome:
     metrics: RunMetrics
     used_fallback: bool
     ball_messages: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: Per-bin weighted intake (None for unit-weight workloads).
+    weighted_loads: Optional[np.ndarray] = None
 
     @property
     def max_load(self) -> int:
@@ -107,13 +110,14 @@ def run_light(
     seed=None,
     config: LightConfig = LightConfig(),
     ball_ids: Optional[np.ndarray] = None,
+    workload=None,
 ) -> LightOutcome:
     """Allocate ``n_balls`` balls into ``n_bins`` bins, load <= capacity.
 
     Parameters
     ----------
     n_balls, n_bins:
-        Instance size; requires ``n_balls <= capacity * n_bins`` (the
+        Instance size; requires ``n_balls <= total capacity`` (the
         protocol cannot exceed total capacity).
     seed:
         Anything accepted by :func:`numpy.random.default_rng`, or an
@@ -126,6 +130,13 @@ def run_light(
         index space (``A_heavy`` phase 2).  The returned
         ``ball_messages`` is always indexed by local position
         ``0..n_balls-1``; callers map through their own ID arrays.
+    workload:
+        Optional :class:`repro.workloads.Workload` (or spec string):
+        skewed contact distribution, per-bin capacities scaled by the
+        capacity profile (total must still cover ``n_balls``), and
+        weighted-load tracking.  ``run_light`` takes a single
+        Generator, so workload weights draw from it up front — uniform
+        workloads draw nothing and stay bitwise-identical.
 
     Returns
     -------
@@ -137,14 +148,33 @@ def run_light(
     n_bins = check_positive_int(n_bins, "n_bins")
     if config.capacity < 1:
         raise ValueError(f"capacity must be >= 1, got {config.capacity}")
-    total_capacity = config.capacity * n_bins
+    rng = as_generator(seed)
+    wl_spec = as_workload(workload)
+    if wl_spec is None:
+        wl = BoundWorkload()
+    else:
+        wl = BoundWorkload(
+            spec=wl_spec,
+            pvals=wl_spec.pvals(n_bins),
+            capacity_scale=wl_spec.capacity_scale(n_bins),
+        )
+        if wl_spec.weight != "unit":
+            wl.weights = wl_spec.sample_weights(n_balls, rng)
+    caps = wl.capacities(config.capacity)
+    caps_arr = (
+        caps
+        if isinstance(caps, np.ndarray)
+        else np.full(n_bins, config.capacity, dtype=np.int64)
+    )
+    total_capacity = int(caps_arr.sum())
     if n_balls > total_capacity:
         raise ValueError(
-            f"{n_balls} balls exceed total capacity "
-            f"{config.capacity} * {n_bins} = {total_capacity}"
+            f"{n_balls} balls exceed total capacity {total_capacity} "
+            f"(capacity {config.capacity} over {n_bins} bins)"
         )
-    rng = as_generator(seed)
-    state = RoundState(n_balls, n_bins, track_assignment=True)
+    state = RoundState(
+        n_balls, n_bins, track_assignment=True, weights=wl.weights
+    )
     ball_messages = np.zeros(n_balls, dtype=np.int64)
     used_fallback = False
     budget = log_star(n_bins) + config.round_budget_slack
@@ -152,13 +182,14 @@ def run_light(
     while state.active_count > 0 and state.rounds < budget:
         k_r = tower_schedule(state.rounds, min(config.max_contacts, n_bins))
         balls = state.active
-        # Step 1: requests — ``k_r`` uniform contacts per active ball
-        # (flat layout: request j belongs to ball active[j // k_r]).
-        batch = state.sample_contacts(rng, d=k_r)
+        # Step 1: requests — ``k_r`` contacts per active ball, drawn
+        # from the workload's choice distribution (flat layout: request
+        # j belongs to ball active[j // k_r]).
+        batch = state.sample_contacts(rng, d=k_r, pvals=wl.pvals)
         # Step 2: bins accept up to residual capacity, uniformly among
         # requesters.
         decision = state.group_and_accept(
-            batch, (config.capacity - state.loads).astype(np.int64), rng
+            batch, (caps_arr - state.loads).astype(np.int64), rng
         )
         # Step 3: each accepted ball commits to one acceptor (uniform:
         # the accept pass already applied random priorities, so the
@@ -179,13 +210,15 @@ def run_light(
     if state.active_count > 0:
         used_fallback = True
         active = state.active
-        residual = config.capacity - state.loads
+        residual = np.maximum(caps_arr - state.loads, 0)
         slots = np.repeat(np.arange(n_bins), residual)
         if slots.size < active.size:  # unreachable given capacity check
             raise RuntimeError("fallback found insufficient capacity")
         chosen = slots[: active.size]
         state.assignment[active] = chosen
         np.add.at(state.loads, chosen, 1)
+        if state.weighted_loads is not None:
+            np.add.at(state.weighted_loads, chosen, state.weights[active])
         # Message cost of the sweep: ball b finds a free bin after at
         # most (chosen position + 1) contacts; we charge 1 per ball per
         # sweep round and fold the sweep into one reported round per
@@ -219,6 +252,7 @@ def run_light(
         metrics=state.metrics,
         used_fallback=used_fallback,
         ball_messages=ball_messages,
+        weighted_loads=state.weighted_loads,
     )
 
 
@@ -228,6 +262,7 @@ def run_light(
     paper_ref="Theorem 5",
     aliases=("a_light", "lw16"),
     kernel_backed=True,
+    workload_capable=True,
     config_type=LightConfig,
 )
 def run_light_allocation(
@@ -236,13 +271,16 @@ def run_light_allocation(
     *,
     seed=None,
     config: LightConfig = LightConfig(),
+    workload=None,
 ):
     """Run ``A_light`` standalone and return an ``AllocationResult``.
 
     The registry-facing wrapper around :func:`run_light`: same
     protocol, but the outcome is packaged in the package-wide result
     type so the light subroutine is comparable to every other
-    allocator.  Requires ``m <= config.capacity * n``.
+    allocator.  Requires ``m <=`` the workload-scaled total capacity
+    (``config.capacity * n`` for the homogeneous profile).
+    ``workload`` is forwarded to :func:`run_light`.
 
     The ball-to-bin assignment and the fallback flag are preserved in
     ``extra`` (keys ``assignment`` is omitted — loads carry the
@@ -251,7 +289,16 @@ def run_light_allocation(
     from repro.result import AllocationResult
 
     factory = RngFactory(seed)
-    outcome = run_light(m, n, seed=factory.stream("light"), config=config)
+    wl_spec = as_workload(workload)
+    outcome = run_light(
+        m, n, seed=factory.stream("light"), config=config, workload=wl_spec
+    )
+    extra: dict = {"used_fallback": outcome.used_fallback}
+    workload_record = BoundWorkload(spec=wl_spec).extra_record(
+        outcome.weighted_loads
+    )
+    if workload_record is not None:
+        extra["workload"] = workload_record
     return AllocationResult(
         algorithm="light",
         m=m,
@@ -261,5 +308,5 @@ def run_light_allocation(
         metrics=outcome.metrics,
         total_messages=outcome.total_messages,
         seed_entropy=factory.root_entropy,
-        extra={"used_fallback": outcome.used_fallback},
+        extra=extra,
     )

@@ -1,0 +1,33 @@
+"""Workload abstraction: non-uniform, weighted, heterogeneous scenarios.
+
+A :class:`Workload` describes one allocation scenario along three
+independent axes — the ball→bin choice distribution (uniform, Zipf,
+hot-set, explicit), per-ball weights (unit, geometric, explicit), and
+per-bin capacity profiles (homogeneous, proportional-to-traffic,
+explicit) — and flows through every layer of the package: the sampling
+kernels (:mod:`repro.fastpath.sampling`), the shared round kernels
+(:class:`repro.fastpath.roundstate.RoundState`), the dispatch API
+(``repro.allocate(name, m, n, workload="zipf:1.1")``), the CLI
+(``--workload``), the bench harness, and the experiments.
+
+See ``docs/workloads.md`` for the spec grammar, the per-protocol
+support matrix, and the uniform-path bitwise-compatibility guarantee.
+"""
+
+from repro.workloads.spec import (
+    BoundWorkload,
+    Workload,
+    WorkloadError,
+    as_workload,
+    bind_workload,
+    parse_workload,
+)
+
+__all__ = [
+    "BoundWorkload",
+    "Workload",
+    "WorkloadError",
+    "as_workload",
+    "bind_workload",
+    "parse_workload",
+]

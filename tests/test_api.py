@@ -239,6 +239,34 @@ class TestBatchExecution:
         for a, b in zip(serial, pooled):
             assert np.array_equal(a.loads, b.loads)
 
+    def test_allocate_many_workers_match_serial_with_workload(self):
+        """Workload runs must be independent of the workers count: the
+        workload spec travels inside the pickled task and every cell's
+        stream is spawned from the root seed."""
+        wl = "zipf:1.1+geomw:0.5+propcap"
+        serial = allocate_many(
+            "heavy", M, N, repeats=3, seed=9, workload=wl
+        )
+        pooled = allocate_many(
+            "heavy", M, N, repeats=3, seed=9, workload=wl, workers=2
+        )
+        for a, b in zip(serial, pooled):
+            assert np.array_equal(a.loads, b.loads)
+            assert (
+                a.extra["workload"]["total_weight"]
+                == b.extra["workload"]["total_weight"]
+            )
+            assert a.extra["api"]["workload"] == wl
+
+    def test_sweep_workers_match_serial_with_workload(self):
+        points = [(M, 32), (M // 2, 16)]
+        serial = sweep("single", points, repeats=2, seed=3, workload="zipf:1.1")
+        pooled = sweep(
+            "single", points, repeats=2, seed=3, workload="zipf:1.1", workers=2
+        )
+        for a, b in zip(serial, pooled):
+            assert np.array_equal(a.loads, b.loads)
+
     def test_allocate_many_accepts_generator_seed(self):
         # The package-wide SeedLike forms all work, Generator included.
         first = allocate_many(

@@ -16,6 +16,7 @@ seeds.
 import numpy as np
 import pytest
 
+import repro
 from repro.core import run_asymmetric, run_heavy
 from repro.core.heavy_agents import run_heavy_engine, run_light_engine
 from repro.light import run_light
@@ -259,3 +260,104 @@ class TestKernelBackendsCrossValidation:
             assert commits == 40000 - res.unallocated
             requests = sum(r.requests_sent for r in rows)
             assert requests <= res.total_messages
+
+
+class TestWorkloadCompatibility:
+    """Workload-refactor seed compatibility (ISSUE 3 acceptance bar).
+
+    The uniform workload must be bitwise seed-compatible with the
+    pre-workload implementations for every kernel-backed protocol —
+    both when no workload is given (nothing changed on that path) and
+    when the *explicit* uniform spec is passed (the workload machinery
+    must recognize it and stay entirely out of the RNG streams).
+    """
+
+    #: (registry name, instance, options) for all ten kernel-backed
+    #: protocols, at sizes where every code path (phase 2 handoffs,
+    #: cleanup rounds, fallbacks) is reachable.
+    KERNEL_CASES = [
+        ("heavy", 20_000, 64, {}),
+        ("heavy", 20_000, 64, {"mode": "aggregate"}),
+        ("combined", 20_000, 64, {}),
+        ("asymmetric", 20_000, 64, {}),
+        ("asymmetric", 20_000, 64, {"mode": "aggregate"}),
+        ("faulty", 20_000, 64, {"crash_prob": 0.01, "loss_prob": 0.02}),
+        ("multicontact", 20_000, 64, {"d": 2}),
+        ("trivial", 20_000, 64, {}),
+        ("light", 100, 64, {}),
+        ("single", 20_000, 64, {}),
+        ("single", 20_000, 64, {"mode": "aggregate"}),
+        ("stemann", 20_000, 64, {}),
+        ("stemann", 20_000, 64, {"mode": "aggregate"}),
+        ("dchoice", 256, 64, {"d": 2}),
+    ]
+
+    @pytest.mark.parametrize(
+        "name,m,n,options",
+        KERNEL_CASES,
+        ids=[
+            f"{c[0]}-{c[3].get('mode', 'default')}" for c in KERNEL_CASES
+        ],
+    )
+    def test_uniform_workload_bitwise_identical(self, name, m, n, options):
+        base = repro.allocate(name, m, n, seed=20190416, **options)
+        explicit = repro.allocate(
+            name, m, n, seed=20190416, workload="uniform", **options
+        )
+        spec_obj = repro.allocate(
+            name, m, n, seed=20190416, workload=repro.Workload(), **options
+        )
+        for other in (explicit, spec_obj):
+            assert np.array_equal(base.loads, other.loads), name
+            assert base.rounds == other.rounds, name
+            assert base.total_messages == other.total_messages, name
+            assert base.unallocated == other.unallocated, name
+
+    def test_all_ten_kernel_backed_protocols_covered(self):
+        covered = {c[0] for c in self.KERNEL_CASES}
+        kernel_backed = {
+            s.name for s in repro.list_allocators() if s.kernel_backed
+        }
+        assert covered == kernel_backed
+
+    @pytest.mark.parametrize("name", ["heavy", "single", "stemann"])
+    def test_zipf_perball_vs_aggregate_pinned(self, name):
+        """Non-uniform cross-validation: the two granularities must
+        agree on conserved quantities and within concentration noise
+        on the load shape, at pinned seeds."""
+        m, n = 40_000, 64
+        options = {"collision_factor": 3.0} if name == "stemann" else {}
+        wl = "zipf:1.1+geomw:0.5"
+        p = repro.allocate(
+            name, m, n, seed=21, mode="perball", workload=wl, **options
+        )
+        a = repro.allocate(
+            name, m, n, seed=21, mode="aggregate", workload=wl, **options
+        )
+        assert p.complete and a.complete
+        assert p.loads.sum() == a.loads.sum() == m
+        # Weighted totals: both granularities draw i.i.d. geometric
+        # weights (mean 2) for the same m balls.
+        tp = p.extra["workload"]["total_weight"]
+        ta = a.extra["workload"]["total_weight"]
+        assert abs(tp - 2 * m) <= 0.05 * 2 * m
+        assert abs(tp - ta) <= 0.05 * tp
+        # Load shape within CLT noise of the skewed multinomial.
+        scale = np.sqrt(m / n)
+        assert abs(p.max_load - a.max_load) <= 8 * scale
+
+    def test_heterogeneous_capacity_cross_granularity_pinned(self):
+        m, n = 40_000, 64
+        wl = "hotset:0.25:0.5+propcap"
+        p = repro.allocate("heavy", m, n, seed=22, mode="perball", workload=wl)
+        a = repro.allocate(
+            "heavy", m, n, seed=22, mode="aggregate", workload=wl
+        )
+        assert p.complete and a.complete
+        # The capacity profile is deterministic and shared: both modes
+        # must shape loads the same way (hot quarter holds ~half).
+        hot = n // 4
+        for res in (p, a):
+            hot_share = res.loads[:hot].sum() / m
+            assert 0.35 <= hot_share <= 0.65
+        assert p.extra["phase1_rounds"] == a.extra["phase1_rounds"]

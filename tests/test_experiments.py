@@ -9,12 +9,36 @@ from repro.baselines import run_single_choice
 
 
 class TestRegistry:
-    def test_all_design_ids_present(self):
+    def test_all_registered_ids_present(self):
         expected = {
             "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9",
             "F1", "F2", "F3", "F4", "F5", "A1", "A2", "A3", "A4",
+            "W1",
         }
         assert set(EXPERIMENTS) == expected
+
+    def test_every_experiment_has_a_docstring(self):
+        """The registry is the experiment table; the no-argument CLI
+        listing renders each id with the first docstring line, so a
+        registered experiment without a docstring is doc rot."""
+        for exp_id, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip()
+            assert doc, f"experiment {exp_id} has no docstring"
+            first_line = doc.splitlines()[0]
+            assert exp_id in first_line, (
+                f"experiment {exp_id}'s docstring should lead with its "
+                f"id, got {first_line!r}"
+            )
+
+    def test_cli_listing_shows_every_id(self, capsys):
+        """``python -m repro.experiments`` (no argument) must list the
+        whole registry with docstring summaries."""
+        from repro.experiments.__main__ import main
+
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPERIMENTS:
+            assert exp_id in out
 
     def test_lookup_case_insensitive(self):
         assert get_experiment("t1") is EXPERIMENTS["T1"]

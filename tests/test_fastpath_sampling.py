@@ -7,7 +7,9 @@ from scipy import stats as sps
 from repro.fastpath.sampling import (
     grouped_accept,
     multinomial_occupancy,
+    sample_choices,
     sample_uniform_choices,
+    validate_pvals,
 )
 
 
@@ -71,6 +73,128 @@ class TestMultinomialOccupancy:
             multinomial_occupancy(-1, 5, rng)
         with pytest.raises(ValueError):
             multinomial_occupancy(5, 0, rng)
+
+
+class TestValidatePvals:
+    def test_normalizes_within_tolerance(self):
+        p = validate_pvals(np.array([0.5, 0.5 + 1e-9]), 2)
+        assert abs(p.sum() - 1.0) < 1e-15
+
+    def test_accepts_integer_dtype(self):
+        p = validate_pvals(np.array([1, 0]), 2)
+        assert p.dtype == np.float64
+        assert p[0] == 1.0
+
+    def test_zero_probability_bin_allowed(self):
+        p = validate_pvals(np.array([0.0, 1.0]), 2)
+        assert p[0] == 0.0
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="length n_bins"):
+            validate_pvals(np.array([0.5, 0.5]), 3)
+
+    def test_rejects_negative_nan_and_bad_sum(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_pvals(np.array([-0.1, 1.1]), 2)
+        with pytest.raises(ValueError, match="finite"):
+            validate_pvals(np.array([np.nan, 1.0]), 2)
+        with pytest.raises(ValueError, match="sum to 1"):
+            validate_pvals(np.array([0.3, 0.3]), 2)
+
+    def test_rejects_non_numeric_dtype(self):
+        with pytest.raises(ValueError, match="numeric"):
+            validate_pvals(np.array(["a", "b"]), 2)
+
+    def test_does_not_mutate_input(self):
+        src = np.array([0.25, 0.75])
+        out = validate_pvals(src, 2)
+        out[0] = 9.0
+        assert src[0] == 0.25
+
+
+class TestSampleChoices:
+    def test_uniform_path_bitwise_matches_sample_uniform_choices(self):
+        a = sample_choices(5000, 17, np.random.default_rng(3))
+        b = sample_uniform_choices(5000, 17, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_k_zero(self, rng):
+        out = sample_choices(0, 5, rng, np.full(5, 0.2))
+        assert out.size == 0 and out.dtype == np.int64
+
+    def test_single_bin(self, rng):
+        out = sample_choices(100, 1, rng, np.array([1.0]))
+        assert np.array_equal(out, np.zeros(100, dtype=np.int64))
+
+    def test_zero_probability_bin_never_drawn(self, rng):
+        pvals = np.array([0.0, 0.5, 0.5])
+        out = sample_choices(20_000, 3, rng, pvals)
+        assert not (out == 0).any()
+
+    def test_float_tolerance_sum_accepted(self, rng):
+        pvals = np.full(3, 1.0 / 3.0)  # sums to 1 within float tolerance
+        out = sample_choices(100, 3, rng, pvals)
+        assert out.min() >= 0 and out.max() < 3
+
+    def test_skew_matches_pvals_chi2(self, rng):
+        pvals = np.array([0.6, 0.3, 0.1])
+        k = 60_000
+        counts = np.bincount(sample_choices(k, 3, rng, pvals), minlength=3)
+        expected = pvals * k
+        chi2 = ((counts - expected) ** 2 / expected).sum()
+        assert chi2 < 13.8  # 99.9th percentile, 2 dof
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            sample_choices(-1, 5, rng, np.full(5, 0.2))
+        with pytest.raises(ValueError):
+            sample_choices(5, 0, rng, None)
+        with pytest.raises(ValueError, match="sum to 1"):
+            sample_choices(5, 2, rng, np.array([0.9, 0.3]))
+
+
+class TestMultinomialOccupancyPvals:
+    def test_k_zero_with_pvals(self, rng):
+        counts = multinomial_occupancy(0, 4, rng, np.full(4, 0.25))
+        assert counts.shape == (4,) and counts.sum() == 0
+
+    def test_single_bin(self, rng):
+        counts = multinomial_occupancy(123, 1, rng, np.array([1.0]))
+        assert counts.tolist() == [123]
+
+    def test_zero_probability_bin_gets_nothing(self, rng):
+        pvals = np.array([0.0, 0.4, 0.6])
+        counts = multinomial_occupancy(50_000, 3, rng, pvals)
+        assert counts[0] == 0 and counts.sum() == 50_000
+
+    def test_uniform_pvals_bitwise_matches_default(self):
+        n = 8
+        a = multinomial_occupancy(10_000, n, np.random.default_rng(5))
+        b = multinomial_occupancy(
+            10_000, n, np.random.default_rng(5), np.full(n, 1.0 / n)
+        )
+        assert np.array_equal(a, b)
+
+    def test_same_law_as_perball_under_skew(self, rng):
+        """Aggregate counts under pvals must match binned per-ball
+        draws in law (KS on the hottest bin across trials)."""
+        pvals = np.array([0.5, 0.3, 0.2])
+        k, trials = 2000, 300
+        agg = np.array(
+            [multinomial_occupancy(k, 3, rng, pvals)[0] for _ in range(trials)]
+        )
+        per = np.array(
+            [
+                np.bincount(sample_choices(k, 3, rng, pvals), minlength=3)[0]
+                for _ in range(trials)
+            ]
+        )
+        _, pvalue = sps.ks_2samp(agg, per)
+        assert pvalue > 1e-4
+
+    def test_invalid_pvals_rejected(self, rng):
+        with pytest.raises(ValueError, match="1-D"):
+            multinomial_occupancy(5, 2, rng, np.ones((2, 2)) / 4)
 
 
 class TestGroupedAccept:
