@@ -9,7 +9,11 @@ record a comparable perf trajectory.  A second artifact,
 ``BENCH_workloads.json``, times the workload-capable allocators in
 both granularities under Zipf choice skew (plus geometric weights and
 a proportional capacity profile) at the same pinned seeds — the
-perball-vs-aggregate trajectory of the workload subsystem.
+perball-vs-aggregate trajectory of the workload subsystem.  A third,
+``BENCH_replication.json``, times the trial-batched replication engine
+(``repro.replicate``) against the sequential per-seed loop at m=10^5,
+trials=256 — the ISSUE-4 acceptance bar is a >= 20x speedup on the
+headline ``heavy`` record at full scale.
 
 Scales::
 
@@ -43,6 +47,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.api.bench import (  # noqa: E402
     benchmark_engine_reference,
     benchmark_registry,
+    benchmark_replication,
 )
 
 #: Instance sizes per scale: (kernel m, kernel n, engine m, engine n).
@@ -63,6 +68,20 @@ SEEDS = (0, 1)
 #: and are exact-in-law for these).
 WORKLOAD_SPEC = "zipf:1.1+geomw:0.5+propcap"
 WORKLOAD_ALGORITHMS = ("heavy", "single", "stemann")
+
+#: Replication artifact: (m, n, trials) per scale.  The ISSUE-4
+#: acceptance instance is full scale — m=10^5, trials=256 — where the
+#: trial-batched engine must beat the sequential per-seed loop
+#: (allocate_many at default mode, workers=1) by >= 20x on the
+#: headline algorithm.
+REPLICATION_SCALES = {
+    "smoke": (20_000, 64, 32),
+    "quick": (100_000, 256, 64),
+    "full": (100_000, 256, 256),
+}
+REPLICATION_ALGORITHMS = ("heavy", "combined", "single", "stemann", "trivial")
+REPLICATION_HEADLINE = "heavy"
+REPLICATION_SPEEDUP_BAR = 20.0
 
 
 def run(scale: str) -> dict:
@@ -148,6 +167,46 @@ def run_workloads(scale: str) -> dict:
     }
 
 
+def run_replication(scale: str) -> dict:
+    """Time the trial-batched replication engine vs the sequential loop.
+
+    One pinned seed, every ``trial_batched`` allocator: the artifact
+    records both wall times and their ratio, plus the batched run's
+    gap statistics as a value anchor.  The headline figure is the
+    ``heavy`` speedup at full scale (m=10^5, trials=256) — the
+    dominant real workload (repeated seeded runs of the paper's main
+    algorithm) before and after the replication engine.
+    """
+    m, n, trials = REPLICATION_SCALES[scale]
+    records = benchmark_replication(
+        m,
+        n,
+        trials=trials,
+        seed=SEEDS[0],
+        algorithms=REPLICATION_ALGORITHMS,
+    )
+    speedups = {
+        r.algorithm: round(r.speedup, 1)
+        for r in records
+        if r.speedup is not None
+    }
+    return {
+        "schema": 1,
+        "scale": scale,
+        "m": m,
+        "n": n,
+        "trials": trials,
+        "seed": SEEDS[0],
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "records": [r.to_dict() for r in records],
+        "speedups_batched_vs_sequential": speedups,
+        "headline": REPLICATION_HEADLINE,
+        "headline_speedup": speedups.get(REPLICATION_HEADLINE),
+        "speedup_bar": REPLICATION_SPEEDUP_BAR,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", choices=sorted(SCALES), default="full")
@@ -164,6 +223,13 @@ def main(argv=None) -> int:
         help="workload-artifact path (default: BENCH_workloads.json at "
         "the repo root)",
     )
+    parser.add_argument(
+        "--replication-output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_replication.json",
+        help="replication-artifact path (default: BENCH_replication.json "
+        "at the repo root)",
+    )
     args = parser.parse_args(argv)
     payload = run(args.scale)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
@@ -176,6 +242,30 @@ def main(argv=None) -> int:
         f"({len(workloads_payload['records'])} workload records, "
         f"workload {workloads_payload['workload']})"
     )
+    replication_payload = run_replication(args.scale)
+    args.replication_output.write_text(
+        json.dumps(replication_payload, indent=2) + "\n"
+    )
+    headline = replication_payload["headline_speedup"]
+    print(
+        f"wrote {args.replication_output} "
+        f"({len(replication_payload['records'])} replication records)"
+    )
+    print(
+        f"replication speedup ({REPLICATION_HEADLINE}, trial-batched vs "
+        f"sequential): {headline}x"
+    )
+    # ISSUE-4 acceptance bar: >= 20x at the full-scale instance
+    # (m=10^5, trials=256).  Smoke/quick run smaller trial counts where
+    # fixed overheads weigh more, so the bar applies at full scale only.
+    if args.scale == "full" and (
+        headline is None or headline < REPLICATION_SPEEDUP_BAR
+    ):
+        print(
+            "error: replication speedup fell below the "
+            f"{REPLICATION_SPEEDUP_BAR:.0f}x acceptance bar"
+        )
+        return 1
     heavy_perball = payload["speedups_vs_engine"].get("heavy[perball]")
     print(f"wrote {args.output} ({len(payload['records'])} records)")
     print(f"engine reference : {payload['engine_reference']['seconds_mean']:.2f}s "

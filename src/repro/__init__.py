@@ -35,6 +35,9 @@ runs through one dispatch layer:
                           automatic mode selection)
 ``allocate_many``         Repeat one instance over seed-spawned independent
                           RNG streams, optionally across processes
+``replicate``             Run hundreds of seeded replications in one
+                          trial-batched vectorized pass; returns the
+                          distributional summary (``ReplicationResult``)
 ``sweep``                 Run a grid of instances, each repeated
 ``list_allocators``       All registered :class:`AllocatorSpec` entries
 ``get_spec``              Look up one spec by name or alias
@@ -102,12 +105,14 @@ from repro.workloads import Workload, parse_workload
 # every registration has run by the time allocate() is reachable.
 from repro.api import (
     AllocatorSpec,
+    ReplicationResult,
     allocate,
     allocate_many,
     allocator_names,
     get_spec,
     list_allocators,
     register_allocator,
+    replicate,
     sweep,
 )
 
@@ -122,6 +127,7 @@ __all__ = [
     "HeavyConfig",
     "LightConfig",
     "PaperSchedule",
+    "ReplicationResult",
     "ThresholdSchedule",
     "Workload",
     "__version__",
@@ -132,6 +138,7 @@ __all__ = [
     "list_allocators",
     "parse_workload",
     "register_allocator",
+    "replicate",
     "run_asymmetric",
     "run_batched_dchoice",
     "run_combined",

@@ -12,7 +12,9 @@ from the function signature.  Usage::
     python -m repro heavy --m 1000000 --n 1000 --workload zipf:1.1
     python -m repro greedy --m 100000 --n 1000 --d 2
     python -m repro faulty --m 100000 --n 256 --crash-prob 0.01
+    python -m repro replicate heavy --m 100000 --n 256 --trials 256
     python -m repro compare --m 1000000 --n 1000     # side-by-side table
+    python -m repro bench --m 100000 --n 256 --trials 256  # replication bench
     python -m repro experiments T2                   # alias for
                                                      # python -m repro.experiments
 
@@ -85,6 +87,44 @@ def _build_parser() -> argparse.ArgumentParser:
                 help=f"{spec.name} option (default: {default})",
             )
 
+    p_rep = sub.add_parser(
+        "replicate",
+        help="run many seeded replications in one trial-batched pass "
+        "and print the distributional summary",
+    )
+    p_rep.add_argument(
+        "algorithm",
+        type=str,
+        help="registry name or alias (see 'list'); trial_batched specs "
+        "run vectorized, others fall back to the sequential loop",
+    )
+    _add_common(p_rep)
+    p_rep.add_argument(
+        "--trials",
+        type=_positive_int,
+        default=256,
+        help="independent replications (default: 256)",
+    )
+    p_rep.add_argument(
+        "--workload",
+        type=str,
+        default=None,
+        help="workload spec applied to every trial (e.g. zipf:1.1)",
+    )
+    p_rep.add_argument(
+        "--sequential",
+        action="store_true",
+        help="force the sequential per-seed loop (identical values; "
+        "for verification/timing)",
+    )
+    p_rep.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        dest="json_path",
+        help="also write the full per-trial record as JSON to this path",
+    )
+
     p_compare = sub.add_parser(
         "compare", help="run all parallel algorithms side by side"
     )
@@ -130,6 +170,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bench under a workload spec (e.g. zipf:1.1); restricts "
         "to workload-capable allocators",
+    )
+    p_bench.add_argument(
+        "--trials",
+        type=_positive_int,
+        default=None,
+        help="switch to replication benchmarking: time trials-many "
+        "seeded replications per trial_batched allocator, batched vs "
+        "the sequential loop",
+    )
+    p_bench.add_argument(
+        "--skip-sequential",
+        action="store_true",
+        help="with --trials: skip the (slow) sequential-loop baseline",
     )
     p_bench.add_argument(
         "--json",
@@ -210,9 +263,69 @@ def _compare(args: argparse.Namespace) -> None:
         )
 
 
+def _replicate(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.api import replicate
+
+    start = time.perf_counter()
+    rep = replicate(
+        args.algorithm,
+        args.m,
+        args.n,
+        trials=args.trials,
+        seed=args.seed,
+        workload=args.workload,
+        trial_batched=False if args.sequential else None,
+    )
+    elapsed = time.perf_counter() - start
+    print(rep.describe())
+    print(f"wall time     : {elapsed:.2f}s "
+          f"({args.trials / elapsed:,.0f} trials/s)")
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(rep.to_dict(), fh, indent=2)
+        print(f"wrote {args.trials}-trial record to {args.json_path}")
+
+
+def _bench_replication(args: argparse.Namespace) -> None:
+    from repro.api.bench import (
+        benchmark_replication,
+        render_replication_table,
+    )
+
+    algorithms = (
+        [a.strip() for a in args.algorithms.split(",") if a.strip()]
+        if args.algorithms
+        else None
+    )
+    try:
+        records = benchmark_replication(
+            args.m,
+            args.n,
+            trials=args.trials,
+            seed=args.seed if args.seed is not None else 0,
+            algorithms=algorithms,
+            include_sequential=not args.skip_sequential,
+            workload=args.workload,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"python -m repro bench: error: {exc}")
+    print(render_replication_table(records))
+    if args.json_path:
+        import json
+
+        with open(args.json_path, "w") as fh:
+            json.dump([r.to_dict() for r in records], fh, indent=2)
+        print(f"wrote {len(records)} records to {args.json_path}")
+
+
 def _bench(args: argparse.Namespace) -> None:
     from repro.api.bench import benchmark_registry, render_table
 
+    if args.trials is not None:
+        _bench_replication(args)
+        return
     algorithms = (
         [a.strip() for a in args.algorithms.split(",") if a.strip()]
         if args.algorithms
@@ -249,6 +362,9 @@ def main(argv: list[str] | None = None) -> int:
         return exp_main(args.args)
     if args.command == "list":
         _list_registry()
+        return 0
+    if args.command == "replicate":
+        _replicate(args)
         return 0
     if args.command == "compare":
         _compare(args)

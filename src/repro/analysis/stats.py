@@ -19,9 +19,13 @@ __all__ = [
     "RunStatistics",
     "gap_statistics",
     "mean_confidence_interval",
+    "sample_quantiles",
     "summarize_loads",
     "summarize_runs",
 ]
+
+#: Default quantile grid reported by replication summaries.
+DEFAULT_QUANTILES = (0.05, 0.25, 0.5, 0.75, 0.95, 0.99)
 
 
 @dataclass(frozen=True)
@@ -111,6 +115,26 @@ def gap_statistics(load_vectors: Iterable[np.ndarray]) -> ConfidenceInterval:
     if not gaps:
         raise ValueError("need at least one load vector")
     return mean_confidence_interval(gaps)
+
+
+def sample_quantiles(
+    values: Sequence[float],
+    qs: Sequence[float] = DEFAULT_QUANTILES,
+) -> dict[float, float]:
+    """Empirical quantiles of a sample, keyed by probability.
+
+    The workhorse of replication summaries: with hundreds of trials per
+    instance the quantile curve of a metric (gap, rounds, messages) is
+    the statistic the paper's w.h.p. claims speak to, not just the
+    mean.  Uses numpy's default (linear-interpolation) estimator.
+    """
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("values must be non-empty")
+    for q in qs:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile probabilities must be in [0, 1], got {q}")
+    return {float(q): float(np.quantile(data, q)) for q in qs}
 
 
 #: Two-sided z-scores for the confidence levels used in reports.

@@ -2,8 +2,12 @@
 
 The package's algorithms register themselves here (see
 :func:`register_allocator`); :func:`allocate` runs any of them through
-one validated code path, and :func:`allocate_many` / :func:`sweep`
-batch over seeds and instance grids with independent RNG streams.
+one validated code path, :func:`allocate_many` / :func:`sweep` batch
+over seeds and instance grids with independent RNG streams, and
+:func:`replicate` runs hundreds of seeded replications of one instance
+through the trial-batched kernel engine, returning the distributional
+summary (:class:`ReplicationResult`) the paper's w.h.p. claims call
+for.
 
 >>> import repro
 >>> sorted(s.name for s in repro.list_allocators())[:3]
@@ -13,16 +17,21 @@ batch over seeds and instance grids with independent RNG streams.
 from repro.api.batch import allocate_many, spawn_seeds, sweep
 from repro.api.bench import (
     BenchRecord,
+    ReplicationBenchRecord,
     benchmark_engine_reference,
     benchmark_registry,
+    benchmark_replication,
 )
 from repro.api.dispatch import AGGREGATE_THRESHOLD, allocate, resolve_mode
+from repro.api.replicate import ReplicationResult, replicate
 from repro.api.spec import (
     AllocatorSpec,
     allocator_names,
+    get_replicator,
     get_spec,
     list_allocators,
     register_allocator,
+    register_replicator,
     resolve_name,
 )
 
@@ -30,14 +39,20 @@ __all__ = [
     "AGGREGATE_THRESHOLD",
     "AllocatorSpec",
     "BenchRecord",
+    "ReplicationBenchRecord",
+    "ReplicationResult",
     "allocate",
     "allocate_many",
     "allocator_names",
     "benchmark_engine_reference",
     "benchmark_registry",
+    "benchmark_replication",
+    "get_replicator",
     "get_spec",
     "list_allocators",
     "register_allocator",
+    "register_replicator",
+    "replicate",
     "resolve_mode",
     "resolve_name",
     "spawn_seeds",

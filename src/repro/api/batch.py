@@ -9,12 +9,27 @@ Two entry points:
 * :func:`sweep` — run a grid of ``(m, n)`` points, each repeated, with
   per-run spawned streams.
 
-Both take ``workers=`` for optional process parallelism: the CPU-bound
-numpy simulations cannot share a core under the GIL, so fan-out goes
-through the process-pool machinery of
-:mod:`repro.experiments.parallel` (imported lazily to keep the api
-package import-light).  Results come back in task order either way, so
-``workers`` never changes the values, only the wall clock.
+Execution: when the algorithm's spec carries the ``trial_batched``
+capability and the request is compatible (``mode="auto"`` or the
+adapter's own mode, adapter-supported options), the repetitions run on
+the trial-batched kernel engine — one lock-step vectorized pass whose
+per-repeat results are *bitwise-identical* to the sequential loop run
+in the same resolved mode (see :mod:`repro.api.replicate`).  The mode
+resolution itself is the one place ``"auto"`` semantics move: for
+trial-batched specs, ``mode="auto"`` here selects the adapter's
+equivalent mode (aggregate for the kernel-backed protocols) at *any*
+instance size, just as single-run ``allocate`` upgrades to aggregate
+above ``AGGREGATE_THRESHOLD`` — identical in distribution, not
+bitwise, and without per-ball message counters.  Callers who need the
+runner's default mode bitwise say so exactly as they always have:
+``mode=None`` (or an explicit mode), which is never silently batched.
+
+Everything else runs the per-seed loop, optionally fanned out over
+processes with ``workers=`` (the CPU-bound numpy simulations cannot
+share a core under the GIL, so fan-out goes through
+:mod:`repro.experiments.parallel`, imported lazily).  Results come
+back in task order in every case: ``workers`` never changes values,
+and batching never changes values relative to the same resolved mode.
 """
 
 from __future__ import annotations
@@ -23,7 +38,10 @@ from typing import Any, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.api.dispatch import allocate
+from repro.api.dispatch import _split_options, allocate
+from repro.api.replicate import batched_eligible, run_batched
+from repro.api.spec import get_spec
+from repro.utils.seeding import as_seed_sequence
 
 __all__ = ["allocate_many", "spawn_seeds", "sweep"]
 
@@ -35,21 +53,15 @@ def spawn_seeds(seed, count: int) -> list[np.random.SeedSequence]:
 
     Children are spawned from a :class:`numpy.random.SeedSequence`, so
     streams are independent even for adjacent root seeds, and the whole
-    batch replays exactly from the root.  Accepts the package-wide seed
-    forms (int, None, SeedSequence, Generator); a Generator is frozen
-    into a root entropy value, mirroring
-    :class:`repro.utils.seeding.RngFactory`.
+    batch replays exactly.  Accepts the package-wide seed forms (int,
+    None, SeedSequence, Generator) via
+    :func:`repro.utils.seeding.as_seed_sequence` — the same root-seed
+    idiom :class:`repro.utils.seeding.RngFactory` uses, so a Generator
+    is frozen into a root entropy value identically everywhere.
     """
     if count < 0:
         raise ValueError(f"count must be >= 0, got {count}")
-    if isinstance(seed, np.random.Generator):
-        seed = int(seed.integers(0, 2**63, dtype=np.int64))
-    root = (
-        seed
-        if isinstance(seed, np.random.SeedSequence)
-        else np.random.SeedSequence(seed)
-    )
-    return root.spawn(count)
+    return as_seed_sequence(seed).spawn(count)
 
 
 def _run_tasks(tasks: list[tuple], workers: Optional[int]) -> list:
@@ -63,6 +75,42 @@ def _run_tasks(tasks: list[tuple], workers: Optional[int]) -> list:
     ]
 
 
+def _try_batched(
+    algorithm: str,
+    m: int,
+    n: int,
+    children: list[np.random.SeedSequence],
+    mode: Optional[str],
+    options: dict[str, Any],
+    trial_batched: Optional[bool],
+) -> Optional[list]:
+    """Run the repeats on the trial-batched engine when that provably
+    changes nothing but the wall clock; ``None`` means "use the loop".
+    """
+    if trial_batched is False:
+        return None
+    spec = get_spec(algorithm)
+    if not spec.trial_batched:
+        if trial_batched is True:
+            raise ValueError(
+                f"algorithm {spec.name!r} has no trial-batched engine"
+            )
+        return None
+    from repro.workloads import as_workload
+
+    opts = dict(options)
+    wl = as_workload(opts.pop("workload", None))
+    runner_kwargs = _split_options(spec, opts)
+    if not batched_eligible(spec, m, mode, wl, runner_kwargs):
+        if trial_batched is True:
+            raise ValueError(
+                f"algorithm {spec.name!r} cannot batch this request "
+                f"(mode={mode!r}, options={sorted(opts)})"
+            )
+        return None
+    return run_batched(spec, m, n, children, wl, runner_kwargs)
+
+
 def allocate_many(
     algorithm: str,
     m: int,
@@ -72,6 +120,7 @@ def allocate_many(
     seed=None,
     mode: str = "auto",
     workers: Optional[int] = None,
+    trial_batched: Optional[bool] = None,
     **options: Any,
 ):
     """Run ``algorithm`` ``repeats`` times with independent streams.
@@ -87,7 +136,22 @@ def allocate_many(
         are independent but the whole batch replays exactly.
     workers:
         ``None``/``1`` runs in-process; ``>= 2`` fans out over worker
-        processes via :mod:`repro.experiments.parallel`.
+        processes via :mod:`repro.experiments.parallel`.  Ignored when
+        the batch runs on the trial-batched engine (which is
+        single-process and faster).
+    trial_batched:
+        ``None`` (default) routes through the trial-batched engine for
+        specs with the ``trial_batched`` capability under
+        ``mode="auto"`` — each repeat then executes in the adapter's
+        equivalent mode (aggregate for the kernel-backed protocols),
+        regardless of instance size — or under that mode explicitly.
+        ``False`` forces the historical per-seed loop (note that under
+        ``mode="auto"`` the loop resolves the mode per the single-run
+        rules, i.e. the spec default below ``AGGREGATE_THRESHOLD``, so
+        it reproduces the engine's values only at the adapter's mode;
+        pass that mode explicitly to compare value-for-value).
+        ``True`` requires batching and raises when the request cannot
+        batch.
 
     Notes
     -----
@@ -104,10 +168,14 @@ def allocate_many(
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     children = spawn_seeds(seed, repeats)
-    tasks = [
-        (algorithm, m, n, child, mode, options) for child in children
-    ]
-    results = _run_tasks(tasks, workers)
+    results = _try_batched(
+        algorithm, m, n, children, mode, options, trial_batched
+    )
+    if results is None:
+        tasks = [
+            (algorithm, m, n, child, mode, options) for child in children
+        ]
+        results = _run_tasks(tasks, workers)
     for i, result in enumerate(results):
         result.extra["api"]["repeat"] = i
     return results
@@ -144,6 +212,7 @@ def sweep(
     seed=None,
     mode: str = "auto",
     workers: Optional[int] = None,
+    trial_batched: Optional[bool] = None,
     **options: Any,
 ):
     """Run a parameter sweep: every point, ``repeats`` times each.
@@ -164,6 +233,11 @@ def sweep(
         replays from the root.
     workers:
         Optional process fan-out, as in :func:`allocate_many`.
+    trial_batched:
+        As in :func:`allocate_many`, applied point by point: each
+        point's ``repeats`` runs batch together when eligible (its
+        instance size and merged options decide), and fall back to the
+        sequential loop otherwise — values are identical either way.
     options:
         Options common to every point (per-point dicts override).
 
@@ -180,12 +254,52 @@ def sweep(
     if not point_list:
         raise ValueError("sweep needs at least one point")
     children = spawn_seeds(seed, len(point_list) * repeats)
-    tasks = []
+    if trial_batched is not True and (
+        trial_batched is False or not get_spec(algorithm).trial_batched
+    ):
+        # No batching possible for this spec: keep the historical
+        # single submission so a worker pool spans the whole sweep.
+        tasks = []
+        for p_idx, point in enumerate(point_list):
+            for r_idx in range(repeats):
+                child = children[p_idx * repeats + r_idx]
+                tasks.append(
+                    _point_to_task(algorithm, point, child, mode, options)
+                )
+        results = _run_tasks(tasks, workers)
+        for i, result in enumerate(results):
+            result.extra["api"]["point"] = i // repeats
+            result.extra["api"]["repeat"] = i % repeats
+        return results
+    # Two-phase submission: batch each eligible point's repeat block on
+    # the engine, and collect every remaining cell into ONE task list
+    # so a worker pool still spans the whole sweep (not one pool per
+    # point), then stitch the results back in point-major order.
+    blocks: list = [None] * len(point_list)
+    pending_tasks: list[tuple] = []
+    pending_slots: list[int] = []
     for p_idx, point in enumerate(point_list):
-        for r_idx in range(repeats):
-            child = children[p_idx * repeats + r_idx]
-            tasks.append(_point_to_task(algorithm, point, child, mode, options))
-    results = _run_tasks(tasks, workers)
+        cell = children[p_idx * repeats : (p_idx + 1) * repeats]
+        # Per-point task shape (a dict point may override m/n/mode and
+        # options), resolved once for the whole repeat block.
+        task = _point_to_task(algorithm, point, cell[0], mode, options)
+        _, p_m, p_n, _, p_mode, p_options = task
+        block = _try_batched(
+            algorithm, p_m, p_n, cell, p_mode, p_options, trial_batched
+        )
+        if block is None:
+            for child in cell:
+                pending_tasks.append(
+                    (algorithm, p_m, p_n, child, p_mode, p_options)
+                )
+            pending_slots.append(p_idx)
+        else:
+            blocks[p_idx] = block
+    if pending_tasks:
+        sequential = _run_tasks(pending_tasks, workers)
+        for i, p_idx in enumerate(pending_slots):
+            blocks[p_idx] = sequential[i * repeats : (i + 1) * repeats]
+    results = [result for block in blocks for result in block]
     for i, result in enumerate(results):
         result.extra["api"]["point"] = i // repeats
         result.extra["api"]["repeat"] = i % repeats

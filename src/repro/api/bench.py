@@ -11,6 +11,11 @@ instance size and seed set.  It backs two front ends:
   runner that writes ``BENCH_kernels.json`` (engine-reference timings
   included, so the kernel-vs-engine speedup is recorded per run).
 
+:func:`benchmark_replication` is the replication-engine counterpart:
+it times ``repro.replicate`` (trial-batched) against the sequential
+per-seed loop for every ``trial_batched`` spec, backing ``python -m
+repro bench --trials`` and the checked-in ``BENCH_replication.json``.
+
 Timings use ``time.perf_counter`` around the public ``allocate`` entry
 point, so what is measured is exactly what a user gets.
 """
@@ -26,8 +31,11 @@ from repro.api.spec import AllocatorSpec, list_allocators, resolve_name
 
 __all__ = [
     "BenchRecord",
+    "ReplicationBenchRecord",
     "benchmark_registry",
     "benchmark_engine_reference",
+    "benchmark_replication",
+    "render_replication_table",
     "render_table",
 ]
 
@@ -205,6 +213,140 @@ def benchmark_engine_reference(
     kernel-speedup figures in ``BENCH_kernels.json``.
     """
     return _time_allocations("heavy", "engine", m, n, seeds)
+
+
+@dataclass(frozen=True)
+class ReplicationBenchRecord:
+    """One trial-batched vs sequential replication timing."""
+
+    algorithm: str
+    m: int
+    n: int
+    trials: int
+    seed: int
+    #: Wall seconds for ``replicate(...)`` on the trial-batched engine.
+    batched_seconds: float
+    #: Wall seconds for the sequential per-seed loop
+    #: (``allocate_many(workers=1, trial_batched=False)`` at its
+    #: default mode — the historical path users ran before batching).
+    sequential_seconds: Optional[float]
+    #: sequential / batched (None when the sequential leg was skipped).
+    speedup: Optional[float]
+    #: Mean max-load gap over the batched trials (value sanity anchor).
+    gap_mean: float
+    gap_p99: float
+    rounds_mean: float
+    workload: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def benchmark_replication(
+    m: int,
+    n: int,
+    *,
+    trials: int,
+    seed: int = 0,
+    algorithms: Optional[Iterable[str]] = None,
+    include_sequential: bool = True,
+    workload=None,
+) -> list[ReplicationBenchRecord]:
+    """Time trial-batched replication against the sequential loop.
+
+    For every ``trial_batched`` spec (or the requested subset), runs
+    ``replicate(algorithm, m, n, trials=trials, seed=seed)`` on the
+    batched engine and — when ``include_sequential`` — the same
+    repetition through ``allocate_many(..., trial_batched=False,
+    workers=1)`` at its default mode, the path every repeated-seed
+    experiment took before the replication engine existed.  The
+    speedup column of ``BENCH_replication.json`` is the ratio of the
+    two.
+    """
+    from repro.api.batch import allocate_many
+    from repro.api.replicate import replicate
+    from repro.api.spec import get_spec
+
+    if algorithms is not None:
+        names = [resolve_name(a) for a in algorithms]
+        not_batched = [n for n in names if not get_spec(n).trial_batched]
+        if not_batched:
+            # A sequential-vs-sequential timing labelled as a batched
+            # speedup would be meaningless; fail loudly instead.
+            raise ValueError(
+                f"algorithm(s) {', '.join(sorted(not_batched))} have no "
+                f"trial-batched engine; replication benchmarks cover "
+                f"trial_batched specs only"
+            )
+    else:
+        names = [s.name for s in list_allocators() if s.trial_batched]
+    records = []
+    for name in names:
+        start = time.perf_counter()
+        rep = replicate(
+            name, m, n, trials=trials, seed=seed, workload=workload
+        )
+        batched_seconds = time.perf_counter() - start
+        sequential_seconds = speedup = None
+        if include_sequential:
+            start = time.perf_counter()
+            allocate_many(
+                name,
+                m,
+                n,
+                repeats=trials,
+                seed=seed,
+                workers=1,
+                trial_batched=False,
+                **({"workload": workload} if workload is not None else {}),
+            )
+            sequential_seconds = time.perf_counter() - start
+            if batched_seconds > 0:
+                speedup = sequential_seconds / batched_seconds
+        gq = rep.quantiles("gap", (0.99,))
+        records.append(
+            ReplicationBenchRecord(
+                algorithm=name,
+                m=m,
+                n=n,
+                trials=trials,
+                seed=seed,
+                batched_seconds=batched_seconds,
+                sequential_seconds=sequential_seconds,
+                speedup=speedup,
+                gap_mean=float(rep.gaps.mean()),
+                gap_p99=gq[0.99],
+                rounds_mean=float(rep.rounds.mean()),
+                workload=rep.workload,
+            )
+        )
+    return records
+
+
+def render_replication_table(
+    records: Sequence[ReplicationBenchRecord],
+) -> str:
+    """Human-readable table of replication benchmark records."""
+    header = (
+        f"{'algorithm':14s} {'m':>12s} {'n':>7s} {'trials':>7s} "
+        f"{'batched':>9s} {'sequential':>11s} {'speedup':>8s} "
+        f"{'gap mean':>9s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        seq = (
+            f"{r.sequential_seconds:10.3f}s"
+            if r.sequential_seconds is not None
+            else f"{'-':>11s}"
+        )
+        spd = (
+            f"{r.speedup:7.1f}x" if r.speedup is not None else f"{'-':>8s}"
+        )
+        lines.append(
+            f"{r.algorithm:14s} {r.m:12,d} {r.n:7,d} {r.trials:7,d} "
+            f"{r.batched_seconds:8.3f}s {seq} {spd} {r.gap_mean:+9.2f}"
+        )
+    return "\n".join(lines)
 
 
 def render_table(records: Sequence[BenchRecord]) -> str:

@@ -34,7 +34,10 @@ from typing import Any, Callable, Iterable, Optional
 
 __all__ = [
     "AllocatorSpec",
+    "ReplicatorEntry",
     "register_allocator",
+    "register_replicator",
+    "get_replicator",
     "get_spec",
     "list_allocators",
     "allocator_names",
@@ -104,6 +107,14 @@ class AllocatorSpec:
         Allocators without the flag accept only the uniform workload;
         :func:`~repro.api.dispatch.allocate` raises a clear error
         before calling them with anything else.
+    trial_batched:
+        True when the allocator registered a trial-batched replication
+        adapter (:func:`register_replicator`): one engine invocation
+        advances T independent seeded replications in lock-step,
+        producing per-trial results bitwise-identical to the sequential
+        per-seed loop.  ``repro.replicate`` and the batch helpers
+        (``allocate_many``/``sweep``) route through the adapter when
+        this flag is set.
     config_type:
         Optional config dataclass accepted via ``config=``; its fields
         may also be passed flat to :func:`~repro.api.dispatch.allocate`
@@ -130,6 +141,7 @@ class AllocatorSpec:
     supports_multicontact: bool = False
     kernel_backed: bool = False
     workload_capable: bool = False
+    trial_batched: bool = False
     config_type: Optional[type] = None
     options: tuple[str, ...] = ()
     config_fields: tuple[str, ...] = ()
@@ -154,6 +166,8 @@ class AllocatorSpec:
             caps.append("kernel")
         if self.workload_capable:
             caps.append("workload")
+        if self.trial_batched:
+            caps.append("trial_batched")
         if self.sequential:
             caps.append("sequential")
         if self.fault_tolerant:
@@ -167,6 +181,40 @@ class AllocatorSpec:
 _ALIASES: dict[str, str] = {}
 #: canonical name -> spec.
 _REGISTRY: dict[str, AllocatorSpec] = {}
+#: canonical name -> trial-batched replication adapter.
+_REPLICATORS: dict[str, "ReplicatorEntry"] = {}
+
+
+@dataclass(frozen=True)
+class ReplicatorEntry:
+    """A registered trial-batched replication adapter.
+
+    Attributes
+    ----------
+    runner:
+        Called as ``runner(m, n, trials=T, seed_seqs=[...], **options)``
+        with one spawned :class:`numpy.random.SeedSequence` per trial;
+        returns a list of ``T`` :class:`~repro.result.AllocationResult`
+        objects, trial ``t`` bitwise-identical to running the
+        allocator sequentially with seed ``seed_seqs[t]`` in
+        ``equivalent_mode``.
+    equivalent_mode:
+        The execution mode whose sequential per-seed loop the adapter
+        reproduces exactly (``None`` for modeless allocators).  The
+        batch helpers only substitute the adapter when the caller's
+        resolved mode matches, so batching never changes values.
+    options:
+        Runner keyword options the adapter also accepts (beyond
+        ``workload``); requests with other options fall back to the
+        sequential loop.
+    workload_capable:
+        Whether the adapter takes ``workload=``.
+    """
+
+    runner: Callable[..., Any]
+    equivalent_mode: Optional[str]
+    options: tuple[str, ...]
+    workload_capable: bool
 
 
 def _normalize(name: str) -> str:
@@ -310,6 +358,72 @@ def register_allocator(
         return runner
 
     return decorator
+
+
+def register_replicator(
+    name: str,
+    *,
+    equivalent_mode: Optional[str] = "aggregate",
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Attach a trial-batched replication adapter to a registered spec.
+
+    Must run after the allocator's own :func:`register_allocator`
+    decoration (adapters live below their runner in the same module).
+    Flips the spec's ``trial_batched`` capability; the adapter's extra
+    keyword options and ``workload`` support are derived from its
+    signature, exactly as runner options are.
+
+    ``equivalent_mode`` names the execution mode whose sequential
+    per-seed loop the adapter reproduces bitwise (``None`` for
+    modeless allocators); the dispatching batch helpers refuse to
+    substitute the adapter under any other mode.
+    """
+
+    def decorator(runner: Callable[..., Any]) -> Callable[..., Any]:
+        key = _normalize(name)
+        spec = _REGISTRY.get(key)
+        if spec is None:
+            raise ValueError(
+                f"cannot register replicator for unknown allocator {name!r}"
+            )
+        if equivalent_mode is not None and equivalent_mode not in spec.modes:
+            raise ValueError(
+                f"replicator for {name!r} claims mode {equivalent_mode!r} "
+                f"but the spec supports {spec.modes!r}"
+            )
+        sig = inspect.signature(runner)
+        reserved = {"m", "n", "trials", "seed_seqs", "workload"}
+        options = tuple(
+            p.name
+            for p in sig.parameters.values()
+            if p.name not in reserved
+            and p.kind
+            not in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            )
+        )
+        workload_capable = "workload" in sig.parameters
+        if workload_capable and not spec.workload_capable:
+            raise ValueError(
+                f"replicator for {name!r} takes workload= but the spec "
+                f"is not workload_capable"
+            )
+        _REPLICATORS[key] = ReplicatorEntry(
+            runner=runner,
+            equivalent_mode=equivalent_mode,
+            options=options,
+            workload_capable=workload_capable,
+        )
+        _REGISTRY[key] = dataclasses.replace(spec, trial_batched=True)
+        return runner
+
+    return decorator
+
+
+def get_replicator(name: str) -> Optional[ReplicatorEntry]:
+    """The trial-batched adapter for an allocator, or None."""
+    return _REPLICATORS.get(resolve_name(name))
 
 
 def _ensure_populated() -> None:

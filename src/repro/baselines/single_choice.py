@@ -15,14 +15,14 @@ from __future__ import annotations
 
 from typing import Literal
 
-from repro.api.spec import register_allocator
+from repro.api.spec import register_allocator, register_replicator
 from repro.fastpath.roundstate import RoundState
 from repro.result import AllocationResult
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import ensure_m_n
 from repro.workloads import bind_workload
 
-__all__ = ["run_single_choice"]
+__all__ = ["replicate_single_choice", "run_single_choice"]
 
 
 @register_allocator(
@@ -107,3 +107,72 @@ def run_single_choice(
         seed_entropy=factory.root_entropy,
         extra=extra,
     )
+
+
+@register_replicator("single", equivalent_mode="aggregate")
+def replicate_single_choice(
+    m: int,
+    n: int,
+    *,
+    trials: int,
+    seed_seqs,
+    workload=None,
+) -> list[AllocationResult]:
+    """Run ``trials`` seeded one-shot allocations in one batched round.
+
+    One trial-batched kernel round — a ``(T, n)`` occupancy matrix
+    drawn from per-trial generators — replaces ``T`` sequential runs;
+    trial ``t`` is bitwise-identical to ``run_single_choice(m, n,
+    seed=seed_seqs[t], mode="aggregate", ...)``.
+    """
+    m, n = ensure_m_n(m, n)
+    if len(seed_seqs) != trials:
+        raise ValueError(f"need {trials} seed sequences, got {len(seed_seqs)}")
+    factories = [RngFactory(s) for s in seed_seqs]
+    bounds = [
+        bind_workload(workload, m, n, f, granularity="aggregate")
+        for f in factories
+    ]
+    rngs = [f.stream("single", "choices") for f in factories]
+    samplers = [b.weight_sum_sampler for b in bounds]
+    weighted = any(s is not None for s in samplers)
+
+    state = RoundState(
+        m,
+        n,
+        granularity="aggregate",
+        trials=trials,
+        weight_sum_sampler=samplers if weighted else None,
+    )
+    batch = state.sample_contacts(rngs, pvals=bounds[0].pvals)
+    decision = state.group_and_accept(batch, None)
+    state.commit_and_revoke(
+        batch, decision, accept_cost=0, record_accepts=False
+    )
+
+    results = []
+    for t, (factory, bound) in enumerate(zip(factories, bounds)):
+        extra: dict = {}
+        workload_record = bound.extra_record(
+            state.weighted_loads[t] if state.weighted_loads is not None else None,
+            inapplicable=(
+                ("capacity",) if bound.capacity_scale is not None else ()
+            ),
+        )
+        if workload_record is not None:
+            extra["workload"] = workload_record
+        results.append(
+            AllocationResult(
+                algorithm="single-choice",
+                m=m,
+                n=n,
+                loads=state.loads[t],
+                rounds=1,
+                metrics=state.trial_metrics[t],
+                messages=None,
+                total_messages=int(state.total_messages[t]),
+                seed_entropy=factory.root_entropy,
+                extra=extra,
+            )
+        )
+    return results

@@ -33,14 +33,14 @@ from __future__ import annotations
 import math
 from typing import Literal
 
-from repro.api.spec import register_allocator
+from repro.api.spec import register_allocator, register_replicator
 from repro.fastpath.roundstate import RoundState
 from repro.result import AllocationResult
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import ensure_m_n
 from repro.workloads import bind_workload
 
-__all__ = ["run_stemann"]
+__all__ = ["replicate_stemann", "run_stemann"]
 
 
 @register_allocator(
@@ -134,3 +134,82 @@ def run_stemann(
         seed_entropy=factory.root_entropy,
         extra=extra,
     )
+
+
+@register_replicator("stemann", equivalent_mode="aggregate")
+def replicate_stemann(
+    m: int,
+    n: int,
+    *,
+    trials: int,
+    seed_seqs,
+    workload=None,
+    collision_factor: float = 2.0,
+    max_rounds: int = 100_000,
+) -> list[AllocationResult]:
+    """Run ``trials`` seeded collision-protocol replications in lock-step.
+
+    The all-or-nothing rule is count-determined, so every round is one
+    trial-batched kernel call over the ``(T, n)`` occupancy matrix;
+    trial ``t`` is bitwise-identical to ``run_stemann(m, n,
+    seed=seed_seqs[t], mode="aggregate", ...)``.
+    """
+    m, n = ensure_m_n(m, n)
+    if collision_factor <= 1.0:
+        raise ValueError(
+            f"collision_factor must be > 1, got {collision_factor}"
+        )
+    if len(seed_seqs) != trials:
+        raise ValueError(f"need {trials} seed sequences, got {len(seed_seqs)}")
+    bound = math.ceil(collision_factor * math.ceil(m / n))
+    factories = [RngFactory(s) for s in seed_seqs]
+    wls = [
+        bind_workload(workload, m, n, f, granularity="aggregate")
+        for f in factories
+    ]
+    bounds = wls[0].capacities(bound)
+    rngs = [f.stream("stemann", "choices") for f in factories]
+    samplers = [w.weight_sum_sampler for w in wls]
+    weighted = any(s is not None for s in samplers)
+
+    state = RoundState(
+        m,
+        n,
+        granularity="aggregate",
+        trials=trials,
+        weight_sum_sampler=samplers if weighted else None,
+    )
+    while state.any_active and state.rounds < max_rounds:
+        batch = state.sample_contacts(rngs, pvals=wls[0].pvals)
+        decision = state.group_and_accept(
+            batch, bounds - state.loads, policy="all_or_nothing"
+        )
+        state.commit_and_revoke(batch, decision, threshold=bound)
+
+    results = []
+    for t, (factory, wl) in enumerate(zip(factories, wls)):
+        remaining = int(state.active_counts[t])
+        extra: dict = {"collision_bound": bound}
+        workload_record = wl.extra_record(
+            state.weighted_loads[t]
+            if state.weighted_loads is not None
+            else None
+        )
+        if workload_record is not None:
+            extra["workload"] = workload_record
+        results.append(
+            AllocationResult(
+                algorithm="stemann",
+                m=m,
+                n=n,
+                loads=state.loads[t],
+                rounds=int(state.trial_rounds[t]),
+                metrics=state.trial_metrics[t],
+                total_messages=int(state.total_messages[t]),
+                complete=remaining == 0,
+                unallocated=remaining,
+                seed_entropy=factory.root_entropy,
+                extra=extra,
+            )
+        )
+    return results

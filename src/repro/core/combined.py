@@ -15,14 +15,14 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.api.spec import register_allocator
-from repro.core.heavy import HeavyConfig, run_heavy
-from repro.core.trivial import run_trivial
+from repro.api.spec import register_allocator, register_replicator
+from repro.core.heavy import HeavyConfig, replicate_heavy, run_heavy
+from repro.core.trivial import replicate_trivial, run_trivial
 from repro.result import AllocationResult
 from repro.utils.logstar import loglog2
 from repro.utils.validation import ensure_m_n
 
-__all__ = ["run_combined", "should_use_trivial"]
+__all__ = ["replicate_combined", "run_combined", "should_use_trivial"]
 
 
 def should_use_trivial(m: int, n: int) -> bool:
@@ -79,3 +79,43 @@ def run_combined(
         result.extra["branch"] = "heavy"
     result.algorithm = "combined"
     return result
+
+
+@register_replicator("combined", equivalent_mode="aggregate")
+def replicate_combined(
+    m: int,
+    n: int,
+    *,
+    trials: int,
+    seed_seqs,
+    workload=None,
+    config: Optional[HeavyConfig] = None,
+) -> list[AllocationResult]:
+    """Run ``trials`` seeded replications of the combined algorithm.
+
+    The Section 3 dispatch test depends only on ``(m, n)``, so every
+    trial takes the same branch: the batch delegates wholesale to the
+    trivial or heavy trial-batched engine.  Trial ``t`` is
+    bitwise-identical to ``run_combined(m, n, seed=seed_seqs[t],
+    mode="aggregate", ...)``.
+    """
+    m, n = ensure_m_n(m, n, require_heavy=True)
+    if should_use_trivial(m, n):
+        results = replicate_trivial(
+            m, n, trials=trials, seed_seqs=seed_seqs, workload=workload
+        )
+        branch = "trivial"
+    else:
+        results = replicate_heavy(
+            m,
+            n,
+            trials=trials,
+            seed_seqs=seed_seqs,
+            workload=workload,
+            config=config or HeavyConfig(),
+        )
+        branch = "heavy"
+    for result in results:
+        result.extra["branch"] = branch
+        result.algorithm = "combined"
+    return results

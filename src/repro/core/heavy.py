@@ -35,7 +35,7 @@ from typing import Literal, Optional
 
 import numpy as np
 
-from repro.api.spec import register_allocator
+from repro.api.spec import register_allocator, register_replicator
 from repro.core.thresholds import PaperSchedule, ThresholdSchedule
 from repro.fastpath.roundstate import RoundState
 from repro.light.lw16 import LightConfig
@@ -48,8 +48,10 @@ from repro.workloads import Workload, as_workload, bind_workload
 
 __all__ = [
     "HeavyConfig",
+    "replicate_heavy",
     "run_heavy",
     "run_threshold_protocol",
+    "run_threshold_protocol_batched",
     "ThresholdPhaseOutcome",
 ]
 
@@ -264,7 +266,40 @@ def run_heavy(
         track_per_ball=config.track_per_ball,
         workload=bound,
     )
+    algorithm = (
+        "heavy" if schedule is None else f"threshold[{type(sched).__name__}]"
+    )
+    return _finish_heavy_run(
+        m,
+        n,
+        phase1=phase1,
+        factory=factory,
+        bound=bound,
+        config=config,
+        handoff=handoff,
+        algorithm=algorithm,
+    )
 
+
+def _finish_heavy_run(
+    m: int,
+    n: int,
+    *,
+    phase1: ThresholdPhaseOutcome,
+    factory: RngFactory,
+    bound,
+    config: HeavyConfig,
+    handoff: bool,
+    algorithm: str,
+) -> AllocationResult:
+    """Phase 2 (``A_light`` handoff) and result assembly.
+
+    Shared verbatim by the sequential :func:`run_heavy` and the
+    trial-batched :func:`replicate_heavy` (which runs phase 1 in
+    lock-step across trials, then finishes each trial through this
+    helper) — one implementation is what keeps the two paths
+    bitwise-identical.
+    """
     loads = phase1.loads.copy()
     total_messages = phase1.total_messages
     rounds = phase1.rounds
@@ -342,7 +377,7 @@ def run_heavy(
         extra["workload"] = workload_record
 
     result = AllocationResult(
-        algorithm="heavy" if schedule is None else f"threshold[{type(sched).__name__}]",
+        algorithm=algorithm,
         m=m,
         n=n,
         loads=loads,
@@ -356,3 +391,129 @@ def run_heavy(
         extra=extra,
     )
     return result
+
+
+def run_threshold_protocol_batched(
+    m: int,
+    n: int,
+    schedule: ThresholdSchedule,
+    *,
+    factories: list[RngFactory],
+    bounds: list,
+    max_rounds: Optional[int] = None,
+) -> list[ThresholdPhaseOutcome]:
+    """Phase 1 for ``T`` seeded replications in one lock-step pass.
+
+    Trial ``t`` draws from its own ``("threshold", "choices")`` stream
+    of ``factories[t]`` (and its own workload weights stream through
+    ``bounds[t]``), so its outcome is bitwise-identical to
+    :func:`run_threshold_protocol` in aggregate mode with that factory
+    — lock-stepping is possible because the schedule is *oblivious*:
+    round ``i``'s threshold depends only on ``i``, never on a trial's
+    state.  Trials whose active set empties drop out of the batch mask
+    and stop consuming their streams, exactly where their sequential
+    loop would have exited.
+    """
+    trials = len(factories)
+    if len(bounds) != trials:
+        raise ValueError("need one bound workload per factory")
+    rngs = [f.stream("threshold", "choices") for f in factories]
+    # The sequential path also creates the accept stream up front; the
+    # aggregate kernels never draw from it, so creation is skipped here.
+    samplers = [b.weight_sum_sampler for b in bounds]
+    weighted = any(s is not None for s in samplers)
+    pvals = bounds[0].pvals
+
+    planned = schedule.phase1_rounds()
+    cap_rounds = max_rounds if max_rounds is not None else 100_000
+    if planned is not None:
+        cap_rounds = min(cap_rounds, planned)
+
+    state = RoundState(
+        m,
+        n,
+        granularity="aggregate",
+        trials=trials,
+        weight_sum_sampler=samplers if weighted else None,
+    )
+    thresholds: list[int] = []
+    while state.rounds < cap_rounds and state.any_active:
+        threshold = schedule.threshold(state.rounds)
+        thresholds.append(threshold)
+        capacity = np.maximum(bounds[0].capacities(threshold) - state.loads, 0)
+        batch = state.sample_contacts(rngs, pvals=pvals)
+        decision = state.group_and_accept(batch, capacity)
+        state.commit_and_revoke(batch, decision, threshold=threshold)
+
+    outcomes = []
+    for t in range(trials):
+        executed = int(state.trial_rounds[t])
+        outcomes.append(
+            ThresholdPhaseOutcome(
+                loads=state.loads[t],
+                remaining=int(state.active_counts[t]),
+                remaining_ids=None,
+                rounds=executed,
+                metrics=state.trial_metrics[t],
+                counter=None,
+                total_messages=int(state.total_messages[t]),
+                thresholds=thresholds[:executed],
+                weighted_loads=(
+                    state.weighted_loads[t]
+                    if state.weighted_loads is not None
+                    else None
+                ),
+            )
+        )
+    return outcomes
+
+
+@register_replicator("heavy", equivalent_mode="aggregate")
+def replicate_heavy(
+    m: int,
+    n: int,
+    *,
+    trials: int,
+    seed_seqs,
+    workload: Optional[Workload] = None,
+    config: HeavyConfig = HeavyConfig(),
+    schedule: Optional[ThresholdSchedule] = None,
+    handoff: bool = True,
+) -> list[AllocationResult]:
+    """Run ``trials`` seeded replications of ``A_heavy`` in one batch.
+
+    Phase 1 (threshold rounds) advances all trials in lock-step on the
+    trial-batched aggregate kernels; phase 2 hands each trial's ``O(n)``
+    stragglers to its own ``A_light`` run, exactly as the sequential
+    algorithm does.  Trial ``t`` is bitwise-identical to
+    ``run_heavy(m, n, seed=seed_seqs[t], mode="aggregate", ...)``.
+    """
+    m, n = ensure_m_n(m, n, require_heavy=True)
+    if len(seed_seqs) != trials:
+        raise ValueError(f"need {trials} seed sequences, got {len(seed_seqs)}")
+    factories = [RngFactory(s) for s in seed_seqs]
+    bounds = [
+        bind_workload(workload, m, n, f, granularity="aggregate")
+        for f in factories
+    ]
+    sched = schedule or PaperSchedule(m, n, stop_factor=config.stop_factor)
+    phase1s = run_threshold_protocol_batched(
+        m, n, sched, factories=factories, bounds=bounds,
+        max_rounds=config.max_rounds,
+    )
+    algorithm = (
+        "heavy" if schedule is None else f"threshold[{type(sched).__name__}]"
+    )
+    return [
+        _finish_heavy_run(
+            m,
+            n,
+            phase1=phase1,
+            factory=factory,
+            bound=bound,
+            config=config,
+            handoff=handoff,
+            algorithm=algorithm,
+        )
+        for phase1, factory, bound in zip(phase1s, factories, bounds)
+    ]

@@ -16,6 +16,7 @@ from repro.experiments.exp_misc import (
     exp_t7,
     exp_t8,
 )
+from repro.experiments.exp_replication import exp_r1
 from repro.experiments.exp_workloads import exp_w1
 from repro.experiments.report import ExperimentReport
 
@@ -49,6 +50,7 @@ EXPERIMENTS: dict[str, ExperimentFn] = {
     "A3": exp_a3,
     "A4": exp_a4,
     "W1": exp_w1,
+    "R1": exp_r1,
 }
 
 

@@ -20,6 +20,11 @@ kernel steps — ``sample_contacts``, ``group_and_accept``,
 ``commit_and_revoke`` — that every protocol's vectorized mode drives
 (see ``docs/performance.md``).
 
+A third axis batches *trials*: the aggregate-granularity state accepts
+``trials=T`` and advances T independent replications of one instance
+in lock-step from per-trial generators (the replication engine behind
+``repro.replicate``; see ``docs/replication.md``).
+
 Cross-validation tests assert both paths agree with the object-level
 engine on conserved quantities and in distribution.
 """
@@ -33,7 +38,9 @@ from repro.fastpath.roundstate import (
 )
 from repro.fastpath.sampling import (
     grouped_accept,
+    grouped_accept_with_priorities,
     multinomial_occupancy,
+    multinomial_occupancy_batched,
     sample_choices,
     sample_uniform_choices,
     validate_pvals,
@@ -45,7 +52,9 @@ __all__ = [
     "RoundOutcome",
     "RoundState",
     "grouped_accept",
+    "grouped_accept_with_priorities",
     "multinomial_occupancy",
+    "multinomial_occupancy_batched",
     "priority_commit_accept",
     "sample_choices",
     "sample_uniform_choices",

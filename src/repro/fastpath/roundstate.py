@@ -52,18 +52,34 @@ capacity everywhere) now skips its vacuous priority draws entirely
 the accept stream relative to pre-kernel code from that round on.
 Such rounds reject everything in both versions; only the stream
 offset differs, never the distribution.
+
+Trial batching (the replication engine's backend): constructing the
+aggregate-granularity state with ``trials=T`` gives every owned array a
+leading trial axis — ``loads`` becomes ``(T, n)``, the active count a
+``(T,)`` vector, messages and round counters per-trial — and the three
+kernel steps advance all ``T`` independent replications of the same
+``(m, n)`` instance in lock-step.  Each trial draws from its *own*
+generator (``sample_contacts`` takes a sequence of ``T`` generators),
+and trials that saturate early drop out of the active mask: their rows
+stop changing and their generators stop being consumed.  Together
+those two properties make a batched trial bitwise-identical to running
+that trial alone through the scalar aggregate state — the invariant
+the property tests (T=1 equivalence, permutation invariance, masked
+isolation) and the ``replicate``-vs-``allocate_many`` equivalence
+suite pin down.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Optional
+from typing import Any, Literal, Optional, Sequence
 
 import numpy as np
 
 from repro.fastpath.sampling import (
     grouped_accept,
     multinomial_occupancy,
+    multinomial_occupancy_batched,
     sample_choices,
 )
 from repro.simulation.metrics import MessageCounter, RoundMetrics, RunMetrics
@@ -93,7 +109,8 @@ class ContactBatch:
     d:
         Contacts per active ball.
     requests_sent:
-        Request messages charged for this batch.  Protocols that model
+        Request messages charged for this batch (an ``(T,)`` int64
+        vector for trial-batched states).  Protocols that model
         message loss lower this to the delivered count before the
         commit step.
     choices:
@@ -103,15 +120,21 @@ class ContactBatch:
         Flat-request index -> position into the active-ball array.
         ``None`` means the identity (``d == 1``).
     counts:
-        Aggregate granularity: per-target request counts.
+        Aggregate granularity: per-target request counts (``(T, n)``
+        for trial-batched states).
+    trial_mask:
+        Trial-batched states only: boolean mask of the trials that were
+        live when this batch was sampled — the rows this round is
+        allowed to touch.
     """
 
     n_targets: int
     d: int
-    requests_sent: int
+    requests_sent: Any
     choices: Optional[np.ndarray] = None
     requester_pos: Optional[np.ndarray] = None
     counts: Optional[np.ndarray] = None
+    trial_mask: Optional[np.ndarray] = None
 
     def positions(self) -> np.ndarray:
         """Requester position of every flat request (identity for d=1)."""
@@ -137,10 +160,12 @@ class AcceptDecision:
     ``accepts_sent`` is the number of accept messages the bins sent
     (for ``priority_commit`` that equals the commits: revoked accepts
     return capacity and are modeled as not consuming a message, the
-    accounting used by the degree-d family).
+    accounting used by the degree-d family).  Trial-batched states
+    report it as a ``(T,)`` vector and populate ``accepted_per_bin``
+    with the ``(T, n)`` accepted-count matrix.
     """
 
-    accepts_sent: int
+    accepts_sent: Any
     accepted: Optional[np.ndarray] = None
     accepted_per_bin: Optional[np.ndarray] = None
     committed_pos: Optional[np.ndarray] = None
@@ -150,15 +175,20 @@ class AcceptDecision:
 
 @dataclass(frozen=True)
 class RoundOutcome:
-    """What one kernel round did, for protocol-level accounting."""
+    """What one kernel round did, for protocol-level accounting.
+
+    Trial-batched rounds report the per-trial quantities
+    (``unallocated_start`` through ``unallocated_end``) as ``(T,)``
+    int64 vectors; ``round_no`` is then the lock-step round index.
+    """
 
     round_no: int
-    unallocated_start: int
-    requests_sent: int
-    accepts_sent: int
-    commits: int
+    unallocated_start: Any
+    requests_sent: Any
+    accepts_sent: Any
+    commits: Any
     commit_messages: int
-    unallocated_end: int
+    unallocated_end: Any
     #: Global ids of the balls that committed this round (perball only).
     committed_balls: Optional[np.ndarray] = None
     #: Their target bins, aligned with ``committed_balls``.
@@ -258,6 +288,15 @@ class RoundState:
     ``sample_contacts`` accepts workload choice ``pvals`` at both
     granularities.  With all workload arguments at their defaults the
     state is bitwise-identical to the pre-workload kernels.
+
+    Trial batching: ``trials=T`` (aggregate granularity only) gives
+    every array a leading trial axis and advances T independent
+    replications in lock-step — see the module docstring.  In that
+    layout ``weight_sum_sampler`` is a sequence of T per-trial
+    samplers, ``metrics`` is unavailable (each trial accumulates its
+    own :class:`RunMetrics` in ``trial_metrics``), and ``rounds``
+    counts lock-step iterations while ``trial_rounds[t]`` counts the
+    rounds trial ``t`` actually executed.
     """
 
     def __init__(
@@ -266,6 +305,7 @@ class RoundState:
         n: int,
         *,
         granularity: Granularity = "perball",
+        trials: Optional[int] = None,
         track_messages: bool = False,
         track_assignment: bool = False,
         metrics: Optional[RunMetrics] = None,
@@ -279,12 +319,44 @@ class RoundState:
                 f"granularity must be 'perball' or 'aggregate', "
                 f"got {granularity!r}"
             )
+        if trials is not None:
+            if granularity != "aggregate":
+                raise ValueError(
+                    "trial batching requires granularity='aggregate' "
+                    "(per-ball trials have ragged active sets; protocols "
+                    "batch them with composite-bin kernels instead)"
+                )
+            if trials < 1:
+                raise ValueError(f"trials must be >= 1, got {trials}")
+            if metrics is not None:
+                raise ValueError(
+                    "trial-batched states own one RunMetrics per trial; "
+                    "the metrics= override is scalar-only"
+                )
+            if weight_sum_sampler is not None and (
+                not isinstance(weight_sum_sampler, (list, tuple))
+                or len(weight_sum_sampler) != trials
+            ):
+                raise ValueError(
+                    "trial-batched weight_sum_sampler must be a sequence "
+                    f"of {trials} per-trial samplers"
+                )
         self.m = m
         self.n = n
         self.granularity: Granularity = granularity
-        self.loads = np.zeros(n, dtype=np.int64)
-        self.metrics = metrics if metrics is not None else RunMetrics(m, n)
-        self.total_messages = 0
+        self.trials = trials
+        if trials is not None:
+            self.loads = np.zeros((trials, n), dtype=np.int64)
+            self.metrics = None
+            self.trial_metrics = [RunMetrics(m, n) for _ in range(trials)]
+            self.total_messages = np.zeros(trials, dtype=np.int64)
+            self.trial_rounds = np.zeros(trials, dtype=np.int64)
+        else:
+            self.loads = np.zeros(n, dtype=np.int64)
+            self.metrics = metrics if metrics is not None else RunMetrics(m, n)
+            self.trial_metrics = None
+            self.total_messages = 0
+            self.trial_rounds = None
         self.rounds = 0
         # Workload weights: ``loads`` stays the ball-count vector that
         # drives every capacity rule (bitwise-identical to the unit
@@ -311,11 +383,13 @@ class RoundState:
                 )
         self.weights = weights
         self.weight_sum_sampler = weight_sum_sampler
-        self.weighted_loads: Optional[np.ndarray] = (
-            np.zeros(n, dtype=np.float64)
-            if (weights is not None or weight_sum_sampler is not None)
-            else None
-        )
+        if weights is not None or weight_sum_sampler is not None:
+            shape = (trials, n) if trials is not None else (n,)
+            self.weighted_loads: Optional[np.ndarray] = np.zeros(
+                shape, dtype=np.float64
+            )
+        else:
+            self.weighted_loads = None
         if granularity == "perball":
             self.active: Optional[np.ndarray] = np.arange(m, dtype=np.int64)
             self._active_count = m
@@ -329,22 +403,49 @@ class RoundState:
                     "per-ball accounting requires granularity='perball'"
                 )
             self.active = None
-            self._active_count = m
+            self._active_count = (
+                np.full(trials, m, dtype=np.int64)
+                if trials is not None
+                else m
+            )
             self.counter = None
             self.assignment = None
 
     @property
     def active_count(self) -> int:
-        """Unallocated balls right now, at either granularity."""
+        """Unallocated balls right now (summed over trials if batched)."""
         if self.active is not None:
             return int(self.active.size)
+        if self.trials is not None:
+            return int(self._active_count.sum())
         return self._active_count
+
+    @property
+    def active_counts(self) -> np.ndarray:
+        """Per-trial unallocated counts (trial-batched states only)."""
+        if self.trials is None:
+            raise ValueError("active_counts requires a trial-batched state")
+        return self._active_count
+
+    @property
+    def active_trials(self) -> np.ndarray:
+        """Boolean mask of trials that still have unallocated balls."""
+        if self.trials is None:
+            raise ValueError("active_trials requires a trial-batched state")
+        return self._active_count > 0
+
+    @property
+    def any_active(self) -> bool:
+        """True while at least one trial (or the scalar run) is live."""
+        return self.active_count > 0
 
     # -- kernel step 1: sample contacts ---------------------------------
 
     def sample_contacts(
         self,
-        rng: Optional[np.random.Generator] = None,
+        rng: Optional[
+            np.random.Generator | Sequence[np.random.Generator]
+        ] = None,
         *,
         d: int = 1,
         targets: Optional[np.ndarray] = None,
@@ -372,9 +473,38 @@ class RoundState:
             uniform over the target space at both granularities; the
             uniform path consumes the RNG exactly as the historical
             samplers did.
+
+        Trial-batched states take ``rng`` as a sequence of per-trial
+        generators; each live trial draws its own multinomial row and
+        finished trials consume nothing.
         """
-        u = self.active_count
         space = n_targets if n_targets is not None else self.n
+        if self.trials is not None:
+            if targets is not None:
+                raise ValueError(
+                    "trial-batched states draw counts; per-ball targets "
+                    "have no batched aggregate form"
+                )
+            if d != 1:
+                raise ValueError("aggregate granularity supports d=1 only")
+            if rng is None or isinstance(rng, np.random.Generator):
+                raise ValueError(
+                    "trial-batched sample_contacts needs one generator "
+                    "per trial (a sequence, not a single Generator)"
+                )
+            mask = self._active_count > 0
+            counts = multinomial_occupancy_batched(
+                self._active_count, space, rng, pvals, active=mask
+            )
+            requests = np.where(mask, self._active_count, 0)
+            return ContactBatch(
+                n_targets=space,
+                d=1,
+                requests_sent=requests,
+                counts=counts,
+                trial_mask=mask,
+            )
+        u = self.active_count
         if self.granularity == "aggregate":
             if targets is not None:
                 raise ValueError(
@@ -511,8 +641,12 @@ class RoundState:
                 f"policy {policy!r} has no aggregate form "
                 "(priority_commit needs per-ball identity)"
             )
+        # Trial-batched counts are (T, n): accepts are per-trial sums.
+        accepts = (
+            accepted.sum(axis=1) if accepted.ndim == 2 else int(accepted.sum())
+        )
         return AcceptDecision(
-            accepts_sent=int(accepted.sum()), accepted_per_bin=accepted
+            accepts_sent=accepts, accepted_per_bin=accepted
         )
 
     # -- kernel step 3: commit and revoke -------------------------------
@@ -569,6 +703,15 @@ class RoundState:
             Within ``record_counter``: also record bin->ball accepts
             (off for one-shot processes whose accepts are implicit).
         """
+        if self.trials is not None:
+            return self._commit_and_revoke_trials(
+                batch,
+                decision,
+                threshold=threshold,
+                target_counts=target_counts,
+                accept_cost=accept_cost,
+                count_commits=count_commits,
+            )
         u = self.active_count
         if self.granularity == "aggregate" or batch.counts is not None:
             accepted = decision.accepted_per_bin
@@ -675,6 +818,79 @@ class RoundState:
             accepted_positions=accepted_positions,
             commit_notice_positions=notice_positions,
         )
+
+    def _commit_and_revoke_trials(
+        self,
+        batch: ContactBatch,
+        decision: AcceptDecision,
+        *,
+        threshold: Optional[float],
+        target_counts: Optional[np.ndarray],
+        accept_cost: int,
+        count_commits: bool,
+    ) -> RoundOutcome:
+        """Commit one lock-step round across all live trials.
+
+        Row-for-row this is the scalar aggregate commit: live trials
+        take their accepted intake, consume their own weight-sum
+        sampler (in per-trial stream order), shrink their active
+        counts, append their :class:`RoundMetrics` row, and advance
+        their round counter.  Finished trials (outside
+        ``batch.trial_mask``) are untouched — no load change, no
+        metrics row, no message charge, no sampler draw — which is the
+        masked-trial-isolation invariant.
+        """
+        accepted = decision.accepted_per_bin
+        mask = (
+            batch.trial_mask
+            if batch.trial_mask is not None
+            else np.ones(self.trials, dtype=bool)
+        )
+        commits = accepted.sum(axis=1)
+        intake = target_counts if target_counts is not None else accepted
+        self.loads += intake
+        if self.weight_sum_sampler is not None:
+            # One sampler call per live trial, in trial order: each
+            # closure draws from its own trial's weights stream exactly
+            # as the scalar loop would have on this round.
+            for t in np.flatnonzero(mask):
+                self.weighted_loads[t] += self.weight_sum_sampler[t](
+                    intake[t]
+                )
+        start = self._active_count.copy()
+        self._active_count = start - commits
+        accepts = np.asarray(decision.accepts_sent, dtype=np.int64)
+        messages = batch.requests_sent + accept_cost * accepts
+        if count_commits:
+            messages = messages + commits
+        self.total_messages += np.where(mask, messages, 0)
+        row_max = self.loads.max(axis=1, initial=0)
+        for t in np.flatnonzero(mask):
+            self.trial_metrics[t].add_round(
+                RoundMetrics(
+                    round_no=int(self.trial_rounds[t]),
+                    unallocated_start=int(start[t]),
+                    requests_sent=int(batch.requests_sent[t]),
+                    accepts_sent=int(accepts[t]),
+                    rejects_sent=0,
+                    commits=int(commits[t]),
+                    unallocated_end=int(self._active_count[t]),
+                    max_load=int(row_max[t]),
+                    threshold=None if threshold is None else float(threshold),
+                )
+            )
+        self.trial_rounds[mask] += 1
+        outcome = RoundOutcome(
+            round_no=self.rounds,
+            unallocated_start=start,
+            requests_sent=batch.requests_sent,
+            accepts_sent=accepts,
+            commits=commits,
+            commit_messages=0,
+            unallocated_end=self._active_count,
+        )
+        self.rounds += 1
+        return outcome
 
     def _close_round(
         self,

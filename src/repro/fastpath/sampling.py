@@ -17,6 +17,18 @@ generalizations:
   bin choosing uniformly at random among its requesters (equivalently:
   arbitrarily under the adversarial port model — uniform is one valid
   adversary, and the protocols' guarantees must and do hold for it).
+
+Trial batching: every kernel also has a form that advances ``T``
+independent replications of the same instance in one call —
+:func:`multinomial_occupancy_batched` (a ``(T, n)`` occupancy matrix
+drawn from per-trial generators) and
+:func:`grouped_accept_with_priorities` (the deterministic core of
+:func:`grouped_accept`, taking pre-drawn priorities so a caller can
+concatenate many trials' requests into one composite-bin sort).  The
+batched forms take one generator *per trial* and consume each exactly
+as the scalar kernel would, so a batched trial is bitwise-identical to
+running that trial alone — the contract the replication engine's
+equivalence tests pin down.
 """
 
 from __future__ import annotations
@@ -27,7 +39,9 @@ import numpy as np
 
 __all__ = [
     "grouped_accept",
+    "grouped_accept_with_priorities",
     "multinomial_occupancy",
+    "multinomial_occupancy_batched",
     "sample_choices",
     "sample_uniform_choices",
     "validate_pvals",
@@ -149,6 +163,69 @@ def multinomial_occupancy(
     return rng.multinomial(k, p).astype(np.int64)
 
 
+def multinomial_occupancy_batched(
+    ks: np.ndarray,
+    n_bins: int,
+    rngs,
+    pvals: Optional[np.ndarray] = None,
+    active: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-bin request counts for ``T`` independent trials at once.
+
+    Row ``t`` of the returned ``(T, n_bins)`` int64 matrix is exactly
+    ``multinomial_occupancy(ks[t], n_bins, rngs[t], pvals)`` — each
+    trial draws from its *own* generator, in trial order, so a batched
+    trial is bitwise-identical to running it alone.  Trials outside the
+    ``active`` mask (or with ``ks[t] == 0``) contribute an all-zero row
+    and consume nothing from their generator — a saturated replication
+    stops drawing, exactly as its sequential loop would have stopped.
+
+    Parameters
+    ----------
+    ks:
+        Per-trial request counts, shape ``(T,)``.
+    n_bins:
+        Size of the target space (shared by all trials).
+    rngs:
+        Sequence of ``T`` generators, one per trial.
+    pvals:
+        Optional shared choice distribution (validated once).
+    active:
+        Optional boolean mask of live trials; inactive rows stay zero.
+    """
+    ks = np.asarray(ks, dtype=np.int64)
+    if ks.ndim != 1:
+        raise ValueError(f"ks must be 1-D (one count per trial), got shape {ks.shape}")
+    trials = ks.size
+    if len(rngs) != trials:
+        raise ValueError(
+            f"need one generator per trial: got {len(rngs)} for {trials}"
+        )
+    if ks.min(initial=0) < 0:
+        raise ValueError("per-trial counts must be >= 0")
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    if active is not None:
+        active = np.asarray(active, dtype=bool)
+        if active.shape != (trials,):
+            raise ValueError(
+                f"active mask must have shape ({trials},), got {active.shape}"
+            )
+    if pvals is None:
+        p = np.full(n_bins, 1.0 / n_bins)
+    else:
+        p = validate_pvals(pvals, n_bins)
+    counts = np.zeros((trials, n_bins), dtype=np.int64)
+    for t in range(trials):
+        if active is not None and not active[t]:
+            continue
+        k = int(ks[t])
+        if k == 0:
+            continue
+        counts[t] = rngs[t].multinomial(k, p)
+    return counts
+
+
 def grouped_accept(
     choices: np.ndarray,
     capacity: np.ndarray,
@@ -193,14 +270,40 @@ def grouped_accept(
         # Every bin saturated (zero-capacity round): all requests are
         # rejected; skip the O(k log k) sort and its priority draws.
         return np.zeros(k, dtype=bool)
-    order = np.lexsort((rng.random(k), choices))
+    return grouped_accept_with_priorities(choices, cap, rng.random(k))
+
+
+def grouped_accept_with_priorities(
+    choices: np.ndarray,
+    capacity: np.ndarray,
+    priorities: np.ndarray,
+) -> np.ndarray:
+    """The deterministic core of :func:`grouped_accept`.
+
+    Accept the lowest-priority requests of each bin up to capacity.
+    Splitting the priority draw from the selection lets a trial-batched
+    caller concatenate many trials' requests — drawing each trial's
+    priorities from that trial's own generator, offsetting bin indices
+    into a composite ``trial * n + bin`` space — and resolve them all
+    in one ``O(K log K)`` sort, bitwise-matching the per-trial results.
+
+    ``capacity`` must already be clamped to ``>= 0``; ``priorities``
+    must align with ``choices``.
+    """
+    k = choices.size
+    if priorities.shape != choices.shape:
+        raise ValueError(
+            f"priorities shape {priorities.shape} must match choices "
+            f"shape {choices.shape}"
+        )
+    order = np.lexsort((priorities, choices))
     sorted_bins = choices[order]
     change = np.flatnonzero(np.diff(sorted_bins)) + 1
     starts = np.concatenate(([0], change))
     block_lengths = np.diff(np.concatenate((starts, [k])))
     group_start = np.repeat(starts, block_lengths)
     rank_within_bin = np.arange(k) - group_start
-    accepted_sorted = rank_within_bin < cap[sorted_bins]
+    accepted_sorted = rank_within_bin < capacity[sorted_bins]
     mask = np.zeros(k, dtype=bool)
     mask[order[accepted_sorted]] = True
     return mask

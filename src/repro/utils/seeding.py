@@ -17,9 +17,34 @@ from typing import Sequence, Union
 
 import numpy as np
 
-__all__ = ["RngFactory", "spawn_generators", "as_generator"]
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "as_seed_sequence",
+    "spawn_generators",
+]
 
 SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+
+def as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Coerce any accepted seed form into a root :class:`SeedSequence`.
+
+    This is the package-wide root-seed idiom: ints/None become a fresh
+    sequence, an existing sequence passes through, and a Generator is
+    *frozen* — one ``integers`` draw becomes the root entropy, so the
+    derived sequence is deterministic afterwards while distinct
+    generators (or repeated freezes of one generator) stay independent.
+    Both :class:`RngFactory` and :func:`repro.api.spawn_seeds` derive
+    their roots through this single function.
+    """
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(
+            int(seed.integers(0, 2**63, dtype=np.int64))
+        )
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
 
 
 def as_generator(seed: SeedLike) -> np.random.Generator:
@@ -76,15 +101,7 @@ class RngFactory:
     """
 
     def __init__(self, seed: SeedLike = None) -> None:
-        if isinstance(seed, np.random.Generator):
-            # Freeze the generator's output into a root entropy value so
-            # the factory remains deterministic afterwards.
-            root = int(seed.integers(0, 2**63, dtype=np.int64))
-            self._root = np.random.SeedSequence(root)
-        elif isinstance(seed, np.random.SeedSequence):
-            self._root = seed
-        else:
-            self._root = np.random.SeedSequence(seed)
+        self._root = as_seed_sequence(seed)
 
     def _root_material(self) -> list:
         """Entropy plus spawn key, so spawned children stay distinct.

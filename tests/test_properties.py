@@ -233,3 +233,177 @@ def test_multicontact_invariants(d, seed):
     assert res.complete
     assert res.loads.sum() == m
     assert res.gap <= 14.0
+
+
+# -- trial-batched kernel invariants ------------------------------------
+
+
+def _aggregate_loop(state, rng_or_rngs, cap, max_rounds=60):
+    """Drive an aggregate RoundState (scalar or batched) to completion."""
+    while state.any_active and state.rounds < max_rounds:
+        batch = state.sample_contacts(rng_or_rngs)
+        decision = state.group_and_accept(batch, cap - state.loads)
+        state.commit_and_revoke(batch, decision, threshold=None)
+    return state
+
+
+@COMMON
+@given(
+    n=st.integers(2, 96),
+    ratio=st.integers(1, 40),
+    slack=st.integers(1, 8),
+    seed=st.integers(0, 2**31),
+)
+def test_trial_axis_t1_batched_is_bitwise_unbatched(n, ratio, slack, seed):
+    """A trials=1 batched state is the scalar aggregate state, bitwise."""
+    from repro.fastpath.roundstate import RoundState
+
+    m = n * ratio
+    cap = np.full(n, ratio + slack, dtype=np.int64)
+    root = np.random.SeedSequence(seed)
+    scalar = _aggregate_loop(
+        RoundState(m, n, granularity="aggregate"),
+        np.random.default_rng(root),
+        cap,
+    )
+    batched = _aggregate_loop(
+        RoundState(m, n, granularity="aggregate", trials=1),
+        [np.random.default_rng(root)],
+        cap,
+    )
+    assert np.array_equal(batched.loads[0], scalar.loads)
+    assert batched.trial_rounds[0] == scalar.rounds
+    assert batched.total_messages[0] == scalar.total_messages
+    assert len(batched.trial_metrics[0].rounds) == len(scalar.metrics.rounds)
+
+
+@COMMON
+@given(
+    n=st.integers(2, 64),
+    ratio=st.integers(1, 30),
+    seed=st.integers(0, 2**31),
+)
+def test_trial_permutation_invariance(n, ratio, seed):
+    """Permuting the per-trial generators permutes the result rows."""
+    from repro.fastpath.roundstate import RoundState
+
+    m = n * ratio
+    trials = 5
+    cap = np.full(n, ratio + 1, dtype=np.int64)
+    children = np.random.SeedSequence(seed).spawn(trials)
+    perm = np.random.default_rng(seed).permutation(trials)
+
+    direct = _aggregate_loop(
+        RoundState(m, n, granularity="aggregate", trials=trials),
+        [np.random.default_rng(c) for c in children],
+        cap,
+    )
+    permuted = _aggregate_loop(
+        RoundState(m, n, granularity="aggregate", trials=trials),
+        [np.random.default_rng(children[p]) for p in perm],
+        cap,
+    )
+    assert np.array_equal(permuted.loads, direct.loads[perm])
+    assert np.array_equal(permuted.trial_rounds, direct.trial_rounds[perm])
+    assert np.array_equal(
+        permuted.total_messages, direct.total_messages[perm]
+    )
+
+
+@COMMON
+@given(
+    n=st.integers(2, 48),
+    ratio=st.integers(2, 24),
+    seed=st.integers(0, 2**31),
+)
+def test_masked_trial_isolation(n, ratio, seed):
+    """A finished trial's state never changes again, and its generator
+    is never consumed again."""
+    from repro.fastpath.roundstate import RoundState
+
+    m = n * ratio
+    trials = 4
+    cap = np.full(n, ratio + 1, dtype=np.int64)
+    children = np.random.SeedSequence(seed).spawn(trials)
+    rngs = [np.random.default_rng(c) for c in children]
+    state = RoundState(m, n, granularity="aggregate", trials=trials)
+    frozen: dict[int, tuple] = {}
+    while state.any_active and state.rounds < 60:
+        batch = state.sample_contacts(rngs)
+        decision = state.group_and_accept(batch, cap - state.loads)
+        state.commit_and_revoke(batch, decision, threshold=None)
+        for t in range(trials):
+            if t in frozen:
+                loads, msgs, rounds, n_rows = frozen[t]
+                assert np.array_equal(state.loads[t], loads), t
+                assert state.total_messages[t] == msgs
+                assert state.trial_rounds[t] == rounds
+                assert len(state.trial_metrics[t].rounds) == n_rows
+            elif state.active_counts[t] == 0:
+                frozen[t] = (
+                    state.loads[t].copy(),
+                    int(state.total_messages[t]),
+                    int(state.trial_rounds[t]),
+                    len(state.trial_metrics[t].rounds),
+                )
+    # Generator isolation: each trial's stream advanced exactly as far
+    # as a solo run of that trial would have — the next draw matches.
+    for t in range(trials):
+        solo_rng = np.random.default_rng(children[t])
+        solo = _aggregate_loop(
+            RoundState(m, n, granularity="aggregate"), solo_rng, cap
+        )
+        assert np.array_equal(state.loads[t], solo.loads)
+        assert rngs[t].integers(1 << 30) == solo_rng.integers(1 << 30), t
+
+
+@COMMON
+@given(
+    k=st.integers(0, 3000),
+    n=st.integers(1, 128),
+    trials=st.integers(1, 6),
+    seed=st.integers(0, 2**31),
+)
+def test_multinomial_occupancy_batched_rowwise_bitwise(k, n, trials, seed):
+    from repro.fastpath.sampling import (
+        multinomial_occupancy,
+        multinomial_occupancy_batched,
+    )
+
+    children = np.random.SeedSequence(seed).spawn(trials)
+    ks = np.full(trials, k, dtype=np.int64)
+    counts = multinomial_occupancy_batched(
+        ks, n, [np.random.default_rng(c) for c in children]
+    )
+    assert counts.shape == (trials, n)
+    assert np.all(counts.sum(axis=1) == k)
+    for t in range(trials):
+        solo = multinomial_occupancy(k, n, np.random.default_rng(children[t]))
+        assert np.array_equal(counts[t], solo)
+
+
+@COMMON
+@given(
+    k=st.integers(1, 2000),
+    n=st.integers(1, 64),
+    cap=st.integers(1, 50),
+    seed=st.integers(0, 2**31),
+)
+def test_grouped_accept_with_priorities_matches_grouped_accept(
+    k, n, cap, seed
+):
+    from repro.fastpath.sampling import (
+        grouped_accept,
+        grouped_accept_with_priorities,
+    )
+
+    rng = np.random.default_rng(seed)
+    choices = rng.integers(0, n, size=k, dtype=np.int64)
+    capacity = rng.integers(0, cap, size=n, dtype=np.int64)
+    if capacity.max(initial=0) == 0:
+        capacity[0] = 1
+    draw_rng = np.random.default_rng(seed + 1)
+    expected = grouped_accept(choices, capacity, draw_rng)
+    priorities = np.random.default_rng(seed + 1).random(k)
+    got = grouped_accept_with_priorities(choices, capacity, priorities)
+    assert np.array_equal(got, expected)
