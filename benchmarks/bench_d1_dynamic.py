@@ -1,0 +1,13 @@
+"""Benchmark + table regeneration for experiment D1 (dynamic churn).
+
+See the experiment registry (``python -m repro.experiments`` with no
+argument) for the experiment's claim and parameters; the quick-scale
+table is printed under -s, the full-scale run is archived in
+EXPERIMENTS.md.
+"""
+
+from conftest import bench_experiment
+
+
+def test_experiment_d1(benchmark):
+    bench_experiment(benchmark, "D1")

@@ -13,7 +13,11 @@ perball-vs-aggregate trajectory of the workload subsystem.  A third,
 ``BENCH_replication.json``, times the trial-batched replication engine
 (``repro.replicate``) against the sequential per-seed loop at m=10^5,
 trials=256 — the ISSUE-4 acceptance bar is a >= 20x speedup on the
-headline ``heavy`` record at full scale.
+headline ``heavy`` record at full scale.  A fourth,
+``BENCH_dynamic.json``, times incremental rebalancing against the
+full-rerun oracle under 10% churn (m=10^5, 32 epochs at full scale) —
+the ISSUE-5 acceptance bar is a >= 5x advantage on both per-epoch
+messages and placement wall time for the headline ``heavy`` pair.
 
 Scales::
 
@@ -45,9 +49,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.api.bench import (  # noqa: E402
+    benchmark_dynamic,
     benchmark_engine_reference,
     benchmark_registry,
     benchmark_replication,
+    dynamic_speedups,
 )
 
 #: Instance sizes per scale: (kernel m, kernel n, engine m, engine n).
@@ -82,6 +88,22 @@ REPLICATION_SCALES = {
 REPLICATION_ALGORITHMS = ("heavy", "combined", "single", "stemann", "trivial")
 REPLICATION_HEADLINE = "heavy"
 REPLICATION_SPEEDUP_BAR = 20.0
+
+#: Dynamic artifact: (m, n, epochs) per scale at 10% churn.  The
+#: ISSUE-5 acceptance instance is full scale — m=10^5, 32 epochs —
+#: where incremental rebalancing must beat the full-rerun oracle by
+#: >= 5x on both per-epoch messages and placement wall time for the
+#: headline algorithm.  Per-ball granularity: the regime where
+#: placement work scales with the balls actually moved.
+DYNAMIC_SCALES = {
+    "smoke": (20_000, 64, 8),
+    "quick": (100_000, 256, 16),
+    "full": (100_000, 256, 32),
+}
+DYNAMIC_CHURN = 0.1
+DYNAMIC_ALGORITHMS = ("heavy", "combined", "single", "stemann")
+DYNAMIC_HEADLINE = "heavy"
+DYNAMIC_SPEEDUP_BAR = 5.0
 
 
 def run(scale: str) -> dict:
@@ -207,6 +229,55 @@ def run_replication(scale: str) -> dict:
     }
 
 
+def run_dynamic_bench(scale: str) -> dict:
+    """Time incremental vs full-rerun rebalancing under churn.
+
+    One pinned seed, every dynamic-capable allocator, both rebalance
+    strategies on the same churn regime (10% uniform churn, fixed
+    arrivals).  The artifact records per-epoch messages/moved
+    balls/wall time for each strategy and the full/incremental
+    advantage ratios — the headline figure is the ``heavy`` pair at
+    full scale, where incremental cost must scale with the churn, not
+    the population.
+    """
+    m, n, epochs = DYNAMIC_SCALES[scale]
+    records = benchmark_dynamic(
+        m,
+        n,
+        epochs=epochs,
+        churn=DYNAMIC_CHURN,
+        seed=SEEDS[0],
+        algorithms=DYNAMIC_ALGORITHMS,
+        mode="perball",
+    )
+    speedups = {
+        algo: {
+            k: (round(v, 2) if v is not None else None)
+            for k, v in ratios.items()
+        }
+        for algo, ratios in dynamic_speedups(records).items()
+    }
+    headline = speedups.get(DYNAMIC_HEADLINE, {})
+    return {
+        "schema": 1,
+        "scale": scale,
+        "m": m,
+        "n": n,
+        "epochs": epochs,
+        "churn": DYNAMIC_CHURN,
+        "seed": SEEDS[0],
+        "mode": "perball",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "records": [r.to_dict() for r in records],
+        "speedups_incremental_vs_full": speedups,
+        "headline": DYNAMIC_HEADLINE,
+        "headline_message_speedup": headline.get("messages"),
+        "headline_wall_speedup": headline.get("seconds"),
+        "speedup_bar": DYNAMIC_SPEEDUP_BAR,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", choices=sorted(SCALES), default="full")
@@ -229,6 +300,13 @@ def main(argv=None) -> int:
         default=REPO_ROOT / "BENCH_replication.json",
         help="replication-artifact path (default: BENCH_replication.json "
         "at the repo root)",
+    )
+    parser.add_argument(
+        "--dynamic-output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_dynamic.json",
+        help="dynamic-artifact path (default: BENCH_dynamic.json at the "
+        "repo root)",
     )
     args = parser.parse_args(argv)
     payload = run(args.scale)
@@ -264,6 +342,36 @@ def main(argv=None) -> int:
         print(
             "error: replication speedup fell below the "
             f"{REPLICATION_SPEEDUP_BAR:.0f}x acceptance bar"
+        )
+        return 1
+    dynamic_payload = run_dynamic_bench(args.scale)
+    args.dynamic_output.write_text(
+        json.dumps(dynamic_payload, indent=2) + "\n"
+    )
+    msg_speedup = dynamic_payload["headline_message_speedup"]
+    wall_speedup = dynamic_payload["headline_wall_speedup"]
+    print(
+        f"wrote {args.dynamic_output} "
+        f"({len(dynamic_payload['records'])} dynamic records)"
+    )
+    print(
+        f"dynamic advantage ({DYNAMIC_HEADLINE}, incremental vs "
+        f"full_rerun at {DYNAMIC_CHURN:.0%} churn): "
+        f"{msg_speedup}x messages, {wall_speedup}x wall"
+    )
+    # ISSUE-5 acceptance bar: >= 5x on messages AND wall time at the
+    # full-scale instance (m=10^5, 32 epochs).  Smoke/quick run fewer
+    # epochs at smaller m where fixed overheads weigh more, so the bar
+    # applies at full scale only.
+    if args.scale == "full" and (
+        msg_speedup is None
+        or wall_speedup is None
+        or msg_speedup < DYNAMIC_SPEEDUP_BAR
+        or wall_speedup < DYNAMIC_SPEEDUP_BAR
+    ):
+        print(
+            "error: dynamic incremental advantage fell below the "
+            f"{DYNAMIC_SPEEDUP_BAR:.0f}x acceptance bar"
         )
         return 1
     heavy_perball = payload["speedups_vs_engine"].get("heavy[perball]")

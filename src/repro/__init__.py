@@ -24,6 +24,14 @@ jobs, heterogeneous capacities —
 >>> skewed.complete
 True
 
+and allocation under *churn* — epochs of departures and arrivals with
+incremental rebalancing against the residual loads — is the dynamic
+subsystem (see ``docs/dynamic.md``):
+
+>>> dyn = repro.run_dynamic("heavy", 20_000, 64, seed=7, epochs=4)
+>>> dyn.complete and len(dyn.gaps) == 5
+True
+
 Unified API (see ``docs/api.md``)
 ---------------------------------
 Every algorithm is registered with :func:`repro.register_allocator` and
@@ -38,6 +46,9 @@ runs through one dispatch layer:
 ``replicate``             Run hundreds of seeded replications in one
                           trial-batched vectorized pass; returns the
                           distributional summary (``ReplicationResult``)
+``run_dynamic``           Run allocation under churn: epochs of
+                          departures/arrivals with incremental
+                          rebalancing (``DynamicResult`` time series)
 ``sweep``                 Run a grid of instances, each repeated
 ``list_allocators``       All registered :class:`AllocatorSpec` entries
 ``get_spec``              Look up one spec by name or alias
@@ -97,6 +108,12 @@ from repro.core import (
     run_trivial,
     should_use_trivial,
 )
+from repro.dynamic import (
+    DynamicResult,
+    DynamicSpec,
+    run_dynamic,
+    run_dynamic_many,
+)
 from repro.light import LightConfig, run_light, run_light_allocation
 from repro.result import AllocationResult
 from repro.workloads import Workload, parse_workload
@@ -122,6 +139,8 @@ __all__ = [
     "AllocationResult",
     "AllocatorSpec",
     "AsymmetricConfig",
+    "DynamicResult",
+    "DynamicSpec",
     "ExponentSchedule",
     "FixedSchedule",
     "HeavyConfig",
@@ -139,6 +158,8 @@ __all__ = [
     "parse_workload",
     "register_allocator",
     "replicate",
+    "run_dynamic",
+    "run_dynamic_many",
     "run_asymmetric",
     "run_batched_dchoice",
     "run_combined",

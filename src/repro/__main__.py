@@ -13,6 +13,7 @@ from the function signature.  Usage::
     python -m repro greedy --m 100000 --n 1000 --d 2
     python -m repro faulty --m 100000 --n 256 --crash-prob 0.01
     python -m repro replicate heavy --m 100000 --n 256 --trials 256
+    python -m repro dynamic heavy --m 100000 --n 256 --epochs 32 --churn 0.1
     python -m repro compare --m 1000000 --n 1000     # side-by-side table
     python -m repro bench --m 100000 --n 256 --trials 256  # replication bench
     python -m repro experiments T2                   # alias for
@@ -125,6 +126,69 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the full per-trial record as JSON to this path",
     )
 
+    p_dyn = sub.add_parser(
+        "dynamic",
+        help="run allocation under churn: epochs of departures and "
+        "arrivals with incremental rebalancing",
+    )
+    p_dyn.add_argument(
+        "algorithm",
+        type=str,
+        help="a dynamic-capable registry name or alias (see the "
+        "'dynamic' column of 'list')",
+    )
+    _add_common(p_dyn)
+    p_dyn.add_argument(
+        "--epochs",
+        type=_positive_int,
+        default=16,
+        help="churn epochs after the initial fill (default: 16)",
+    )
+    p_dyn.add_argument(
+        "--churn",
+        type=float,
+        default=0.1,
+        help="per-epoch turnover as a fraction of m (default: 0.1)",
+    )
+    p_dyn.add_argument(
+        "--arrivals",
+        choices=("fixed", "poisson", "bursty"),
+        default="fixed",
+        help="arrival process (default: fixed)",
+    )
+    p_dyn.add_argument(
+        "--departures",
+        choices=("uniform", "fifo", "hotset"),
+        default="uniform",
+        help="departure policy (default: uniform)",
+    )
+    p_dyn.add_argument(
+        "--rebalance",
+        choices=("incremental", "full_rerun"),
+        default="incremental",
+        help="rebalance strategy (default: incremental)",
+    )
+    p_dyn.add_argument(
+        "--mode",
+        choices=("perball", "aggregate"),
+        default="aggregate",
+        help="kernel granularity of every placement (default: aggregate)",
+    )
+    p_dyn.add_argument(
+        "--workload",
+        type=str,
+        default=None,
+        help="workload spec the arriving cohorts are drawn from "
+        "(unit weights only, e.g. zipf:1.1+propcap)",
+    )
+    p_dyn.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        dest="json_path",
+        help="also write the full per-epoch record as JSON to this path",
+    )
+
     p_compare = sub.add_parser(
         "compare", help="run all parallel algorithms side by side"
     )
@@ -198,24 +262,52 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: ``list`` capability columns: (header, spec flag attribute, the
+#: ``AllocatorSpec.capabilities()`` string the column replaces — kept
+#: here so the "other" column derives its exclusions from this table).
+_CAPABILITY_COLUMNS = (
+    ("kernel", "kernel_backed", "kernel"),
+    ("workload", "workload_capable", "workload"),
+    ("trials", "trial_batched", "trial_batched"),
+    ("dynamic", "dynamic_capable", "dynamic"),
+)
+
+
 def _list_registry() -> None:
     specs = list_allocators()
     name_w = max(len(s.name) for s in specs)
     mode_w = max(len(",".join(s.modes)) or 1 for s in specs)
-    cap_w = max(len(",".join(s.capabilities())) or 1 for s in specs)
+    # One yes/no column per engine capability (kernel backend, workload
+    # scenarios, trial batching, dynamic placement); the remaining
+    # behavioral flags stay a comma-joined column.
+    columned = {cap for _, _, cap in _CAPABILITY_COLUMNS}
+    other_caps = {
+        s.name: [c for c in s.capabilities() if c not in columned]
+        for s in specs
+    }
+    other_w = max(
+        max((len(",".join(v)) for v in other_caps.values()), default=1), 5
+    )
     ref_w = max(len(s.paper_ref) or 1 for s in specs)
+    cap_headers = "  ".join(
+        title for title, _, _ in _CAPABILITY_COLUMNS
+    )
     header = (
-        f"{'name':{name_w}s}  {'modes':{mode_w}s}  "
-        f"{'capabilities':{cap_w}s}  {'reference':{ref_w}s}  summary"
+        f"{'name':{name_w}s}  {'modes':{mode_w}s}  {cap_headers}  "
+        f"{'other':{other_w}s}  {'reference':{ref_w}s}  summary"
     )
     print(header)
     print("-" * len(header))
     for spec in specs:
         modes = ",".join(spec.modes) or "-"
-        caps = ",".join(spec.capabilities()) or "-"
+        marks = "  ".join(
+            f"{('yes' if getattr(spec, attr) else '-'):>{len(title)}s}"
+            for title, attr, _ in _CAPABILITY_COLUMNS
+        )
+        other = ",".join(other_caps[spec.name]) or "-"
         print(
-            f"{spec.name:{name_w}s}  {modes:{mode_w}s}  {caps:{cap_w}s}  "
-            f"{spec.paper_ref:{ref_w}s}  {spec.summary}"
+            f"{spec.name:{name_w}s}  {modes:{mode_w}s}  {marks}  "
+            f"{other:{other_w}s}  {spec.paper_ref:{ref_w}s}  {spec.summary}"
         )
         if spec.aliases:
             print(f"{'':{name_w}s}  aliases: {', '.join(spec.aliases)}")
@@ -286,6 +378,36 @@ def _replicate(args: argparse.Namespace) -> None:
         with open(args.json_path, "w") as fh:
             json.dump(rep.to_dict(), fh, indent=2)
         print(f"wrote {args.trials}-trial record to {args.json_path}")
+
+
+def _dynamic(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.dynamic import run_dynamic
+
+    start = time.perf_counter()
+    res = run_dynamic(
+        args.algorithm,
+        args.m,
+        args.n,
+        seed=args.seed,
+        epochs=args.epochs,
+        churn=args.churn,
+        arrivals=args.arrivals,
+        departures=args.departures,
+        rebalance=args.rebalance,
+        workload=args.workload,
+        mode=args.mode,
+    )
+    elapsed = time.perf_counter() - start
+    print(res.describe())
+    print(f"wall time     : {elapsed:.2f}s")
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(res.to_dict(), fh, indent=2)
+        print(
+            f"wrote {res.epochs + 1}-epoch record to {args.json_path}"
+        )
 
 
 def _bench_replication(args: argparse.Namespace) -> None:
@@ -365,6 +487,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "replicate":
         _replicate(args)
+        return 0
+    if args.command == "dynamic":
+        _dynamic(args)
         return 0
     if args.command == "compare":
         _compare(args)

@@ -27,10 +27,12 @@ from repro.api.replicate import ReplicationResult, replicate
 from repro.api.spec import (
     AllocatorSpec,
     allocator_names,
+    get_dynamic,
     get_replicator,
     get_spec,
     list_allocators,
     register_allocator,
+    register_dynamic,
     register_replicator,
     resolve_name,
 )
@@ -47,10 +49,12 @@ __all__ = [
     "benchmark_engine_reference",
     "benchmark_registry",
     "benchmark_replication",
+    "get_dynamic",
     "get_replicator",
     "get_spec",
     "list_allocators",
     "register_allocator",
+    "register_dynamic",
     "register_replicator",
     "replicate",
     "resolve_mode",

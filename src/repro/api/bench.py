@@ -31,10 +31,14 @@ from repro.api.spec import AllocatorSpec, list_allocators, resolve_name
 
 __all__ = [
     "BenchRecord",
+    "DynamicBenchRecord",
     "ReplicationBenchRecord",
     "benchmark_registry",
     "benchmark_engine_reference",
+    "benchmark_dynamic",
     "benchmark_replication",
+    "dynamic_speedups",
+    "render_dynamic_table",
     "render_replication_table",
     "render_table",
 ]
@@ -321,6 +325,178 @@ def benchmark_replication(
             )
         )
     return records
+
+
+@dataclass(frozen=True)
+class DynamicBenchRecord:
+    """One dynamic run's steady-state cost under a rebalance strategy.
+
+    All per-epoch figures are means over the *churn* epochs (the
+    epoch-0 fill, paid identically by both strategies, is reported
+    separately) — the steady-state cost the amortization claim is
+    about.
+    """
+
+    algorithm: str
+    m: int
+    n: int
+    epochs: int
+    churn: float
+    seed: int
+    mode: str
+    rebalance: str
+    #: Placement wall seconds summed over the churn epochs.
+    churn_seconds: float
+    #: Placement messages summed over the churn epochs.
+    churn_messages: int
+    messages_per_epoch: float
+    moved_per_epoch: float
+    fill_messages: int
+    fill_seconds: float
+    gap_steady_mean: float
+    gap_worst: float
+    complete: bool
+    workload: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def benchmark_dynamic(
+    m: int,
+    n: int,
+    *,
+    epochs: int,
+    churn: float = 0.1,
+    seed: int = 0,
+    algorithms: Optional[Iterable[str]] = None,
+    mode: str = "perball",
+    departures: str = "uniform",
+    rebalances: Sequence[str] = ("incremental", "full_rerun"),
+    workload=None,
+) -> list[DynamicBenchRecord]:
+    """Time dynamic runs under each rebalance strategy.
+
+    For every ``dynamic_capable`` spec (or the requested subset), runs
+    the same churn regime once per strategy on the same root seed, so
+    the incremental-vs-oracle comparison is like for like.  The
+    default ``mode="perball"`` is the granularity where placement work
+    scales with the balls actually moved — the regime the
+    incremental-cost claim (churn, not ``m``) is stated in; aggregate
+    placements are ``O(n)`` per round for both strategies, which
+    compresses the wall-clock ratio while leaving the message ratio
+    intact.
+    """
+    from repro.api.spec import get_spec
+    from repro.dynamic import run_dynamic
+
+    if algorithms is not None:
+        names = [resolve_name(a) for a in algorithms]
+        not_dynamic = [x for x in names if not get_spec(x).dynamic_capable]
+        if not_dynamic:
+            raise ValueError(
+                f"algorithm(s) {', '.join(sorted(not_dynamic))} have no "
+                f"dynamic-placement adapter; dynamic benchmarks cover "
+                f"dynamic_capable specs only"
+            )
+    else:
+        names = [s.name for s in list_allocators() if s.dynamic_capable]
+    records = []
+    for name in names:
+        for rebalance in rebalances:
+            res = run_dynamic(
+                name,
+                m,
+                n,
+                seed=seed,
+                epochs=epochs,
+                churn=churn,
+                departures=departures,
+                rebalance=rebalance,
+                mode=mode,
+                workload=workload,
+            )
+            msgs = res.messages
+            gaps = res.gaps
+            records.append(
+                DynamicBenchRecord(
+                    algorithm=name,
+                    m=m,
+                    n=n,
+                    epochs=epochs,
+                    churn=churn,
+                    seed=seed,
+                    mode=mode,
+                    rebalance=rebalance,
+                    churn_seconds=res.churn_seconds,
+                    churn_messages=res.churn_messages,
+                    messages_per_epoch=float(msgs[1:].mean())
+                    if epochs
+                    else 0.0,
+                    moved_per_epoch=float(res.moved[1:].mean())
+                    if epochs
+                    else 0.0,
+                    fill_messages=int(msgs[0]),
+                    fill_seconds=res.records[0].seconds,
+                    gap_steady_mean=float(gaps[1:].mean())
+                    if epochs
+                    else float(gaps[0]),
+                    gap_worst=float(gaps.max()),
+                    complete=res.complete,
+                    workload=res.workload,
+                )
+            )
+    return records
+
+
+def dynamic_speedups(
+    records: Sequence[DynamicBenchRecord],
+) -> dict[str, dict[str, Optional[float]]]:
+    """Per-algorithm full_rerun/incremental advantage ratios.
+
+    Returns ``{algorithm: {"messages": ..., "seconds": ...}}`` for
+    every algorithm with both strategies present.
+    """
+    by_algo: dict[str, dict[str, DynamicBenchRecord]] = {}
+    for r in records:
+        by_algo.setdefault(r.algorithm, {})[r.rebalance] = r
+    out: dict[str, dict[str, Optional[float]]] = {}
+    for algo, strategies in by_algo.items():
+        inc = strategies.get("incremental")
+        full = strategies.get("full_rerun")
+        if inc is None or full is None:
+            continue
+        out[algo] = {
+            "messages": (
+                full.churn_messages / inc.churn_messages
+                if inc.churn_messages
+                else None
+            ),
+            "seconds": (
+                full.churn_seconds / inc.churn_seconds
+                if inc.churn_seconds > 0
+                else None
+            ),
+        }
+    return out
+
+
+def render_dynamic_table(records: Sequence[DynamicBenchRecord]) -> str:
+    """Human-readable table of dynamic benchmark records."""
+    header = (
+        f"{'algorithm':14s} {'rebalance':11s} {'m':>10s} {'n':>6s} "
+        f"{'epochs':>6s} {'churn':>6s} {'msg/epoch':>10s} "
+        f"{'moved/ep':>9s} {'churn wall':>11s} {'gap':>7s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        lines.append(
+            f"{r.algorithm:14s} {r.rebalance:11s} {r.m:10,d} {r.n:6,d} "
+            f"{r.epochs:6d} {r.churn:6.2f} {r.messages_per_epoch:10,.0f} "
+            f"{r.moved_per_epoch:9,.0f} {r.churn_seconds:10.3f}s "
+            f"{r.gap_steady_mean:+7.2f}"
+        )
+    return "\n".join(lines)
 
 
 def render_replication_table(

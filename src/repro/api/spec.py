@@ -34,9 +34,12 @@ from typing import Any, Callable, Iterable, Optional
 
 __all__ = [
     "AllocatorSpec",
+    "DynamicEntry",
     "ReplicatorEntry",
     "register_allocator",
+    "register_dynamic",
     "register_replicator",
+    "get_dynamic",
     "get_replicator",
     "get_spec",
     "list_allocators",
@@ -115,6 +118,14 @@ class AllocatorSpec:
         per-seed loop.  ``repro.replicate`` and the batch helpers
         (``allocate_many``/``sweep``) route through the adapter when
         this flag is set.
+    dynamic_capable:
+        True when the allocator registered a dynamic-placement adapter
+        (:func:`register_dynamic`): the protocol can place a cohort of
+        new balls into bins that *already hold residual load*
+        (``RoundState(initial_loads=...)``), which is what the dynamic
+        subsystem's incremental rebalancing (:mod:`repro.dynamic`)
+        runs every epoch.  ``repro.run_dynamic`` accepts only
+        allocators with this flag.
     config_type:
         Optional config dataclass accepted via ``config=``; its fields
         may also be passed flat to :func:`~repro.api.dispatch.allocate`
@@ -142,6 +153,7 @@ class AllocatorSpec:
     kernel_backed: bool = False
     workload_capable: bool = False
     trial_batched: bool = False
+    dynamic_capable: bool = False
     config_type: Optional[type] = None
     options: tuple[str, ...] = ()
     config_fields: tuple[str, ...] = ()
@@ -168,6 +180,8 @@ class AllocatorSpec:
             caps.append("workload")
         if self.trial_batched:
             caps.append("trial_batched")
+        if self.dynamic_capable:
+            caps.append("dynamic")
         if self.sequential:
             caps.append("sequential")
         if self.fault_tolerant:
@@ -183,6 +197,8 @@ _ALIASES: dict[str, str] = {}
 _REGISTRY: dict[str, AllocatorSpec] = {}
 #: canonical name -> trial-batched replication adapter.
 _REPLICATORS: dict[str, "ReplicatorEntry"] = {}
+#: canonical name -> dynamic-placement adapter.
+_DYNAMICS: dict[str, "DynamicEntry"] = {}
 
 
 @dataclass(frozen=True)
@@ -213,6 +229,35 @@ class ReplicatorEntry:
 
     runner: Callable[..., Any]
     equivalent_mode: Optional[str]
+    options: tuple[str, ...]
+    workload_capable: bool
+
+
+@dataclass(frozen=True)
+class DynamicEntry:
+    """A registered dynamic-placement adapter.
+
+    Attributes
+    ----------
+    runner:
+        Called as ``runner(m, n, initial_loads=..., seed=..., **options)``
+        where ``m`` is the size of the *arriving/displaced* cohort and
+        ``initial_loads`` the residual per-bin occupancy the cohort is
+        placed against; returns a
+        :class:`repro.dynamic.placement.DynamicPlacement`.  With
+        all-zero ``initial_loads`` the adapter is the allocator's
+        one-shot run on the cohort (the anchor the 100%-churn tests
+        pin).
+    options:
+        Extra keyword options the adapter accepts (beyond the reserved
+        ``m, n, initial_loads, seed, workload`` set).
+    workload_capable:
+        Whether the adapter takes ``workload=`` (choice skew and
+        capacity profiles; the dynamic runner itself rejects weighted
+        workloads, whose departures need per-ball weight identity).
+    """
+
+    runner: Callable[..., Any]
     options: tuple[str, ...]
     workload_capable: bool
 
@@ -421,9 +466,69 @@ def register_replicator(
     return decorator
 
 
+def register_dynamic(
+    name: str,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Attach a dynamic-placement adapter to a registered spec.
+
+    Must run after the allocator's own :func:`register_allocator`
+    decoration (adapters live below their runner in the same module).
+    Flips the spec's ``dynamic_capable`` capability; the adapter's
+    extra keyword options and ``workload`` support are derived from
+    its signature, exactly as runner options are.
+    """
+
+    def decorator(runner: Callable[..., Any]) -> Callable[..., Any]:
+        key = _normalize(name)
+        spec = _REGISTRY.get(key)
+        if spec is None:
+            raise ValueError(
+                f"cannot register dynamic adapter for unknown "
+                f"allocator {name!r}"
+            )
+        sig = inspect.signature(runner)
+        for required in ("initial_loads", "seed"):
+            if required not in sig.parameters:
+                raise ValueError(
+                    f"dynamic adapter for {name!r} must take "
+                    f"{required!r}"
+                )
+        reserved = {"m", "n", "initial_loads", "seed", "workload"}
+        options = tuple(
+            p.name
+            for p in sig.parameters.values()
+            if p.name not in reserved
+            and p.kind
+            not in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            )
+        )
+        workload_capable = "workload" in sig.parameters
+        if workload_capable and not spec.workload_capable:
+            raise ValueError(
+                f"dynamic adapter for {name!r} takes workload= but the "
+                f"spec is not workload_capable"
+            )
+        _DYNAMICS[key] = DynamicEntry(
+            runner=runner,
+            options=options,
+            workload_capable=workload_capable,
+        )
+        _REGISTRY[key] = dataclasses.replace(spec, dynamic_capable=True)
+        return runner
+
+    return decorator
+
+
 def get_replicator(name: str) -> Optional[ReplicatorEntry]:
     """The trial-batched adapter for an allocator, or None."""
     return _REPLICATORS.get(resolve_name(name))
+
+
+def get_dynamic(name: str) -> Optional[DynamicEntry]:
+    """The dynamic-placement adapter for an allocator, or None."""
+    return _DYNAMICS.get(resolve_name(name))
 
 
 def _ensure_populated() -> None:

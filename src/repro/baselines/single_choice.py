@@ -15,14 +15,25 @@ from __future__ import annotations
 
 from typing import Literal
 
-from repro.api.spec import register_allocator, register_replicator
+import numpy as np
+
+from repro.api.spec import (
+    register_allocator,
+    register_dynamic,
+    register_replicator,
+)
+from repro.dynamic.placement import DynamicPlacement
 from repro.fastpath.roundstate import RoundState
 from repro.result import AllocationResult
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import ensure_m_n
 from repro.workloads import bind_workload
 
-__all__ = ["replicate_single_choice", "run_single_choice"]
+__all__ = [
+    "dynamic_single_choice",
+    "replicate_single_choice",
+    "run_single_choice",
+]
 
 
 @register_allocator(
@@ -176,3 +187,69 @@ def replicate_single_choice(
             )
         )
     return results
+
+
+@register_dynamic("single")
+def dynamic_single_choice(
+    m: int,
+    n: int,
+    *,
+    initial_loads: np.ndarray,
+    seed=None,
+    workload=None,
+    mode: Literal["perball", "aggregate"] = "aggregate",
+) -> DynamicPlacement:
+    """Place a cohort of ``m`` new balls on top of residual bin loads.
+
+    The one-shot process has no admission control, so residual loads
+    only shift where the statistics land: the cohort's contacts are
+    drawn exactly as in :func:`run_single_choice` (with all-zero
+    ``initial_loads`` this *is* that run, stream for stream).
+    """
+    initial = np.asarray(initial_loads, dtype=np.int64)
+    if initial.shape != (n,):
+        raise ValueError(
+            f"initial_loads must have shape ({n},), got {initial.shape}"
+        )
+    if m == 0:
+        return DynamicPlacement(
+            loads=initial.copy(),
+            placed=0,
+            unplaced=0,
+            rounds=0,
+            total_messages=0,
+        )
+    m, n = ensure_m_n(m, n)
+    factory = RngFactory(seed)
+    bound = bind_workload(workload, m, n, factory, granularity=mode)
+    rng = factory.stream("single", "choices")
+    state = RoundState(
+        m,
+        n,
+        granularity=mode,
+        weights=bound.weights,
+        weight_sum_sampler=bound.weight_sum_sampler,
+        initial_loads=initial,
+    )
+    batch = state.sample_contacts(rng, pvals=bound.pvals)
+    decision = state.group_and_accept(batch, None)
+    state.commit_and_revoke(
+        batch, decision, accept_cost=0, record_accepts=False
+    )
+    extra: dict = {}
+    workload_record = bound.extra_record(
+        state.weighted_loads,
+        inapplicable=(
+            ("capacity",) if bound.capacity_scale is not None else ()
+        ),
+    )
+    if workload_record is not None:
+        extra["workload"] = workload_record
+    return DynamicPlacement(
+        loads=state.loads,
+        placed=m,
+        unplaced=0,
+        rounds=1,
+        total_messages=int(state.total_messages),
+        extra=extra,
+    )

@@ -33,14 +33,21 @@ from __future__ import annotations
 import math
 from typing import Literal
 
-from repro.api.spec import register_allocator, register_replicator
+import numpy as np
+
+from repro.api.spec import (
+    register_allocator,
+    register_dynamic,
+    register_replicator,
+)
+from repro.dynamic.placement import DynamicPlacement
 from repro.fastpath.roundstate import RoundState
 from repro.result import AllocationResult
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import ensure_m_n
 from repro.workloads import bind_workload
 
-__all__ = ["replicate_stemann", "run_stemann"]
+__all__ = ["dynamic_stemann", "replicate_stemann", "run_stemann"]
 
 
 @register_allocator(
@@ -213,3 +220,82 @@ def replicate_stemann(
             )
         )
     return results
+
+
+@register_dynamic("stemann")
+def dynamic_stemann(
+    m: int,
+    n: int,
+    *,
+    initial_loads: np.ndarray,
+    seed=None,
+    workload=None,
+    mode: Literal["perball", "aggregate"] = "aggregate",
+    collision_factor: float = 2.0,
+    max_rounds: int = 100_000,
+) -> DynamicPlacement:
+    """Place a cohort of ``m`` new balls under the collision rule.
+
+    The collision bound is computed for the *population* (residents
+    plus cohort) — ``L = ceil(collision_factor * ceil(total/n))`` —
+    and the cohort runs the all-or-nothing rounds against the
+    residents' loads.  A state whose bins are all at or above the
+    bound terminates immediately, stranding the cohort, without
+    drawing from the stream (the all-saturated guard).  With all-zero
+    ``initial_loads`` this is exactly :func:`run_stemann` on the
+    cohort, stream for stream.
+    """
+    initial = np.asarray(initial_loads, dtype=np.int64)
+    if initial.shape != (n,):
+        raise ValueError(
+            f"initial_loads must have shape ({n},), got {initial.shape}"
+        )
+    if m == 0:
+        return DynamicPlacement(
+            loads=initial.copy(),
+            placed=0,
+            unplaced=0,
+            rounds=0,
+            total_messages=0,
+        )
+    m, n = ensure_m_n(m, n)
+    if collision_factor <= 1.0:
+        raise ValueError(
+            f"collision_factor must be > 1, got {collision_factor}"
+        )
+    total = m + int(initial.sum())
+    bound = math.ceil(collision_factor * math.ceil(total / n))
+    factory = RngFactory(seed)
+    wl = bind_workload(workload, m, n, factory, granularity=mode)
+    bounds = wl.capacities(bound)
+    rng = factory.stream("stemann", "choices")
+    state = RoundState(
+        m,
+        n,
+        granularity=mode,
+        weights=wl.weights,
+        weight_sum_sampler=wl.weight_sum_sampler,
+        initial_loads=initial,
+    )
+    while state.active_count > 0 and state.rounds < max_rounds:
+        capacity = bounds - state.loads
+        if not np.any(capacity > 0):
+            break  # every bin saturated: no draw could ever land
+        batch = state.sample_contacts(rng, pvals=wl.pvals)
+        decision = state.group_and_accept(
+            batch, capacity, policy="all_or_nothing"
+        )
+        state.commit_and_revoke(batch, decision, threshold=bound)
+    remaining = state.active_count
+    extra: dict = {"collision_bound": bound}
+    workload_record = wl.extra_record(state.weighted_loads)
+    if workload_record is not None:
+        extra["workload"] = workload_record
+    return DynamicPlacement(
+        loads=state.loads,
+        placed=m - remaining,
+        unplaced=remaining,
+        rounds=state.rounds,
+        total_messages=int(state.total_messages),
+        extra=extra,
+    )

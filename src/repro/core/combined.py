@@ -13,16 +13,34 @@ ran; experiment T8 exercises both sides of the boundary.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
-from repro.api.spec import register_allocator, register_replicator
-from repro.core.heavy import HeavyConfig, replicate_heavy, run_heavy
+import numpy as np
+
+from repro.api.spec import (
+    register_allocator,
+    register_dynamic,
+    register_replicator,
+)
+from repro.core.heavy import (
+    HeavyConfig,
+    dynamic_heavy,
+    replicate_heavy,
+    run_heavy,
+)
 from repro.core.trivial import replicate_trivial, run_trivial
+from repro.dynamic.placement import DynamicPlacement
 from repro.result import AllocationResult
 from repro.utils.logstar import loglog2
 from repro.utils.validation import ensure_m_n
 
-__all__ = ["replicate_combined", "run_combined", "should_use_trivial"]
+__all__ = [
+    "dynamic_combined",
+    "replicate_combined",
+    "run_combined",
+    "should_use_trivial",
+]
 
 
 def should_use_trivial(m: int, n: int) -> bool:
@@ -119,3 +137,108 @@ def replicate_combined(
         result.extra["branch"] = branch
         result.algorithm = "combined"
     return results
+
+
+def _waterfill(
+    initial: np.ndarray, k: int, cap: int
+) -> tuple[np.ndarray, int]:
+    """Deterministically fill ``k`` balls into the least-loaded bins.
+
+    The dynamic analog of the trivial algorithm: every bin caps at
+    ``cap`` and balls go to the lowest bins first (ties broken by bin
+    index, so the fill is a pure function of the inputs).  Returns the
+    new total loads and the number of balls that did not fit.
+    """
+    loads = initial.astype(np.int64, copy=True)
+    free = np.maximum(cap - loads, 0)
+    fits = int(min(k, free.sum()))
+    unplaced = k - fits
+    if fits == 0:
+        return loads, unplaced
+
+    def filled(level: int) -> int:
+        # Balls absorbed when the water reaches ``level`` (<= cap, so
+        # the per-bin cap never binds below it).
+        return int(np.maximum(level - loads, 0).sum())
+
+    # Smallest level whose fill covers the cohort (binary search), then
+    # the partial top layer goes to the lowest-indexed bins at it.
+    lo, hi = int(loads.min()) + 1, cap
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if filled(mid) >= fits:
+            hi = mid
+        else:
+            lo = mid + 1
+    level = lo
+    base = np.maximum(level - 1 - loads, 0)
+    new = loads + base
+    leftover = fits - int(base.sum())
+    if leftover > 0:
+        eligible = np.flatnonzero(new == level - 1)
+        new[eligible[:leftover]] += 1
+    return new, unplaced
+
+
+@register_dynamic("combined")
+def dynamic_combined(
+    m: int,
+    n: int,
+    *,
+    initial_loads: np.ndarray,
+    seed=None,
+    workload=None,
+    mode: str = "aggregate",
+    config: Optional[HeavyConfig] = None,
+) -> DynamicPlacement:
+    """Place a cohort with the Section 3 dispatch under residual loads.
+
+    The dispatch test runs on the *population* (residents plus
+    cohort): for ``n < log log(total/n)`` the deterministic trivial
+    analog places the cohort by water-filling the least-loaded bins up
+    to ``ceil(total/n)`` (zero randomness, ``<= n`` rounds); otherwise
+    the cohort runs the incremental ``A_heavy`` placement
+    (:func:`~repro.core.heavy.dynamic_heavy`).  The branch taken is
+    recorded in ``extra["branch"]``.
+    """
+    initial = np.asarray(initial_loads, dtype=np.int64)
+    if initial.shape != (n,):
+        raise ValueError(
+            f"initial_loads must have shape ({n},), got {initial.shape}"
+        )
+    if m == 0:
+        return DynamicPlacement(
+            loads=initial.copy(),
+            placed=0,
+            unplaced=0,
+            rounds=0,
+            total_messages=0,
+        )
+    total = m + int(initial.sum())
+    ensure_m_n(total, n, require_heavy=True)
+    if should_use_trivial(total, n):
+        cap = math.ceil(total / n)
+        loads, unplaced = _waterfill(initial, m, cap)
+        # Message model: the trivial algorithm is one request per ball
+        # per visited bin; the deterministic fill charges the lower
+        # bound of one commit message per placed ball.
+        placement = DynamicPlacement(
+            loads=loads,
+            placed=m - unplaced,
+            unplaced=unplaced,
+            rounds=min(n, m - unplaced) if m > unplaced else 0,
+            total_messages=m - unplaced,
+            extra={"branch": "trivial", "threshold": cap},
+        )
+        return placement
+    placement = dynamic_heavy(
+        m,
+        n,
+        initial_loads=initial,
+        seed=seed,
+        workload=workload,
+        mode=mode,  # type: ignore[arg-type]
+        config=config or HeavyConfig(),
+    )
+    placement.extra["branch"] = "heavy"
+    return placement

@@ -30,13 +30,19 @@ experiment F2) and the ablation schedules (experiment A1).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Literal, Optional
 
 import numpy as np
 
-from repro.api.spec import register_allocator, register_replicator
+from repro.api.spec import (
+    register_allocator,
+    register_dynamic,
+    register_replicator,
+)
 from repro.core.thresholds import PaperSchedule, ThresholdSchedule
+from repro.dynamic.placement import DynamicPlacement
 from repro.fastpath.roundstate import RoundState
 from repro.light.lw16 import LightConfig
 from repro.light.virtual import run_light_on_virtual_bins
@@ -48,6 +54,7 @@ from repro.workloads import Workload, as_workload, bind_workload
 
 __all__ = [
     "HeavyConfig",
+    "dynamic_heavy",
     "replicate_heavy",
     "run_heavy",
     "run_threshold_protocol",
@@ -109,6 +116,9 @@ def run_threshold_protocol(
     track_per_ball: bool = True,
     stop_when_empty: bool = True,
     workload=None,
+    initial_loads: Optional[np.ndarray] = None,
+    skip_saturated_rounds: bool = False,
+    start_round: int = 0,
 ) -> ThresholdPhaseOutcome:
     """Run the symmetric threshold protocol under any oblivious schedule.
 
@@ -130,8 +140,24 @@ def run_threshold_protocol(
     workload (a :class:`repro.workloads.Workload`, spec string, or an
     already-bound workload from a composing caller; the default uniform
     workload leaves the run bitwise-identical to the pre-workload code).
+
+    Dynamic placement (the incremental-rebalance backend):
+    ``initial_loads`` starts the bins at a residual occupancy, with
+    only the ``m`` new balls active — the heavy-regime requirement then
+    applies to the *population*, not the cohort, so ``m < n`` cohorts
+    are legal.  ``skip_saturated_rounds`` skips any scheduled round
+    whose total residual capacity is zero *without sampling anything*:
+    no request messages, no RNG draws, no metrics row — such a round
+    would reject every request, and an incremental epoch whose early
+    thresholds sit below the residents' loads would otherwise burn
+    rounds and messages on them.  A schedule that stays saturated
+    throughout therefore terminates with zero draws (the regression
+    the saturation tests pin).  ``start_round`` enters the schedule at
+    a later index (the incremental fast-forward: early rounds exist to
+    whittle a huge unallocated estimate that a small cohort never
+    had).  All three default to the historical behavior, bitwise.
     """
-    m, n = ensure_m_n(m, n, require_heavy=True)
+    m, n = ensure_m_n(m, n, require_heavy=initial_loads is None)
     if mode not in ("perball", "aggregate"):
         raise ValueError(f"mode must be 'perball' or 'aggregate', got {mode!r}")
     factory = rng_factory or RngFactory()
@@ -151,18 +177,29 @@ def run_threshold_protocol(
         track_messages=(mode == "perball" and track_per_ball),
         weights=bound.weights,
         weight_sum_sampler=bound.weight_sum_sampler,
+        initial_loads=initial_loads,
     )
     thresholds: list[int] = []
 
-    while state.rounds < cap_rounds:
+    # ``round_index`` walks the schedule; ``state.rounds`` counts only
+    # executed rounds.  They coincide unless saturated rounds are
+    # skipped or the schedule is entered late.
+    if start_round < 0:
+        raise ValueError(f"start_round must be >= 0, got {start_round}")
+    round_index = start_round
+    while round_index < cap_rounds:
         if stop_when_empty and state.active_count == 0:
             break
-        threshold = schedule.threshold(state.rounds)
-        thresholds.append(threshold)
+        threshold = schedule.threshold(round_index)
         capacity = np.maximum(bound.capacities(threshold) - state.loads, 0)
+        if skip_saturated_rounds and not np.any(capacity > 0):
+            round_index += 1
+            continue
+        thresholds.append(threshold)
         batch = state.sample_contacts(rng, pvals=bound.pvals)
         decision = state.group_and_accept(batch, capacity, accept_rng)
         state.commit_and_revoke(batch, decision, threshold=threshold)
+        round_index += 1
 
     return ThresholdPhaseOutcome(
         loads=state.loads,
@@ -517,3 +554,181 @@ def replicate_heavy(
         )
         for phase1, factory, bound in zip(phase1s, factories, bounds)
     ]
+
+
+@register_dynamic("heavy")
+def dynamic_heavy(
+    m: int,
+    n: int,
+    *,
+    initial_loads: np.ndarray,
+    seed=None,
+    workload: Optional[Workload] = None,
+    mode: Mode = "aggregate",
+    config: HeavyConfig = HeavyConfig(),
+    handoff: bool = True,
+    settle_rounds: int = 2,
+) -> DynamicPlacement:
+    """Place a cohort of ``m`` new balls against residual bin loads.
+
+    The incremental form of ``A_heavy``: the paper's oblivious
+    threshold schedule is computed for the *population* (residents
+    plus cohort) and the cohort runs the threshold rounds against the
+    residents' loads (``RoundState(initial_loads=...)``).  Thresholds
+    that sit below the residents' current loads yield zero capacity
+    and are skipped without sampling (``skip_saturated_rounds``), so
+    the cost of an epoch — messages and draws — scales with the
+    cohort, not the population.
+
+    After the schedule, up to ``settle_rounds`` extra threshold rounds
+    run at the population average ``ceil(total/n)`` — the paper's own
+    load cap — before stragglers ride the usual phase-2 ``A_light``
+    handoff.  A settle round costs one message per remaining ball
+    against nearly-full-cohort capacity, so it drains almost everyone
+    for a fraction of the light protocol's per-ball cost; the load
+    guarantee is untouched (the cap never exceeds the average, and
+    ``A_light`` still bounds whatever remains by ``+2g``).
+
+    With ``settle_rounds=0``, all-zero ``initial_loads``, and
+    ``m >= n`` this is exactly ``run_heavy(m, n, seed=seed,
+    mode=mode)``: same streams, same schedule, same values (the
+    fresh-fill anchor the 100%-churn tests pin; settle rounds draw
+    from their own ``("dynamic", "settle")`` stream, so enabling them
+    perturbs no phase-1 or light draw).
+    """
+    initial = np.asarray(initial_loads, dtype=np.int64)
+    if initial.shape != (n,):
+        raise ValueError(
+            f"initial_loads must have shape ({n},), got {initial.shape}"
+        )
+    if settle_rounds < 0:
+        raise ValueError(
+            f"settle_rounds must be >= 0, got {settle_rounds}"
+        )
+    if m == 0:
+        return DynamicPlacement(
+            loads=initial.copy(),
+            placed=0,
+            unplaced=0,
+            rounds=0,
+            total_messages=0,
+        )
+    total = m + int(initial.sum())
+    ensure_m_n(total, n, require_heavy=True)
+    factory = RngFactory(seed)
+    bound = bind_workload(workload, m, n, factory, granularity=mode)
+    sched = PaperSchedule(total, n, stop_factor=config.stop_factor)
+    # Fast-forward: the schedule's early rounds whittle an unallocated
+    # estimate m̃_i the cohort never had — enter at the first round
+    # whose estimate is at or below the cohort size.  A fresh fill has
+    # m̃_0 = m = cohort, so this reduces to the paper schedule exactly.
+    planned = sched.phase1_rounds()
+    start = 0
+    # The relative tolerance absorbs the log-space float noise of the
+    # estimate (a fresh fill has estimate(0) == m only up to rounding).
+    while start < planned - 1 and sched.estimate(start) > m * (1 + 1e-9):
+        start += 1
+    phase1 = run_threshold_protocol(
+        m,
+        n,
+        sched,
+        rng_factory=factory,
+        mode=mode,
+        max_rounds=config.max_rounds,
+        track_per_ball=config.track_per_ball,
+        workload=bound,
+        initial_loads=initial,
+        skip_saturated_rounds=True,
+        start_round=start,
+    )
+    loads = phase1.loads.copy()
+    rounds = phase1.rounds
+    messages = phase1.total_messages
+    unplaced = phase1.remaining
+    straggler_ids = phase1.remaining_ids
+    weighted_loads = phase1.weighted_loads
+    extra: dict = {
+        "phase1_rounds": phase1.rounds,
+        "phase1_remaining": phase1.remaining,
+        "thresholds": phase1.thresholds,
+        "settle_rounds": 0,
+        "phase2_rounds": 0,
+    }
+
+    if unplaced > 0 and settle_rounds > 0:
+        settle_threshold = math.ceil(total / n)
+        settle_weights = (
+            bound.weights[straggler_ids]
+            if bound.weights is not None and straggler_ids is not None
+            else None
+        )
+        state = RoundState(
+            unplaced,
+            n,
+            granularity=mode,
+            initial_loads=loads,
+            weights=settle_weights,
+            weight_sum_sampler=bound.weight_sum_sampler,
+        )
+        settle_rng = factory.stream("dynamic", "settle")
+        settle_accept = factory.stream("dynamic", "settle", "accept")
+        while state.active_count > 0 and state.rounds < settle_rounds:
+            capacity = np.maximum(
+                bound.capacities(settle_threshold) - state.loads, 0
+            )
+            if not np.any(capacity > 0):
+                break
+            batch = state.sample_contacts(settle_rng, pvals=bound.pvals)
+            decision = state.group_and_accept(
+                batch, capacity, settle_accept
+            )
+            state.commit_and_revoke(
+                batch, decision, threshold=settle_threshold
+            )
+        # ``state`` copied ``loads`` at construction, so this is a
+        # private array already.
+        loads = state.loads
+        rounds += state.rounds
+        messages += int(state.total_messages)
+        if weighted_loads is not None and state.weighted_loads is not None:
+            weighted_loads = weighted_loads + state.weighted_loads
+        if straggler_ids is not None and state.active is not None:
+            straggler_ids = straggler_ids[state.active]
+        unplaced = state.active_count
+        extra["settle_rounds"] = state.rounds
+
+    if handoff and unplaced > 0:
+        real_loads, light, vmap = run_light_on_virtual_bins(
+            unplaced,
+            n,
+            seed=factory.stream("light"),
+            config=config.light,
+        )
+        loads += real_loads
+        if weighted_loads is not None:
+            if bound.weights is not None and straggler_ids is not None:
+                np.add.at(
+                    weighted_loads,
+                    vmap.to_real(light.assignment),
+                    bound.weights[straggler_ids],
+                )
+            elif bound.weight_sum_sampler is not None:
+                weighted_loads = (
+                    weighted_loads + bound.weight_sum_sampler(real_loads)
+                )
+        rounds += light.rounds
+        messages += light.total_messages
+        extra["phase2_rounds"] = light.rounds
+        extra["light_used_fallback"] = light.used_fallback
+        unplaced = 0
+    workload_record = bound.extra_record(weighted_loads)
+    if workload_record is not None:
+        extra["workload"] = workload_record
+    return DynamicPlacement(
+        loads=loads,
+        placed=m - unplaced,
+        unplaced=unplaced,
+        rounds=rounds,
+        total_messages=messages,
+        extra=extra,
+    )

@@ -1,0 +1,193 @@
+"""Resident-population bookkeeping for the dynamic epoch runner.
+
+The dynamic regime tracks balls at *bin* granularity, grouped into
+**cohorts** — one per arrival epoch — because that is exactly the
+information the departure policies need:
+
+* ``uniform`` departures sample uniformly among all resident balls:
+  a multivariate hypergeometric draw over the flattened
+  ``(cohort, bin)`` count matrix (balls of one bin and cohort are
+  exchangeable, so per-cell counts are a sufficient statistic);
+* ``fifo`` departures consume cohorts oldest-first, splitting only the
+  boundary cohort (hypergeometrically over its bins);
+* ``hotset`` departures drain the currently hottest bins first —
+  uniformly among the residents of the top ``hot_frac`` fraction of
+  bins, falling back to the cold bins only when the hot set runs out.
+
+Every draw comes from the caller-supplied generator (one spawned
+control stream per epoch), so a dynamic run replays bitwise from its
+root seed regardless of policy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ResidentState"]
+
+
+class ResidentState:
+    """Per-bin resident counts, grouped into arrival cohorts."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"need n >= 1, got {n}")
+        self.n = n
+        #: Oldest-first list of ``[epoch_id, (n,) counts]`` cohorts.
+        self.cohorts: list[list] = []
+        self._loads = np.zeros(n, dtype=np.int64)
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Current per-bin resident counts (a defensive copy)."""
+        return self._loads.copy()
+
+    @property
+    def population(self) -> int:
+        """Total resident balls."""
+        return int(self._loads.sum())
+
+    def add_cohort(self, epoch: int, counts: np.ndarray) -> None:
+        """Admit one arrival cohort with the given per-bin placement."""
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (self.n,):
+            raise ValueError(
+                f"cohort counts must have shape ({self.n},), "
+                f"got {counts.shape}"
+            )
+        if np.any(counts < 0):
+            raise ValueError("cohort counts must be non-negative")
+        if counts.sum() == 0:
+            return
+        self.cohorts.append([epoch, counts.copy()])
+        self._loads += counts
+
+    def _matrix(self) -> np.ndarray:
+        """The ``(C, n)`` cohort-by-bin count matrix (a view stack)."""
+        if not self.cohorts:
+            return np.zeros((0, self.n), dtype=np.int64)
+        return np.stack([c for _, c in self.cohorts])
+
+    def _apply_departures(self, taken: np.ndarray) -> np.ndarray:
+        """Subtract a ``(C, n)`` departure matrix; drop empty cohorts."""
+        departed = taken.sum(axis=0)
+        for row, cohort in zip(taken, self.cohorts):
+            cohort[1] -= row
+        self.cohorts = [c for c in self.cohorts if c[1].sum() > 0]
+        self._loads -= departed
+        if np.any(self._loads < 0):  # pragma: no cover - internal guard
+            raise AssertionError("departures exceeded resident counts")
+        return departed
+
+    def depart(
+        self,
+        k: int,
+        policy: str,
+        rng: Optional[np.random.Generator],
+        *,
+        hot_frac: float = 0.1,
+    ) -> np.ndarray:
+        """Remove ``k`` residents under ``policy``; returns the per-bin
+        departure counts.
+
+        ``k = 0`` is a strict no-op: no generator draw, no state
+        change (the zero-churn bitwise-stability guarantee).
+        """
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        if k == 0:
+            return np.zeros(self.n, dtype=np.int64)
+        if k > self.population:
+            raise ValueError(
+                f"cannot depart {k} balls from a population of "
+                f"{self.population}"
+            )
+        matrix = self._matrix()
+        if policy == "uniform":
+            taken = rng.multivariate_hypergeometric(
+                matrix.ravel(), k
+            ).reshape(matrix.shape)
+        elif policy == "fifo":
+            taken = np.zeros_like(matrix)
+            remaining = k
+            for i in range(matrix.shape[0]):
+                size = int(matrix[i].sum())
+                if size <= remaining:
+                    taken[i] = matrix[i]
+                    remaining -= size
+                elif remaining > 0:
+                    taken[i] = rng.multivariate_hypergeometric(
+                        matrix[i], remaining
+                    )
+                    remaining = 0
+                else:
+                    break
+        elif policy == "hotset":
+            n_hot = max(1, min(self.n - 1, math.ceil(hot_frac * self.n)))
+            order = np.argsort(-self._loads, kind="stable")
+            hot = order[:n_hot]
+            cold = order[n_hot:]
+            taken = np.zeros_like(matrix)
+            hot_total = int(matrix[:, hot].sum())
+            k_hot = min(k, hot_total)
+            if k_hot > 0:
+                taken[:, hot] = rng.multivariate_hypergeometric(
+                    matrix[:, hot].ravel(), k_hot
+                ).reshape(matrix.shape[0], hot.size)
+            k_cold = k - k_hot
+            if k_cold > 0:
+                taken[:, cold] = rng.multivariate_hypergeometric(
+                    matrix[:, cold].ravel(), k_cold
+                ).reshape(matrix.shape[0], cold.size)
+        else:
+            raise ValueError(f"unknown departure policy {policy!r}")
+        return self._apply_departures(taken)
+
+    def reshuffle(
+        self, new_loads: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        """Redistribute the cohorts' bin composition to ``new_loads``.
+
+        The full-rerun oracle re-places every resident from scratch,
+        which changes where each cohort's balls sit without changing
+        cohort membership.  Placed balls of one run are exchangeable,
+        so each cohort's new bin distribution is a hypergeometric
+        split of the placement, drawn oldest-first from the epoch's
+        control stream.  ``new_loads`` may total *less* than the
+        current population (a protocol that strands balls evicts them);
+        the shortfall is charged to the newest cohorts.
+        """
+        new_loads = np.asarray(new_loads, dtype=np.int64)
+        if new_loads.shape != (self.n,):
+            raise ValueError(
+                f"new_loads must have shape ({self.n},), "
+                f"got {new_loads.shape}"
+            )
+        total_placed = int(new_loads.sum())
+        sizes = [int(c[1].sum()) for c in self.cohorts]
+        shortfall = sum(sizes) - total_placed
+        if shortfall < 0:
+            raise ValueError(
+                "reshuffle target exceeds the resident population"
+            )
+        for i in range(len(sizes) - 1, -1, -1):
+            if shortfall <= 0:
+                break
+            cut = min(sizes[i], shortfall)
+            sizes[i] -= cut
+            shortfall -= cut
+        remaining = new_loads.copy()
+        for size, cohort in zip(sizes, self.cohorts):
+            if size == 0:
+                part = np.zeros(self.n, dtype=np.int64)
+            elif size == int(remaining.sum()):
+                part = remaining.copy()
+            else:
+                part = rng.multivariate_hypergeometric(remaining, size)
+            cohort[1] = part.astype(np.int64)
+            remaining -= part
+        self.cohorts = [c for c in self.cohorts if c[1].sum() > 0]
+        self._loads = new_loads.copy()

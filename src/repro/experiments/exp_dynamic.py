@@ -1,0 +1,118 @@
+"""Experiment D1: amortized cost of incremental rebalancing under churn.
+
+The dynamic subsystem's headline claim: when balls churn (depart and
+arrive) epoch by epoch, re-establishing the load guarantee
+*incrementally* — only the arriving cohort runs through the round
+kernels, against the residents' loads — costs messages proportional
+to the **churn**, while the full-rerun oracle pays the one-shot cost
+of the whole **population** every epoch.  D1 sweeps the churn rate
+and measures steady-state messages per epoch for both strategies: the
+incremental curve must track the churn (double the churn, roughly
+double the cost) while the oracle's stays flat at the population
+cost, with both keeping the O(1) steady-state gap.
+"""
+
+from __future__ import annotations
+
+from repro.dynamic import run_dynamic
+from repro.experiments.plotting import ascii_chart
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["exp_d1"]
+
+
+def exp_d1(scale: str = "quick", seed: int = 20190416) -> ExperimentReport:
+    """D1 — messages/epoch of incremental vs full-rerun across churn."""
+    report = ExperimentReport(
+        exp_id="D1",
+        title="Amortized rebalance cost vs churn rate",
+        claim="extension: incremental rebalancing on the shared round "
+        "kernels costs messages proportional to the churn (the arriving "
+        "cohort), while a full re-run pays the population's one-shot "
+        "cost every epoch; both hold the steady-state gap at O(1)",
+        columns=[
+            "churn",
+            "inc msg/ep",
+            "full msg/ep",
+            "advantage",
+            "inc moved/ep",
+            "inc gap",
+            "full gap",
+        ],
+    )
+    if scale == "quick":
+        m, n, epochs = 20_000, 64, 6
+        churns = [0.05, 0.1, 0.2]
+    else:
+        m, n, epochs = 100_000, 256, 16
+        churns = [0.02, 0.05, 0.1, 0.2, 0.5]
+
+    inc_msgs, full_msgs, advantages = [], [], []
+    ok = True
+    for churn in churns:
+        inc = run_dynamic(
+            "heavy", m, n, seed=seed, epochs=epochs, churn=churn,
+            rebalance="incremental",
+        )
+        full = run_dynamic(
+            "heavy", m, n, seed=seed, epochs=epochs, churn=churn,
+            rebalance="full_rerun",
+        )
+        inc_per = inc.churn_messages / epochs
+        full_per = full.churn_messages / epochs
+        advantage = full_per / inc_per
+        inc_gap = float(inc.gaps[1:].mean())
+        full_gap = float(full.gaps[1:].mean())
+        report.add_row(
+            churn,
+            inc_per,
+            full_per,
+            advantage,
+            float(inc.moved[1:].mean()),
+            inc_gap,
+            full_gap,
+        )
+        inc_msgs.append(inc_per)
+        full_msgs.append(full_per)
+        advantages.append(advantage)
+        # Both strategies must keep the steady-state gap O(1), and
+        # every run must place every ball.
+        ok = ok and inc.complete and full.complete
+        ok = ok and inc_gap <= 8.0 and full_gap <= 8.0
+
+    # Incremental cost tracks the churn: strictly increasing in the
+    # churn rate, and the advantage over the oracle shrinks as churn
+    # grows (at 100% churn the two coincide by construction).
+    ok = ok and all(
+        a < b for a, b in zip(inc_msgs, inc_msgs[1:])
+    )
+    ok = ok and advantages[0] >= 2 * advantages[-1]
+    # The oracle's cost is set by the population, not the churn: flat
+    # within 35% across the sweep.
+    ok = ok and max(full_msgs) <= 1.35 * min(full_msgs)
+    # Material advantage at the headline 10% churn point.
+    idx = churns.index(0.1)
+    ok = ok and advantages[idx] >= 3.0
+
+    report.charts.append(
+        ascii_chart(
+            churns,
+            {"incremental": inc_msgs, "full_rerun": full_msgs},
+            title="messages per churn epoch vs churn rate",
+            x_label="churn",
+        )
+    )
+    report.passed = ok
+    report.notes.append(
+        "incremental epochs place only the arriving cohort against the "
+        "residents' loads (RoundState initial_loads + schedule "
+        "fast-forward + settle rounds), so their message cost scales "
+        "with churn * m; the full re-run re-places all m balls."
+    )
+    report.notes.append(
+        "aggregate-granularity placements compress the wall-clock "
+        "advantage (O(n) per round for both strategies) but the "
+        "message advantage is granularity-independent; "
+        "BENCH_dynamic.json records the per-ball wall-clock trajectory."
+    )
+    return report

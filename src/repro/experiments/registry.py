@@ -16,6 +16,7 @@ from repro.experiments.exp_misc import (
     exp_t7,
     exp_t8,
 )
+from repro.experiments.exp_dynamic import exp_d1
 from repro.experiments.exp_replication import exp_r1
 from repro.experiments.exp_workloads import exp_w1
 from repro.experiments.report import ExperimentReport
@@ -29,7 +30,8 @@ ExperimentFn = Callable[..., ExperimentReport]
 #: repro.experiments`` (no argument) lists every id with the first line
 #: of its docstring, and each docstring cites the paper claim it
 #: reproduces (T* = theorem checks, F* = figure-style shape checks,
-#: A* = ablations/extensions, W* = workload scenarios).
+#: A* = ablations/extensions, W* = workload scenarios, D* =
+#: dynamic/churn scenarios).
 EXPERIMENTS: dict[str, ExperimentFn] = {
     "T1": exp_t1,
     "T2": exp_t2,
@@ -51,6 +53,7 @@ EXPERIMENTS: dict[str, ExperimentFn] = {
     "A4": exp_a4,
     "W1": exp_w1,
     "R1": exp_r1,
+    "D1": exp_d1,
 }
 
 

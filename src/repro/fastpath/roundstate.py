@@ -67,6 +67,23 @@ that trial alone through the scalar aggregate state — the invariant
 the property tests (T=1 equivalence, permutation invariance, masked
 isolation) and the ``replicate``-vs-``allocate_many`` equivalence
 suite pin down.
+
+Residual loads (the dynamic subsystem's backend): constructing a state
+with ``initial_loads=`` starts the per-bin load vector at a residual
+occupancy instead of zero — the bins already hold balls from earlier
+epochs, and only the ``m`` *new* (arriving or displaced) balls run
+through the kernel steps.  Every capacity rule a protocol computes
+from ``state.loads`` then respects the residents automatically, which
+is what makes incremental rebalancing (see :mod:`repro.dynamic`) a
+policy over the unchanged kernels rather than a new engine.  The axis
+composes with ``trials=T``: a ``(n,)`` residual broadcasts across
+trials and a ``(T, n)`` matrix gives each trial its own, so dynamic
+epochs are trial-batchable like everything else.  ``initial_loads``
+never consumes randomness; a state whose bins are all saturated
+relative to a protocol's thresholds simply yields zero capacity
+everywhere, and protocol loops are expected to terminate without
+drawing from their streams (the zero-draw regression pinned by the
+saturation tests).
 """
 
 from __future__ import annotations
@@ -297,6 +314,12 @@ class RoundState:
     own :class:`RunMetrics` in ``trial_metrics``), and ``rounds``
     counts lock-step iterations while ``trial_rounds[t]`` counts the
     rounds trial ``t`` actually executed.
+
+    Residual loads: ``initial_loads=`` starts ``loads`` at an existing
+    per-bin occupancy (``(n,)``, or ``(T, n)`` / broadcast-``(n,)`` for
+    trial-batched states); only the ``m`` new balls are active, and
+    ``placed_loads`` reports their intake separately.  See the module
+    docstring and :mod:`repro.dynamic`.
     """
 
     def __init__(
@@ -311,6 +334,7 @@ class RoundState:
         metrics: Optional[RunMetrics] = None,
         weights: Optional[np.ndarray] = None,
         weight_sum_sampler=None,
+        initial_loads: Optional[np.ndarray] = None,
     ) -> None:
         if m < 0 or n < 1:
             raise ValueError(f"need m >= 0 and n >= 1, got m={m}, n={n}")
@@ -345,14 +369,53 @@ class RoundState:
         self.n = n
         self.granularity: Granularity = granularity
         self.trials = trials
+        # Residual occupancy: ``loads`` starts at the residents' per-bin
+        # counts (zero for the classic one-shot run).  Kept as its own
+        # array so protocols can report the placement delta
+        # (``loads - initial_loads``) for the balls they actually moved.
+        if initial_loads is not None:
+            base = np.asarray(initial_loads)
+            if not np.issubdtype(base.dtype, np.integer):
+                raise ValueError(
+                    f"initial_loads must be an integer array, "
+                    f"got dtype {base.dtype}"
+                )
+            if np.any(base < 0):
+                raise ValueError("initial_loads must be non-negative")
+            if trials is not None:
+                if base.shape == (n,):
+                    base = np.broadcast_to(base, (trials, n))
+                elif base.shape != (trials, n):
+                    raise ValueError(
+                        f"trial-batched initial_loads must have shape "
+                        f"({n},) or ({trials}, {n}), got {base.shape}"
+                    )
+            elif base.shape != (n,):
+                raise ValueError(
+                    f"initial_loads must have shape ({n},), "
+                    f"got {base.shape}"
+                )
+            self.initial_loads: Optional[np.ndarray] = base.astype(
+                np.int64, copy=True
+            )
+        else:
+            self.initial_loads = None
         if trials is not None:
-            self.loads = np.zeros((trials, n), dtype=np.int64)
+            self.loads = (
+                self.initial_loads.copy()
+                if self.initial_loads is not None
+                else np.zeros((trials, n), dtype=np.int64)
+            )
             self.metrics = None
             self.trial_metrics = [RunMetrics(m, n) for _ in range(trials)]
             self.total_messages = np.zeros(trials, dtype=np.int64)
             self.trial_rounds = np.zeros(trials, dtype=np.int64)
         else:
-            self.loads = np.zeros(n, dtype=np.int64)
+            self.loads = (
+                self.initial_loads.copy()
+                if self.initial_loads is not None
+                else np.zeros(n, dtype=np.int64)
+            )
             self.metrics = metrics if metrics is not None else RunMetrics(m, n)
             self.trial_metrics = None
             self.total_messages = 0
@@ -419,6 +482,17 @@ class RoundState:
         if self.trials is not None:
             return int(self._active_count.sum())
         return self._active_count
+
+    @property
+    def placed_loads(self) -> np.ndarray:
+        """Per-bin intake of this run's own balls (loads minus residual).
+
+        Identical to ``loads`` for states constructed without
+        ``initial_loads``.
+        """
+        if self.initial_loads is None:
+            return self.loads
+        return self.loads - self.initial_loads
 
     @property
     def active_counts(self) -> np.ndarray:

@@ -49,10 +49,18 @@ class TestRegistryCompleteness:
 
         ``run_light`` is covered via its ``run_light_allocation``
         wrapper; ``run_threshold_protocol`` is a phase subroutine (it
-        returns a ThresholdPhaseOutcome, not an AllocationResult).
+        returns a ThresholdPhaseOutcome, not an AllocationResult);
+        ``run_dynamic``/``run_dynamic_many`` are the dynamic epoch
+        runner (DynamicResult time series over registered adapters,
+        not an allocator).
         """
         registered = {spec.runner for spec in list_allocators()}
-        exempt = {"run_light", "run_threshold_protocol"}
+        exempt = {
+            "run_light",
+            "run_threshold_protocol",
+            "run_dynamic",
+            "run_dynamic_many",
+        }
         public = [
             name
             for name in repro.__all__

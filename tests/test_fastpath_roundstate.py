@@ -323,3 +323,100 @@ class TestCommitAndRevoke:
         out = state.commit_and_revoke(batch, decision)
         assert out.commits == 0 and out.requests_sent == 0
         assert state.rounds == 1
+
+
+class TestInitialLoads:
+    """The residual-occupancy axis backing the dynamic subsystem."""
+
+    def test_loads_start_at_residual(self):
+        initial = np.array([3, 0, 7, 1], dtype=np.int64)
+        state = RoundState(10, 4, initial_loads=initial)
+        assert np.array_equal(state.loads, initial)
+        assert np.array_equal(state.initial_loads, initial)
+        assert state.active_count == 10
+
+    def test_initial_loads_copied(self):
+        initial = np.array([1, 2], dtype=np.int64)
+        state = RoundState(5, 2, initial_loads=initial)
+        initial[0] = 99
+        assert state.loads[0] == 1
+        assert state.initial_loads[0] == 1
+
+    def test_placed_loads_is_delta(self, rng):
+        initial = np.array([5, 5, 5, 5], dtype=np.int64)
+        state = RoundState(20, 4, initial_loads=initial)
+        batch = state.sample_contacts(rng)
+        decision = state.group_and_accept(batch, np.full(4, 3), rng)
+        out = state.commit_and_revoke(batch, decision)
+        assert state.placed_loads.sum() == out.commits
+        assert np.array_equal(state.loads, initial + state.placed_loads)
+        assert state.placed_loads.min() >= 0
+
+    def test_placed_loads_alias_without_initial(self):
+        state = RoundState(5, 2)
+        assert state.placed_loads is state.loads
+
+    def test_capacity_rule_respects_residents(self, rng):
+        # A bin already at the cap never accepts.
+        initial = np.array([4, 0], dtype=np.int64)
+        state = RoundState(50, 2, initial_loads=initial)
+        for _ in range(30):
+            if state.active_count == 0:
+                break
+            cap = np.maximum(4 - state.loads, 0)
+            batch = state.sample_contacts(rng)
+            decision = state.group_and_accept(batch, cap, rng)
+            state.commit_and_revoke(batch, decision)
+        assert state.loads[0] == 4  # never exceeded its full start
+        assert state.loads[1] <= 4
+
+    def test_validation_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            RoundState(5, 4, initial_loads=np.zeros(3, dtype=np.int64))
+
+    def test_validation_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RoundState(5, 2, initial_loads=np.array([-1, 0]))
+
+    def test_validation_dtype(self):
+        with pytest.raises(ValueError, match="integer"):
+            RoundState(5, 2, initial_loads=np.array([0.5, 1.0]))
+
+    def test_trial_batched_broadcast(self):
+        initial = np.array([2, 4, 6], dtype=np.int64)
+        state = RoundState(
+            9, 3, granularity="aggregate", trials=4, initial_loads=initial
+        )
+        assert state.loads.shape == (4, 3)
+        for t in range(4):
+            assert np.array_equal(state.loads[t], initial)
+
+    def test_trial_batched_per_trial_matrix(self):
+        initial = np.arange(6, dtype=np.int64).reshape(2, 3)
+        state = RoundState(
+            9, 3, granularity="aggregate", trials=2, initial_loads=initial
+        )
+        assert np.array_equal(state.loads, initial)
+        with pytest.raises(ValueError, match="shape"):
+            RoundState(
+                9,
+                3,
+                granularity="aggregate",
+                trials=2,
+                initial_loads=np.zeros((3, 3), dtype=np.int64),
+            )
+
+    def test_trial_batched_rows_advance_from_residual(self):
+        initial = np.array([[1, 0], [0, 5]], dtype=np.int64)
+        state = RoundState(
+            4, 2, granularity="aggregate", trials=2, initial_loads=initial
+        )
+        rngs = [np.random.default_rng(s) for s in (0, 1)]
+        cap = np.full(2, 100, dtype=np.int64)
+        while state.any_active and state.rounds < 10:
+            batch = state.sample_contacts(rngs)
+            decision = state.group_and_accept(batch, cap - state.loads)
+            state.commit_and_revoke(batch, decision)
+        assert np.array_equal(
+            state.loads.sum(axis=1), initial.sum(axis=1) + 4
+        )

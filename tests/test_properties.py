@@ -407,3 +407,136 @@ def test_grouped_accept_with_priorities_matches_grouped_accept(
     priorities = np.random.default_rng(seed + 1).random(k)
     got = grouped_accept_with_priorities(choices, capacity, priorities)
     assert np.array_equal(got, expected)
+
+
+# -- residual-load (dynamic) kernel invariants ---------------------------
+#
+# These sit alongside the masked-trial isolation tests because they pin
+# the same kind of contract: state the kernels must NOT touch (finished
+# trials there, saturated schedules here) consumes no randomness.
+
+
+class _TwoPhaseSchedule:
+    """Test schedule: ``prefix`` rounds at ``low``, then ``high``."""
+
+    def __init__(self, prefix: int, low: int, high: int, rounds: int):
+        self.prefix, self.low, self.high = prefix, low, high
+        self._rounds = rounds
+
+    def threshold(self, i: int) -> int:
+        return self.low if i < self.prefix else self.high
+
+    def phase1_rounds(self) -> int:
+        return self._rounds
+
+
+@COMMON
+@given(
+    n=st.integers(2, 48),
+    ratio=st.integers(1, 16),
+    seed=st.integers(0, 2**31),
+)
+def test_saturated_initial_loads_terminate_with_zero_draws(n, ratio, seed):
+    """All bins pre-saturated via initial_loads: the threshold protocol
+    must terminate immediately — zero executed rounds, zero messages,
+    zero RNG draws (regression for the dynamic incremental loop)."""
+    from repro.core.heavy import run_threshold_protocol
+    from repro.utils.seeding import RngFactory
+
+    m = n * ratio
+    threshold = 5
+    saturated = np.full(n, threshold + 3, dtype=np.int64)
+    outcome = run_threshold_protocol(
+        m,
+        n,
+        _TwoPhaseSchedule(4, threshold, threshold, 4),
+        rng_factory=RngFactory(seed),
+        mode="aggregate",
+        initial_loads=saturated,
+        skip_saturated_rounds=True,
+    )
+    assert outcome.rounds == 0
+    assert outcome.total_messages == 0
+    assert outcome.remaining == m
+    assert outcome.thresholds == []
+    assert len(outcome.metrics.rounds) == 0
+    assert np.array_equal(outcome.loads, saturated)
+
+
+@COMMON
+@given(
+    n=st.integers(2, 48),
+    ratio=st.integers(1, 16),
+    prefix=st.integers(1, 5),
+    seed=st.integers(0, 2**31),
+)
+def test_saturated_prefix_consumes_no_stream(n, ratio, prefix, seed):
+    """Skipped saturated rounds draw nothing: a schedule with a
+    saturated prefix is bitwise-identical to one without it."""
+    from repro.core.heavy import run_threshold_protocol
+    from repro.utils.seeding import RngFactory
+
+    m = n * ratio
+    base = np.full(n, 3, dtype=np.int64)
+    high = 3 + 2 * ratio + 4
+    with_prefix = run_threshold_protocol(
+        m,
+        n,
+        _TwoPhaseSchedule(prefix, 2, high, prefix + 6),
+        rng_factory=RngFactory(seed),
+        mode="aggregate",
+        initial_loads=base,
+        skip_saturated_rounds=True,
+    )
+    without = run_threshold_protocol(
+        m,
+        n,
+        _TwoPhaseSchedule(0, 2, high, 6),
+        rng_factory=RngFactory(seed),
+        mode="aggregate",
+        initial_loads=base,
+        skip_saturated_rounds=True,
+    )
+    assert np.array_equal(with_prefix.loads, without.loads)
+    assert with_prefix.rounds == without.rounds
+    assert with_prefix.total_messages == without.total_messages
+
+
+@COMMON
+@given(
+    n=st.integers(2, 64),
+    ratio=st.integers(1, 30),
+    residual=st.integers(0, 20),
+    seed=st.integers(0, 2**31),
+)
+def test_initial_loads_trial_batched_matches_scalar(n, ratio, residual, seed):
+    """initial_loads composes with trials=T: a batched trial with a
+    residual occupancy is bitwise the scalar run with that residual."""
+    from repro.fastpath.roundstate import RoundState
+
+    m = n * ratio
+    rng = np.random.default_rng(seed)
+    initial = rng.integers(0, residual + 1, size=n).astype(np.int64)
+    cap = np.full(n, int(initial.max()) + ratio + 1, dtype=np.int64)
+    root = np.random.SeedSequence(seed)
+    scalar = _aggregate_loop(
+        RoundState(
+            m, n, granularity="aggregate", initial_loads=initial
+        ),
+        np.random.default_rng(root),
+        cap,
+    )
+    batched = _aggregate_loop(
+        RoundState(
+            m,
+            n,
+            granularity="aggregate",
+            trials=1,
+            initial_loads=initial,
+        ),
+        [np.random.default_rng(root)],
+        cap,
+    )
+    assert np.array_equal(batched.loads[0], scalar.loads)
+    assert batched.total_messages[0] == scalar.total_messages
+    assert scalar.loads.sum() == initial.sum() + m

@@ -403,13 +403,22 @@ class TestWorkloadBench:
         repo = Path(__file__).resolve().parent.parent
         out_k = tmp_path / "k.json"
         out_w = tmp_path / "w.json"
+        out_r = tmp_path / "r.json"
+        out_d = tmp_path / "d.json"
         proc = subprocess.run(
             [
                 sys.executable,
                 str(repo / "benchmarks" / "run_benchmarks.py"),
                 "--scale", "smoke",
+                # Every artifact flag redirected: the runner's default
+                # paths are the checked-in full-scale artifacts at the
+                # repo root, which a test must never clobber with a
+                # smoke payload (regression: PR 4's replication
+                # artifact was silently overwritten this way).
                 "--output", str(out_k),
                 "--workloads-output", str(out_w),
+                "--replication-output", str(out_r),
+                "--dynamic-output", str(out_d),
             ],
             capture_output=True,
             text=True,
@@ -424,3 +433,9 @@ class TestWorkloadBench:
             assert stats["aggregate_speedup"] is None or (
                 stats["aggregate_speedup"] > 0
             )
+        dynamic = json.loads(out_d.read_text())
+        assert dynamic["headline"] == "heavy"
+        assert dynamic["headline_message_speedup"] > 1.0
+        assert {r["rebalance"] for r in dynamic["records"]} == {
+            "incremental", "full_rerun"
+        }
