@@ -116,6 +116,12 @@ from repro.dynamic import (
 )
 from repro.light import LightConfig, run_light, run_light_allocation
 from repro.result import AllocationResult
+from repro.service import (
+    AdmissionPolicy,
+    AllocatorService,
+    ServiceReport,
+    simulate_service,
+)
 from repro.workloads import Workload, parse_workload
 
 # The api package is imported after the algorithm packages above, so
@@ -136,7 +142,9 @@ from repro.api import (
 __version__ = "1.1.0"
 
 __all__ = [
+    "AdmissionPolicy",
     "AllocationResult",
+    "AllocatorService",
     "AllocatorSpec",
     "AsymmetricConfig",
     "DynamicResult",
@@ -147,6 +155,7 @@ __all__ = [
     "LightConfig",
     "PaperSchedule",
     "ReplicationResult",
+    "ServiceReport",
     "ThresholdSchedule",
     "Workload",
     "__version__",
@@ -160,6 +169,7 @@ __all__ = [
     "replicate",
     "run_dynamic",
     "run_dynamic_many",
+    "simulate_service",
     "run_asymmetric",
     "run_batched_dchoice",
     "run_combined",

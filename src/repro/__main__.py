@@ -14,6 +14,7 @@ from the function signature.  Usage::
     python -m repro faulty --m 100000 --n 256 --crash-prob 0.01
     python -m repro replicate heavy --m 100000 --n 256 --trials 256
     python -m repro dynamic heavy --m 100000 --n 256 --epochs 32 --churn 0.1
+    python -m repro serve heavy --m 100000 --n 256 --simulate --gap-slo 8
     python -m repro compare --m 1000000 --n 1000     # side-by-side table
     python -m repro bench --m 100000 --n 256 --trials 256  # replication bench
     python -m repro experiments T2                   # alias for
@@ -187,6 +188,106 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         dest="json_path",
         help="also write the full per-epoch record as JSON to this path",
+    )
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the continuous allocation service against a "
+        "simulated open-loop arrival stream (micro-batched "
+        "incremental rebalancing, admission control)",
+    )
+    p_srv.add_argument(
+        "algorithm",
+        type=str,
+        help="a dynamic-capable registry name or alias (see the "
+        "'dynamic' column of 'list')",
+    )
+    _add_common(p_srv)
+    p_srv.add_argument(
+        "--simulate",
+        action="store_true",
+        help="drive the service with the deterministic simulated-clock "
+        "open-loop driver (required: the only built-in driver; live "
+        "asyncio ingest is available programmatically via "
+        "repro.service.serve_queue)",
+    )
+    p_srv.add_argument(
+        "--epochs",
+        type=_positive_int,
+        default=16,
+        help="simulated churn intervals after the fill (default: 16)",
+    )
+    p_srv.add_argument(
+        "--churn",
+        type=float,
+        default=0.1,
+        help="per-interval turnover as a fraction of m (default: 0.1)",
+    )
+    p_srv.add_argument(
+        "--arrivals",
+        choices=("fixed", "bursty"),
+        default="bursty",
+        help="deterministic arrival process (default: bursty)",
+    )
+    p_srv.add_argument(
+        "--burst-every",
+        type=int,
+        default=4,
+        help="bursty arrivals: cycle length (default: 4)",
+    )
+    p_srv.add_argument(
+        "--burst-factor",
+        type=float,
+        default=4.0,
+        help="bursty arrivals: burst multiplier (default: 4.0)",
+    )
+    p_srv.add_argument(
+        "--departures",
+        choices=("uniform", "fifo", "hotset"),
+        default="uniform",
+        help="departure policy (default: uniform)",
+    )
+    p_srv.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=None,
+        help="micro-batch count watermark in balls (default: sized to "
+        "the largest burst — one batch per interval)",
+    )
+    p_srv.add_argument(
+        "--max-wait",
+        type=float,
+        default=1.0,
+        help="micro-batch age watermark in simulated seconds "
+        "(default: 1.0)",
+    )
+    p_srv.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=None,
+        help="ingest queue capacity in balls (default: fits the fill "
+        "and two nominal batches)",
+    )
+    p_srv.add_argument(
+        "--gap-slo",
+        type=float,
+        default=None,
+        help="admission gap SLO: defer (widen batches) above it, shed "
+        "past the headroom (default: no gap controller)",
+    )
+    p_srv.add_argument(
+        "--workload",
+        type=str,
+        default=None,
+        help="workload spec the arriving cohorts are drawn from "
+        "(unit weights only, e.g. zipf:1.1+propcap)",
+    )
+    p_srv.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        dest="json_path",
+        help="also write the full per-batch record as JSON to this path",
     )
 
     p_compare = sub.add_parser(
@@ -410,6 +511,49 @@ def _dynamic(args: argparse.Namespace) -> None:
         )
 
 
+def _serve(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.service import AdmissionPolicy, simulate_service
+
+    if not args.simulate:
+        raise SystemExit(
+            "python -m repro serve: error: --simulate is required (the "
+            "CLI ships the deterministic open-loop driver only; live "
+            "asyncio ingest is programmatic via repro.service.serve_queue)"
+        )
+    policy = (
+        AdmissionPolicy(gap_slo=args.gap_slo)
+        if args.gap_slo is not None
+        else None
+    )
+    report = simulate_service(
+        args.algorithm,
+        args.m,
+        args.n,
+        seed=args.seed,
+        epochs=args.epochs,
+        churn=args.churn,
+        arrivals=args.arrivals,
+        burst_every=args.burst_every,
+        burst_factor=args.burst_factor,
+        departures=args.departures,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        max_queue=args.max_queue,
+        policy=policy,
+        workload=args.workload,
+    )
+    print(report.describe())
+    print(f"wall time     : {report.wall_seconds:.2f}s")
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(
+            f"wrote {report.stats.batches}-batch record to {args.json_path}"
+        )
+
+
 def _bench_replication(args: argparse.Namespace) -> None:
     from repro.api.bench import (
         benchmark_replication,
@@ -490,6 +634,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "dynamic":
         _dynamic(args)
+        return 0
+    if args.command == "serve":
+        _serve(args)
         return 0
     if args.command == "compare":
         _compare(args)

@@ -19,6 +19,7 @@ __all__ = [
     "RunStatistics",
     "gap_statistics",
     "mean_confidence_interval",
+    "percentiles",
     "sample_quantiles",
     "summarize_loads",
     "summarize_runs",
@@ -26,6 +27,10 @@ __all__ = [
 
 #: Default quantile grid reported by replication summaries.
 DEFAULT_QUANTILES = (0.05, 0.25, 0.5, 0.75, 0.95, 0.99)
+
+#: Default percentile grid of latency summaries (p50/p95/p99) — the
+#: tail figures the service benchmarks report.
+DEFAULT_PERCENTILES = (50.0, 95.0, 99.0)
 
 
 @dataclass(frozen=True)
@@ -135,6 +140,28 @@ def sample_quantiles(
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile probabilities must be in [0, 1], got {q}")
     return {float(q): float(np.quantile(data, q)) for q in qs}
+
+
+def percentiles(
+    values: Sequence[float],
+    ps: Sequence[float] = DEFAULT_PERCENTILES,
+) -> dict[str, float]:
+    """Percentile summary keyed by label: ``{"p50": ..., "p99": ...}``.
+
+    The string-keyed sibling of :func:`sample_quantiles`, built on the
+    same estimator — ``percentiles(v)[f"p{100 * q:g}"] ==
+    sample_quantiles(v, (q,))[q]`` for every probability.  This is the
+    shape latency reports serialize (p50/p95/p99 event latency in the
+    service benchmarks): JSON-safe keys, no float-key round-tripping.
+    """
+    for p in ps:
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(
+                f"percentiles must be in [0, 100], got {p}"
+            )
+    qs = [p / 100.0 for p in ps]
+    by_q = sample_quantiles(values, qs)
+    return {f"p{float(p):g}": by_q[p / 100.0] for p in ps}
 
 
 #: Two-sided z-scores for the confidence levels used in reports.

@@ -27,6 +27,8 @@ from repro.api.replicate import ReplicationResult, replicate
 from repro.api.spec import (
     AllocatorSpec,
     allocator_names,
+    capability_note,
+    capable_allocators,
     get_dynamic,
     get_replicator,
     get_spec,
@@ -49,6 +51,8 @@ __all__ = [
     "benchmark_engine_reference",
     "benchmark_registry",
     "benchmark_replication",
+    "capability_note",
+    "capable_allocators",
     "get_dynamic",
     "get_replicator",
     "get_spec",

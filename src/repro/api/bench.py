@@ -33,13 +33,16 @@ __all__ = [
     "BenchRecord",
     "DynamicBenchRecord",
     "ReplicationBenchRecord",
+    "ServiceBenchRecord",
     "benchmark_registry",
     "benchmark_engine_reference",
     "benchmark_dynamic",
     "benchmark_replication",
+    "benchmark_service",
     "dynamic_speedups",
     "render_dynamic_table",
     "render_replication_table",
+    "render_service_table",
     "render_table",
 ]
 
@@ -447,6 +450,145 @@ def benchmark_dynamic(
                 )
             )
     return records
+
+
+@dataclass(frozen=True)
+class ServiceBenchRecord:
+    """One sustained-throughput run of the continuous service.
+
+    ``ops_per_sec`` is the figure the acceptance bar floors: processed
+    place+release operations per *busy* wall second (micro-batch
+    processing only — the open-loop driver's submission bookkeeping is
+    excluded, so the number is a property of the allocator, not the
+    harness).  Latency percentiles are in simulated seconds (time from
+    event arrival to the flush that served it).
+    """
+
+    algorithm: str
+    m: int
+    n: int
+    epochs: int
+    churn: float
+    arrivals: str
+    seed: int
+    batches: int
+    processed_ops: int
+    busy_seconds: float
+    wall_seconds: float
+    ops_per_sec: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    shed: int
+    shed_rate: float
+    deferred: int
+    gap_final: float
+    gap_worst: float
+    complete: bool
+    workload: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def benchmark_service(
+    m: int,
+    n: int,
+    *,
+    epochs: int,
+    churn: float = 0.1,
+    arrivals: str = "bursty",
+    seed: int = 0,
+    algorithms: Optional[Iterable[str]] = None,
+    gap_slo: Optional[float] = None,
+    workload=None,
+    **service_kwargs,
+) -> list[ServiceBenchRecord]:
+    """Time the continuous service under a bursty open-loop stream.
+
+    For every ``dynamic_capable`` spec (or the requested subset), runs
+    :func:`repro.service.simulate_service` once on the pinned seed and
+    records the sustained throughput plus the latency/admission/gap
+    summary.  Backs ``benchmarks/run_benchmarks.py --service-output``
+    and the checked-in ``BENCH_service.json``.
+    """
+    from repro.api.spec import get_spec
+    from repro.service import AdmissionPolicy, simulate_service
+
+    if algorithms is not None:
+        names = [resolve_name(a) for a in algorithms]
+        not_dynamic = [x for x in names if not get_spec(x).dynamic_capable]
+        if not_dynamic:
+            raise ValueError(
+                f"algorithm(s) {', '.join(sorted(not_dynamic))} have no "
+                f"dynamic-placement adapter; service benchmarks cover "
+                f"dynamic_capable specs only"
+            )
+    else:
+        names = [s.name for s in list_allocators() if s.dynamic_capable]
+    policy = (
+        AdmissionPolicy(gap_slo=gap_slo) if gap_slo is not None else None
+    )
+    records = []
+    for name in names:
+        report = simulate_service(
+            name,
+            m,
+            n,
+            seed=seed,
+            epochs=epochs,
+            churn=churn,
+            arrivals=arrivals,
+            policy=policy,
+            workload=workload,
+            **service_kwargs,
+        )
+        s = report.stats
+        records.append(
+            ServiceBenchRecord(
+                algorithm=report.algorithm,
+                m=m,
+                n=n,
+                epochs=epochs,
+                churn=churn,
+                arrivals=arrivals,
+                seed=seed,
+                batches=s.batches,
+                processed_ops=s.processed_ops,
+                busy_seconds=s.busy_seconds,
+                wall_seconds=report.wall_seconds,
+                ops_per_sec=s.ops_per_sec,
+                latency_p50=s.latency["p50"],
+                latency_p95=s.latency["p95"],
+                latency_p99=s.latency["p99"],
+                shed=s.shed,
+                shed_rate=s.shed_rate,
+                deferred=s.deferred,
+                gap_final=s.gap,
+                gap_worst=s.gap_worst,
+                complete=s.complete,
+                workload=workload,
+            )
+        )
+    return records
+
+
+def render_service_table(records: Sequence[ServiceBenchRecord]) -> str:
+    """Human-readable table of service benchmark records."""
+    header = (
+        f"{'algorithm':14s} {'m':>10s} {'n':>6s} {'batches':>7s} "
+        f"{'ops/s':>12s} {'p50':>6s} {'p95':>6s} {'p99':>6s} "
+        f"{'shed':>6s} {'gap':>7s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        lines.append(
+            f"{r.algorithm:14s} {r.m:10,d} {r.n:6,d} {r.batches:7d} "
+            f"{r.ops_per_sec:12,.0f} {r.latency_p50:6.2f} "
+            f"{r.latency_p95:6.2f} {r.latency_p99:6.2f} "
+            f"{r.shed:6,d} {r.gap_worst:+7.2f}"
+        )
+    return "\n".join(lines)
 
 
 def dynamic_speedups(

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.api.spec import AllocatorSpec, get_spec, list_allocators
+from repro.api.spec import AllocatorSpec, capability_note, get_spec
 
 __all__ = ["allocate", "AGGREGATE_THRESHOLD", "resolve_mode"]
 
@@ -132,13 +132,10 @@ def _resolve_workload(spec: AllocatorSpec, workload, resolved_mode):
     if wl is None:
         return None
     if not spec.workload_capable:
-        capable = ", ".join(
-            s.name for s in list_allocators() if s.workload_capable
-        )
         raise ValueError(
             f"algorithm {spec.name!r} supports the uniform workload only "
-            f"(got workload {wl.describe()!r}); workload-capable "
-            f"allocators: {capable}"
+            f"(got workload {wl.describe()!r}); "
+            + capability_note("workload_capable")
         )
     if resolved_mode == "engine":
         raise ValueError(

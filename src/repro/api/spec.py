@@ -42,6 +42,8 @@ __all__ = [
     "get_dynamic",
     "get_replicator",
     "get_spec",
+    "capability_note",
+    "capable_allocators",
     "list_allocators",
     "allocator_names",
     "resolve_name",
@@ -569,3 +571,30 @@ def list_allocators() -> list[AllocatorSpec]:
     """All registered specs, sorted by canonical name."""
     _ensure_populated()
     return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def capable_allocators(capability: str) -> list[str]:
+    """Canonical names of the specs with a capability flag set.
+
+    ``capability`` is a boolean :class:`AllocatorSpec` field name
+    (``workload_capable``, ``dynamic_capable``, ``trial_batched``, ...).
+    """
+    return [s.name for s in list_allocators() if getattr(s, capability)]
+
+
+def capability_note(capability: str, names: Optional[Iterable[str]] = None) -> str:
+    """The shared capability-rejection suffix of validation errors.
+
+    Every layer that rejects an algorithm for a missing capability —
+    ``repro.allocate`` workload validation, the dynamic runner's
+    adapter and workload checks, the service — ends its message with
+    this same phrase, e.g. ``"workload-capable allocators: heavy,
+    single, stemann"``, so users always see which algorithms *would*
+    work (consistency pinned by regression test).  ``names`` overrides
+    the registry scan for contexts with a narrower capable set (e.g.
+    workload support *within* dynamic runs).
+    """
+    label = capability.replace("_capable", "").replace("_", "-")
+    if names is None:
+        names = capable_allocators(capability)
+    return f"{label}-capable allocators: {', '.join(names)}"

@@ -41,7 +41,12 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.api.spec import get_dynamic, get_spec, list_allocators
+from repro.api.spec import (
+    capability_note,
+    get_dynamic,
+    get_spec,
+    list_allocators,
+)
 from repro.dynamic.spec import DynamicSpec
 from repro.dynamic.state import ResidentState
 from repro.utils.seeding import RngFactory, as_seed_sequence
@@ -262,14 +267,20 @@ def _resolve_entry(algorithm: str):
     spec = get_spec(algorithm)
     entry = get_dynamic(spec.name)
     if entry is None:
-        capable = ", ".join(
-            s.name for s in list_allocators() if s.dynamic_capable
-        )
         raise ValueError(
             f"algorithm {spec.name!r} has no dynamic-placement adapter; "
-            f"dynamic-capable allocators: {capable}"
+            + capability_note("dynamic_capable")
         )
     return spec, entry
+
+
+def _dynamic_workload_capable() -> list[str]:
+    """Allocators whose *dynamic adapter* accepts non-uniform workloads."""
+    return [
+        s.name
+        for s in list_allocators()
+        if s.dynamic_capable and get_dynamic(s.name).workload_capable
+    ]
 
 
 def _check_options(entry, algorithm: str, options: dict[str, Any]) -> None:
@@ -290,14 +301,19 @@ def _resolve_workload(spec, entry, workload):
     if not entry.workload_capable:
         raise ValueError(
             f"algorithm {spec.name!r} supports the uniform workload "
-            f"only in dynamic runs (got workload {wl.describe()!r})"
+            f"only in dynamic runs (got workload {wl.describe()!r}); "
+            + capability_note(
+                "workload_capable", _dynamic_workload_capable()
+            )
         )
     if wl.weight != "unit":
         raise WorkloadError(
             "dynamic runs support unit ball weights only: departures "
             "remove specific resident balls, and aggregate-granularity "
             "bookkeeping has no per-ball weight identity to remove "
-            f"(got workload {wl.describe()!r})"
+            f"(got workload {wl.describe()!r}); weighted workloads run "
+            "one-shot via repro.allocate(); "
+            + capability_note("workload_capable")
         )
     return wl
 

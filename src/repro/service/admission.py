@@ -1,0 +1,154 @@
+"""Admission control and the gap-SLO controller.
+
+Every ``place()`` call passes through an :class:`AdmissionPolicy`
+before it may enqueue.  Three decisions come back:
+
+* ``accept`` — enqueue, process at the normal micro-batch cadence;
+* ``defer`` — enqueue, but the service is under pressure: the
+  controller **widens the micro-batch watermark**, so pending events
+  wait for a larger cohort.  Rounds per placement grow only
+  logarithmically with cohort size (the paper's bound), so a wider
+  batch amortizes the per-epoch fixed cost over more balls — messages
+  *per operation* fall exactly when the per-epoch message budget is
+  threatened, at the price of queueing latency;
+* ``shed`` — reject the arrival outright (recorded, not queued).
+  Shedding triggers on queue overflow (capacity is a hard bound) and
+  on gap emergency: the observed gap crossed ``shed_gap``, so adding
+  balls before the backlog drains would dig the SLO hole deeper.
+
+Releases are never shed by the gap controller — departures *reduce*
+load — but they do respect queue capacity (a full queue sheds both
+kinds; the overflow counter records which).
+
+The :class:`GapSloController` holds the feedback state: the last
+observed gap and message cost update a batch-widening multiplier
+(``widen``), doubled while the SLO is threatened and decayed by one
+step per healthy flush.  All state is a pair of small floats — the
+controller replays bitwise with the rest of the service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "ACCEPT",
+    "DEFER",
+    "SHED",
+    "AdmissionPolicy",
+    "GapSloController",
+]
+
+#: Admission decisions (strings, so records JSON-serialize as-is).
+ACCEPT = "accept"
+DEFER = "defer"
+SHED = "shed"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Thresholds for accept/defer/shed decisions.
+
+    Attributes
+    ----------
+    gap_slo:
+        Target max-load gap.  While the observed gap exceeds it, new
+        arrivals are deferred (batches widen).  ``None`` disables the
+        gap controller entirely — queue capacity is then the only
+        backpressure (the configuration the bitwise-vs-``run_dynamic``
+        pin uses, since shedding would change cohort sizes).
+    shed_headroom:
+        Arrivals are shed once the gap exceeds
+        ``gap_slo + shed_headroom`` (the emergency line).
+    defer_depth:
+        Queue-fullness fraction beyond which arrivals are deferred
+        even while the gap is healthy (the queue itself signals that
+        batches should widen to catch up).
+    message_budget:
+        Optional per-operation message budget: when a flush spends
+        more than this many messages per processed ball, the
+        controller widens batches to amortize (``None`` disables).
+    max_widen:
+        Cap on the batch-widening multiplier (power of two).
+    """
+
+    gap_slo: Optional[float] = None
+    shed_headroom: float = 8.0
+    defer_depth: float = 0.5
+    message_budget: Optional[float] = None
+    max_widen: int = 8
+
+    def __post_init__(self) -> None:
+        if self.gap_slo is not None and self.gap_slo <= 0:
+            raise ValueError(f"gap_slo must be > 0, got {self.gap_slo}")
+        if self.shed_headroom < 0:
+            raise ValueError(
+                f"shed_headroom must be >= 0, got {self.shed_headroom}"
+            )
+        if not 0.0 < self.defer_depth <= 1.0:
+            raise ValueError(
+                f"defer_depth must lie in (0, 1], got {self.defer_depth}"
+            )
+        if self.message_budget is not None and self.message_budget <= 0:
+            raise ValueError(
+                f"message_budget must be > 0, got {self.message_budget}"
+            )
+        if self.max_widen < 1:
+            raise ValueError(
+                f"max_widen must be >= 1, got {self.max_widen}"
+            )
+
+
+class GapSloController:
+    """Feedback state between the flush path and admission decisions."""
+
+    def __init__(self, policy: AdmissionPolicy) -> None:
+        self.policy = policy
+        #: Batch-widening multiplier (1 = nominal micro-batches).
+        self.widen = 1
+        #: Gap observed at the last flush (None before the first).
+        self.last_gap: Optional[float] = None
+        #: Messages per processed ball at the last flush.
+        self.last_cost: Optional[float] = None
+
+    # -- flush feedback -------------------------------------------------
+
+    def observe(self, gap: float, messages: int, processed: int) -> None:
+        """Fold one flush's outcome into the controller state."""
+        self.last_gap = gap
+        self.last_cost = messages / processed if processed else None
+        threatened = (
+            self.policy.gap_slo is not None and gap > self.policy.gap_slo
+        ) or (
+            self.policy.message_budget is not None
+            and self.last_cost is not None
+            and self.last_cost > self.policy.message_budget
+        )
+        if threatened:
+            self.widen = min(self.policy.max_widen, self.widen * 2)
+        elif self.widen > 1:
+            self.widen //= 2
+
+    # -- admission ------------------------------------------------------
+
+    def decide(self, kind: str, count: int, queue) -> str:
+        """Admission decision for one incoming event.
+
+        ``queue`` is the service's :class:`~repro.service.events
+        .EventQueue`; capacity overflow sheds regardless of kind.
+        """
+        if queue.pending + count > queue.capacity:
+            return SHED
+        if kind == "release":
+            # Departures always help the gap; only capacity limits them.
+            return ACCEPT
+        slo = self.policy.gap_slo
+        if slo is not None and self.last_gap is not None:
+            if self.last_gap > slo + self.policy.shed_headroom:
+                return SHED
+            if self.last_gap > slo:
+                return DEFER
+        if self.widen > 1 or queue.depth > self.policy.defer_depth:
+            return DEFER
+        return ACCEPT

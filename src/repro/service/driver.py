@@ -1,0 +1,233 @@
+"""Open-loop simulated driver: a `DynamicSpec` regime as a stream.
+
+:func:`simulate_service` replays a churn regime against a live
+:class:`~repro.service.server.AllocatorService` as an **open-loop
+arrival process**: cohorts are not handed over as closed epochs —
+individual ``release``/``place`` events arrive spread across each
+simulated interval, and the *service's own watermarks* decide the
+micro-batch boundaries.  With the default sizing (micro-batches large
+enough to hold an interval's burst, age watermark = one interval) the
+service converges on exactly one batch per interval — and because the
+service spawns epoch seeds in ``run_dynamic`` order, the whole run is
+then **bitwise-identical to ``run_dynamic`` on the same root seed**,
+epoch for epoch (the acceptance pin).  Tighter watermarks, shedding
+policies, or extra traffic split batches and diverge — by design;
+that is the service behaving like a server.
+
+Timeline: the fill burst lands at ``t = 0`` and each churn interval
+occupies one simulated second, its ``count`` releases arriving
+uniformly over the first half and its ``count`` places over the
+second (deterministic spacing — no RNG in the driver, so event
+latency percentiles replay bitwise too).  Wall-clock time is measured
+only around batch processing; **sustained throughput** is processed
+operations per busy wall second, the figure ``BENCH_service.json``
+enforces a floor on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.dynamic.spec import DynamicSpec
+from repro.service.admission import AdmissionPolicy
+from repro.service.events import SimulatedClock
+from repro.service.server import AllocatorService, BatchRecord, ServiceStats
+
+__all__ = ["ServiceReport", "simulate_service"]
+
+
+@dataclass
+class ServiceReport:
+    """Outcome of one simulated open-loop service run."""
+
+    algorithm: str
+    m: int
+    n: int
+    spec: DynamicSpec
+    stats: ServiceStats
+    records: list[BatchRecord]
+    #: End-to-end wall seconds of the simulation (incl. driver loop).
+    wall_seconds: float
+    seed_entropy: tuple = ()
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ops_per_sec(self) -> float:
+        """Sustained throughput: processed ops per busy wall second."""
+        return self.stats.ops_per_sec
+
+    @property
+    def gaps(self) -> list[float]:
+        return [r.gap for r in self.records]
+
+    def describe(self) -> str:
+        s = self.stats
+        lat = s.latency
+        lines = [
+            f"service       : {self.algorithm} [micro-batched incremental]",
+            f"instance      : m={self.m}, n={self.n} "
+            f"(m/n={self.m / self.n:.4g})",
+            f"regime        : {self.spec.describe()}",
+            f"batches       : {s.batches} flushed "
+            f"({s.processed_places:,} places + "
+            f"{s.processed_releases:,} releases)",
+            f"throughput    : {s.ops_per_sec:,.0f} ops/s sustained "
+            f"({s.busy_seconds:.3f}s busy of {self.wall_seconds:.3f}s wall)",
+            f"latency (sim) : p50 {lat['p50']:.3f}  p95 {lat['p95']:.3f}  "
+            f"p99 {lat['p99']:.3f}  max {s.latency_max:.3f}",
+            f"admission     : {s.shed:,} shed "
+            f"({100 * s.shed_rate:.2f}%), {s.deferred:,} deferred, "
+            f"widen x{s.widen}",
+            f"gap           : final {s.gap:+.2f}, worst {s.gap_worst:+.2f}",
+            f"population    : {s.population:,} final, queue "
+            f"{s.queue_pending} pending",
+            f"complete      : {s.complete}",
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": 1,
+            "algorithm": self.algorithm,
+            "m": int(self.m),
+            "n": int(self.n),
+            "spec": self.spec.to_dict(),
+            "stats": self.stats.to_dict(),
+            "records": [r.to_dict() for r in self.records],
+            "wall_seconds": self.wall_seconds,
+            "seed_entropy": [int(e) for e in self.seed_entropy],
+            "extra": dict(self.extra),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"ServiceReport({self.algorithm}: m={self.m}, n={self.n}, "
+            f"{self.stats.batches} batches, "
+            f"{self.stats.ops_per_sec:,.0f} ops/s)"
+        )
+
+
+def simulate_service(
+    algorithm: str,
+    m: int,
+    n: int,
+    *,
+    seed=None,
+    spec: Optional[DynamicSpec] = None,
+    epochs: int = 16,
+    churn: float = 0.1,
+    arrivals: str = "bursty",
+    burst_every: int = 4,
+    burst_factor: float = 4.0,
+    departures: str = "uniform",
+    hot_frac: float = 0.1,
+    max_batch: Optional[int] = None,
+    max_wait: float = 1.0,
+    max_queue: Optional[int] = None,
+    policy: Optional[AdmissionPolicy] = None,
+    workload=None,
+    **options: Any,
+) -> ServiceReport:
+    """Drive a service with a ``DynamicSpec``-derived open-loop stream.
+
+    Parameters mirror :func:`repro.run_dynamic` (regime keywords or a
+    complete ``spec``) plus the service knobs (watermarks, queue
+    capacity, admission policy).  ``max_batch=None`` sizes the count
+    watermark to the regime's largest burst, so batch boundaries fall
+    on the age watermark — the one-batch-per-interval arrangement the
+    bitwise pin against ``run_dynamic`` requires.  The arrival process
+    must be deterministic (``fixed``/``bursty``): a Poisson count is
+    drawn *inside* a ``run_dynamic`` epoch from the control stream,
+    which an open-loop driver cannot consult before submitting.
+
+    Returns a :class:`ServiceReport`; ``report.extra["service"]``
+    holds the trace length and final queue state.
+    """
+    if m < 1 or n < 1:
+        raise ValueError(f"need m >= 1 and n >= 1, got m={m}, n={n}")
+    if spec is None:
+        spec = DynamicSpec(
+            epochs=epochs,
+            churn=churn,
+            arrivals=arrivals,
+            burst_every=burst_every,
+            burst_factor=burst_factor,
+            departures=departures,
+            hot_frac=hot_frac,
+        )
+    if spec.arrivals == "poisson":
+        raise ValueError(
+            "the open-loop driver supports deterministic arrival "
+            "processes only (fixed/bursty): a Poisson cohort size is "
+            "drawn from the epoch's control stream inside run_dynamic, "
+            "which a driver cannot consult before submitting events"
+        )
+    if spec.rebalance != "incremental":
+        raise ValueError(
+            "the service runs incremental rebalancing only (the "
+            f"full_rerun oracle is a batch-mode tool), got "
+            f"{spec.rebalance!r}"
+        )
+    counts = [spec.arrival_count(e, m) for e in range(1, spec.epochs + 1)]
+    if max_batch is None:
+        max_batch = max([m] + [2 * c for c in counts])
+    clock = SimulatedClock()
+    service = AllocatorService(
+        algorithm,
+        n,
+        seed=seed,
+        max_batch=max_batch,
+        max_wait=max_wait,
+        max_queue=max_queue if max_queue is not None else max(
+            2 * max_batch, m
+        ),
+        policy=policy,
+        clock=clock,
+        departures=spec.departures,
+        hot_frac=spec.hot_frac,
+        workload=workload,
+        **options,
+    )
+    wall_start = time.perf_counter()
+    # t = 0: the fill burst — flushed immediately by the count
+    # watermark when max_batch == m, else by the age watermark at the
+    # first tick; either way batch 0 is exactly the fill epoch.
+    service.place(m)
+    for epoch, count in enumerate(counts, start=1):
+        service.tick(float(epoch))
+        count = min(count, service.population + service.queue.pending_places)
+        if count == 0:
+            continue
+        # Open-loop interval: releases over the first half-second,
+        # places over the second — deterministic spacing, no RNG.
+        for i in range(count):
+            clock.advance_to(epoch + i / (2.0 * count))
+            service.release(1)
+        for i in range(count):
+            clock.advance_to(epoch + 0.5 + i / (2.0 * count))
+            service.place(1)
+    clock.advance_to(float(spec.epochs + 1))
+    service.drain()
+    wall = time.perf_counter() - wall_start
+    from repro.utils.seeding import RngFactory
+
+    return ServiceReport(
+        algorithm=service.algorithm,
+        m=m,
+        n=n,
+        spec=spec,
+        stats=service.stats(),
+        records=list(service.records),
+        wall_seconds=wall,
+        seed_entropy=tuple(RngFactory(service._root).root_entropy),
+        extra={
+            "service": {
+                "max_batch": max_batch,
+                "max_wait": max_wait,
+                "trace_ops": len(service.trace),
+                "queue_pending": service.queue.pending,
+            }
+        },
+    )

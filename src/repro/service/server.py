@@ -1,0 +1,551 @@
+"""The long-lived allocator service: micro-batched incremental epochs.
+
+:class:`AllocatorService` turns the PR-5 dynamic engine into a
+*server*: instead of a closed-loop epoch script
+(:func:`repro.run_dynamic`), arrivals and departures stream in through
+``place()``/``release()``, pool in a bounded :class:`EventQueue`, and
+flush as **micro-batches** onto the incremental-rebalance path — one
+adapter call per batch against the residents' loads
+(``RoundState(initial_loads=...)``), exactly one epoch's worth of
+work.
+
+Seed contract (the bitwise bridge to :func:`repro.run_dynamic`): the
+root seed spawns **two SeedSequence children per flushed micro-batch**
+— a control child for the departure draw and a placement child handed
+verbatim to the adapter — in submission order.  ``SeedSequence.spawn``
+numbers children incrementally, so batch ``b`` receives exactly the
+children ``run_dynamic`` gives epoch ``b``.  Hence when a driver feeds
+the service one count-matched cohort per batch (the
+:func:`~repro.service.driver.simulate_service` arrangement), **every
+micro-batch is bitwise-identical to the corresponding ``run_dynamic``
+epoch on the same root seed** — loads, messages, rounds, departure
+draws, everything (pinned by ``tests/test_service.py``).  An idle tick
+flushes nothing, draws nothing, and spawns nothing: a service that
+sits idle overnight replays exactly like one that never idled.
+
+Admission (:mod:`repro.service.admission`) runs in front of the
+queue: accept, defer (batches widen while the gap SLO or message
+budget is threatened), or shed (queue overflow / gap emergency).
+
+Every public mutating call is appended to ``self.trace``, so a run
+can be replayed bitwise with :func:`replay_trace` — the audit-log
+property the replay-determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.analysis.stats import percentiles
+from repro.dynamic.runner import (
+    _check_options,
+    _resolve_entry,
+    _resolve_workload,
+)
+from repro.dynamic.spec import DEPARTURE_KINDS
+from repro.dynamic.state import ResidentState
+from repro.service.admission import (
+    ACCEPT,
+    DEFER,
+    SHED,
+    AdmissionPolicy,
+    GapSloController,
+)
+from repro.service.events import (
+    EventQueue,
+    Place,
+    Release,
+    SimulatedClock,
+    WallClock,
+)
+from repro.utils.seeding import RngFactory, as_seed_sequence
+
+__all__ = [
+    "AllocatorService",
+    "BatchRecord",
+    "ServiceStats",
+    "replay_trace",
+    "serve_queue",
+]
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """What one flushed micro-batch did — the service's epoch record.
+
+    ``places``/``releases`` are the ball counts the batch carried;
+    ``released`` is the departures actually executed (clamped to the
+    resident population, overflow recorded service-wide).  The cost
+    fields (``moved``, ``rounds``, ``messages``) mirror
+    :class:`~repro.dynamic.runner.EpochRecord` — on a count-matched
+    trace they are equal, term for term.
+    """
+
+    batch: int
+    t: float
+    events: int
+    places: int
+    releases: int
+    released: int
+    placed: int
+    unplaced: int
+    moved: int
+    rounds: int
+    messages: int
+    population: int
+    max_load: int
+    gap: float
+    queue_after: int
+    widen: int
+    latency_mean: float
+    latency_max: float
+    seconds: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A point-in-time summary of the service (``stats()``)."""
+
+    algorithm: str
+    n: int
+    population: int
+    batches: int
+    gap: float
+    gap_worst: float
+    queue_pending: int
+    widen: int
+    accepted: int
+    deferred: int
+    shed: int
+    dropped_releases: int
+    processed_places: int
+    processed_releases: int
+    messages: int
+    rounds: int
+    busy_seconds: float
+    elapsed: float
+    ops_per_sec: float
+    latency: dict[str, float]
+    latency_mean: float
+    latency_max: float
+    complete: bool
+
+    @property
+    def processed_ops(self) -> int:
+        return self.processed_places + self.processed_releases
+
+    @property
+    def shed_rate(self) -> float:
+        submitted = self.accepted + self.shed
+        return self.shed / submitted if submitted else 0.0
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["processed_ops"] = self.processed_ops
+        out["shed_rate"] = self.shed_rate
+        return out
+
+
+class AllocatorService:
+    """A continuously running allocator over one ``dynamic_capable``
+    algorithm.
+
+    Parameters
+    ----------
+    algorithm:
+        Any ``dynamic_capable`` registry name or alias.
+    n:
+        Bin count (fixed for the service's lifetime).
+    seed:
+        Root seed; two children are spawned per flushed micro-batch
+        (control + placement), so the whole service replays bitwise —
+        and matches ``run_dynamic``'s epoch seeds batch for batch.
+    max_batch:
+        Count watermark: pending balls at or above
+        ``max_batch * widen`` trigger a flush (``widen`` is the
+        admission controller's multiplier, 1 while healthy).
+    max_wait:
+        Age watermark: on ``tick()``, a head event older than this
+        flushes the queue even below the count watermark.
+    max_queue:
+        Queue capacity in balls; beyond it, admission sheds.
+    policy:
+        :class:`AdmissionPolicy` (default: no gap SLO — queue capacity
+        is the only backpressure).
+    clock:
+        A :class:`SimulatedClock` for deterministic replay, or None
+        for wall time.
+    departures, hot_frac:
+        Departure policy applied when a batch's releases are drawn
+        (``uniform``/``fifo``/``hotset``, as in :class:`DynamicSpec`).
+    workload:
+        Optional workload for arriving cohorts (same rules as
+        ``run_dynamic``: skew/capacities yes, weights no).
+    auto_flush:
+        When False, only ``tick()``/``flush()``/``drain()`` flush —
+        submissions never trigger the count watermark (used to pin
+        that deferred processing equals eager processing bitwise).
+    options:
+        Adapter-specific keywords, validated against the registered
+        adapter signature exactly as in ``run_dynamic``.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        n: int,
+        *,
+        seed=None,
+        max_batch: int = 4096,
+        max_wait: float = 1.0,
+        max_queue: Optional[int] = None,
+        policy: Optional[AdmissionPolicy] = None,
+        clock=None,
+        departures: str = "uniform",
+        hot_frac: float = 0.1,
+        workload=None,
+        auto_flush: bool = True,
+        **options: Any,
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"need n >= 1, got {n}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        if departures not in DEPARTURE_KINDS:
+            raise ValueError(
+                f"unknown departure policy {departures!r}; expected one "
+                f"of {', '.join(DEPARTURE_KINDS)}"
+            )
+        spec, entry = _resolve_entry(algorithm)
+        _check_options(entry, spec.name, options)
+        self._entry = entry
+        self._workload = _resolve_workload(spec, entry, workload)
+        self._options = dict(options)
+        self.algorithm = spec.name
+        self.n = n
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.departures = departures
+        self.hot_frac = hot_frac
+        self.auto_flush = auto_flush
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self.controller = GapSloController(self.policy)
+        self.clock = clock if clock is not None else WallClock()
+        self.queue = EventQueue(
+            max_queue if max_queue is not None else 64 * max_batch
+        )
+        self._root = as_seed_sequence(seed)
+        self.residents = ResidentState(n)
+        self.records: list[BatchRecord] = []
+        #: Audit log of public mutating calls: (op, count, at) tuples.
+        self.trace: list[tuple[str, int, float]] = []
+        self._start = self.clock.now()
+        #: (latency, ball_count) pairs of every processed event.
+        self._latencies: list[tuple[float, int]] = []
+        self._accepted = 0
+        self._deferred = 0
+        self._shed = 0
+        self._dropped_releases = 0
+        self._processed_places = 0
+        self._processed_releases = 0
+        self._unplaced = 0
+        self._busy_seconds = 0.0
+
+    # -- ingest ---------------------------------------------------------
+
+    @property
+    def batch_limit(self) -> int:
+        """Effective micro-batch size: the count watermark, widened
+        while the admission controller sees SLO pressure."""
+        return self.max_batch * self.controller.widen
+
+    @property
+    def population(self) -> int:
+        return self.residents.population
+
+    @property
+    def gap(self) -> float:
+        loads = self.residents._loads
+        pop = int(loads.sum())
+        return float(loads.max(initial=0) - pop / self.n) if pop else 0.0
+
+    def _submit(self, kind: str, count: int) -> str:
+        now = self.clock.now()
+        self.trace.append((kind, count, now))
+        decision = self.controller.decide(kind, count, self.queue)
+        if decision == SHED:
+            self._shed += count
+            return SHED
+        event = (
+            Place(count, now) if kind == "place" else Release(count, now)
+        )
+        self.queue.push(event)
+        self._accepted += count
+        if decision == DEFER:
+            self._deferred += count
+        # The count watermark applies to deferred events too — deferral
+        # widens the watermark (batch_limit grows with the controller),
+        # it does not suspend flushing.
+        if self.auto_flush and self.queue.pending >= self.batch_limit:
+            self.flush(_record_trace=False)
+        return decision
+
+    def place(self, count: int = 1) -> str:
+        """Submit ``count`` arriving balls; returns the admission
+        decision (``accept``/``defer``/``shed``)."""
+        return self._submit("place", count)
+
+    def release(self, count: int = 1) -> str:
+        """Submit ``count`` departures (policy-sampled at flush)."""
+        return self._submit("release", count)
+
+    def query(self) -> dict:
+        """Read-only snapshot: population, gap, queue depth.  Never
+        flushes, never draws randomness."""
+        return {
+            "population": self.population,
+            "gap": self.gap,
+            "queue_pending": self.queue.pending,
+            "widen": self.controller.widen,
+            "batches": len(self.records),
+        }
+
+    def tick(self, now: Optional[float] = None) -> Optional[BatchRecord]:
+        """Advance time and apply the age watermark.
+
+        With a :class:`SimulatedClock`, ``now`` moves the clock (it
+        must not run backward).  An idle tick — empty queue — is a
+        strict no-op: no flush, no RNG draw, no seed spawn, no record.
+        """
+        self.trace.append(("tick", 0, now if now is not None else -1.0))
+        if now is not None and isinstance(self.clock, SimulatedClock):
+            self.clock.advance_to(now)
+        if (
+            self.queue.pending
+            and self.queue.oldest_age(self.clock.now()) >= self.max_wait
+        ):
+            return self.flush(_record_trace=False)
+        return None
+
+    # -- the micro-batch epoch ------------------------------------------
+
+    def flush(
+        self, *, all_pending: bool = False, _record_trace: bool = True
+    ) -> Optional[BatchRecord]:
+        """Process one micro-batch (up to ``batch_limit`` balls, FIFO;
+        everything pending when ``all_pending``).  Returns the batch
+        record, or None when the queue was empty.
+
+        A batch is exactly one dynamic epoch: departures drawn under
+        the service's policy from the control child, then the arriving
+        cohort placed against the residual loads with the placement
+        child — both spawned from the root seed at flush time.
+        """
+        if _record_trace:
+            self.trace.append(("flush", int(all_pending), -1.0))
+        events = self.queue.take(None if all_pending else self.batch_limit)
+        if not events:
+            return None
+        now = self.clock.now()
+        places = sum(e.count for e in events if e.kind == "place")
+        releases = sum(e.count for e in events if e.kind == "release")
+        ctrl_seed, place_seed = self._root.spawn(2)
+        start = time.perf_counter()
+        released = min(releases, self.residents.population)
+        self._dropped_releases += releases - released
+        if released:
+            ctrl = RngFactory(ctrl_seed)
+            self.residents.depart(
+                released,
+                self.departures,
+                ctrl.stream("dynamic", "departures"),
+                hot_frac=self.hot_frac,
+            )
+        placed = unplaced = rounds = messages = moved = 0
+        if places:
+            kwargs = dict(self._options)
+            if self._entry.workload_capable and self._workload is not None:
+                kwargs["workload"] = self._workload
+            base = self.residents.loads
+            placement = self._entry.runner(
+                places, self.n, initial_loads=base, seed=place_seed, **kwargs
+            )
+            self.residents.add_cohort(
+                len(self.records), placement.loads - base
+            )
+            placed = placement.placed
+            unplaced = placement.unplaced
+            rounds = placement.rounds
+            messages = placement.total_messages
+            moved = placement.placed
+        elapsed = time.perf_counter() - start
+        self._busy_seconds += elapsed
+        self._processed_places += places
+        self._processed_releases += released
+        self._unplaced += unplaced
+        lats = [(now - e.at, e.count) for e in events]
+        self._latencies.extend(lats)
+        total = sum(c for _, c in lats)
+        lat_mean = sum(l * c for l, c in lats) / total if total else 0.0
+        loads = self.residents._loads
+        population = int(loads.sum())
+        max_load = int(loads.max(initial=0))
+        gap = max_load - population / self.n if population else 0.0
+        self.controller.observe(gap, messages, places + released)
+        record = BatchRecord(
+            batch=len(self.records),
+            t=now,
+            events=len(events),
+            places=places,
+            releases=releases,
+            released=released,
+            placed=placed,
+            unplaced=unplaced,
+            moved=moved,
+            rounds=rounds,
+            messages=messages,
+            population=population,
+            max_load=max_load,
+            gap=gap,
+            queue_after=self.queue.pending,
+            widen=self.controller.widen,
+            latency_mean=lat_mean,
+            latency_max=max((l for l, _ in lats), default=0.0),
+            seconds=elapsed,
+        )
+        self.records.append(record)
+        return record
+
+    def drain(self) -> list[BatchRecord]:
+        """Flush everything pending, in ``batch_limit``-sized FIFO
+        chunks — the same batch boundaries eager processing would have
+        produced, so a deferred burst drains to bitwise-identical
+        state (pinned by test)."""
+        self.trace.append(("drain", 0, -1.0))
+        out = []
+        while self.queue.pending:
+            record = self.flush(_record_trace=False)
+            if record is None:  # pragma: no cover - take() always pops
+                break
+            out.append(record)
+        return out
+
+    # -- reporting ------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """Cumulative service statistics (latency percentiles over
+        every processed ball, weighted by event count)."""
+        if self._latencies:
+            values = np.repeat(
+                np.array([l for l, _ in self._latencies]),
+                np.array([c for _, c in self._latencies]),
+            )
+            lat = percentiles(values)
+            lat_mean = float(values.mean())
+            lat_max = float(values.max())
+        else:
+            lat = {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+            lat_mean = lat_max = 0.0
+        processed = self._processed_places + self._processed_releases
+        return ServiceStats(
+            algorithm=self.algorithm,
+            n=self.n,
+            population=self.population,
+            batches=len(self.records),
+            gap=self.gap,
+            gap_worst=max((r.gap for r in self.records), default=0.0),
+            queue_pending=self.queue.pending,
+            widen=self.controller.widen,
+            accepted=self._accepted,
+            deferred=self._deferred,
+            shed=self._shed,
+            dropped_releases=self._dropped_releases,
+            processed_places=self._processed_places,
+            processed_releases=self._processed_releases,
+            messages=sum(r.messages for r in self.records),
+            rounds=sum(r.rounds for r in self.records),
+            busy_seconds=self._busy_seconds,
+            elapsed=self.clock.now() - self._start,
+            ops_per_sec=(
+                processed / self._busy_seconds
+                if self._busy_seconds > 0
+                else 0.0
+            ),
+            latency=lat,
+            latency_mean=lat_mean,
+            latency_max=lat_max,
+            complete=self._unplaced == 0,
+        )
+
+
+def replay_trace(
+    trace: list[tuple[str, int, float]],
+    algorithm: str,
+    n: int,
+    **service_kwargs: Any,
+) -> AllocatorService:
+    """Re-execute a recorded service trace on a fresh service.
+
+    ``trace`` is an ``AllocatorService.trace`` audit log (ops
+    ``place``/``release``/``tick``/``flush``/``drain``).  With the
+    same constructor arguments and a simulated clock, the replayed
+    service reaches bitwise-identical state — loads, batch records,
+    latencies (the replay-determinism contract).  The clock is driven
+    from the recorded timestamps, so callers should not pass one.
+    """
+    if "clock" in service_kwargs:
+        raise ValueError("replay_trace drives its own simulated clock")
+    service = AllocatorService(
+        algorithm, n, clock=SimulatedClock(), **service_kwargs
+    )
+    for op, count, at in trace:
+        if op in ("place", "release"):
+            service.clock.advance_to(at)
+            (service.place if op == "place" else service.release)(count)
+        elif op == "tick":
+            service.tick(None if at < 0 else at)
+        elif op == "flush":
+            service.flush(all_pending=bool(count))
+        elif op == "drain":
+            service.drain()
+        else:  # pragma: no cover - corrupt trace
+            raise ValueError(f"unknown trace op {op!r}")
+    return service
+
+
+async def serve_queue(service: AllocatorService, queue, *, poll: float = 0.01):
+    """Asyncio ingest front-end: feed the service from an
+    ``asyncio.Queue`` until a ``None`` sentinel arrives.
+
+    Items are ``("place" | "release", count)`` pairs; the service's
+    own clock stamps arrival.  Between items the loop ticks the
+    service so the age watermark keeps flushing during quiet spells.
+    Returns the final :class:`ServiceStats` after a drain.
+    """
+    import asyncio
+
+    while True:
+        try:
+            item = await asyncio.wait_for(queue.get(), timeout=poll)
+        except asyncio.TimeoutError:
+            service.tick()
+            continue
+        if item is None:
+            service.drain()
+            return service.stats()
+        kind, count = item
+        if kind == "place":
+            service.place(count)
+        elif kind == "release":
+            service.release(count)
+        else:
+            raise ValueError(f"unknown event kind {kind!r}")

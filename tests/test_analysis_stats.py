@@ -7,6 +7,8 @@ from repro.analysis.stats import (
     ConfidenceInterval,
     gap_statistics,
     mean_confidence_interval,
+    percentiles,
+    sample_quantiles,
     summarize_loads,
     summarize_runs,
 )
@@ -108,3 +110,40 @@ class TestAggregates:
         out = summarize_runs([np.array([2, 2]), np.array([1, 3])])
         assert set(out) == {"gap", "max_load", "spread"}
         assert out["max_load"].mean == pytest.approx(2.5)
+
+
+class TestPercentiles:
+    def test_default_labels(self):
+        out = percentiles(range(101))
+        assert set(out) == {"p50", "p95", "p99"}
+        assert out["p50"] == pytest.approx(50.0)
+        assert out["p95"] == pytest.approx(95.0)
+        assert out["p99"] == pytest.approx(99.0)
+
+    def test_consistent_with_sample_quantiles(self):
+        rng = np.random.default_rng(7)
+        values = rng.exponential(size=500)
+        out = percentiles(values, ps=(5.0, 50.0, 97.5))
+        qs = sample_quantiles(values, (0.05, 0.5, 0.975))
+        assert out["p5"] == qs[0.05]
+        assert out["p50"] == qs[0.5]
+        assert out["p97.5"] == qs[0.975]
+
+    def test_label_formatting(self):
+        out = percentiles([1.0, 2.0], ps=(25,))
+        assert list(out) == ["p25"]
+
+    def test_monotone(self):
+        values = np.random.default_rng(1).normal(size=200)
+        out = percentiles(values)
+        assert out["p50"] <= out["p95"] <= out["p99"]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentiles([1.0], ps=(101.0,))
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentiles([1.0], ps=(-0.5,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            percentiles([])

@@ -513,3 +513,70 @@ class TestCliBench:
         rec = benchmark_engine_reference(500, 8, seeds=(0,))
         assert rec.mode == "engine"
         assert rec.seconds_mean > 0
+
+
+class TestCapabilityNotes:
+    """Error messages list capable algorithms through one shared
+    helper, so dispatch and dynamic errors never drift apart."""
+
+    def test_capable_allocators_matches_registry(self):
+        from repro.api import capable_allocators, list_allocators
+
+        assert capable_allocators("workload_capable") == [
+            s.name for s in list_allocators() if s.workload_capable
+        ]
+        assert capable_allocators("dynamic_capable") == [
+            s.name for s in list_allocators() if s.dynamic_capable
+        ]
+
+    def test_capability_note_format(self):
+        from repro.api import capability_note
+
+        note = capability_note("workload_capable", ["a", "b"])
+        assert note == "workload-capable allocators: a, b"
+        assert capability_note("dynamic_capable", ["x"]).startswith(
+            "dynamic-capable allocators:"
+        )
+
+    def test_dispatch_error_carries_note(self):
+        from repro.api import capability_note
+
+        with pytest.raises(ValueError) as err:
+            allocate("greedy", 1000, 64, seed=1, workload="zipf:1.1")
+        assert capability_note("workload_capable") in str(err.value)
+
+    def test_dynamic_resolution_error_carries_note(self):
+        from repro.api import capability_note
+        from repro.dynamic import run_dynamic
+
+        with pytest.raises(ValueError) as err:
+            run_dynamic("greedy", 1000, 64, seed=1, epochs=1)
+        assert capability_note("dynamic_capable") in str(err.value)
+
+    def test_dynamic_weighted_rejection_lists_capable(self):
+        from repro.api import capability_note
+        from repro.dynamic import run_dynamic
+        from repro.workloads import WorkloadError
+
+        with pytest.raises(WorkloadError) as err:
+            run_dynamic(
+                "heavy", 1000, 64, seed=1, epochs=1, workload="geomw:0.5"
+            )
+        message = str(err.value)
+        assert "repro.allocate()" in message
+        assert capability_note("workload_capable") in message
+
+    def test_dispatch_and_dynamic_use_identical_suffix(self):
+        from repro.api import capability_note
+        from repro.dynamic import run_dynamic
+        from repro.workloads import WorkloadError
+
+        with pytest.raises(ValueError) as dispatch_err:
+            allocate("batched", 1000, 64, seed=1, workload="zipf:1.1")
+        with pytest.raises(WorkloadError) as dynamic_err:
+            run_dynamic(
+                "heavy", 1000, 64, seed=1, epochs=1, workload="geomw:0.5"
+            )
+        suffix = capability_note("workload_capable")
+        assert str(dispatch_err.value).endswith(suffix)
+        assert str(dynamic_err.value).endswith(suffix)
