@@ -120,6 +120,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "for verification/timing)",
     )
     p_rep.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="shard the trial axis across this many processes "
+        "(value-identical to --workers 1; default: single process)",
+    )
+    p_rep.add_argument(
         "--json",
         type=str,
         default=None,
@@ -470,6 +477,7 @@ def _replicate(args: argparse.Namespace) -> None:
         seed=args.seed,
         workload=args.workload,
         trial_batched=False if args.sequential else None,
+        workers=args.workers,
     )
     elapsed = time.perf_counter() - start
     print(rep.describe())

@@ -83,9 +83,14 @@ def _try_batched(
     mode: Optional[str],
     options: dict[str, Any],
     trial_batched: Optional[bool],
+    workers: Optional[int] = None,
 ) -> Optional[list]:
     """Run the repeats on the trial-batched engine when that provably
     changes nothing but the wall clock; ``None`` means "use the loop".
+
+    ``workers >= 2`` shards the engine's trial axis across processes
+    (:func:`repro.experiments.parallel.replicate_sharded`) — per-trial
+    bitwise-identical to the single-process batch.
     """
     if trial_batched is False:
         return None
@@ -108,6 +113,12 @@ def _try_batched(
                 f"(mode={mode!r}, options={sorted(opts)})"
             )
         return None
+    if workers is not None and workers > 1 and len(children) > 1:
+        from repro.experiments.parallel import replicate_sharded
+
+        return replicate_sharded(
+            spec.name, m, n, children, wl, runner_kwargs, workers=workers
+        )
     return run_batched(spec, m, n, children, wl, runner_kwargs)
 
 
@@ -136,9 +147,11 @@ def allocate_many(
         are independent but the whole batch replays exactly.
     workers:
         ``None``/``1`` runs in-process; ``>= 2`` fans out over worker
-        processes via :mod:`repro.experiments.parallel`.  Ignored when
-        the batch runs on the trial-batched engine (which is
-        single-process and faster).
+        processes via :mod:`repro.experiments.parallel`.  When the
+        batch runs on the trial-batched engine, the fan-out shards the
+        engine's *trial axis* (contiguous shards of the spawned
+        children, loads through shared memory) — per-repeat
+        bitwise-identical to the single-process batch.
     trial_batched:
         ``None`` (default) routes through the trial-batched engine for
         specs with the ``trial_batched`` capability under
@@ -169,7 +182,7 @@ def allocate_many(
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     children = spawn_seeds(seed, repeats)
     results = _try_batched(
-        algorithm, m, n, children, mode, options, trial_batched
+        algorithm, m, n, children, mode, options, trial_batched, workers
     )
     if results is None:
         tasks = [
@@ -285,7 +298,8 @@ def sweep(
         task = _point_to_task(algorithm, point, cell[0], mode, options)
         _, p_m, p_n, _, p_mode, p_options = task
         block = _try_batched(
-            algorithm, p_m, p_n, cell, p_mode, p_options, trial_batched
+            algorithm, p_m, p_n, cell, p_mode, p_options, trial_batched,
+            workers,
         )
         if block is None:
             for child in cell:

@@ -22,6 +22,8 @@ point, so what is measured is exactly what a user gets.
 
 from __future__ import annotations
 
+import resource
+import sys
 import time
 from dataclasses import asdict, dataclass
 from typing import Iterable, Optional, Sequence
@@ -40,11 +42,42 @@ __all__ = [
     "benchmark_replication",
     "benchmark_service",
     "dynamic_speedups",
+    "peak_rss_bytes",
     "render_dynamic_table",
     "render_replication_table",
     "render_service_table",
     "render_table",
 ]
+
+def peak_rss_bytes() -> int:
+    """Process peak resident set size, in bytes.
+
+    The value is a *high-water mark*: it only ever rises, so a
+    record's value is an upper bound on that run's working set, and
+    the growth between consecutive records in one benchmark session
+    is attributable to the runs in between.  The alternative
+    (``tracemalloc``) would instrument every allocation and pollute
+    the very timings the records exist for.
+
+    On Linux this reads ``VmHWM`` from ``/proc/self/status`` — the
+    current address space's own high-water mark.  ``ru_maxrss`` is
+    deliberately the fallback only: a process forked from a
+    large-memory parent *inherits* the parent's mark through
+    fork/exec into its accumulated ``ru_maxrss``, so a subprocess
+    benchmark leg would report its launcher's footprint instead of
+    its own.  ``VmHWM`` resets at ``exec`` and is identical to
+    ``ru_maxrss`` for a normally launched process.
+    """
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak) * (1 if sys.platform == "darwin" else 1024)
+
 
 @dataclass(frozen=True)
 class BenchRecord:
@@ -64,25 +97,52 @@ class BenchRecord:
     total_messages: int
     #: Workload spec string the run used (None = uniform).
     workload: Optional[str] = None
+    #: Process peak RSS after the timed runs (see :func:`peak_rss_bytes`).
+    peak_rss_bytes: Optional[int] = None
+    #: Why this row's instance differs from the requested ``(m, n)``
+    #: (regime-bound allocators run at their own natural scale so the
+    #: balls/sec column stays comparable at equal ``m``).
+    scale_note: Optional[str] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
 
 
-def _instance_for(spec: AllocatorSpec, m: int, n: int) -> tuple[int, int]:
-    """Clamp the instance to the allocator's own regime.
+def _instance_for(
+    spec: AllocatorSpec, m: int, n: int
+) -> tuple[int, int, Optional[str]]:
+    """Fit the instance to the allocator's own regime, at full ``m``.
 
     ``light`` requires ``m <= capacity * n`` (Theorem 5); ``dchoice``
     issues one grant per bin per round, so heavy instances need ``~m/n``
-    rounds (the point of the baseline, but quadratic wall time) — both
-    are benchmarked at their natural near-``n`` scale.  Every other
-    allocator takes the requested size as-is.
+    rounds (the point of the baseline, but quadratic wall time).  Both
+    therefore benchmark at the requested ``m`` with ``n`` raised to the
+    regime's natural ratio — the balls/sec column then compares
+    like-with-like across rows instead of implying an orders-of-
+    magnitude deficit that was really a toy workload size (the old
+    behavior clamped ``m`` down to a few thousand).  The returned note
+    records the adjustment; every other allocator takes the requested
+    size as-is, note ``None``.
     """
     if spec.name == "light":
-        return min(m, 2 * n), n
+        n_run = max(n, -(-m // 2))
+        if n_run != n:
+            return m, n_run, (
+                f"n raised {n}->{n_run}: light regime requires "
+                f"m <= 2n, benchmarked at full m for comparable "
+                f"balls/sec"
+            )
+        return m, n, None
     if spec.name == "dchoice":
-        return min(m, 4 * n), n
-    return m, n
+        n_run = max(n, -(-m // 4))
+        if n_run != n:
+            return m, n_run, (
+                f"n raised {n}->{n_run}: dchoice grants once per bin "
+                f"per round (m >> n is quadratic), benchmarked at "
+                f"m/n=4 for comparable balls/sec"
+            )
+        return m, n, None
+    return m, n, None
 
 
 def _bench_modes(spec: AllocatorSpec, include_engine: bool) -> list[Optional[str]]:
@@ -99,6 +159,7 @@ def _time_allocations(
     n: int,
     seeds: Sequence[int],
     workload=None,
+    scale_note: Optional[str] = None,
 ) -> BenchRecord:
     """Time ``allocate(name, m, n, mode=mode)`` once per pinned seed.
 
@@ -133,6 +194,8 @@ def _time_allocations(
         rounds=first_result.rounds,
         total_messages=first_result.total_messages,
         workload=first_result.extra.get("api", {}).get("workload"),
+        peak_rss_bytes=peak_rss_bytes(),
+        scale_note=scale_note,
     )
 
 
@@ -198,13 +261,14 @@ def benchmark_registry(
                     f"--workload flag"
                 )
             continue
-        m_run, n_run = _instance_for(spec, m, n)
+        m_run, n_run, note = _instance_for(spec, m, n)
         for mode in _bench_modes(
             spec, include_engine and wl is None
         ):
             records.append(
                 _time_allocations(
-                    spec.name, mode, m_run, n_run, seeds, workload=wl
+                    spec.name, mode, m_run, n_run, seeds, workload=wl,
+                    scale_note=note,
                 )
             )
     return records
@@ -244,6 +308,8 @@ class ReplicationBenchRecord:
     gap_p99: float
     rounds_mean: float
     workload: Optional[str] = None
+    #: Process peak RSS after the timed runs (see :func:`peak_rss_bytes`).
+    peak_rss_bytes: Optional[int] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -325,6 +391,7 @@ def benchmark_replication(
                 gap_p99=gq[0.99],
                 rounds_mean=float(rep.rounds.mean()),
                 workload=rep.workload,
+                peak_rss_bytes=peak_rss_bytes(),
             )
         )
     return records
@@ -360,6 +427,8 @@ class DynamicBenchRecord:
     gap_worst: float
     complete: bool
     workload: Optional[str] = None
+    #: Process peak RSS after the timed runs (see :func:`peak_rss_bytes`).
+    peak_rss_bytes: Optional[int] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -447,6 +516,7 @@ def benchmark_dynamic(
                     gap_worst=float(gaps.max()),
                     complete=res.complete,
                     workload=res.workload,
+                    peak_rss_bytes=peak_rss_bytes(),
                 )
             )
     return records
@@ -486,6 +556,8 @@ class ServiceBenchRecord:
     gap_worst: float
     complete: bool
     workload: Optional[str] = None
+    #: Process peak RSS after the timed runs (see :func:`peak_rss_bytes`).
+    peak_rss_bytes: Optional[int] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -568,9 +640,17 @@ def benchmark_service(
                 gap_worst=s.gap_worst,
                 complete=s.complete,
                 workload=workload,
+                peak_rss_bytes=peak_rss_bytes(),
             )
         )
     return records
+
+
+def _fmt_rss(peak: Optional[int]) -> str:
+    """Fixed-width peak-RSS cell (MiB), '-' when unrecorded."""
+    if peak is None:
+        return f"{'-':>8s}"
+    return f"{peak / 2**20:7,.0f}M"
 
 
 def render_service_table(records: Sequence[ServiceBenchRecord]) -> str:
@@ -578,7 +658,7 @@ def render_service_table(records: Sequence[ServiceBenchRecord]) -> str:
     header = (
         f"{'algorithm':14s} {'m':>10s} {'n':>6s} {'batches':>7s} "
         f"{'ops/s':>12s} {'p50':>6s} {'p95':>6s} {'p99':>6s} "
-        f"{'shed':>6s} {'gap':>7s}"
+        f"{'shed':>6s} {'gap':>7s} {'peak rss':>8s}"
     )
     lines = [header, "-" * len(header)]
     for r in records:
@@ -586,7 +666,7 @@ def render_service_table(records: Sequence[ServiceBenchRecord]) -> str:
             f"{r.algorithm:14s} {r.m:10,d} {r.n:6,d} {r.batches:7d} "
             f"{r.ops_per_sec:12,.0f} {r.latency_p50:6.2f} "
             f"{r.latency_p95:6.2f} {r.latency_p99:6.2f} "
-            f"{r.shed:6,d} {r.gap_worst:+7.2f}"
+            f"{r.shed:6,d} {r.gap_worst:+7.2f} {_fmt_rss(r.peak_rss_bytes)}"
         )
     return "\n".join(lines)
 
@@ -628,7 +708,8 @@ def render_dynamic_table(records: Sequence[DynamicBenchRecord]) -> str:
     header = (
         f"{'algorithm':14s} {'rebalance':11s} {'m':>10s} {'n':>6s} "
         f"{'epochs':>6s} {'churn':>6s} {'msg/epoch':>10s} "
-        f"{'moved/ep':>9s} {'churn wall':>11s} {'gap':>7s}"
+        f"{'moved/ep':>9s} {'churn wall':>11s} {'gap':>7s} "
+        f"{'peak rss':>8s}"
     )
     lines = [header, "-" * len(header)]
     for r in records:
@@ -636,7 +717,7 @@ def render_dynamic_table(records: Sequence[DynamicBenchRecord]) -> str:
             f"{r.algorithm:14s} {r.rebalance:11s} {r.m:10,d} {r.n:6,d} "
             f"{r.epochs:6d} {r.churn:6.2f} {r.messages_per_epoch:10,.0f} "
             f"{r.moved_per_epoch:9,.0f} {r.churn_seconds:10.3f}s "
-            f"{r.gap_steady_mean:+7.2f}"
+            f"{r.gap_steady_mean:+7.2f} {_fmt_rss(r.peak_rss_bytes)}"
         )
     return "\n".join(lines)
 
@@ -648,7 +729,7 @@ def render_replication_table(
     header = (
         f"{'algorithm':14s} {'m':>12s} {'n':>7s} {'trials':>7s} "
         f"{'batched':>9s} {'sequential':>11s} {'speedup':>8s} "
-        f"{'gap mean':>9s}"
+        f"{'gap mean':>9s} {'peak rss':>8s}"
     )
     lines = [header, "-" * len(header)]
     for r in records:
@@ -662,28 +743,41 @@ def render_replication_table(
         )
         lines.append(
             f"{r.algorithm:14s} {r.m:12,d} {r.n:7,d} {r.trials:7,d} "
-            f"{r.batched_seconds:8.3f}s {seq} {spd} {r.gap_mean:+9.2f}"
+            f"{r.batched_seconds:8.3f}s {seq} {spd} {r.gap_mean:+9.2f} "
+            f"{_fmt_rss(r.peak_rss_bytes)}"
         )
     return "\n".join(lines)
 
 
 def render_table(records: Sequence[BenchRecord]) -> str:
-    """Human-readable fixed-width table of benchmark records."""
+    """Human-readable fixed-width table of benchmark records.
+
+    Rows that ran off the requested instance size (regime-bound
+    allocators, see :func:`_instance_for`) are marked ``*`` and their
+    scale notes listed under the table.
+    """
     with_workload = any(r.workload for r in records)
     header = (
         f"{'algorithm':14s} {'mode':10s} {'m':>12s} {'n':>7s} "
-        f"{'time':>9s} {'balls/s':>12s} {'gap':>8s} {'rounds':>7s}"
+        f"{'time':>9s} {'balls/s':>12s} {'gap':>8s} {'rounds':>7s} "
+        f"{'peak rss':>8s}"
     )
     if with_workload:
         header += f"  {'workload':s}"
     lines = [header, "-" * len(header)]
+    notes: list[str] = []
     for r in records:
+        starred = "*" if r.scale_note else " "
         line = (
-            f"{r.algorithm:14s} {(r.mode or '-'):10s} {r.m:12,d} {r.n:7,d} "
+            f"{r.algorithm:13s}{starred} {(r.mode or '-'):10s} "
+            f"{r.m:12,d} {r.n:7,d} "
             f"{r.seconds_mean:8.3f}s {r.balls_per_sec:12,.0f} "
-            f"{r.gap:+8.1f} {r.rounds:7d}"
+            f"{r.gap:+8.1f} {r.rounds:7d} {_fmt_rss(r.peak_rss_bytes)}"
         )
         if with_workload:
             line += f"  {r.workload or 'uniform'}"
         lines.append(line)
+        if r.scale_note:
+            notes.append(f"* {r.algorithm}: {r.scale_note}")
+    lines.extend(dict.fromkeys(notes))
     return "\n".join(lines)

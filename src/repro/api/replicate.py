@@ -362,9 +362,13 @@ def replicate(
         verification/debugging); ``True`` requires the batched engine
         and raises if the request cannot batch.
     workers:
-        Process fan-out for the *sequential* path only (the batched
-        engine is single-process and typically faster than any
-        fan-out).
+        Process fan-out.  On the batched path, ``workers >= 2`` shards
+        the trial axis across processes (contiguous shards of the
+        pre-spawned children, loads returned through one
+        ``multiprocessing.shared_memory`` block) — per-trial
+        bitwise-identical to ``workers=1``, only the wall clock
+        changes.  On the sequential path it fans the per-seed loop
+        over a process pool as before.
     options:
         Algorithm-specific keywords, validated against the registered
         spec exactly as in :func:`~repro.api.dispatch.allocate`.
@@ -394,7 +398,15 @@ def replicate(
     children = as_seed_sequence(seed).spawn(trials)
     entry = get_replicator(spec.name)
     if eligible:
-        results = run_batched(spec, m, n, children, wl, runner_kwargs)
+        if workers is not None and workers > 1 and trials > 1:
+            from repro.experiments.parallel import replicate_sharded
+
+            results = replicate_sharded(
+                spec.name, m, n, children, wl, runner_kwargs,
+                workers=workers,
+            )
+        else:
+            results = run_batched(spec, m, n, children, wl, runner_kwargs)
         resolved_mode = entry.equivalent_mode
         batched = True
     else:

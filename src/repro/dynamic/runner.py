@@ -49,6 +49,7 @@ from repro.api.spec import (
 )
 from repro.dynamic.spec import DynamicSpec
 from repro.dynamic.state import ResidentState
+from repro.fastpath.buffers import RoundBuffers
 from repro.utils.seeding import RngFactory, as_seed_sequence
 from repro.workloads import WorkloadError, as_workload
 
@@ -378,6 +379,13 @@ def run_dynamic(
     alloc_spec, entry = _resolve_entry(algorithm)
     _check_options(entry, alloc_spec.name, options)
     wl = _resolve_workload(alloc_spec, entry, workload)
+    if "buffers" in entry.options and "buffers" not in options:
+        # One scratch arena shared by every epoch's placement: the
+        # kernel steps reuse its buffers instead of reallocating each
+        # round.  Value-preserving (the adapter narrows/chunks without
+        # changing any draw), so this is unconditional.
+        options = dict(options)
+        options["buffers"] = RoundBuffers()
     if spec is None:
         spec = DynamicSpec(
             epochs=epochs,

@@ -21,6 +21,17 @@ this module.
 dispatch tasks (algorithm, instance, spawned seed, mode, options) over
 a pool and returns complete :class:`~repro.result.AllocationResult`
 objects instead of summaries.
+
+:func:`replicate_sharded` parallelizes the *trial axis* of the
+trial-batched replication engine: the ``trials=T`` pre-spawned seed
+children are cut into contiguous shards, each worker process runs its
+shard through :func:`repro.api.replicate.run_batched`, and the
+``(T, n)`` load matrix crosses the process boundary through one
+``multiprocessing.shared_memory`` block instead of ``T`` pickled
+arrays.  Because trial ``t`` draws only from its own pre-spawned
+child streams, a shard's outcome is per-trial bitwise-identical to
+the full batch — ``workers=1`` vs ``workers=k`` is value-identical
+(the sharded-equivalence tests pin this).
 """
 
 from __future__ import annotations
@@ -29,9 +40,12 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Optional, Sequence
 
+import numpy as np
+
 __all__ = [
     "ALGORITHMS",
     "allocate_batch",
+    "replicate_sharded",
     "run_one",
     "parallel_results",
     "parallel_gaps",
@@ -125,6 +139,122 @@ def allocate_batch(
         return [_allocate_task(t) for t in task_list]
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         return list(pool.map(_allocate_task, task_list))
+
+
+def _shard_bounds(total: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` shard boundaries covering
+    ``range(total)``, at most ``shards`` of them, never empty."""
+    shards = max(1, min(shards, total))
+    base, extra = divmod(total, shards)
+    bounds = []
+    start = 0
+    for s in range(shards):
+        stop = start + base + (1 if s < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _replicate_shard(task: tuple) -> list:
+    """Worker: run one contiguous trial shard on the batched engine.
+
+    Loads land in the parent's shared-memory block (row = global trial
+    index) and are stripped from the pickled results; everything else
+    on an :class:`~repro.result.AllocationResult` is small.
+    """
+    (
+        algorithm,
+        m,
+        n,
+        children,
+        workload,
+        runner_kwargs,
+        shm_name,
+        start,
+        total,
+    ) = task
+    from multiprocessing import shared_memory
+
+    from repro.api.replicate import run_batched
+    from repro.api.spec import get_spec
+
+    results = run_batched(
+        get_spec(algorithm), m, n, children, workload, runner_kwargs
+    )
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        block = np.ndarray((total, n), dtype=np.int64, buffer=shm.buf)
+        for i, result in enumerate(results):
+            block[start + i, :] = result.loads
+            result.loads = None  # parent rehydrates from the block
+    finally:
+        shm.close()
+    return results
+
+
+def replicate_sharded(
+    algorithm: str,
+    m: int,
+    n: int,
+    children: Sequence,
+    workload,
+    runner_kwargs: dict[str, Any],
+    *,
+    workers: int,
+) -> list:
+    """Trial-axis fan-out of the batched replication engine.
+
+    Splits the pre-spawned seed children into ``workers`` contiguous
+    shards, runs each shard's :func:`repro.api.replicate.run_batched`
+    in its own process, and returns the stitched results in trial
+    order.  The ``(trials, n)`` int64 load matrix travels through one
+    :mod:`multiprocessing.shared_memory` block — workers write their
+    rows in place and strip ``result.loads`` before pickling, so the
+    inter-process payload is metrics and metadata only.
+
+    Value identity: trial ``t`` draws exclusively from its own child
+    streams (``children[t]``), and the lock-step engine's per-trial
+    outcome does not depend on which other trials share its batch —
+    so any shard partition returns per-trial bitwise-identical
+    results, and ``workers=k`` equals ``workers=1`` value-for-value.
+    """
+    total = len(children)
+    bounds = _shard_bounds(total, workers)
+    from repro.api.replicate import run_batched
+    from repro.api.spec import get_spec
+
+    if len(bounds) <= 1:
+        return run_batched(
+            get_spec(algorithm), m, n, list(children), workload, runner_kwargs
+        )
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(create=True, size=total * n * 8)
+    try:
+        tasks = [
+            (
+                algorithm,
+                m,
+                n,
+                list(children[start:stop]),
+                workload,
+                runner_kwargs,
+                shm.name,
+                start,
+                total,
+            )
+            for start, stop in bounds
+        ]
+        with ProcessPoolExecutor(max_workers=len(bounds)) as pool:
+            shards = list(pool.map(_replicate_shard, tasks))
+        block = np.ndarray((total, n), dtype=np.int64, buffer=shm.buf)
+        results = [result for shard in shards for result in shard]
+        for i, result in enumerate(results):
+            result.loads = block[i].copy()
+    finally:
+        shm.close()
+        shm.unlink()
+    return results
 
 
 def parallel_results(

@@ -29,6 +29,7 @@ Cross-validation tests assert both paths agree with the object-level
 engine on conserved quantities and in distribution.
 """
 
+from repro.fastpath.buffers import DEFAULT_CHUNK, DtypePolicy, RoundBuffers
 from repro.fastpath.roundstate import (
     AcceptDecision,
     ContactBatch,
@@ -37,6 +38,8 @@ from repro.fastpath.roundstate import (
     priority_commit_accept,
 )
 from repro.fastpath.sampling import (
+    fill_choices,
+    fill_priorities,
     grouped_accept,
     grouped_accept_with_priorities,
     multinomial_occupancy,
@@ -49,8 +52,13 @@ from repro.fastpath.sampling import (
 __all__ = [
     "AcceptDecision",
     "ContactBatch",
+    "DEFAULT_CHUNK",
+    "DtypePolicy",
+    "RoundBuffers",
     "RoundOutcome",
     "RoundState",
+    "fill_choices",
+    "fill_priorities",
     "grouped_accept",
     "grouped_accept_with_priorities",
     "multinomial_occupancy",

@@ -1,0 +1,156 @@
+"""Memory policy for the kernel layer: narrow dtypes and a reusable arena.
+
+Two small objects let the round kernels run at hardware limits without
+changing a single drawn value:
+
+* :class:`DtypePolicy` — which integer/float widths the kernel arrays
+  use.  The default (:meth:`DtypePolicy.wide`) is the historical int64
+  layout, bitwise-unchanged.  :meth:`DtypePolicy.narrow` switches bin
+  indices, ball ids, and per-bin counts to int32 wherever the instance
+  provably fits (``n < 2**31`` bins, ``m < 2**31`` balls, per-bin loads
+  below int32 range), halving the footprint of the dominant arrays.
+  Narrowing is *value-preserving by construction*: every random draw
+  still happens at the historical width (``rng.integers(...,
+  dtype=int64)``, ``rng.random()`` float64) and only the *storage* of
+  the resulting values is narrowed — so the RNG streams, the accepted
+  sets, and every load/message/metric are identical to the wide run
+  (the dtype-equivalence tests pin this).  ``float32`` weighted-load
+  accumulation is a separate opt-in that *does* change float rounding
+  and is therefore never chosen automatically.
+
+* :class:`RoundBuffers` — a grow-only arena of named scratch arrays so
+  the three kernel steps stop allocating fresh ``O(active)`` arrays
+  every round.  A protocol loop (or a long-lived caller such as the
+  dynamic epoch runner and :class:`repro.service.AllocatorService`)
+  creates one arena and threads it through every round/epoch/flush;
+  each kernel call borrows prefix views of the persistent buffers
+  instead of churning the allocator.  Borrowed views are overwritten
+  in full by their producers, so reuse never leaks stale values.
+
+Chunked sampling (see :func:`repro.fastpath.sampling.fill_choices`)
+composes with the arena: random draws happen through a small bounded
+temporary tile (``chunk_size`` elements) and land directly in arena
+storage, which is what caps the transient footprint of an
+``m = 10**8`` per-ball round to the arena itself plus one tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DEFAULT_CHUNK", "DtypePolicy", "RoundBuffers"]
+
+#: Default sampling tile: 2**22 elements (32 MB of int64 draws) — large
+#: enough that per-tile numpy dispatch overhead is negligible, small
+#: enough that the transient footprint of a chunked round is bounded by
+#: the persistent arena, not the draw.
+DEFAULT_CHUNK = 1 << 22
+
+#: Largest exclusive value an int32 index/count can represent.
+_INT32_LIMIT = 2**31
+
+
+@dataclass(frozen=True)
+class DtypePolicy:
+    """Array widths for one kernel run.
+
+    Attributes
+    ----------
+    index_dtype:
+        Dtype of bin indices and active-ball ids (``choices``,
+        ``active``, sorted-bin scratch).
+    load_dtype:
+        Dtype of the per-bin load vector.
+    weight_dtype:
+        Dtype of the weighted-load accumulator.  ``float32`` is an
+        explicit opt-in: it halves the accumulator but changes float
+        rounding, so it is never part of :meth:`narrow`.
+    """
+
+    index_dtype: np.dtype = np.dtype(np.int64)
+    load_dtype: np.dtype = np.dtype(np.int64)
+    weight_dtype: np.dtype = np.dtype(np.float64)
+
+    @classmethod
+    def wide(cls) -> "DtypePolicy":
+        """The historical int64/float64 layout (the default)."""
+        return cls()
+
+    @classmethod
+    def narrow(
+        cls, m: int, n: int, *, float32_weights: bool = False
+    ) -> "DtypePolicy":
+        """int32 indices/counts wherever the instance provably fits.
+
+        Bin indices need ``n < 2**31``; ball ids need ``m < 2**31``;
+        per-bin loads are bounded by ``m`` (every ball lands somewhere),
+        so ``m < 2**31`` also covers the load vector.  Instances beyond
+        either bound keep the wide dtype for that axis — narrowing is
+        per-axis, never all-or-nothing.
+        """
+        fits_ids = 0 <= m < _INT32_LIMIT
+        fits_bins = 0 < n < _INT32_LIMIT
+        return cls(
+            index_dtype=np.dtype(
+                np.int32 if fits_ids and fits_bins else np.int64
+            ),
+            load_dtype=np.dtype(np.int32 if fits_ids else np.int64),
+            weight_dtype=np.dtype(
+                np.float32 if float32_weights else np.float64
+            ),
+        )
+
+    @property
+    def is_wide(self) -> bool:
+        return (
+            self.index_dtype == np.dtype(np.int64)
+            and self.load_dtype == np.dtype(np.int64)
+            and self.weight_dtype == np.dtype(np.float64)
+        )
+
+
+class RoundBuffers:
+    """Grow-only arena of named scratch arrays for the kernel steps.
+
+    ``take(name, size, dtype)`` returns a C-contiguous prefix view of a
+    persistent buffer, growing it when a larger request arrives (with
+    1.25x headroom so a shrinking active set never reallocates).  The
+    view's contents are unspecified — every borrower overwrites it in
+    full before reading.  A request under a different dtype for the
+    same name replaces the buffer (dtype changes mid-run do not happen
+    on the kernel paths; this keeps the arena safe for ad-hoc use).
+
+    One arena serves one run at a time: the kernels borrow and release
+    within a single round, so sharing an arena *across* concurrent
+    states would alias scratch space.  Sequential reuse — round after
+    round, epoch after epoch, flush after flush — is the point.
+    """
+
+    def __init__(self, chunk_size: int = DEFAULT_CHUNK) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = int(chunk_size)
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def take(self, name: str, size: int, dtype) -> np.ndarray:
+        """Borrow a ``size``-element view of the named buffer."""
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        dt = np.dtype(dtype)
+        buf = self._buffers.get(name)
+        if buf is None or buf.dtype != dt or buf.size < size:
+            capacity = max(size + size // 4, 1)
+            buf = np.empty(capacity, dtype=dt)
+            self._buffers[name] = buf
+        return buf[:size]
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def clear(self) -> None:
+        """Drop every buffer (frees the arena's memory)."""
+        self._buffers.clear()

@@ -93,7 +93,9 @@ from typing import Any, Literal, Optional, Sequence
 
 import numpy as np
 
+from repro.fastpath.buffers import DtypePolicy, RoundBuffers
 from repro.fastpath.sampling import (
+    fill_choices,
     grouped_accept,
     multinomial_occupancy,
     multinomial_occupancy_batched,
@@ -320,6 +322,19 @@ class RoundState:
     trial-batched states); only the ``m`` new balls are active, and
     ``placed_loads`` reports their intake separately.  See the module
     docstring and :mod:`repro.dynamic`.
+
+    Memory policy: ``buffers=`` (a
+    :class:`~repro.fastpath.buffers.RoundBuffers` arena) makes the
+    kernel steps draw choices and accept priorities into reused
+    storage through a bounded sampling tile, and ``dtype_policy=`` (a
+    :class:`~repro.fastpath.buffers.DtypePolicy`) narrows bin indices,
+    ball ids, and per-bin counts to int32 where the instance fits.
+    Neither changes a drawn value: draws stay at the historical widths
+    and only storage narrows, so loads, messages, and metrics are
+    bitwise-identical to the default run (the scaling-equivalence
+    tests pin this).  Long-lived callers (the dynamic epoch loop, the
+    allocator service) share one arena across epochs/flushes to stop
+    churning the allocator.
     """
 
     def __init__(
@@ -335,6 +350,8 @@ class RoundState:
         weights: Optional[np.ndarray] = None,
         weight_sum_sampler=None,
         initial_loads: Optional[np.ndarray] = None,
+        buffers: Optional[RoundBuffers] = None,
+        dtype_policy: Optional[DtypePolicy] = None,
     ) -> None:
         if m < 0 or n < 1:
             raise ValueError(f"need m >= 0 and n >= 1, got m={m}, n={n}")
@@ -369,6 +386,15 @@ class RoundState:
         self.n = n
         self.granularity: Granularity = granularity
         self.trials = trials
+        # Memory policy: the arena (reused scratch across rounds and
+        # across runs) and the array widths.  Both default to the
+        # historical behavior — fresh allocations, int64/float64 — and
+        # neither changes a single drawn value (see
+        # :mod:`repro.fastpath.buffers`).
+        self.buffers = buffers
+        self.dtype_policy = dtype_policy or DtypePolicy.wide()
+        self._index_dtype = self.dtype_policy.index_dtype
+        self._load_dtype = self.dtype_policy.load_dtype
         # Residual occupancy: ``loads`` starts at the residents' per-bin
         # counts (zero for the classic one-shot run).  Kept as its own
         # array so protocols can report the placement delta
@@ -396,7 +422,7 @@ class RoundState:
                     f"got {base.shape}"
                 )
             self.initial_loads: Optional[np.ndarray] = base.astype(
-                np.int64, copy=True
+                self._load_dtype, copy=True
             )
         else:
             self.initial_loads = None
@@ -404,7 +430,7 @@ class RoundState:
             self.loads = (
                 self.initial_loads.copy()
                 if self.initial_loads is not None
-                else np.zeros((trials, n), dtype=np.int64)
+                else np.zeros((trials, n), dtype=self._load_dtype)
             )
             self.metrics = None
             self.trial_metrics = [RunMetrics(m, n) for _ in range(trials)]
@@ -414,7 +440,7 @@ class RoundState:
             self.loads = (
                 self.initial_loads.copy()
                 if self.initial_loads is not None
-                else np.zeros(n, dtype=np.int64)
+                else np.zeros(n, dtype=self._load_dtype)
             )
             self.metrics = metrics if metrics is not None else RunMetrics(m, n)
             self.trial_metrics = None
@@ -439,7 +465,9 @@ class RoundState:
                 "per-ball runs take the weights array instead"
             )
         if weights is not None:
-            weights = np.asarray(weights, dtype=np.float64)
+            weights = np.asarray(
+                weights, dtype=self.dtype_policy.weight_dtype
+            )
             if weights.shape != (m,):
                 raise ValueError(
                     f"weights must have shape ({m},), got {weights.shape}"
@@ -449,12 +477,14 @@ class RoundState:
         if weights is not None or weight_sum_sampler is not None:
             shape = (trials, n) if trials is not None else (n,)
             self.weighted_loads: Optional[np.ndarray] = np.zeros(
-                shape, dtype=np.float64
+                shape, dtype=self.dtype_policy.weight_dtype
             )
         else:
             self.weighted_loads = None
         if granularity == "perball":
-            self.active: Optional[np.ndarray] = np.arange(m, dtype=np.int64)
+            self.active: Optional[np.ndarray] = np.arange(
+                m, dtype=self._index_dtype
+            )
             self._active_count = m
             self.counter = MessageCounter(m, n) if track_messages else None
             self.assignment = (
@@ -602,8 +632,24 @@ class RoundState:
                     f"targets has {choices.size} entries, expected "
                     f"active_count * d = {u} * {d}"
                 )
+        elif self.buffers is not None:
+            # Arena path: the same draws land in reused storage (at the
+            # policy's index width) through a bounded sampling tile —
+            # the memory shape of a chunked 10^8-ball round.
+            choices = fill_choices(
+                self.buffers.take("choices", u * d, self._index_dtype),
+                space,
+                rng,
+                pvals,
+                chunk_size=self.buffers.chunk_size,
+            )
         else:
             choices = sample_choices(u * d, space, rng, pvals)
+            if choices.dtype != self._index_dtype:
+                # Value-preserving narrowing: the draw happened at the
+                # historical int64 width (identical stream); only the
+                # storage narrows.
+                choices = choices.astype(self._index_dtype)
         requester_pos = (
             np.repeat(np.arange(u, dtype=np.int64), d) if d > 1 else None
         )
@@ -660,10 +706,12 @@ class RoundState:
             if delivered is not None:
                 accepted = np.zeros(k, dtype=bool)
                 if delivered.any():
-                    sub = grouped_accept(choices[delivered], capacity, rng)
+                    sub = grouped_accept(
+                        choices[delivered], capacity, rng, self.buffers
+                    )
                     accepted[np.flatnonzero(delivered)[sub]] = True
             else:
-                accepted = grouped_accept(choices, capacity, rng)
+                accepted = grouped_accept(choices, capacity, rng, self.buffers)
             return AcceptDecision(
                 accepts_sent=int(accepted.sum()), accepted=accepted
             )

@@ -29,6 +29,17 @@ batched forms take one generator *per trial* and consume each exactly
 as the scalar kernel would, so a batched trial is bitwise-identical to
 running that trial alone — the contract the replication engine's
 equivalence tests pin down.
+
+Chunked sampling (the 10^8-ball enabler): :func:`fill_choices` and
+:func:`fill_priorities` produce exactly the values of
+:func:`sample_choices` / ``rng.random(k)`` but write them into a
+caller-supplied (usually arena-owned, possibly narrower-dtype) array,
+drawing through a bounded temporary tile.  Both rely on the fact that
+numpy's ``Generator`` consumes its bit stream value-by-value: splitting
+one size-``k`` draw into sequential tiles yields the bitwise-identical
+concatenation, and ``Generator.random(out=view)`` fills a contiguous
+float64 view exactly as ``Generator.random(k)`` would — the two
+stream-accounting properties the chunked-equivalence tests pin.
 """
 
 from __future__ import annotations
@@ -38,6 +49,8 @@ from typing import Optional
 import numpy as np
 
 __all__ = [
+    "fill_choices",
+    "fill_priorities",
     "grouped_accept",
     "grouped_accept_with_priorities",
     "multinomial_occupancy",
@@ -135,6 +148,76 @@ def sample_choices(
     return np.minimum(choices, n_bins - 1).astype(np.int64, copy=False)
 
 
+def fill_choices(
+    out: np.ndarray,
+    n_bins: int,
+    rng: np.random.Generator,
+    pvals: Optional[np.ndarray] = None,
+    chunk_size: Optional[int] = None,
+) -> np.ndarray:
+    """Fill ``out`` with ``sample_choices(out.size, n_bins, rng, pvals)``.
+
+    The values (and the RNG stream consumed) are exactly those of
+    :func:`sample_choices`; only the storage differs — ``out`` may be a
+    persistent arena buffer of a narrower integer dtype (values always
+    fit: they are bin indices below ``n_bins``).  Draws go through a
+    bounded temporary of at most ``chunk_size`` elements (default: one
+    shot), so the transient footprint of an ``m = 10**8`` round is one
+    tile, not a second ``O(m)`` array.  Tiling is stream-exact because
+    the generator consumes its bit stream value-by-value: sequential
+    tile draws concatenate bitwise-identically to the single draw.
+    """
+    k = out.size
+    if out.ndim != 1 or not out.flags.c_contiguous:
+        raise ValueError("out must be a 1-D C-contiguous array")
+    if not np.issubdtype(out.dtype, np.integer):
+        raise ValueError(
+            f"out must be an integer array, got dtype {out.dtype}"
+        )
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    if n_bins > np.iinfo(out.dtype).max + 1:
+        raise ValueError(
+            f"n_bins={n_bins} does not fit in out dtype {out.dtype}"
+        )
+    tile = max(1, k if chunk_size is None else int(chunk_size))
+    p = None
+    cdf = None
+    if pvals is not None:
+        p = validate_pvals(pvals, n_bins)
+        cdf = np.cumsum(p)
+        cdf[-1] = 1.0
+    for lo in range(0, k, tile):
+        hi = min(lo + tile, k)
+        if cdf is None:
+            out[lo:hi] = rng.integers(0, n_bins, size=hi - lo, dtype=np.int64)
+        else:
+            draws = np.searchsorted(cdf, rng.random(hi - lo), side="right")
+            out[lo:hi] = np.minimum(draws, n_bins - 1)
+    return out
+
+
+def fill_priorities(
+    out: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Fill ``out`` with ``rng.random(out.size)``, allocation-free.
+
+    ``Generator.random(out=view)`` draws the same float64 stream as
+    ``Generator.random(k)``; passing an arena view avoids the fresh
+    ``O(k)`` allocation every accept step would otherwise make.
+    """
+    if out.ndim != 1 or not out.flags.c_contiguous:
+        raise ValueError("out must be a 1-D C-contiguous array")
+    if out.dtype != np.float64:
+        raise ValueError(
+            f"priorities must be float64 (the accept stream's historical "
+            f"width), got {out.dtype}"
+        )
+    if out.size:
+        rng.random(out=out)
+    return out
+
+
 def multinomial_occupancy(
     k: int,
     n_bins: int,
@@ -230,6 +313,7 @@ def grouped_accept(
     choices: np.ndarray,
     capacity: np.ndarray,
     rng: np.random.Generator,
+    buffers=None,
 ) -> np.ndarray:
     """Boolean mask: which flat requests are accepted.
 
@@ -250,6 +334,10 @@ def grouped_accept(
         treated as 0).
     rng:
         Random stream for the within-bin selection.
+    buffers:
+        Optional :class:`repro.fastpath.buffers.RoundBuffers` arena;
+        when given, the per-request priorities are drawn into a reused
+        arena view (same float64 stream, no fresh ``O(k)`` allocation).
     """
     choices = np.asarray(choices)
     capacity = np.atleast_1d(np.asarray(capacity))
@@ -270,7 +358,13 @@ def grouped_accept(
         # Every bin saturated (zero-capacity round): all requests are
         # rejected; skip the O(k log k) sort and its priority draws.
         return np.zeros(k, dtype=bool)
-    return grouped_accept_with_priorities(choices, cap, rng.random(k))
+    if buffers is not None:
+        priorities = fill_priorities(
+            buffers.take("accept_priorities", k, np.float64), rng
+        )
+    else:
+        priorities = rng.random(k)
+    return grouped_accept_with_priorities(choices, cap, priorities)
 
 
 def grouped_accept_with_priorities(

@@ -48,6 +48,7 @@ from repro.dynamic.runner import (
 )
 from repro.dynamic.spec import DEPARTURE_KINDS
 from repro.dynamic.state import ResidentState
+from repro.fastpath.buffers import RoundBuffers
 from repro.service.admission import (
     ACCEPT,
     DEFER,
@@ -230,6 +231,13 @@ class AllocatorService:
         self._entry = entry
         self._workload = _resolve_workload(spec, entry, workload)
         self._options = dict(options)
+        if "buffers" in entry.options and "buffers" not in self._options:
+            # Long-lived service: one scratch arena shared by every
+            # flush's placement, so sustained streams stop churning the
+            # allocator.  Value-preserving (the adapter's memory path
+            # changes no draw), so flushes still match run_dynamic
+            # epochs bitwise.
+            self._options["buffers"] = RoundBuffers()
         self.algorithm = spec.name
         self.n = n
         self.max_batch = max_batch

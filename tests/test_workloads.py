@@ -405,6 +405,7 @@ class TestWorkloadBench:
         out_w = tmp_path / "w.json"
         out_r = tmp_path / "r.json"
         out_d = tmp_path / "d.json"
+        out_s = tmp_path / "s.json"
         proc = subprocess.run(
             [
                 sys.executable,
@@ -419,12 +420,21 @@ class TestWorkloadBench:
                 "--workloads-output", str(out_w),
                 "--replication-output", str(out_r),
                 "--dynamic-output", str(out_d),
+                "--service-output", str(out_s),
             ],
             capture_output=True,
             text=True,
             timeout=600,
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
+        kernels = json.loads(out_k.read_text())
+        scaling = kernels["scaling"]
+        assert scaling["schema"] == 1
+        curve = scaling["workers_curve"]
+        assert [r["workers"] for r in curve["records"]] == [1, 2, 4, 8]
+        assert all(r["value_identical"] for r in curve["records"])
+        assert scaling["chunked_perball"]["equivalent_to_unchunked"] is True
+        assert scaling["chunked_perball"]["peak_rss_bytes"] > 0
         payload = json.loads(out_w.read_text())
         assert payload["workload"] == "zipf:1.1+geomw:0.5+propcap"
         agreement = payload["perball_vs_aggregate"]
