@@ -122,6 +122,7 @@ from repro.service import (
     ServiceReport,
     simulate_service,
 )
+from repro.fastpath.backend import available_backends, use_backend
 from repro.workloads import Workload, parse_workload
 
 # The api package is imported after the algorithm packages above, so
@@ -162,6 +163,7 @@ __all__ = [
     "allocate",
     "allocate_many",
     "allocator_names",
+    "available_backends",
     "get_spec",
     "list_allocators",
     "parse_workload",
@@ -186,4 +188,5 @@ __all__ = [
     "run_trivial",
     "should_use_trivial",
     "sweep",
+    "use_backend",
 ]

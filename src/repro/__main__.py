@@ -42,9 +42,18 @@ def _positive_int(text: str) -> int:
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
+    from repro.fastpath.backend import available_backends
+
     parser.add_argument("--m", type=int, required=True, help="number of balls")
     parser.add_argument("--n", type=int, required=True, help="number of bins")
     parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="kernel backend (bitwise-identical; default: "
+        "REPRO_KERNEL_BACKEND env or 'fused')",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -435,6 +444,7 @@ def _run_allocator(args: argparse.Namespace):
         seed=args.seed,
         mode=getattr(args, "mode", "auto"),
         workload=getattr(args, "workload", None),
+        backend=args.backend,
         **options,
     )
 
@@ -455,7 +465,14 @@ def _compare(args: argparse.Namespace) -> None:
     print("-" * len(header))
     for label, name, options in rows:
         start = time.perf_counter()
-        res = allocate(name, args.m, args.n, seed=args.seed, **options)
+        res = allocate(
+            name,
+            args.m,
+            args.n,
+            seed=args.seed,
+            backend=args.backend,
+            **options,
+        )
         elapsed = time.perf_counter() - start
         print(
             f"{label:20s} {res.max_load:10,d} {res.gap:+8.1f} "
@@ -478,6 +495,7 @@ def _replicate(args: argparse.Namespace) -> None:
         workload=args.workload,
         trial_batched=False if args.sequential else None,
         workers=args.workers,
+        backend=args.backend,
     )
     elapsed = time.perf_counter() - start
     print(rep.describe())
@@ -507,6 +525,7 @@ def _dynamic(args: argparse.Namespace) -> None:
         rebalance=args.rebalance,
         workload=args.workload,
         mode=args.mode,
+        backend=args.backend,
     )
     elapsed = time.perf_counter() - start
     print(res.describe())
@@ -551,6 +570,7 @@ def _serve(args: argparse.Namespace) -> None:
         max_queue=args.max_queue,
         policy=policy,
         workload=args.workload,
+        backend=args.backend,
     )
     print(report.describe())
     print(f"wall time     : {report.wall_seconds:.2f}s")
@@ -582,6 +602,7 @@ def _bench_replication(args: argparse.Namespace) -> None:
             algorithms=algorithms,
             include_sequential=not args.skip_sequential,
             workload=args.workload,
+            backend=args.backend,
         )
     except ValueError as exc:
         raise SystemExit(f"python -m repro bench: error: {exc}")
@@ -616,6 +637,7 @@ def _bench(args: argparse.Namespace) -> None:
             include_sequential=args.include_sequential,
             kernel_only=args.kernel_only,
             workload=args.workload,
+            backend=args.backend,
         )
     except ValueError as exc:  # e.g. unknown --algorithms entry
         raise SystemExit(f"python -m repro bench: error: {exc}")

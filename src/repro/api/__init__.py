@@ -17,8 +17,10 @@ for.
 from repro.api.batch import allocate_many, spawn_seeds, sweep
 from repro.api.bench import (
     BenchRecord,
+    KernelBenchRecord,
     ReplicationBenchRecord,
     benchmark_engine_reference,
+    benchmark_kernels,
     benchmark_registry,
     benchmark_replication,
 )
@@ -43,12 +45,14 @@ __all__ = [
     "AGGREGATE_THRESHOLD",
     "AllocatorSpec",
     "BenchRecord",
+    "KernelBenchRecord",
     "ReplicationBenchRecord",
     "ReplicationResult",
     "allocate",
     "allocate_many",
     "allocator_names",
     "benchmark_engine_reference",
+    "benchmark_kernels",
     "benchmark_registry",
     "benchmark_replication",
     "capability_note",

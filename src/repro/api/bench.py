@@ -16,6 +16,13 @@ it times ``repro.replicate`` (trial-batched) against the sequential
 per-seed loop for every ``trial_batched`` spec, backing ``python -m
 repro bench --trials`` and the checked-in ``BENCH_replication.json``.
 
+:func:`benchmark_kernels` is the per-kernel microbenchmark behind the
+``kernel_profile`` section of ``BENCH_kernels.json``: it times each
+backend primitive (grouping/accept, commit resolution, scatter) on the
+``reference`` and ``fused`` kernel backends over *identical* inputs,
+asserting bitwise-equal outputs in-run — a mismatch raises
+``RuntimeError`` instead of recording a timing for a wrong kernel.
+
 Timings use ``time.perf_counter`` around the public ``allocate`` entry
 point, so what is measured is exactly what a user gets.
 """
@@ -34,16 +41,19 @@ from repro.api.spec import AllocatorSpec, list_allocators, resolve_name
 __all__ = [
     "BenchRecord",
     "DynamicBenchRecord",
+    "KernelBenchRecord",
     "ReplicationBenchRecord",
     "ServiceBenchRecord",
     "benchmark_registry",
     "benchmark_engine_reference",
     "benchmark_dynamic",
+    "benchmark_kernels",
     "benchmark_replication",
     "benchmark_service",
     "dynamic_speedups",
     "peak_rss_bytes",
     "render_dynamic_table",
+    "render_kernel_table",
     "render_replication_table",
     "render_service_table",
     "render_table",
@@ -103,6 +113,8 @@ class BenchRecord:
     #: (regime-bound allocators run at their own natural scale so the
     #: balls/sec column stays comparable at equal ``m``).
     scale_note: Optional[str] = None
+    #: Resolved kernel backend name the run executed on.
+    backend: Optional[str] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -160,6 +172,7 @@ def _time_allocations(
     seeds: Sequence[int],
     workload=None,
     scale_note: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> BenchRecord:
     """Time ``allocate(name, m, n, mode=mode)`` once per pinned seed.
 
@@ -175,7 +188,10 @@ def _time_allocations(
     first_result = None
     for seed in seeds:
         start = time.perf_counter()
-        result = allocate(name, m, n, seed=seed, mode=mode, workload=workload)
+        result = allocate(
+            name, m, n, seed=seed, mode=mode, workload=workload,
+            backend=backend,
+        )
         times.append(time.perf_counter() - start)
         if first_result is None:
             first_result = result
@@ -196,6 +212,7 @@ def _time_allocations(
         workload=first_result.extra.get("api", {}).get("workload"),
         peak_rss_bytes=peak_rss_bytes(),
         scale_note=scale_note,
+        backend=first_result.extra.get("api", {}).get("backend"),
     )
 
 
@@ -209,6 +226,7 @@ def benchmark_registry(
     include_sequential: bool = False,
     kernel_only: bool = False,
     workload=None,
+    backend: Optional[str] = None,
 ) -> list[BenchRecord]:
     """Time every registered allocator at ``(m, n)`` over pinned seeds.
 
@@ -238,6 +256,10 @@ def benchmark_registry(
         non-uniform workload restricts the sweep to workload-capable
         allocators and skips engine modes (which accept only the
         uniform workload).
+    backend:
+        Kernel backend name every timed run executes on (default: the
+        ambient resolution — env var or ``"fused"``); the resolved
+        name lands in each record's ``backend`` column.
     """
     from repro.workloads import as_workload
 
@@ -268,7 +290,7 @@ def benchmark_registry(
             records.append(
                 _time_allocations(
                     spec.name, mode, m_run, n_run, seeds, workload=wl,
-                    scale_note=note,
+                    scale_note=note, backend=backend,
                 )
             )
     return records
@@ -310,6 +332,8 @@ class ReplicationBenchRecord:
     workload: Optional[str] = None
     #: Process peak RSS after the timed runs (see :func:`peak_rss_bytes`).
     peak_rss_bytes: Optional[int] = None
+    #: Resolved kernel backend name both legs executed on.
+    backend: Optional[str] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -324,6 +348,7 @@ def benchmark_replication(
     algorithms: Optional[Iterable[str]] = None,
     include_sequential: bool = True,
     workload=None,
+    backend: Optional[str] = None,
 ) -> list[ReplicationBenchRecord]:
     """Time trial-batched replication against the sequential loop.
 
@@ -339,6 +364,9 @@ def benchmark_replication(
     from repro.api.batch import allocate_many
     from repro.api.replicate import replicate
     from repro.api.spec import get_spec
+    from repro.fastpath.backend import resolve_backend, use_backend
+
+    backend_name = resolve_backend(backend).name
 
     if algorithms is not None:
         names = [resolve_name(a) for a in algorithms]
@@ -357,22 +385,28 @@ def benchmark_replication(
     for name in names:
         start = time.perf_counter()
         rep = replicate(
-            name, m, n, trials=trials, seed=seed, workload=workload
+            name, m, n, trials=trials, seed=seed, workload=workload,
+            backend=backend,
         )
         batched_seconds = time.perf_counter() - start
         sequential_seconds = speedup = None
         if include_sequential:
             start = time.perf_counter()
-            allocate_many(
-                name,
-                m,
-                n,
-                repeats=trials,
-                seed=seed,
-                workers=1,
-                trial_batched=False,
-                **({"workload": workload} if workload is not None else {}),
-            )
+            with use_backend(backend):
+                allocate_many(
+                    name,
+                    m,
+                    n,
+                    repeats=trials,
+                    seed=seed,
+                    workers=1,
+                    trial_batched=False,
+                    **(
+                        {"workload": workload}
+                        if workload is not None
+                        else {}
+                    ),
+                )
             sequential_seconds = time.perf_counter() - start
             if batched_seconds > 0:
                 speedup = sequential_seconds / batched_seconds
@@ -392,9 +426,227 @@ def benchmark_replication(
                 rounds_mean=float(rep.rounds.mean()),
                 workload=rep.workload,
                 peak_rss_bytes=peak_rss_bytes(),
+                backend=backend_name,
             )
         )
     return records
+
+
+@dataclass(frozen=True)
+class KernelBenchRecord:
+    """One reference-vs-fused microbenchmark of a backend primitive.
+
+    Both backends ran on *identical* inputs and their outputs were
+    compared bitwise before either timing loop started —
+    ``bitwise_equal`` is therefore always ``True`` on a constructed
+    record (:func:`benchmark_kernels` raises ``RuntimeError`` on any
+    mismatch rather than recording a timing for a wrong kernel).
+    """
+
+    #: Primitive name: ``grouped_accept``, ``priority_commit``,
+    #: ``scatter_counts``, or ``end_to_end``.
+    kernel: str
+    #: Input regime (``contended``, ``uncontended``, ``degree-2``,
+    #: ``dense``, ``heavy perball``).
+    variant: str
+    #: Request count the kernel processed (the microbenchmark ``m``).
+    m: int
+    n: int
+    repeats: int
+    #: Best-of-``repeats`` wall seconds on each backend.
+    reference_seconds: float
+    fused_seconds: float
+    #: ``reference_seconds / fused_seconds``.
+    speedup: float
+    bitwise_equal: bool
+    peak_rss_bytes: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall seconds for ``fn()`` (min is the right
+    statistic for a microbenchmark: noise only ever adds time)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def benchmark_kernels(
+    m: int,
+    n: int,
+    *,
+    seed: int = 0,
+    repeats: int = 3,
+    end_to_end_m: Optional[int] = None,
+) -> list[KernelBenchRecord]:
+    """Microbenchmark each backend primitive: reference vs fused.
+
+    Generates one pinned-seed request stream of ``m`` draws over ``n``
+    bins and runs every primitive on both kernel backends over the
+    *identical* arrays:
+
+    * ``grouped_accept`` — the accept grouping, in a *contended*
+      regime (capacity below the mean request count, so the fused
+      counting-sort path does real ranking work) and an *uncontended*
+      one (capacity above every count — the bincount classification
+      prunes the sort entirely);
+    * ``priority_commit`` — a degree-2 priority-commit phase
+      (accept + segmented commit resolution);
+    * ``scatter_counts`` — the dense integer load scatter;
+    * ``end_to_end`` — optionally (``end_to_end_m``), a full
+      ``allocate("heavy", ..., mode="perball")`` run per backend.
+
+    Outputs are compared bitwise before timing; any divergence raises
+    ``RuntimeError`` — the profile section of ``BENCH_kernels.json``
+    can therefore never contain a timing for a kernel that changed
+    values.
+    """
+    import numpy as np
+
+    from repro.fastpath.backend import get_backend, use_backend
+
+    reference = get_backend("reference")
+    fused = get_backend("fused")
+    rng = np.random.default_rng(seed)
+    records: list[KernelBenchRecord] = []
+
+    def record(kernel, variant, k, ref_fn, fus_fn, equal):
+        if not equal:
+            raise RuntimeError(
+                f"kernel backend mismatch: {kernel}/{variant} at "
+                f"m={k}, n={n}, seed={seed} — the fused output is not "
+                f"bitwise-identical to reference"
+            )
+        ref_s = _best_of(ref_fn, repeats)
+        fus_s = _best_of(fus_fn, repeats)
+        records.append(
+            KernelBenchRecord(
+                kernel=kernel,
+                variant=variant,
+                m=k,
+                n=n,
+                repeats=repeats,
+                reference_seconds=ref_s,
+                fused_seconds=fus_s,
+                speedup=ref_s / fus_s if fus_s > 0 else float("inf"),
+                bitwise_equal=True,
+                peak_rss_bytes=peak_rss_bytes(),
+            )
+        )
+
+    choices = rng.integers(0, n, size=m, dtype=np.int64)
+    priorities = rng.random(m)
+    for variant, cap in (
+        ("contended", np.full(n, max(1, m // (2 * n)), dtype=np.int64)),
+        ("uncontended", np.full(n, m, dtype=np.int64)),
+    ):
+        ref_out = reference.grouped_accept_with_priorities(
+            choices, cap, priorities
+        )
+        fus_out = fused.grouped_accept_with_priorities(
+            choices, cap, priorities
+        )
+        record(
+            "grouped_accept",
+            variant,
+            m,
+            lambda c=cap: reference.grouped_accept_with_priorities(
+                choices, c, priorities
+            ),
+            lambda c=cap: fused.grouped_accept_with_priorities(
+                choices, c, priorities
+            ),
+            np.array_equal(ref_out, fus_out),
+        )
+
+    # Degree-2 priority-commit phase in the kernels' ball-major layout.
+    u = max(1, m // 2)
+    pc_choices = rng.integers(0, n, size=2 * u, dtype=np.int64)
+    pc_marks = rng.random(2 * u)
+    pc_pos = np.repeat(np.arange(u, dtype=np.int64), 2)
+    pc_cap = np.full(n, max(1, u // n), dtype=np.int64)
+    ref_pc = reference.priority_commit_accept(
+        pc_choices, pc_marks, pc_pos, u, pc_cap
+    )
+    fus_pc = fused.priority_commit_accept(
+        pc_choices, pc_marks, pc_pos, u, pc_cap
+    )
+    record(
+        "priority_commit",
+        "degree-2",
+        2 * u,
+        lambda: reference.priority_commit_accept(
+            pc_choices, pc_marks, pc_pos, u, pc_cap
+        ),
+        lambda: fused.priority_commit_accept(
+            pc_choices, pc_marks, pc_pos, u, pc_cap
+        ),
+        np.array_equal(ref_pc[0], fus_pc[0])
+        and np.array_equal(ref_pc[1], fus_pc[1]),
+    )
+
+    # The scatter mutates in place: each timed call owns a fresh target
+    # (an O(n) allocation, negligible against the O(m) scatter).
+    def ref_scatter():
+        target = np.zeros(n, dtype=np.int64)
+        reference.scatter_counts(target, choices)
+        return target
+
+    def fus_scatter():
+        target = np.zeros(n, dtype=np.int64)
+        fused.scatter_counts(target, choices)
+        return target
+
+    record(
+        "scatter_counts",
+        "dense",
+        m,
+        ref_scatter,
+        fus_scatter,
+        np.array_equal(ref_scatter(), fus_scatter()),
+    )
+
+    if end_to_end_m is not None:
+        def e2e(backend_name):
+            with use_backend(backend_name):
+                return allocate(
+                    "heavy", end_to_end_m, n, seed=seed, mode="perball"
+                )
+
+        ref_res = e2e("reference")
+        fus_res = e2e("fused")
+        record(
+            "end_to_end",
+            "heavy perball",
+            end_to_end_m,
+            lambda: e2e("reference"),
+            lambda: e2e("fused"),
+            np.array_equal(ref_res.loads, fus_res.loads)
+            and ref_res.max_load == fus_res.max_load
+            and ref_res.total_messages == fus_res.total_messages,
+        )
+    return records
+
+
+def render_kernel_table(records: Sequence[KernelBenchRecord]) -> str:
+    """Human-readable table of kernel microbenchmark records."""
+    header = (
+        f"{'kernel':16s} {'variant':14s} {'m':>12s} {'n':>7s} "
+        f"{'reference':>10s} {'fused':>10s} {'speedup':>8s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        lines.append(
+            f"{r.kernel:16s} {r.variant:14s} {r.m:12,d} {r.n:7,d} "
+            f"{r.reference_seconds:9.4f}s {r.fused_seconds:9.4f}s "
+            f"{r.speedup:7.1f}x"
+        )
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -758,9 +1010,9 @@ def render_table(records: Sequence[BenchRecord]) -> str:
     """
     with_workload = any(r.workload for r in records)
     header = (
-        f"{'algorithm':14s} {'mode':10s} {'m':>12s} {'n':>7s} "
-        f"{'time':>9s} {'balls/s':>12s} {'gap':>8s} {'rounds':>7s} "
-        f"{'peak rss':>8s}"
+        f"{'algorithm':14s} {'mode':10s} {'backend':9s} {'m':>12s} "
+        f"{'n':>7s} {'time':>9s} {'balls/s':>12s} {'gap':>8s} "
+        f"{'rounds':>7s} {'peak rss':>8s}"
     )
     if with_workload:
         header += f"  {'workload':s}"
@@ -770,7 +1022,7 @@ def render_table(records: Sequence[BenchRecord]) -> str:
         starred = "*" if r.scale_note else " "
         line = (
             f"{r.algorithm:13s}{starred} {(r.mode or '-'):10s} "
-            f"{r.m:12,d} {r.n:7,d} "
+            f"{(r.backend or '-'):9s} {r.m:12,d} {r.n:7,d} "
             f"{r.seconds_mean:8.3f}s {r.balls_per_sec:12,.0f} "
             f"{r.gap:+8.1f} {r.rounds:7d} {_fmt_rss(r.peak_rss_bytes)}"
         )

@@ -154,6 +154,7 @@ def allocate(
     seed=None,
     mode: Optional[str] = "auto",
     workload=None,
+    backend: Optional[str] = None,
     **options: Any,
 ):
     """Allocate ``m`` balls into ``n`` bins with any registered algorithm.
@@ -189,6 +190,13 @@ def allocate(
         only the uniform one.  The uniform workload — ``None`` or
         ``"uniform"`` — is never forwarded, keeping the default path
         bitwise-identical to the direct ``run_*`` call.
+    backend:
+        Kernel backend name (``"fused"``/``"reference"``, see
+        :mod:`repro.fastpath.backend`) pinned for the whole run;
+        ``None`` keeps the ambient selection (the
+        ``REPRO_KERNEL_BACKEND`` environment variable or the
+        ``"fused"`` default).  Backends are bitwise-identical by
+        contract, so this changes wall clock only.
     options:
         Algorithm-specific keywords, validated against the registered
         signature (e.g. ``d=3`` for ``greedy``, ``crash_prob=0.05``
@@ -200,8 +208,10 @@ def allocate(
     -------
     AllocationResult
         The runner's result; ``extra["api"]`` records the resolved
-        spec name and mode.
+        spec name, mode, and kernel backend.
     """
+    from repro.fastpath.backend import use_backend
+
     spec = get_spec(algorithm)
     resolved_mode = resolve_mode(spec, m, mode)
     wl = _resolve_workload(spec, workload, resolved_mode)
@@ -210,10 +220,12 @@ def allocate(
         kwargs["mode"] = resolved_mode
     if wl is not None:
         kwargs["workload"] = wl
-    result = spec.runner(m, n, seed=seed, **kwargs)
+    with use_backend(backend) as kernel_backend:
+        result = spec.runner(m, n, seed=seed, **kwargs)
     result.extra["api"] = {
         "algorithm": spec.name,
         "mode": resolved_mode,
         "workload": wl.describe() if wl is not None else None,
+        "backend": kernel_backend.name,
     }
     return result

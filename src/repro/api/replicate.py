@@ -306,6 +306,8 @@ def run_batched(
     kwargs = dict(runner_kwargs)
     if entry.workload_capable:
         kwargs["workload"] = workload
+    from repro.fastpath.backend import resolve_backend
+
     results = entry.runner(
         m, n, trials=len(seed_seqs), seed_seqs=list(seed_seqs), **kwargs
     )
@@ -315,6 +317,7 @@ def run_batched(
             "mode": entry.equivalent_mode,
             "workload": workload.describe() if workload is not None else None,
             "trial_batched": True,
+            "backend": resolve_backend().name,
         }
     return results
 
@@ -330,6 +333,7 @@ def replicate(
     workload=None,
     trial_batched: Optional[bool] = None,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
     **options: Any,
 ) -> ReplicationResult:
     """Run ``trials`` independent seeded replications of one instance.
@@ -369,6 +373,12 @@ def replicate(
         bitwise-identical to ``workers=1``, only the wall clock
         changes.  On the sequential path it fans the per-seed loop
         over a process pool as before.
+    backend:
+        Kernel backend name pinned for every trial — including shard
+        worker processes, which re-pin it explicitly (the ambient
+        :func:`~repro.fastpath.backend.use_backend` context does not
+        cross process boundaries).  ``None`` keeps the ambient
+        selection.  Value-identical either way.
     options:
         Algorithm-specific keywords, validated against the registered
         spec exactly as in :func:`~repro.api.dispatch.allocate`.
@@ -395,6 +405,8 @@ def replicate(
             f"{sorted(runner_kwargs)}); drop trial_batched=True to use "
             f"the sequential path"
         )
+    from repro.fastpath.backend import use_backend
+
     children = as_seed_sequence(seed).spawn(trials)
     entry = get_replicator(spec.name)
     if eligible:
@@ -403,10 +415,11 @@ def replicate(
 
             results = replicate_sharded(
                 spec.name, m, n, children, wl, runner_kwargs,
-                workers=workers,
+                workers=workers, backend=backend,
             )
         else:
-            results = run_batched(spec, m, n, children, wl, runner_kwargs)
+            with use_backend(backend):
+                results = run_batched(spec, m, n, children, wl, runner_kwargs)
         resolved_mode = entry.equivalent_mode
         batched = True
     else:
@@ -421,6 +434,11 @@ def replicate(
         task_options = dict(options)
         if workload is not None:
             task_options["workload"] = workload
+        if backend is not None:
+            # Explicit pins must survive the process-pool path, where
+            # the ambient context does not follow; allocate() takes the
+            # backend as a first-class keyword.
+            task_options["backend"] = backend
         tasks = [
             (spec.name, m, n, child, resolved_mode, task_options)
             for child in children

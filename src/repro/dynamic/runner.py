@@ -335,6 +335,7 @@ def run_dynamic(
     burst_factor: float = 4.0,
     hot_frac: float = 0.1,
     workload=None,
+    backend: Optional[str] = None,
     **options: Any,
 ) -> DynamicResult:
     """Run allocation under churn: epochs of departures and arrivals.
@@ -364,6 +365,10 @@ def run_dynamic(
         drawn from: choice skew and capacity profiles are honored by
         every adapter; weighted balls are rejected (departures are
         count-based).
+    backend:
+        Kernel backend name pinned for every epoch's placement
+        (:mod:`repro.fastpath.backend`); ``None`` keeps the ambient
+        selection.  Value-identical either way.
     options:
         Adapter-specific keywords (e.g. ``mode="perball"`` for the
         kernel-backed adapters, ``collision_factor=`` for stemann),
@@ -408,13 +413,18 @@ def run_dynamic(
     history = np.zeros((spec.epochs + 1, n), dtype=np.int64)
 
     def _place(cohort: int, initial: np.ndarray, place_seed):
+        from repro.fastpath.backend import use_backend
+
         kwargs = dict(options)
         if entry.workload_capable and wl is not None:
             kwargs["workload"] = wl
         start = time.perf_counter()
-        placement = entry.runner(
-            cohort, n, initial_loads=initial, seed=place_seed, **kwargs
-        )
+        # Every epoch's placement runs on the pinned kernel backend
+        # (value-identical across backends; wall clock only).
+        with use_backend(backend):
+            placement = entry.runner(
+                cohort, n, initial_loads=initial, seed=place_seed, **kwargs
+            )
         elapsed = time.perf_counter() - start
         return placement, elapsed
 

@@ -169,6 +169,7 @@ def _replicate_shard(task: tuple) -> list:
         children,
         workload,
         runner_kwargs,
+        backend,
         shm_name,
         start,
         total,
@@ -177,10 +178,15 @@ def _replicate_shard(task: tuple) -> list:
 
     from repro.api.replicate import run_batched
     from repro.api.spec import get_spec
+    from repro.fastpath.backend import use_backend
 
-    results = run_batched(
-        get_spec(algorithm), m, n, children, workload, runner_kwargs
-    )
+    # Re-pin the kernel backend inside the worker: the parent's
+    # contextvar does not cross the process boundary (backend=None
+    # resolves the worker's own env/default — value-identical anyway).
+    with use_backend(backend):
+        results = run_batched(
+            get_spec(algorithm), m, n, children, workload, runner_kwargs
+        )
     shm = shared_memory.SharedMemory(name=shm_name)
     try:
         block = np.ndarray((total, n), dtype=np.int64, buffer=shm.buf)
@@ -201,6 +207,7 @@ def replicate_sharded(
     runner_kwargs: dict[str, Any],
     *,
     workers: int,
+    backend: Optional[str] = None,
 ) -> list:
     """Trial-axis fan-out of the batched replication engine.
 
@@ -224,9 +231,17 @@ def replicate_sharded(
     from repro.api.spec import get_spec
 
     if len(bounds) <= 1:
-        return run_batched(
-            get_spec(algorithm), m, n, list(children), workload, runner_kwargs
-        )
+        from repro.fastpath.backend import use_backend
+
+        with use_backend(backend):
+            return run_batched(
+                get_spec(algorithm),
+                m,
+                n,
+                list(children),
+                workload,
+                runner_kwargs,
+            )
     from multiprocessing import shared_memory
 
     shm = shared_memory.SharedMemory(create=True, size=total * n * 8)
@@ -239,6 +254,7 @@ def replicate_sharded(
                 list(children[start:stop]),
                 workload,
                 runner_kwargs,
+                backend,
                 shm.name,
                 start,
                 total,

@@ -27,8 +27,28 @@ in lock-step from per-trial generators (the replication engine behind
 
 Cross-validation tests assert both paths agree with the object-level
 engine on conserved quantities and in distribution.
+
+The bin-side resolution primitives themselves (grouping, commit
+resolution, load scatters) are pluggable through
+:mod:`repro.fastpath.backend`: the ``reference`` lexsort kernels or
+the default ``fused`` counting-sort kernels, bitwise-identical by
+contract and selectable per call, per :class:`RoundState`, by
+``use_backend`` context, or by the ``REPRO_KERNEL_BACKEND``
+environment variable.
 """
 
+from repro.fastpath.backend import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    FusedBackend,
+    KernelBackend,
+    ReferenceBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    use_backend,
+)
 from repro.fastpath.buffers import DEFAULT_CHUNK, DtypePolicy, RoundBuffers
 from repro.fastpath.roundstate import (
     AcceptDecision,
@@ -51,20 +71,30 @@ from repro.fastpath.sampling import (
 
 __all__ = [
     "AcceptDecision",
+    "BACKEND_ENV_VAR",
     "ContactBatch",
+    "DEFAULT_BACKEND",
     "DEFAULT_CHUNK",
     "DtypePolicy",
+    "FusedBackend",
+    "KernelBackend",
+    "ReferenceBackend",
     "RoundBuffers",
     "RoundOutcome",
     "RoundState",
+    "available_backends",
     "fill_choices",
     "fill_priorities",
     "grouped_accept",
     "grouped_accept_with_priorities",
+    "get_backend",
     "multinomial_occupancy",
     "multinomial_occupancy_batched",
     "priority_commit_accept",
+    "register_backend",
+    "resolve_backend",
     "sample_choices",
     "sample_uniform_choices",
+    "use_backend",
     "validate_pvals",
 ]

@@ -1,0 +1,460 @@
+"""Pluggable kernel backends for the bin-side resolution primitives.
+
+Every round of every protocol funnels through the same three hot
+primitives: *group requests per bin and accept under capacity*,
+*resolve each ball's accepts to one commit*, and *scatter commits into
+the load vectors*.  This module is the seam that lets those primitives
+be swapped wholesale:
+
+``reference``
+    The historical implementation — ``np.lexsort`` grouping,
+    stable-``argsort`` commit resolution, ``np.add.at`` scatters.
+    Moved here verbatim from ``roundstate.py``/``sampling.py`` so the
+    lexsort accept grouping exists in exactly one place.
+
+``fused`` (the default)
+    Counting-sort grouping: classify bins with one ``np.bincount``
+    (bins whose request count fits capacity accept everything, bins
+    with zero capacity reject everything — neither needs a sort), then
+    rank only the *contended* remainder with a single ``argsort`` of a
+    packed ``(bin << 32) | mark32`` integer key, repairing the rare
+    32-bit mark collisions with an exact tie-run re-sort.  Commit
+    resolution exploits the ball-major request layout with a segmented
+    ``np.minimum.reduceat`` instead of a second lexsort, and integer
+    scatters use ``np.bincount`` when dense.  ``O(m + n + c log c)``
+    where ``c`` is the contended-request count, versus the reference's
+    ``O(m log m)`` always.
+
+The contract, enforced by the backend-equivalence test suite and
+in-run by ``benchmarks/run_benchmarks.py``: both backends consume the
+identical RNG draw sequence and return **bitwise-identical** results —
+only post-draw deterministic computation is reorganized.  The one
+deliberate exception is :meth:`KernelBackend.scatter_weights`
+(float-weighted scatters), which both backends keep on ``np.add.at``
+because ``np.bincount(..., weights=)`` sums in a different association
+order and float addition is not associative.
+
+Selection order (first match wins):
+
+1. an explicit ``backend=`` argument (name or instance),
+2. the ambient :func:`use_backend` context,
+3. the ``REPRO_KERNEL_BACKEND`` environment variable,
+4. the module default, ``"fused"``.
+
+The seam is also the plug point ROADMAP item (c) asks for: a future
+compiled (numba/C) build registers a third backend here and inherits
+the whole equivalence harness.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "KernelBackend",
+    "ReferenceBackend",
+    "FusedBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "use_backend",
+    "scatter_counts",
+    "scatter_weights",
+]
+
+#: Environment override: set ``REPRO_KERNEL_BACKEND=reference`` to run
+#: an entire process on the historical kernels (CI does, once, to prove
+#: the default flip cannot hide behind the equivalence tests).
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: The package-wide default backend name.
+DEFAULT_BACKEND = "fused"
+
+
+class KernelBackend:
+    """Interface of the swappable bin-side resolution primitives.
+
+    Implementations must be *value-identical*: for any inputs, every
+    method returns (or writes) bitwise-identical results across
+    backends.  Backends are stateless and shared; methods must not
+    retain references to their arguments.
+    """
+
+    #: Registry key; also what ``--backend`` / the env var match.
+    name: str = "abstract"
+
+    # -- grouping / accept ----------------------------------------------
+
+    def grouped_accept_with_priorities(
+        self,
+        choices: np.ndarray,
+        capacity: np.ndarray,
+        priorities: np.ndarray,
+    ) -> np.ndarray:
+        """Boolean mask: per bin, accept the ``capacity[b]`` requests
+        with the smallest priorities (ties by original index).
+
+        ``capacity`` must already be clamped to ``>= 0`` and cover the
+        target space; ``priorities`` aligns with ``choices``.
+        """
+        raise NotImplementedError
+
+    # -- priority-commit resolution (Lemmas 2/3) ------------------------
+
+    def priority_commit_accept(
+        self,
+        choices: np.ndarray,
+        marks: np.ndarray,
+        requester_pos: np.ndarray,
+        n_balls: int,
+        capacity: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve one degree-``d`` phase (accept by smallest mark up
+        to capacity; each ball commits to its smallest-mark accept).
+
+        Returns ``(committed_mask, committed_bin)`` over the
+        active-ball axis; ``committed_bin`` is -1 for balls that did
+        not commit.
+        """
+        cap = np.maximum(capacity, 0)
+        accepted = self.grouped_accept_with_priorities(choices, cap, marks)
+        committed_mask = np.zeros(n_balls, dtype=bool)
+        committed_bin = np.full(n_balls, -1, dtype=np.int64)
+        if accepted.any():
+            acc_ball = requester_pos[accepted]
+            acc_bin = choices[accepted]
+            acc_mark = marks[accepted]
+            winners = self._commit_winners(acc_ball, acc_mark)
+            committed_mask[acc_ball[winners]] = True
+            committed_bin[acc_ball[winners]] = acc_bin[winners]
+        return committed_mask, committed_bin
+
+    def _commit_winners(
+        self, acc_ball: np.ndarray, acc_mark: np.ndarray
+    ) -> np.ndarray:
+        """Indices into the accept arrays: per ball, the accept with
+        the smallest mark (ties by original index)."""
+        raise NotImplementedError
+
+    # -- multi-accept commit resolution (uniform policy, d > 1) ---------
+
+    def sort_accepts_by_position(
+        self, acc_positions: np.ndarray, acc_bins: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return the accepted (position, bin) pairs ordered by
+        requester position, stably (equal positions keep their original
+        relative order — the accept pass already randomized it)."""
+        raise NotImplementedError
+
+    # -- scatters -------------------------------------------------------
+
+    def scatter_counts(self, target: np.ndarray, indices: np.ndarray) -> None:
+        """``target[i] += 1`` for each entry of ``indices``, in place.
+
+        Integer addition is associative, so any accumulation order is
+        exact — backends may reorganize freely.
+        """
+        raise NotImplementedError
+
+    def scatter_weights(
+        self,
+        target: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        """``target[indices[j]] += weights[j]``, in place.
+
+        Float addition is *not* associative, so every backend keeps the
+        historical ``np.add.at`` accumulation order — the documented
+        exception to the sort-free rewrite.
+        """
+        np.add.at(target, indices, weights)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<KernelBackend {self.name!r}>"
+
+
+class ReferenceBackend(KernelBackend):
+    """The historical lexsort/argsort/add.at kernels, verbatim.
+
+    This is the single home of the lexsort accept grouping that used to
+    exist twice (``sampling.grouped_accept_with_priorities`` and the
+    accept pass inside ``roundstate.priority_commit_accept``).
+    """
+
+    name = "reference"
+
+    def grouped_accept_with_priorities(self, choices, capacity, priorities):
+        k = choices.size
+        order = np.lexsort((priorities, choices))
+        sorted_bins = choices[order]
+        change = np.flatnonzero(np.diff(sorted_bins)) + 1
+        starts = np.concatenate(([0], change))
+        block_lengths = np.diff(np.concatenate((starts, [k])))
+        group_start = np.repeat(starts, block_lengths)
+        rank_within_bin = np.arange(k) - group_start
+        accepted_sorted = rank_within_bin < capacity[sorted_bins]
+        mask = np.zeros(k, dtype=bool)
+        mask[order[accepted_sorted]] = True
+        return mask
+
+    def _commit_winners(self, acc_ball, acc_mark):
+        order2 = np.lexsort((acc_mark, acc_ball))
+        b_sorted = acc_ball[order2]
+        first = np.concatenate(([True], b_sorted[1:] != b_sorted[:-1]))
+        return order2[first]
+
+    def sort_accepts_by_position(self, acc_positions, acc_bins):
+        order = np.argsort(acc_positions, kind="stable")
+        return acc_positions[order], acc_bins[order]
+
+    def scatter_counts(self, target, indices):
+        np.add.at(target, indices, 1)
+
+
+#: ``2**32`` as a float multiplier, and the packed-key layout constants.
+_MARK_SCALE = 4294967296.0
+_MARK_MAX = np.uint64(4294967295)
+_BIN_SHIFT = np.uint64(32)
+#: Bin spaces at or beyond ``2**32`` cannot share a uint64 key with a
+#: 32-bit mark; the fused path falls back to the reference sort there.
+_MAX_PACKED_BINS = 1 << 32
+
+
+class FusedBackend(ReferenceBackend):
+    """Counting-sort grouping, segmented commit, bincount scatters.
+
+    Inherits the reference implementations as its exact fallback for
+    inputs outside the fast path's preconditions (priorities outside
+    ``[0, 1)``, bin spaces >= 2**32, unsorted requester positions) —
+    the fallback *is* the specification, so those inputs stay
+    bitwise-correct by construction.
+    """
+
+    name = "fused"
+
+    def grouped_accept_with_priorities(self, choices, capacity, priorities):
+        n = capacity.size
+        if n >= _MAX_PACKED_BINS:
+            return super().grouped_accept_with_priorities(
+                choices, capacity, priorities
+            )
+        counts = np.bincount(choices, minlength=n)
+        # Bins whose request count fits capacity accept every request;
+        # zero-capacity bins reject every request.  Only the contended
+        # remainder (0 < capacity < count) needs within-bin ranking.
+        full = counts <= capacity
+        mask = full[choices]
+        contended = ~full & (capacity > 0)
+        sel = contended[choices]
+        if not sel.any():
+            return mask
+        sub_choices = choices[sel]
+        sub_prio = priorities[sel]
+        if not np.all((sub_prio >= 0.0) & (sub_prio < 1.0)):
+            # Arbitrary float priorities (never produced by the RNG
+            # draws, but this is a public primitive): the 32-bit mark
+            # embedding only covers [0, 1).
+            return super().grouped_accept_with_priorities(
+                choices, capacity, priorities
+            )
+        order = self._packed_bin_priority_order(sub_choices, sub_prio)
+        ks = sub_choices.size
+        sorted_bins = sub_choices[order]
+        change = np.flatnonzero(np.diff(sorted_bins)) + 1
+        starts = np.concatenate(([0], change))
+        block_lengths = np.diff(np.concatenate((starts, [ks])))
+        group_start = np.repeat(starts, block_lengths)
+        rank_within_bin = np.arange(ks) - group_start
+        accepted_sorted = rank_within_bin < capacity[sorted_bins]
+        sub_mask = np.zeros(ks, dtype=bool)
+        sub_mask[order[accepted_sorted]] = True
+        mask[sel] = sub_mask
+        return mask
+
+    @staticmethod
+    def _packed_bin_priority_order(
+        bins: np.ndarray, priorities: np.ndarray
+    ) -> np.ndarray:
+        """Permutation sorting by (bin, priority, original index) —
+        the exact order ``np.lexsort((priorities, bins))`` produces —
+        via one argsort of a packed ``(bin << 32) | mark32`` key.
+
+        ``mark32 = floor(priority * 2**32)`` is monotone in the
+        priority, so the packed order can differ from the true order
+        only inside runs of equal packed keys; those runs are re-sorted
+        by the full-precision priority with an explicit original-index
+        tiebreak, restoring lexsort's order exactly.  (The ``minimum``
+        clamp covers the one float where ``p * 2**32`` rounds up to
+        ``2**32``: ``p = 1 - 2**-53``.)
+        """
+        mark32 = np.minimum(
+            (priorities * _MARK_SCALE).astype(np.uint64), _MARK_MAX
+        )
+        packed = (bins.astype(np.uint64) << _BIN_SHIFT) | mark32
+        order = np.argsort(packed)
+        sorted_packed = packed[order]
+        ties = sorted_packed[1:] == sorted_packed[:-1]
+        if ties.any():
+            in_run = np.zeros(order.size, dtype=bool)
+            in_run[1:] = ties
+            in_run[:-1] |= ties
+            idx = np.flatnonzero(in_run)
+            members = order[idx]
+            # Runs are disjoint and appear in increasing packed-key
+            # order, so one global lexsort over the tied members —
+            # packed key first, then priority, then original index —
+            # lands each member back inside its own run, correctly
+            # ordered.
+            fix = np.lexsort(
+                (members, priorities[members], packed[members])
+            )
+            order[idx] = members[fix]
+        return order
+
+    def _commit_winners(self, acc_ball, acc_mark):
+        if not np.all(acc_ball[1:] >= acc_ball[:-1]):
+            # Requester positions are ball-major in every kernel path
+            # (``repeat(arange(u), d)`` filtered by a mask), but the
+            # primitive is public: unsorted inputs take the lexsort.
+            return super()._commit_winners(acc_ball, acc_mark)
+        ka = acc_ball.size
+        first = np.concatenate(([True], acc_ball[1:] != acc_ball[:-1]))
+        seg_starts = np.flatnonzero(first)
+        seg_id = np.cumsum(first) - 1
+        min_marks = np.minimum.reduceat(acc_mark, seg_starts)
+        # Winner = earliest accept achieving its ball's minimum mark —
+        # the same (mark, original index) order the stable lexsort
+        # produces.  Comparing against the reduced minima is exact:
+        # each minimum *is* one of the compared float values.
+        is_min = acc_mark == min_marks[seg_id]
+        candidates = np.where(is_min, np.arange(ka), ka)
+        return np.minimum.reduceat(candidates, seg_starts)
+
+    def sort_accepts_by_position(self, acc_positions, acc_bins):
+        if np.all(acc_positions[1:] >= acc_positions[:-1]):
+            # Already ball-major (the boolean accept mask preserves the
+            # repeat(arange, d) layout): the stable argsort would be
+            # the identity permutation — skip it.
+            return acc_positions, acc_bins
+        return super().sort_accepts_by_position(acc_positions, acc_bins)
+
+    def scatter_counts(self, target, indices):
+        # bincount is a dense O(k + n) pass; add.at is O(k) sparse.
+        # Both accumulation orders are exact for integers, so pick by
+        # density (the in-place += never copies ``target``).
+        if indices.size >= (target.size >> 3):
+            target += np.bincount(indices, minlength=target.size)
+        else:
+            np.add.at(target, indices, 1)
+
+
+# -- registry and resolution ------------------------------------------
+
+_REGISTRY: dict[str, KernelBackend] = {}
+
+#: Ambient selection installed by :func:`use_backend`; ``None`` defers
+#: to the environment variable / module default.
+_ACTIVE: contextvars.ContextVar[Optional[KernelBackend]] = (
+    contextvars.ContextVar("repro_kernel_backend", default=None)
+)
+
+BackendLike = Union[str, KernelBackend, None]
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Add a backend instance to the registry (name collisions replace,
+    which is how a test doubles a backend)."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+register_backend(ReferenceBackend())
+register_backend(FusedBackend())
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Look up a backend by name (:data:`BACKEND_ENV_VAR` spelling)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available: "
+            + ", ".join(available_backends())
+        ) from None
+
+
+def resolve_backend(backend: BackendLike = None) -> KernelBackend:
+    """Resolve the active backend.
+
+    Order: explicit argument (instance or name) > ambient
+    :func:`use_backend` context > ``REPRO_KERNEL_BACKEND`` environment
+    variable (read at call time, so tests can round-trip it) > the
+    ``"fused"`` default.
+    """
+    if isinstance(backend, KernelBackend):
+        return backend
+    if backend is not None:
+        return get_backend(backend)
+    ambient = _ACTIVE.get()
+    if ambient is not None:
+        return ambient
+    env = os.environ.get(BACKEND_ENV_VAR)
+    if env:
+        return get_backend(env)
+    return _REGISTRY[DEFAULT_BACKEND]
+
+
+@contextmanager
+def use_backend(backend: BackendLike = None) -> Iterator[KernelBackend]:
+    """Pin the ambient kernel backend for the dynamic extent of the
+    ``with`` block (thread- and task-local via :mod:`contextvars`).
+
+    ``use_backend(None)`` pins whatever currently resolves — the
+    high-level entry points use that to freeze one selection for a
+    whole run.
+    """
+    resolved = resolve_backend(backend)
+    token = _ACTIVE.set(resolved)
+    try:
+        yield resolved
+    finally:
+        _ACTIVE.reset(token)
+
+
+# -- module-level scatter helpers -------------------------------------
+#
+# For callers that hold no RoundState (the MessageCounter bulk paths,
+# protocol-local load updates): dispatch through the ambient backend.
+
+
+def scatter_counts(
+    target: np.ndarray, indices: np.ndarray, backend: BackendLike = None
+) -> None:
+    """``target[i] += 1`` per index, via the resolved backend."""
+    resolve_backend(backend).scatter_counts(target, indices)
+
+
+def scatter_weights(
+    target: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    backend: BackendLike = None,
+) -> None:
+    """``target[indices[j]] += weights[j]``, via the resolved backend
+    (both backends keep ``np.add.at`` order — see the module note on
+    float associativity)."""
+    resolve_backend(backend).scatter_weights(target, indices, weights)

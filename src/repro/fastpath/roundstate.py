@@ -93,6 +93,7 @@ from typing import Any, Literal, Optional, Sequence
 
 import numpy as np
 
+from repro.fastpath.backend import BackendLike, resolve_backend
 from repro.fastpath.buffers import DtypePolicy, RoundBuffers
 from repro.fastpath.sampling import (
     fill_choices,
@@ -226,6 +227,7 @@ def priority_commit_accept(
     requester_pos: np.ndarray,
     n_balls: int,
     capacity: np.ndarray,
+    backend: BackendLike = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Resolve one degree-``d`` phase (Lemmas 2/3 accept rule).
 
@@ -235,6 +237,12 @@ def priority_commit_accept(
     revoked accepts return capacity within the same resolution, so
     capacity is consumed by commits only.
 
+    Both passes execute on the kernel backend
+    (:mod:`repro.fastpath.backend`) — the accept pass shares the one
+    grouping primitive with :func:`~repro.fastpath.sampling.grouped_accept`,
+    the commit pass is a lexsort (``reference``) or a segmented
+    min-mark reduction (``fused``), bitwise-identical either way.
+
     Parameters
     ----------
     choices, marks, requester_pos:
@@ -243,6 +251,9 @@ def priority_commit_accept(
         Number of active balls (the requester-position space).
     capacity:
         Per-bin residual capacities.
+    backend:
+        Kernel backend (name or instance); ``None`` resolves the
+        ambient selection.
 
     Returns
     -------
@@ -250,32 +261,9 @@ def priority_commit_accept(
         Over the active-ball axis; ``committed_bin`` is -1 for balls
         that did not commit.
     """
-    k = choices.size
-    cap = np.maximum(capacity, 0)
-    # Accept pass: per bin, smallest-mark requests up to capacity.
-    order = np.lexsort((marks, choices))
-    sorted_bins = choices[order]
-    change = np.flatnonzero(np.diff(sorted_bins)) + 1
-    starts = np.concatenate(([0], change))
-    lengths = np.diff(np.concatenate((starts, [k])))
-    rank = np.arange(k) - np.repeat(starts, lengths)
-    accepted_sorted = rank < cap[sorted_bins]
-    accepted = np.zeros(k, dtype=bool)
-    accepted[order[accepted_sorted]] = True
-    # Commit pass: each ball takes its smallest-mark accept.
-    committed_mask = np.zeros(n_balls, dtype=bool)
-    committed_bin = np.full(n_balls, -1, dtype=np.int64)
-    if accepted.any():
-        acc_ball = requester_pos[accepted]
-        acc_bin = choices[accepted]
-        acc_mark = marks[accepted]
-        order2 = np.lexsort((acc_mark, acc_ball))
-        b_sorted = acc_ball[order2]
-        first = np.concatenate(([True], b_sorted[1:] != b_sorted[:-1]))
-        winners = order2[first]
-        committed_mask[acc_ball[winners]] = True
-        committed_bin[acc_ball[winners]] = acc_bin[winners]
-    return committed_mask, committed_bin
+    return resolve_backend(backend).priority_commit_accept(
+        choices, marks, requester_pos, n_balls, capacity
+    )
 
 
 class RoundState:
@@ -335,6 +323,14 @@ class RoundState:
     tests pin this).  Long-lived callers (the dynamic epoch loop, the
     allocator service) share one arena across epochs/flushes to stop
     churning the allocator.
+
+    Kernel backend: ``backend=`` pins which implementation of the
+    grouping/commit/scatter primitives the state runs on
+    (``"reference"`` lexsort or the default ``"fused"`` counting-sort
+    path — see :mod:`repro.fastpath.backend`); ``None`` resolves the
+    ambient :func:`~repro.fastpath.backend.use_backend` context, the
+    ``REPRO_KERNEL_BACKEND`` environment variable, or the default.
+    Backends are bitwise-identical by contract.
     """
 
     def __init__(
@@ -352,6 +348,7 @@ class RoundState:
         initial_loads: Optional[np.ndarray] = None,
         buffers: Optional[RoundBuffers] = None,
         dtype_policy: Optional[DtypePolicy] = None,
+        backend: BackendLike = None,
     ) -> None:
         if m < 0 or n < 1:
             raise ValueError(f"need m >= 0 and n >= 1, got m={m}, n={n}")
@@ -392,6 +389,11 @@ class RoundState:
         # neither changes a single drawn value (see
         # :mod:`repro.fastpath.buffers`).
         self.buffers = buffers
+        # Kernel backend: resolved once at construction (explicit arg >
+        # use_backend context > REPRO_KERNEL_BACKEND env > "fused"), so
+        # a state's whole lifetime runs on one value-identical
+        # implementation of the grouping/commit/scatter primitives.
+        self.backend = resolve_backend(backend)
         self.dtype_policy = dtype_policy or DtypePolicy.wide()
         self._index_dtype = self.dtype_policy.index_dtype
         self._load_dtype = self.dtype_policy.load_dtype
@@ -707,11 +709,17 @@ class RoundState:
                 accepted = np.zeros(k, dtype=bool)
                 if delivered.any():
                     sub = grouped_accept(
-                        choices[delivered], capacity, rng, self.buffers
+                        choices[delivered],
+                        capacity,
+                        rng,
+                        self.buffers,
+                        backend=self.backend,
                     )
                     accepted[np.flatnonzero(delivered)[sub]] = True
             else:
-                accepted = grouped_accept(choices, capacity, rng, self.buffers)
+                accepted = grouped_accept(
+                    choices, capacity, rng, self.buffers, backend=self.backend
+                )
             return AcceptDecision(
                 accepts_sent=int(accepted.sum()), accepted=accepted
             )
@@ -732,7 +740,7 @@ class RoundState:
                     "delivered masks are not supported for priority_commit"
                 )
             marks = rng.random(k)
-            committed_mask, committed_bin = priority_commit_accept(
+            committed_mask, committed_bin = self.backend.priority_commit_accept(
                 choices, marks, batch.positions(), self.active_count, capacity
             )
             commits = int(committed_mask.sum())
@@ -884,9 +892,11 @@ class RoundState:
             commit_bins = np.zeros(0, dtype=np.int64)
             notice_positions = np.zeros(0, dtype=np.int64)
             if acc_positions.size:
-                order = np.argsort(acc_positions, kind="stable")
-                sorted_positions = acc_positions[order]
-                sorted_bins = acc_bins[order]
+                sorted_positions, sorted_bins = (
+                    self.backend.sort_accepts_by_position(
+                        acc_positions, acc_bins
+                    )
+                )
                 first = np.concatenate(
                     ([True], sorted_positions[1:] != sorted_positions[:-1])
                 )
@@ -901,12 +911,12 @@ class RoundState:
         commits = int(committed_mask.sum())
         committed_balls = balls[committed_mask]
         bins_for_load = target_bins if target_bins is not None else commit_bins
-        np.add.at(self.loads, bins_for_load, 1)
+        self.backend.scatter_counts(self.loads, bins_for_load)
         if self.weights is not None and commits:
             # ``bins_for_load`` is aligned with the committed set (its
             # pairing is the assignment the protocol chose), so the
             # committing balls' weights land where the balls did.
-            np.add.at(
+            self.backend.scatter_weights(
                 self.weighted_loads,
                 bins_for_load,
                 self.weights[committed_balls],

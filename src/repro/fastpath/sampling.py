@@ -48,6 +48,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.fastpath.backend import BackendLike, resolve_backend
+
 __all__ = [
     "fill_choices",
     "fill_priorities",
@@ -314,15 +316,18 @@ def grouped_accept(
     capacity: np.ndarray,
     rng: np.random.Generator,
     buffers=None,
+    backend: BackendLike = None,
 ) -> np.ndarray:
     """Boolean mask: which flat requests are accepted.
 
     Each bin ``b`` accepts ``min(capacity[b], #requests to b)`` of its
     requests, selected uniformly at random.
 
-    Implementation: draw an i.i.d. priority per request, lexsort by
-    (bin, priority), and accept the first ``capacity[b]`` entries of
-    each bin's contiguous block.  ``O(k log k)`` with no Python loop.
+    Implementation: draw an i.i.d. priority per request, then resolve
+    the within-bin selection with the active kernel backend — the
+    ``reference`` lexsort by (bin, priority), or the ``fused``
+    counting-sort grouping (see :mod:`repro.fastpath.backend`).  Both
+    are bitwise-identical; no Python loop either way.
 
     Parameters
     ----------
@@ -338,6 +343,9 @@ def grouped_accept(
         Optional :class:`repro.fastpath.buffers.RoundBuffers` arena;
         when given, the per-request priorities are drawn into a reused
         arena view (same float64 stream, no fresh ``O(k)`` allocation).
+    backend:
+        Kernel backend (name or instance); ``None`` resolves the
+        ambient selection (:func:`repro.fastpath.backend.resolve_backend`).
     """
     choices = np.asarray(choices)
     capacity = np.atleast_1d(np.asarray(capacity))
@@ -364,13 +372,16 @@ def grouped_accept(
         )
     else:
         priorities = rng.random(k)
-    return grouped_accept_with_priorities(choices, cap, priorities)
+    return grouped_accept_with_priorities(
+        choices, cap, priorities, backend=backend
+    )
 
 
 def grouped_accept_with_priorities(
     choices: np.ndarray,
     capacity: np.ndarray,
     priorities: np.ndarray,
+    backend: BackendLike = None,
 ) -> np.ndarray:
     """The deterministic core of :func:`grouped_accept`.
 
@@ -379,25 +390,21 @@ def grouped_accept_with_priorities(
     caller concatenate many trials' requests — drawing each trial's
     priorities from that trial's own generator, offsetting bin indices
     into a composite ``trial * n + bin`` space — and resolve them all
-    in one ``O(K log K)`` sort, bitwise-matching the per-trial results.
+    in one grouping pass, bitwise-matching the per-trial results.
+
+    The grouping itself lives on the kernel backend
+    (:mod:`repro.fastpath.backend`): the ``reference`` lexsort or the
+    ``fused`` counting-sort path, selected by ``backend`` or the
+    ambient context, identical in value either way.
 
     ``capacity`` must already be clamped to ``>= 0``; ``priorities``
     must align with ``choices``.
     """
-    k = choices.size
     if priorities.shape != choices.shape:
         raise ValueError(
             f"priorities shape {priorities.shape} must match choices "
             f"shape {choices.shape}"
         )
-    order = np.lexsort((priorities, choices))
-    sorted_bins = choices[order]
-    change = np.flatnonzero(np.diff(sorted_bins)) + 1
-    starts = np.concatenate(([0], change))
-    block_lengths = np.diff(np.concatenate((starts, [k])))
-    group_start = np.repeat(starts, block_lengths)
-    rank_within_bin = np.arange(k) - group_start
-    accepted_sorted = rank_within_bin < capacity[sorted_bins]
-    mask = np.zeros(k, dtype=bool)
-    mask[order[accepted_sorted]] = True
-    return mask
+    return resolve_backend(backend).grouped_accept_with_priorities(
+        choices, capacity, priorities
+    )

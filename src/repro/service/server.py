@@ -189,6 +189,11 @@ class AllocatorService:
     workload:
         Optional workload for arriving cohorts (same rules as
         ``run_dynamic``: skew/capacities yes, weights no).
+    backend:
+        Kernel backend name pinned for every flush's placement
+        (:mod:`repro.fastpath.backend`); ``None`` keeps the ambient
+        selection.  Value-identical across backends, so flushes still
+        match ``run_dynamic`` epochs bitwise.
     auto_flush:
         When False, only ``tick()``/``flush()``/``drain()`` flush —
         submissions never trigger the count watermark (used to pin
@@ -212,6 +217,7 @@ class AllocatorService:
         departures: str = "uniform",
         hot_frac: float = 0.1,
         workload=None,
+        backend: Optional[str] = None,
         auto_flush: bool = True,
         **options: Any,
     ) -> None:
@@ -231,6 +237,7 @@ class AllocatorService:
         self._entry = entry
         self._workload = _resolve_workload(spec, entry, workload)
         self._options = dict(options)
+        self._backend = backend
         if "buffers" in entry.options and "buffers" not in self._options:
             # Long-lived service: one scratch arena shared by every
             # flush's placement, so sustained streams stop churning the
@@ -383,10 +390,17 @@ class AllocatorService:
             kwargs = dict(self._options)
             if self._entry.workload_capable and self._workload is not None:
                 kwargs["workload"] = self._workload
+            from repro.fastpath.backend import use_backend
+
             base = self.residents.loads
-            placement = self._entry.runner(
-                places, self.n, initial_loads=base, seed=place_seed, **kwargs
-            )
+            with use_backend(self._backend):
+                placement = self._entry.runner(
+                    places,
+                    self.n,
+                    initial_loads=base,
+                    seed=place_seed,
+                    **kwargs,
+                )
             self.residents.add_cohort(
                 len(self.records), placement.loads - base
             )

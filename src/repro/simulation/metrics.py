@@ -48,14 +48,24 @@ class MessageCounter:
 
     def record_bulk_ball_to_bin(self, bins_per_ball: np.ndarray, active_balls: np.ndarray) -> None:
         """Vectorized variant: ``active_balls[j]`` sent one message to
-        ``bins_per_ball[j]``."""
-        np.add.at(self.ball_sent, active_balls, 1)
-        np.add.at(self.bin_received, bins_per_ball, 1)
+        ``bins_per_ball[j]``.
+
+        The integer scatters dispatch through the kernel backend
+        (:mod:`repro.fastpath.backend`, imported lazily — this module
+        is below the fastpath layer); integer addition is associative,
+        so every backend accumulates the exact same tallies.
+        """
+        from repro.fastpath.backend import scatter_counts
+
+        scatter_counts(self.ball_sent, active_balls)
+        scatter_counts(self.bin_received, bins_per_ball)
         self.total += len(active_balls)
 
     def record_bulk_bin_to_ball(self, bins: np.ndarray, balls: np.ndarray) -> None:
-        np.add.at(self.bin_sent, bins, 1)
-        np.add.at(self.ball_received, balls, 1)
+        from repro.fastpath.backend import scatter_counts
+
+        scatter_counts(self.bin_sent, bins)
+        scatter_counts(self.ball_received, balls)
         self.total += len(balls)
 
     # -- summary views ---------------------------------------------------

@@ -1,0 +1,542 @@
+"""Backend equivalence gates (ISSUE-8): ``fused`` == ``reference``.
+
+The pluggable kernel backend seam promises that the fused
+counting-sort kernels are a pure reorganization of post-draw
+computation: for any inputs, the ``fused`` backend returns
+**bitwise-identical** results to the historical lexsort ``reference``
+kernels.  These tests are that promise, at three levels:
+
+* raw primitives (grouping, priority commit, scatters), pinned and
+  hypothesis-randomized over instance size, capacity profile, and
+  priority skew — including the adversarial edges the packed-key trick
+  must survive (priorities at/above 1.0, the ``1 - 2**-53`` float whose
+  ``* 2**32`` rounds up, duplicated priorities, unsorted requester
+  positions, zero capacity);
+* end-to-end runs: perball and aggregate granularities, trial-batched
+  replication, residual ``initial_loads``, zipf+weighted workloads,
+  dynamic churn, per-ball message counters;
+* the selection machinery: explicit ``backend=`` > ``use_backend``
+  context > ``REPRO_KERNEL_BACKEND`` env > the ``fused`` default, plus
+  the CLI ``--backend`` round-trip — and a pinned-seed regression
+  proving the default flip changed no values.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.fastpath.backend import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    FusedBackend,
+    ReferenceBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+    scatter_counts,
+    scatter_weights,
+    use_backend,
+)
+from repro.fastpath.roundstate import priority_commit_accept
+from repro.fastpath.sampling import grouped_accept_with_priorities
+
+REFERENCE = get_backend("reference")
+FUSED = get_backend("fused")
+
+COMMON = settings(
+    deadline=None,
+    max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _instance(seed, k, n, cap_hi, skew, quantize):
+    """One randomized grouping instance: skewed choices, a random
+    capacity profile, and priorities with optional duplicate mass."""
+    rng = np.random.default_rng(seed)
+    if skew > 0:
+        p = (1.0 + np.arange(n)) ** -skew
+        p /= p.sum()
+        choices = rng.choice(n, size=k, p=p)
+    else:
+        choices = rng.integers(0, n, size=k)
+    capacity = rng.integers(0, cap_hi + 1, size=n)
+    priorities = rng.random(k)
+    if quantize:
+        # Coarse quantization mass-produces exact duplicates — the
+        # packed-key tie-repair path must restore lexsort order.
+        priorities = np.round(priorities, 2)
+    return choices.astype(np.int64), capacity.astype(np.int64), priorities
+
+
+class TestGroupingPrimitive:
+    @COMMON
+    @given(
+        seed=st.integers(0, 2**31),
+        k=st.integers(0, 3000),
+        n=st.integers(1, 200),
+        cap_hi=st.integers(0, 60),
+        skew=st.floats(0.0, 2.0),
+        quantize=st.booleans(),
+    )
+    def test_fused_matches_reference(self, seed, k, n, cap_hi, skew, quantize):
+        choices, capacity, priorities = _instance(
+            seed, k, n, cap_hi, skew, quantize
+        )
+        ref = REFERENCE.grouped_accept_with_priorities(
+            choices, capacity, priorities
+        )
+        fus = FUSED.grouped_accept_with_priorities(
+            choices, capacity, priorities
+        )
+        np.testing.assert_array_equal(ref, fus)
+
+    def test_priorities_at_one_take_the_fallback(self):
+        # p = 1.0 would overflow the 32-bit mark into the bin field;
+        # the fused path must detect it and still match reference.
+        choices = np.array([0, 0, 0, 1, 1], dtype=np.int64)
+        capacity = np.array([1, 1], dtype=np.int64)
+        priorities = np.array([1.0, 0.5, 0.0, 1.0, 1.0])
+        ref = REFERENCE.grouped_accept_with_priorities(
+            choices, capacity, priorities
+        )
+        fus = FUSED.grouped_accept_with_priorities(
+            choices, capacity, priorities
+        )
+        np.testing.assert_array_equal(ref, fus)
+
+    def test_rounds_up_to_2_32_edge_float(self):
+        # 1 - 2**-53 is the one float in [0, 1) whose * 2**32 rounds
+        # UP to exactly 2**32 under round-to-even; the mark clamp must
+        # keep it inside 32 bits.
+        edge = 1.0 - 2.0**-53
+        choices = np.zeros(4, dtype=np.int64)
+        capacity = np.array([2], dtype=np.int64)
+        priorities = np.array([edge, 0.25, edge, 0.75])
+        ref = REFERENCE.grouped_accept_with_priorities(
+            choices, capacity, priorities
+        )
+        fus = FUSED.grouped_accept_with_priorities(
+            choices, capacity, priorities
+        )
+        np.testing.assert_array_equal(ref, fus)
+
+    def test_empty_and_zero_capacity(self):
+        empty = np.array([], dtype=np.int64)
+        cap = np.array([3, 0], dtype=np.int64)
+        for backend in (REFERENCE, FUSED):
+            out = backend.grouped_accept_with_priorities(
+                empty, cap, np.array([])
+            )
+            assert out.size == 0
+        choices = np.array([1, 1, 0], dtype=np.int64)
+        zero_cap = np.zeros(2, dtype=np.int64)
+        ref = REFERENCE.grouped_accept_with_priorities(
+            choices, zero_cap, np.array([0.1, 0.2, 0.3])
+        )
+        fus = FUSED.grouped_accept_with_priorities(
+            choices, zero_cap, np.array([0.1, 0.2, 0.3])
+        )
+        np.testing.assert_array_equal(ref, fus)
+        assert not fus.any()
+
+    def test_public_wrapper_dispatches_explicit_backend(self):
+        choices, capacity, priorities = _instance(5, 500, 32, 20, 1.1, False)
+        via_name = grouped_accept_with_priorities(
+            choices, capacity, priorities, backend="reference"
+        )
+        via_instance = grouped_accept_with_priorities(
+            choices, capacity, priorities, backend=FUSED
+        )
+        np.testing.assert_array_equal(via_name, via_instance)
+
+
+class TestCommitPrimitive:
+    @COMMON
+    @given(
+        seed=st.integers(0, 2**31),
+        u=st.integers(1, 800),
+        d=st.integers(1, 4),
+        n=st.integers(1, 100),
+        cap_hi=st.integers(0, 40),
+        quantize=st.booleans(),
+    )
+    def test_fused_matches_reference(self, seed, u, d, n, cap_hi, quantize):
+        rng = np.random.default_rng(seed)
+        k = u * d
+        choices = rng.integers(0, n, size=k)
+        marks = rng.random(k)
+        if quantize:
+            marks = np.round(marks, 2)
+        requester_pos = np.repeat(np.arange(u, dtype=np.int64), d)
+        capacity = rng.integers(0, cap_hi + 1, size=n)
+        ref = REFERENCE.priority_commit_accept(
+            choices, marks, requester_pos, u, capacity
+        )
+        fus = FUSED.priority_commit_accept(
+            choices, marks, requester_pos, u, capacity
+        )
+        np.testing.assert_array_equal(ref[0], fus[0])
+        np.testing.assert_array_equal(ref[1], fus[1])
+
+    def test_unsorted_requesters_take_the_fallback(self):
+        # The kernels always present ball-major requester positions,
+        # but the primitive is public: a shuffled layout must still
+        # match reference exactly (fused falls back to the lexsort).
+        rng = np.random.default_rng(11)
+        k, u, n = 600, 300, 16
+        choices = rng.integers(0, n, size=k)
+        marks = rng.random(k)
+        requester_pos = rng.permutation(np.repeat(np.arange(u), 2))
+        capacity = rng.integers(0, 30, size=n)
+        ref = REFERENCE.priority_commit_accept(
+            choices, marks, requester_pos, u, capacity
+        )
+        fus = FUSED.priority_commit_accept(
+            choices, marks, requester_pos, u, capacity
+        )
+        np.testing.assert_array_equal(ref[0], fus[0])
+        np.testing.assert_array_equal(ref[1], fus[1])
+
+    def test_module_function_is_backend_dispatched(self):
+        rng = np.random.default_rng(3)
+        choices = rng.integers(0, 8, size=40)
+        marks = rng.random(40)
+        pos = np.repeat(np.arange(20, dtype=np.int64), 2)
+        cap = np.full(8, 2, dtype=np.int64)
+        ref = priority_commit_accept(
+            choices, marks, pos, 20, cap, backend="reference"
+        )
+        fus = priority_commit_accept(
+            choices, marks, pos, 20, cap, backend="fused"
+        )
+        np.testing.assert_array_equal(ref[0], fus[0])
+        np.testing.assert_array_equal(ref[1], fus[1])
+
+
+class TestScatterPrimitives:
+    @pytest.mark.parametrize("k,n", [(0, 4), (3, 1000), (5000, 64), (512, 4096)])
+    def test_scatter_counts_dense_and_sparse(self, k, n):
+        # k >= n/8 takes the fused bincount path, below it add.at —
+        # both must equal the reference exactly (integer associativity).
+        rng = np.random.default_rng(k + n)
+        indices = rng.integers(0, n, size=k)
+        ref = np.zeros(n, dtype=np.int64)
+        fus = np.zeros(n, dtype=np.int64)
+        REFERENCE.scatter_counts(ref, indices)
+        FUSED.scatter_counts(fus, indices)
+        np.testing.assert_array_equal(ref, fus)
+
+    def test_scatter_weights_keeps_add_at_order(self):
+        # Float scatters are the documented exception: both backends
+        # must produce the *identical float result*, which pins them to
+        # the same accumulation order.
+        rng = np.random.default_rng(0)
+        indices = rng.integers(0, 32, size=4000)
+        weights = rng.random(4000)
+        ref = np.zeros(32)
+        fus = np.zeros(32)
+        REFERENCE.scatter_weights(ref, indices, weights)
+        FUSED.scatter_weights(fus, indices, weights)
+        np.testing.assert_array_equal(ref, fus)
+
+    def test_module_level_helpers_dispatch(self):
+        rng = np.random.default_rng(1)
+        indices = rng.integers(0, 16, size=200)
+        a = np.zeros(16, dtype=np.int64)
+        b = np.zeros(16, dtype=np.int64)
+        scatter_counts(a, indices, backend="reference")
+        scatter_counts(b, indices, backend="fused")
+        np.testing.assert_array_equal(a, b)
+        wa = np.zeros(16)
+        wb = np.zeros(16)
+        w = rng.random(200)
+        scatter_weights(wa, indices, w, backend="reference")
+        scatter_weights(wb, indices, w, backend="fused")
+        np.testing.assert_array_equal(wa, wb)
+
+
+def _run_pair(name, m, n, **kwargs):
+    with use_backend("reference"):
+        ref = repro.allocate(name, m, n, **kwargs)
+    with use_backend("fused"):
+        fus = repro.allocate(name, m, n, **kwargs)
+    return ref, fus
+
+
+def _assert_identical(ref, fus):
+    np.testing.assert_array_equal(ref.loads, fus.loads)
+    assert ref.max_load == fus.max_load
+    assert ref.gap == fus.gap
+    assert ref.rounds == fus.rounds
+    assert ref.total_messages == fus.total_messages
+    assert ref.complete == fus.complete
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize(
+        "name,mode",
+        [
+            ("heavy", "perball"),
+            ("heavy", "aggregate"),
+            ("combined", "perball"),
+            ("combined", "aggregate"),
+            ("asymmetric", "perball"),
+            ("asymmetric", "aggregate"),
+            ("single", "perball"),
+            ("single", "aggregate"),
+            ("stemann", "perball"),
+            ("stemann", "aggregate"),
+            ("trivial", None),
+            ("batched", None),
+        ],
+    )
+    def test_granularities(self, name, mode):
+        kwargs = {"seed": 3}
+        if mode is not None:
+            kwargs["mode"] = mode
+        ref, fus = _run_pair(name, 20_000, 64, **kwargs)
+        _assert_identical(ref, fus)
+
+    def test_zipf_weighted_workload(self):
+        ref, fus = _run_pair(
+            "heavy", 20_000, 64, seed=5,
+            workload="zipf:1.1+geomw:0.5+propcap",
+        )
+        _assert_identical(ref, fus)
+        # Weighted statistics are float accumulations — bitwise
+        # equality here is what the scatter_weights exception buys.
+        assert (
+            ref.extra["workload"]["weighted_gap"]
+            == fus.extra["workload"]["weighted_gap"]
+        )
+        assert (
+            ref.extra["workload"]["weighted_max_load"]
+            == fus.extra["workload"]["weighted_max_load"]
+        )
+
+    def test_initial_loads_residual_start(self):
+        # Residual occupancy is the dynamic subsystem's entry point
+        # (run_heavy(initial_loads=...), below the registry's option
+        # surface).
+        from repro.core.heavy import dynamic_heavy
+
+        initial = np.random.default_rng(8).integers(
+            0, 50, size=64
+        ).astype(np.int64)
+        with use_backend("reference"):
+            ref = dynamic_heavy(
+                10_000, 64, initial_loads=initial, seed=9, mode="perball"
+            )
+        with use_backend("fused"):
+            fus = dynamic_heavy(
+                10_000, 64, initial_loads=initial, seed=9, mode="perball"
+            )
+        np.testing.assert_array_equal(ref.loads, fus.loads)
+        assert ref.placed == fus.placed
+        assert ref.rounds == fus.rounds
+        assert ref.total_messages == fus.total_messages
+
+    def test_per_ball_message_counters(self):
+        ref, fus = _run_pair("heavy", 10_000, 64, seed=4, mode="perball")
+        np.testing.assert_array_equal(
+            ref.messages.ball_sent, fus.messages.ball_sent
+        )
+        np.testing.assert_array_equal(
+            ref.messages.ball_received, fus.messages.ball_received
+        )
+        np.testing.assert_array_equal(
+            ref.messages.bin_received, fus.messages.bin_received
+        )
+        np.testing.assert_array_equal(
+            ref.messages.bin_sent, fus.messages.bin_sent
+        )
+
+    def test_trial_batched_replication(self):
+        with use_backend("reference"):
+            ref = repro.replicate("heavy", 20_000, 64, trials=8, seed=0)
+        with use_backend("fused"):
+            fus = repro.replicate("heavy", 20_000, 64, trials=8, seed=0)
+        np.testing.assert_array_equal(ref.loads, fus.loads)
+        np.testing.assert_array_equal(ref.gaps, fus.gaps)
+        np.testing.assert_array_equal(
+            ref.total_messages, fus.total_messages
+        )
+
+    def test_replicate_backend_argument(self):
+        # The first-class backend= kwarg (which also rides the
+        # sequential process-pool path) equals the ambient context.
+        via_arg = repro.replicate(
+            "heavy", 10_000, 64, trials=4, seed=1, backend="reference"
+        )
+        with use_backend("reference"):
+            via_ctx = repro.replicate("heavy", 10_000, 64, trials=4, seed=1)
+        np.testing.assert_array_equal(via_arg.loads, via_ctx.loads)
+
+    def test_dynamic_churn(self):
+        with use_backend("reference"):
+            ref = repro.run_dynamic("heavy", 10_000, 64, seed=2, epochs=3)
+        fus = repro.run_dynamic(
+            "heavy", 10_000, 64, seed=2, epochs=3, backend="fused"
+        )
+        np.testing.assert_array_equal(ref.gaps, fus.gaps)
+        np.testing.assert_array_equal(ref.loads, fus.loads)
+        assert ref.churn_messages == fus.churn_messages
+
+
+class TestSelectionMachinery:
+    def test_registry_lists_both(self):
+        assert "reference" in available_backends()
+        assert "fused" in available_backends()
+        assert DEFAULT_BACKEND == "fused"
+        assert isinstance(get_backend("fused"), FusedBackend)
+        assert isinstance(get_backend("reference"), ReferenceBackend)
+        # fused inherits reference: the fallback *is* the specification.
+        assert isinstance(get_backend("fused"), ReferenceBackend)
+
+    def test_default_resolution(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend().name == DEFAULT_BACKEND
+
+    def test_env_round_trip(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+        assert resolve_backend().name == "reference"
+        res = repro.allocate("heavy", 2_000, 16, seed=0)
+        assert res.extra["api"]["backend"] == "reference"
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+        res = repro.allocate("heavy", 2_000, 16, seed=0, backend="fused")
+        assert res.extra["api"]["backend"] == "fused"
+
+    def test_context_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fused")
+        with use_backend("reference"):
+            assert resolve_backend().name == "reference"
+        assert resolve_backend().name == "fused"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("turbo")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            repro.allocate("heavy", 2_000, 16, seed=0, backend="turbo")
+
+    def test_env_invalid_name_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "turbo")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend()
+
+    def test_cli_backend_round_trip(self, capsys):
+        from repro.__main__ import main
+
+        assert main(
+            ["heavy", "--m", "2000", "--n", "16", "--seed", "0",
+             "--backend", "reference"]
+        ) == 0
+        ref_out = capsys.readouterr().out
+        assert main(
+            ["heavy", "--m", "2000", "--n", "16", "--seed", "0",
+             "--backend", "fused"]
+        ) == 0
+        fus_out = capsys.readouterr().out
+        # Identical describe() blocks: the backend changes nothing
+        # observable but wall clock.
+        assert ref_out == fus_out
+
+    def test_cli_rejects_unknown_backend(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["heavy", "--m", "100", "--n", "8", "--backend", "turbo"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestKernelMicrobench:
+    """The kernel_profile microbenchmark: timings carry a proof."""
+
+    def test_records_cover_every_primitive(self):
+        from repro.api.bench import benchmark_kernels, render_kernel_table
+
+        records = benchmark_kernels(
+            4_000, 32, seed=0, repeats=1, end_to_end_m=2_000
+        )
+        kernels = {(r.kernel, r.variant) for r in records}
+        assert kernels == {
+            ("grouped_accept", "contended"),
+            ("grouped_accept", "uncontended"),
+            ("priority_commit", "degree-2"),
+            ("scatter_counts", "dense"),
+            ("end_to_end", "heavy perball"),
+        }
+        for r in records:
+            assert r.bitwise_equal
+            assert r.reference_seconds >= 0 and r.fused_seconds >= 0
+            assert r.speedup > 0
+        table = render_kernel_table(records)
+        assert "grouped_accept" in table and "speedup" in table
+
+    def test_end_to_end_leg_is_optional(self):
+        from repro.api.bench import benchmark_kernels
+
+        records = benchmark_kernels(2_000, 16, seed=1, repeats=1)
+        assert not any(r.kernel == "end_to_end" for r in records)
+
+    def test_mismatch_raises_instead_of_recording(self, monkeypatch):
+        from repro.api.bench import benchmark_kernels
+        from repro.fastpath import backend as backend_mod
+
+        class Broken(FusedBackend):
+            def grouped_accept_with_priorities(
+                self, choices, capacity, priorities
+            ):
+                out = super().grouped_accept_with_priorities(
+                    choices, capacity, priorities
+                )
+                if out.size:
+                    out[0] = ~out[0]
+                return out
+
+        monkeypatch.setitem(backend_mod._REGISTRY, "fused", Broken())
+        with pytest.raises(RuntimeError, match="kernel backend mismatch"):
+            benchmark_kernels(1_000, 16, seed=0, repeats=1)
+
+
+class TestPinnedRegression:
+    """The default-backend flip changed no values: the fused default
+    reproduces the exact pre-PR reference output on a pinned seed."""
+
+    PIN = {
+        "max_load": 394,
+        "gap": 3.375,
+        "rounds": 9,
+        "total_messages": 222357,
+        "loads_crc32": 1248431448,
+    }
+
+    def _check(self, res):
+        assert res.max_load == self.PIN["max_load"]
+        assert res.gap == self.PIN["gap"]
+        assert res.rounds == self.PIN["rounds"]
+        assert res.total_messages == self.PIN["total_messages"]
+        crc = zlib.crc32(np.ascontiguousarray(res.loads).tobytes())
+        assert crc == self.PIN["loads_crc32"]
+
+    def test_fused_default_matches_historical_reference(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        res = repro.allocate("heavy", 100_000, 256, seed=7)
+        assert res.extra["api"]["backend"] == "fused"
+        self._check(res)
+
+    def test_reference_backend_reproduces_the_same_pin(self):
+        res = repro.allocate(
+            "heavy", 100_000, 256, seed=7, backend="reference"
+        )
+        assert res.extra["api"]["backend"] == "reference"
+        self._check(res)
