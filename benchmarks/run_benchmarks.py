@@ -27,7 +27,13 @@ fifth, ``BENCH_service.json``, drives the continuous allocation
 service with a bursty open-loop stream (n=10^4 bins, m=10^5 balls at
 full scale, gap-SLO admission control on) — the ISSUE-6 acceptance
 bar is a sustained-throughput floor on the headline ``heavy`` record
-plus the worst observed gap staying within the SLO.
+plus the worst observed gap staying within the SLO.  A sixth,
+``BENCH_adversarial.json``, runs every dynamic-capable allocator
+benign vs attacked (the gap-maximizing greedy departure adversary) on
+the same pinned seed (m=10^5, n=256, 32 epochs at full scale) — the
+ISSUE-9 acceptance bar is that the headline ``heavy`` worst-epoch gap
+under attack stays <= 3x its benign worst while at least one baseline
+exceeds 10x (graceful degradation vs blowup).
 
 ``BENCH_kernels.json`` additionally carries a ``scaling`` section
 (ISSUE-7): the 1/2/4/8-worker trial-sharding curve for heavy
@@ -78,6 +84,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.api.bench import (  # noqa: E402
+    adversarial_degradation,
+    benchmark_adversarial,
     benchmark_dynamic,
     benchmark_engine_reference,
     benchmark_kernels,
@@ -157,6 +165,25 @@ SERVICE_ALGORITHMS = ("heavy", "combined", "single", "stemann")
 SERVICE_HEADLINE = "heavy"
 SERVICE_OPS_FLOOR = 250_000.0
 SERVICE_GAP_SLO = 12.0
+
+#: Adversarial artifact: (m, n, epochs) per scale at 10% churn.  The
+#: ISSUE-9 acceptance instance is full scale — m=10^5, n=256, 32
+#: epochs — where the headline ``heavy`` worst-epoch gap under the
+#: greedy departure adversary must stay <= HEAVY_DEGRADATION_BAR times
+#: its benign worst-epoch gap on the same seed, while at least one
+#: baseline degrades by more than BASELINE_BLOWUP_BAR (the
+#: load-oblivious baselines ratchet their maximum up every epoch; the
+#: threshold schedule re-levels).
+ADVERSARIAL_SCALES = {
+    "smoke": (20_000, 64, 8),
+    "quick": (100_000, 256, 16),
+    "full": (100_000, 256, 32),
+}
+ADVERSARIAL_CHURN = 0.1
+ADVERSARIAL_ALGORITHMS = ("heavy", "combined", "single", "stemann")
+ADVERSARIAL_HEADLINE = "heavy"
+HEAVY_DEGRADATION_BAR = 3.0
+BASELINE_BLOWUP_BAR = 10.0
 
 #: Scaling section (ISSUE-7): the hardware-limit axes of the kernel
 #: layer, recorded inside BENCH_kernels.json.  Three sub-blocks:
@@ -669,6 +696,64 @@ def run_service_bench(scale: str) -> dict:
     }
 
 
+def run_adversarial_bench(scale: str) -> dict:
+    """Run benign-vs-attacked churn pairs for every dynamic allocator.
+
+    One pinned seed; per algorithm the same regime runs twice —
+    uniform departures (benign control) and the gap-maximizing greedy
+    departure adversary — and the artifact records both worst-epoch
+    gaps plus their ratio (the degradation attributable to the
+    adversary).  Aggregate granularity: the degradation bar is a value
+    claim (gap trajectories), not a wall-time one, and aggregate keeps
+    the 32-epoch full-scale run cheap.
+    """
+    m, n, epochs = ADVERSARIAL_SCALES[scale]
+    records = benchmark_adversarial(
+        m,
+        n,
+        epochs=epochs,
+        churn=ADVERSARIAL_CHURN,
+        seed=SEEDS[0],
+        algorithms=ADVERSARIAL_ALGORITHMS,
+        mode="aggregate",
+    )
+    degradation = {
+        algo: round(ratio, 2)
+        for algo, ratio in adversarial_degradation(records).items()
+    }
+    baselines = {
+        algo: ratio
+        for algo, ratio in degradation.items()
+        if algo != ADVERSARIAL_HEADLINE
+    }
+    worst_baseline = (
+        max(baselines, key=baselines.get) if baselines else None
+    )
+    return {
+        "schema": 1,
+        "scale": scale,
+        "m": m,
+        "n": n,
+        "epochs": epochs,
+        "churn": ADVERSARIAL_CHURN,
+        "seed": SEEDS[0],
+        "mode": "aggregate",
+        "attack_departures": "greedy_adversary",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "records": [r.to_dict() for r in records],
+        "degradation": degradation,
+        "headline": ADVERSARIAL_HEADLINE,
+        "headline_degradation": degradation.get(ADVERSARIAL_HEADLINE),
+        "worst_baseline": worst_baseline,
+        "worst_baseline_degradation": (
+            baselines[worst_baseline] if worst_baseline else None
+        ),
+        "degradation_bar": HEAVY_DEGRADATION_BAR,
+        "baseline_blowup_bar": BASELINE_BLOWUP_BAR,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", choices=sorted(SCALES), default="full")
@@ -707,6 +792,13 @@ def main(argv=None) -> int:
         default=REPO_ROOT / "BENCH_service.json",
         help="service-artifact path (default: BENCH_service.json at the "
         "repo root)",
+    )
+    parser.add_argument(
+        "--adversarial-output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_adversarial.json",
+        help="adversarial-artifact path (default: BENCH_adversarial.json "
+        "at the repo root)",
     )
     args = parser.parse_args(argv)
     payload = run(args.scale)
@@ -804,6 +896,41 @@ def main(argv=None) -> int:
         print(
             f"error: service fell below the {SERVICE_OPS_FLOOR:,.0f} "
             f"ops/s floor or breached the {SERVICE_GAP_SLO:.0f} gap SLO"
+        )
+        return 1
+    adversarial_payload = run_adversarial_bench(args.scale)
+    args.adversarial_output.write_text(
+        json.dumps(adversarial_payload, indent=2) + "\n"
+    )
+    heavy_degrade = adversarial_payload["headline_degradation"]
+    worst_baseline = adversarial_payload["worst_baseline"]
+    worst_degrade = adversarial_payload["worst_baseline_degradation"]
+    print(
+        f"wrote {args.adversarial_output} "
+        f"({len(adversarial_payload['records'])} adversarial records)"
+    )
+    print(
+        f"adversarial degradation (greedy departures, "
+        f"{ADVERSARIAL_CHURN:.0%} churn): {ADVERSARIAL_HEADLINE} "
+        f"{heavy_degrade}x vs worst baseline {worst_baseline} "
+        f"{worst_degrade}x"
+    )
+    # ISSUE-9 acceptance bar: at the full-scale instance (m=10^5,
+    # n=256, 32 epochs) heavy's worst-epoch gap under attack stays
+    # <= 3x its benign worst while at least one baseline exceeds 10x.
+    # Smoke/quick run fewer epochs, where the baselines' per-epoch
+    # ratchet has not yet compounded, so the bar applies at full scale
+    # only.
+    if args.scale == "full" and (
+        heavy_degrade is None
+        or heavy_degrade > HEAVY_DEGRADATION_BAR
+        or worst_degrade is None
+        or worst_degrade <= BASELINE_BLOWUP_BAR
+    ):
+        print(
+            f"error: adversarial degradation bar failed — need "
+            f"{ADVERSARIAL_HEADLINE} <= {HEAVY_DEGRADATION_BAR}x and a "
+            f"baseline > {BASELINE_BLOWUP_BAR}x"
         )
         return 1
     heavy_perball = payload["speedups_vs_engine"].get("heavy[perball]")

@@ -108,6 +108,7 @@ from repro.core import (
     run_trivial,
     should_use_trivial,
 )
+from repro.core.faulty import FaultModel, parse_faults
 from repro.dynamic import (
     DynamicResult,
     DynamicSpec,
@@ -123,7 +124,12 @@ from repro.service import (
     simulate_service,
 )
 from repro.fastpath.backend import available_backends, use_backend
-from repro.workloads import Workload, parse_workload
+from repro.workloads import (
+    TimeVaryingWorkload,
+    Workload,
+    parse_time_varying,
+    parse_workload,
+)
 
 # The api package is imported after the algorithm packages above, so
 # every registration has run by the time allocate() is reachable.
@@ -151,6 +157,7 @@ __all__ = [
     "DynamicResult",
     "DynamicSpec",
     "ExponentSchedule",
+    "FaultModel",
     "FixedSchedule",
     "HeavyConfig",
     "LightConfig",
@@ -158,6 +165,7 @@ __all__ = [
     "ReplicationResult",
     "ServiceReport",
     "ThresholdSchedule",
+    "TimeVaryingWorkload",
     "Workload",
     "__version__",
     "allocate",
@@ -166,6 +174,8 @@ __all__ = [
     "available_backends",
     "get_spec",
     "list_allocators",
+    "parse_faults",
+    "parse_time_varying",
     "parse_workload",
     "register_allocator",
     "replicate",

@@ -169,15 +169,39 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_dyn.add_argument(
         "--arrivals",
-        choices=("fixed", "poisson", "bursty"),
+        choices=("fixed", "poisson", "bursty", "hotset_adversary"),
         default="fixed",
-        help="arrival process (default: fixed)",
+        help="arrival process (default: fixed); hotset_adversary "
+        "targets every cohort at the currently hottest bins",
     )
     p_dyn.add_argument(
         "--departures",
-        choices=("uniform", "fifo", "hotset"),
+        choices=("uniform", "fifo", "hotset", "greedy_adversary"),
         default="uniform",
-        help="departure policy (default: uniform)",
+        help="departure policy (default: uniform); greedy_adversary "
+        "drains the lightest bins to maximize the gap",
+    )
+    p_dyn.add_argument(
+        "--hot-frac",
+        type=float,
+        default=0.1,
+        help="fraction of bins the hotset/hotset_adversary policies "
+        "concentrate on (default: 0.1)",
+    )
+    p_dyn.add_argument(
+        "--faults",
+        type=str,
+        default=None,
+        help="fault model, e.g. 'bin_fail=0.05,recover=0.2,loss=0.01' "
+        "(default: no faults)",
+    )
+    p_dyn.add_argument(
+        "--time-workload",
+        type=str,
+        default=None,
+        help="time-varying workload: 'drift:S0:S1' (Zipf skew drift) "
+        "or 'flash:EVERY:FACTOR[:BIN]' (flash crowds); mutually "
+        "exclusive with --workload",
     )
     p_dyn.add_argument(
         "--rebalance",
@@ -259,9 +283,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_srv.add_argument(
         "--departures",
-        choices=("uniform", "fifo", "hotset"),
+        choices=("uniform", "fifo", "hotset", "greedy_adversary"),
         default="uniform",
-        help="departure policy (default: uniform)",
+        help="departure policy (default: uniform); greedy_adversary "
+        "drains the lightest bins to maximize the gap",
+    )
+    p_srv.add_argument(
+        "--hot-frac",
+        type=float,
+        default=0.1,
+        help="fraction of bins the hotset departure policy "
+        "concentrates on (default: 0.1)",
+    )
+    p_srv.add_argument(
+        "--faults",
+        type=str,
+        default=None,
+        help="fault model, e.g. 'bin_fail=0.05,recover=0.2,loss=0.01' "
+        "(default: no faults)",
     )
     p_srv.add_argument(
         "--max-batch",
@@ -510,8 +549,13 @@ def _replicate(args: argparse.Namespace) -> None:
 def _dynamic(args: argparse.Namespace) -> None:
     import json
 
+    from repro.core.faulty import parse_faults
     from repro.dynamic import run_dynamic
 
+    try:
+        fault_model = parse_faults(args.faults)
+    except ValueError as exc:
+        raise SystemExit(f"python -m repro dynamic: error: {exc}")
     start = time.perf_counter()
     res = run_dynamic(
         args.algorithm,
@@ -522,8 +566,11 @@ def _dynamic(args: argparse.Namespace) -> None:
         churn=args.churn,
         arrivals=args.arrivals,
         departures=args.departures,
+        hot_frac=args.hot_frac,
         rebalance=args.rebalance,
         workload=args.workload,
+        time_workload=args.time_workload,
+        fault_model=fault_model,
         mode=args.mode,
         backend=args.backend,
     )
@@ -541,8 +588,13 @@ def _dynamic(args: argparse.Namespace) -> None:
 def _serve(args: argparse.Namespace) -> None:
     import json
 
+    from repro.core.faulty import parse_faults
     from repro.service import AdmissionPolicy, simulate_service
 
+    try:
+        fault_model = parse_faults(args.faults)
+    except ValueError as exc:
+        raise SystemExit(f"python -m repro serve: error: {exc}")
     if not args.simulate:
         raise SystemExit(
             "python -m repro serve: error: --simulate is required (the "
@@ -565,11 +617,13 @@ def _serve(args: argparse.Namespace) -> None:
         burst_every=args.burst_every,
         burst_factor=args.burst_factor,
         departures=args.departures,
+        hot_frac=args.hot_frac,
         max_batch=args.max_batch,
         max_wait=args.max_wait,
         max_queue=args.max_queue,
         policy=policy,
         workload=args.workload,
+        fault_model=fault_model,
         backend=args.backend,
     )
     print(report.describe())

@@ -39,11 +39,14 @@ from repro.api.dispatch import allocate
 from repro.api.spec import AllocatorSpec, list_allocators, resolve_name
 
 __all__ = [
+    "AdversarialBenchRecord",
     "BenchRecord",
     "DynamicBenchRecord",
     "KernelBenchRecord",
     "ReplicationBenchRecord",
     "ServiceBenchRecord",
+    "adversarial_degradation",
+    "benchmark_adversarial",
     "benchmark_registry",
     "benchmark_engine_reference",
     "benchmark_dynamic",
@@ -52,6 +55,7 @@ __all__ = [
     "benchmark_service",
     "dynamic_speedups",
     "peak_rss_bytes",
+    "render_adversarial_table",
     "render_dynamic_table",
     "render_kernel_table",
     "render_replication_table",
@@ -772,6 +776,180 @@ def benchmark_dynamic(
                 )
             )
     return records
+
+
+@dataclass(frozen=True)
+class AdversarialBenchRecord:
+    """One dynamic run under a benign or adversarial churn regime.
+
+    Records come in same-seed pairs per algorithm (``regime`` is
+    ``"benign"`` or ``"adversarial"``): the attacked leg differs from
+    the benign one *only* in the departure policy (and the optional
+    fault model), so the worst-epoch gap ratio between the two is the
+    degradation attributable to the adversary — the figure
+    ``BENCH_adversarial.json`` enforces bars on.
+    """
+
+    algorithm: str
+    #: ``"benign"`` or ``"adversarial"``.
+    regime: str
+    m: int
+    n: int
+    epochs: int
+    churn: float
+    seed: int
+    departures: str
+    gap_fill: float
+    gap_steady_mean: float
+    gap_worst: float
+    messages_per_epoch: float
+    churn_seconds: float
+    complete: bool
+    #: Worst per-epoch failed-bin count (0 without a fault model).
+    failed_bins_worst: int = 0
+    #: Total acks lost to the fault model's message loss.
+    lost_acks: int = 0
+    faults: Optional[str] = None
+    #: Process peak RSS after the timed runs (see :func:`peak_rss_bytes`).
+    peak_rss_bytes: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def benchmark_adversarial(
+    m: int,
+    n: int,
+    *,
+    epochs: int,
+    churn: float = 0.1,
+    seed: int = 0,
+    algorithms: Optional[Iterable[str]] = None,
+    mode: str = "aggregate",
+    attack_departures: str = "greedy_adversary",
+    fault_model=None,
+) -> list[AdversarialBenchRecord]:
+    """Run each algorithm benign vs attacked on the same root seed.
+
+    For every ``dynamic_capable`` spec (or the requested subset), runs
+    the churn regime twice: once with ``departures="uniform"`` (the
+    benign control) and once with ``attack_departures`` (default: the
+    gap-maximizing greedy adversary), everything else — instance, seed,
+    epochs, churn, mode — pinned identical.  An optional
+    ``fault_model`` is applied to the *adversarial* leg only, so the
+    pair isolates what the degraded regime costs.  Backs
+    ``benchmarks/run_benchmarks.py --adversarial-output`` and the
+    checked-in ``BENCH_adversarial.json``.
+    """
+    from repro.api.spec import get_spec
+    from repro.dynamic import run_dynamic
+
+    if algorithms is not None:
+        names = [resolve_name(a) for a in algorithms]
+        not_dynamic = [x for x in names if not get_spec(x).dynamic_capable]
+        if not_dynamic:
+            raise ValueError(
+                f"algorithm(s) {', '.join(sorted(not_dynamic))} have no "
+                f"dynamic-placement adapter; adversarial benchmarks "
+                f"cover dynamic_capable specs only"
+            )
+    else:
+        names = [s.name for s in list_allocators() if s.dynamic_capable]
+    records = []
+    for name in names:
+        for regime, departures, faults in (
+            ("benign", "uniform", None),
+            ("adversarial", attack_departures, fault_model),
+        ):
+            res = run_dynamic(
+                name,
+                m,
+                n,
+                seed=seed,
+                epochs=epochs,
+                churn=churn,
+                departures=departures,
+                mode=mode,
+                fault_model=faults,
+            )
+            msgs = res.messages
+            gaps = res.gaps
+            records.append(
+                AdversarialBenchRecord(
+                    algorithm=name,
+                    regime=regime,
+                    m=m,
+                    n=n,
+                    epochs=epochs,
+                    churn=churn,
+                    seed=seed,
+                    departures=departures,
+                    gap_fill=float(gaps[0]),
+                    gap_steady_mean=float(gaps[1:].mean())
+                    if epochs
+                    else float(gaps[0]),
+                    gap_worst=float(gaps.max()),
+                    messages_per_epoch=float(msgs[1:].mean())
+                    if epochs
+                    else 0.0,
+                    churn_seconds=res.churn_seconds,
+                    complete=res.complete,
+                    failed_bins_worst=int(res.failed_bins.max()),
+                    lost_acks=res.lost_acks,
+                    faults=faults.describe() if faults else None,
+                    peak_rss_bytes=peak_rss_bytes(),
+                )
+            )
+    return records
+
+
+def adversarial_degradation(
+    records: Sequence[AdversarialBenchRecord],
+) -> dict[str, float]:
+    """Per-algorithm worst-gap degradation: adversarial / benign.
+
+    Returns ``{algorithm: ratio}`` for every algorithm with both
+    regimes present.  The benign denominator is floored at a tiny
+    positive value so a zero-gap benign run reads as a huge (finite)
+    ratio instead of dividing by zero.
+    """
+    by_algo: dict[str, dict[str, AdversarialBenchRecord]] = {}
+    for r in records:
+        by_algo.setdefault(r.algorithm, {})[r.regime] = r
+    out: dict[str, float] = {}
+    for algo, regimes in by_algo.items():
+        benign = regimes.get("benign")
+        adv = regimes.get("adversarial")
+        if benign is None or adv is None:
+            continue
+        out[algo] = adv.gap_worst / max(benign.gap_worst, 1e-9)
+    return out
+
+
+def render_adversarial_table(
+    records: Sequence[AdversarialBenchRecord],
+) -> str:
+    """Human-readable table of adversarial benchmark records."""
+    ratios = adversarial_degradation(records)
+    header = (
+        f"{'algorithm':14s} {'regime':11s} {'departures':16s} "
+        f"{'m':>10s} {'n':>6s} {'fill gap':>9s} {'worst gap':>10s} "
+        f"{'degrade':>8s} {'msg/epoch':>10s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        degrade = (
+            f"{ratios[r.algorithm]:7.1f}x"
+            if r.regime == "adversarial" and r.algorithm in ratios
+            else f"{'-':>8s}"
+        )
+        lines.append(
+            f"{r.algorithm:14s} {r.regime:11s} {r.departures:16s} "
+            f"{r.m:10,d} {r.n:6,d} {r.gap_fill:+9.2f} "
+            f"{r.gap_worst:+10.2f} {degrade} "
+            f"{r.messages_per_epoch:10,.0f}"
+        )
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)

@@ -190,6 +190,7 @@ def dynamic_combined(
     workload=None,
     mode: str = "aggregate",
     config: Optional[HeavyConfig] = None,
+    drain_settle: bool = False,
 ) -> DynamicPlacement:
     """Place a cohort with the Section 3 dispatch under residual loads.
 
@@ -239,6 +240,7 @@ def dynamic_combined(
         workload=workload,
         mode=mode,  # type: ignore[arg-type]
         config=config or HeavyConfig(),
+        drain_settle=drain_settle,
     )
     placement.extra["branch"] = "heavy"
     return placement

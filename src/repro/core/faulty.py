@@ -24,10 +24,20 @@ that grows with ``loss_prob`` but stays far below the naive baseline.
 This module is an extension beyond the paper (documented as such);
 ``crash_prob = loss_prob = 0`` reproduces ``run_heavy`` exactly in
 distribution.
+
+Beyond the one-shot ``run_heavy_faulty``, the module also owns
+:class:`FaultModel` — the declarative fault description the *dynamic*
+stack threads through ``repro.run_dynamic(fault_model=...)`` and
+``repro.AllocatorService(fault_model=...)``: bins failing and
+recovering between epochs (failed bins quarantined from new
+placements) and per-ack message loss (the same ghost-slot semantics
+as above, at epoch granularity).  See :mod:`repro.dynamic.faults` for
+the epoch-level engine and ``docs/dynamic.md`` for semantics.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -41,7 +51,139 @@ from repro.utils.seeding import RngFactory
 from repro.utils.validation import check_probability, ensure_m_n
 from repro.workloads import bind_workload
 
-__all__ = ["run_heavy_faulty"]
+__all__ = ["FaultModel", "parse_faults", "run_heavy_faulty"]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """A declarative fault regime for the dynamic/service stack.
+
+    Attributes
+    ----------
+    bin_fail_prob:
+        Per-epoch probability that each currently healthy bin fails.
+        A failed bin is *quarantined*: it receives no new placements
+        (its residents survive — a cordoned bin still serves what it
+        holds), so the survivors absorb its traffic share and the gap
+        inflates accordingly.
+    bin_recover_prob:
+        Per-epoch probability that each currently failed bin recovers
+        (re-enters the placement pool the same epoch).
+    loss_prob:
+        Per-ball probability that a placement *ack* is lost.  The bin
+        keeps the reserved slot as a ghost for the rest of the epoch
+        (it cannot distinguish a lost ack from a silent ball — the
+        ``run_heavy_faulty`` semantics at epoch granularity) while the
+        ball retries against the ghost-inflated loads.  Ghost
+        reservations expire at the epoch boundary.
+    max_failed_frac:
+        Hard cap on the fraction of simultaneously failed bins; fail
+        draws beyond it are suppressed (at least one bin always stays
+        alive), so a placement target always exists.
+
+    The all-zero model is *bitwise-identical* to ``fault_model=None``:
+    every fault draw is gated on its probability being positive, so a
+    zero-probability regime consumes no randomness (pinned by the
+    adversarial determinism tests).
+    """
+
+    bin_fail_prob: float = 0.0
+    bin_recover_prob: float = 0.0
+    loss_prob: float = 0.0
+    max_failed_frac: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_probability(self.bin_fail_prob, "bin_fail_prob")
+        check_probability(self.bin_recover_prob, "bin_recover_prob")
+        check_probability(self.loss_prob, "loss_prob")
+        if not (0.0 <= self.max_failed_frac < 1.0):
+            raise ValueError(
+                f"max_failed_frac must lie in [0, 1), got "
+                f"{self.max_failed_frac}"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        """True when the model injects nothing (≡ ``fault_model=None``)."""
+        return (
+            self.bin_fail_prob == 0.0
+            and self.bin_recover_prob == 0.0
+            and self.loss_prob == 0.0
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.bin_fail_prob:
+            parts.append(
+                f"bin_fail={self.bin_fail_prob:g}"
+                f"/recover={self.bin_recover_prob:g}"
+            )
+        if self.loss_prob:
+            parts.append(f"loss={self.loss_prob:g}")
+        return "+".join(parts) if parts else "none"
+
+    def to_dict(self) -> dict:
+        return {
+            "bin_fail_prob": self.bin_fail_prob,
+            "bin_recover_prob": self.bin_recover_prob,
+            "loss_prob": self.loss_prob,
+            "max_failed_frac": self.max_failed_frac,
+        }
+
+
+#: CLI spelling aliases for :func:`parse_faults` keys.
+_FAULT_KEYS = {
+    "bin_fail": "bin_fail_prob",
+    "fail": "bin_fail_prob",
+    "bin_fail_prob": "bin_fail_prob",
+    "recover": "bin_recover_prob",
+    "bin_recover": "bin_recover_prob",
+    "bin_recover_prob": "bin_recover_prob",
+    "loss": "loss_prob",
+    "loss_prob": "loss_prob",
+    "max_failed": "max_failed_frac",
+    "max_failed_frac": "max_failed_frac",
+}
+
+
+def parse_faults(text: Optional[str]) -> Optional[FaultModel]:
+    """Parse a ``key=value`` fault spec string into a :class:`FaultModel`.
+
+    Grammar: comma-separated ``key=float`` pairs, e.g.
+    ``"bin_fail=0.02,recover=0.5,loss=0.05"``.  Accepted keys:
+    ``bin_fail``/``fail``, ``recover``, ``loss``, ``max_failed`` (plus
+    their full field-name spellings).  ``None``, ``""`` and ``"none"``
+    mean no fault injection.
+    """
+    if text is None:
+        return None
+    text = text.strip()
+    if not text or text.lower() == "none":
+        return None
+    kwargs: dict = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(
+                f"bad fault spec part {part!r}: expected key=value "
+                f"(keys: {', '.join(sorted(set(_FAULT_KEYS)))})"
+            )
+        key, _, value = part.partition("=")
+        field = _FAULT_KEYS.get(key.strip().lower())
+        if field is None:
+            raise ValueError(
+                f"unknown fault key {key.strip()!r}; expected one of "
+                f"{', '.join(sorted(set(_FAULT_KEYS)))}"
+            )
+        try:
+            kwargs[field] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"bad fault value {value!r} for key {key.strip()!r}"
+            ) from None
+    return FaultModel(**kwargs)
 
 
 @register_allocator(

@@ -630,6 +630,7 @@ def dynamic_heavy(
     config: HeavyConfig = HeavyConfig(),
     handoff: bool = True,
     settle_rounds: int = 2,
+    drain_settle: bool = False,
     chunk_size: Optional[int] = None,
     buffers: Optional[RoundBuffers] = None,
 ) -> DynamicPlacement:
@@ -652,6 +653,20 @@ def dynamic_heavy(
     for a fraction of the light protocol's per-ball cost; the load
     guarantee is untouched (the cap never exceeds the average, and
     ``A_light`` still bounds whatever remains by ``+2g``).
+
+    ``drain_settle`` lifts the settle-round cap to ``max(settle_rounds,
+    4n)`` with an early exit after 8 consecutive no-progress rounds.
+    The phase-2 handoff is load-*oblivious* (correct on a fresh fill,
+    where the threshold rounds leave the bins level by construction),
+    so when an adversary has skewed the residual loads — drained a few
+    bins far below the average — a fixed two-round settle hands a large
+    straggler mass to ``A_light``, which then ratchets the maximum up
+    every epoch.  Draining the settle phase keeps every cohort ball
+    below the population-average cap whenever capacity for it exists;
+    the dynamic runner turns this on automatically for adversarial and
+    fault-injected regimes.  Settle draws come from the dedicated
+    ``("dynamic", "settle")`` streams, so the default-off path is
+    bitwise-unchanged.
 
     With ``settle_rounds=0``, all-zero ``initial_loads``, and
     ``m >= n`` this is exactly ``run_heavy(m, n, seed=seed,
@@ -726,7 +741,7 @@ def dynamic_heavy(
         "phase2_rounds": 0,
     }
 
-    if unplaced > 0 and settle_rounds > 0:
+    if unplaced > 0 and (settle_rounds > 0 or drain_settle):
         settle_threshold = math.ceil(total / n)
         settle_weights = (
             bound.weights[straggler_ids]
@@ -748,7 +763,12 @@ def dynamic_heavy(
         )
         settle_rng = factory.stream("dynamic", "settle")
         settle_accept = factory.stream("dynamic", "settle", "accept")
-        while state.active_count > 0 and state.rounds < settle_rounds:
+        settle_cap = (
+            max(settle_rounds, 4 * n) if drain_settle else settle_rounds
+        )
+        stale = 0
+        prev_active = state.active_count
+        while state.active_count > 0 and state.rounds < settle_cap:
             capacity = np.maximum(
                 bound.capacities(settle_threshold) - state.loads, 0
             )
@@ -761,6 +781,17 @@ def dynamic_heavy(
             state.commit_and_revoke(
                 batch, decision, threshold=settle_threshold
             )
+            if drain_settle:
+                # Skewed contact distributions can aim every draw at
+                # capacity-less bins; stop paying messages once the
+                # drain stops making progress.
+                if state.active_count == prev_active:
+                    stale += 1
+                    if stale >= 8:
+                        break
+                else:
+                    stale = 0
+                    prev_active = state.active_count
         # ``state`` copied ``loads`` at construction, so this is a
         # private array already; widen narrow-policy loads to int64.
         loads = state.loads.astype(np.int64, copy=False)

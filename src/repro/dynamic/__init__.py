@@ -18,6 +18,7 @@ the ``dynamic`` capability column).  ``docs/dynamic.md`` documents the
 epoch model and the capability matrix.
 """
 
+from repro.dynamic.faults import FaultState, place_with_loss
 from repro.dynamic.placement import DynamicPlacement
 from repro.dynamic.runner import (
     DynamicResult,
@@ -33,7 +34,9 @@ __all__ = [
     "DynamicResult",
     "DynamicSpec",
     "EpochRecord",
+    "FaultState",
     "ResidentState",
+    "place_with_loss",
     "run_dynamic",
     "run_dynamic_many",
 ]

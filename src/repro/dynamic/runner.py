@@ -35,6 +35,7 @@ fresh one-shot run exactly.
 from __future__ import annotations
 
 import dataclasses
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -47,11 +48,18 @@ from repro.api.spec import (
     get_spec,
     list_allocators,
 )
+from repro.core.faulty import FaultModel
+from repro.dynamic.faults import FaultState, place_with_loss
 from repro.dynamic.spec import DynamicSpec
 from repro.dynamic.state import ResidentState
 from repro.fastpath.buffers import RoundBuffers
 from repro.utils.seeding import RngFactory, as_seed_sequence
-from repro.workloads import WorkloadError, as_workload
+from repro.workloads import (
+    Workload,
+    WorkloadError,
+    as_time_varying,
+    as_workload,
+)
 
 __all__ = ["DynamicResult", "EpochRecord", "run_dynamic", "run_dynamic_many"]
 
@@ -84,6 +92,10 @@ class EpochRecord:
     max_load: int
     gap: float
     seconds: float
+    #: Bins quarantined during this epoch (fault injection; 0 benign).
+    failed_bins: int = 0
+    #: Placement acks lost this epoch (fault injection; 0 benign).
+    lost_acks: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -99,6 +111,8 @@ class EpochRecord:
             "max_load": self.max_load,
             "gap": self.gap,
             "seconds": self.seconds,
+            "failed_bins": self.failed_bins,
+            "lost_acks": self.lost_acks,
         }
 
 
@@ -184,6 +198,16 @@ class DynamicResult:
     @property
     def departures(self) -> np.ndarray:
         return self._vector("departures")
+
+    @property
+    def failed_bins(self) -> np.ndarray:
+        """Quarantined bins per epoch (all zero without fault injection)."""
+        return self._vector("failed_bins")
+
+    @property
+    def lost_acks(self) -> int:
+        """Total placement acks lost to fault injection across the run."""
+        return int(self._vector("lost_acks").sum())
 
     @property
     def total_messages(self) -> int:
@@ -319,6 +343,19 @@ def _resolve_workload(spec, entry, workload):
     return wl
 
 
+def _attack_workload(loads: np.ndarray, hot_frac: float) -> Workload:
+    """The hotset adversary's contact distribution: the arriving
+    cohort's contacts land uniformly on the currently hottest
+    ``hot_frac`` fraction of bins (ties broken by bin index, so the
+    target set is deterministic in the loads)."""
+    n = loads.size
+    n_hot = max(1, min(n - 1, math.ceil(hot_frac * n))) if n > 1 else n
+    order = np.argsort(-loads, kind="stable")
+    p = np.zeros(n, dtype=np.float64)
+    p[order[:n_hot]] = 1.0 / n_hot
+    return Workload.explicit(p)
+
+
 def run_dynamic(
     algorithm: str,
     m: int,
@@ -335,6 +372,8 @@ def run_dynamic(
     burst_factor: float = 4.0,
     hot_frac: float = 0.1,
     workload=None,
+    time_workload=None,
+    fault_model=None,
     backend: Optional[str] = None,
     **options: Any,
 ) -> DynamicResult:
@@ -365,6 +404,19 @@ def run_dynamic(
         drawn from: choice skew and capacity profiles are honored by
         every adapter; weighted balls are rejected (departures are
         count-based).
+    time_workload:
+        Optional :class:`~repro.workloads.TimeVaryingWorkload` (or
+        spec string, e.g. ``"drift:1:2"`` / ``"flash:4:100"``): the
+        arriving cohorts' workload varies with the epoch index (skew
+        drift, flash crowds).  Mutually exclusive with ``workload``
+        and with ``arrivals="hotset_adversary"`` (each owns the
+        contact distribution).
+    fault_model:
+        Optional :class:`~repro.core.faulty.FaultModel`: bins fail and
+        recover at epoch boundaries (failed bins quarantined from new
+        placements), and placement acks are lost with ghost-slot
+        retries.  ``None`` (and the all-zero model, bitwise) keeps the
+        benign path untouched.  Incremental rebalancing only.
     backend:
         Kernel backend name pinned for every epoch's placement
         (:mod:`repro.fastpath.backend`); ``None`` keeps the ambient
@@ -402,6 +454,44 @@ def run_dynamic(
             burst_factor=burst_factor,
             hot_frac=hot_frac,
         )
+    tv = as_time_varying(time_workload)
+    if tv is not None and wl is not None:
+        raise ValueError(
+            "workload and time_workload are mutually exclusive: a "
+            "time-varying workload replaces the static cohort workload "
+            "epoch by epoch"
+        )
+    if spec.arrivals == "hotset_adversary" and (
+        wl is not None or tv is not None
+    ):
+        raise ValueError(
+            "hotset_adversary arrivals own the cohort contact "
+            "distribution (aimed at the currently hottest bins every "
+            "epoch); they cannot combine with workload= or "
+            "time_workload="
+        )
+    if fault_model is not None and spec.rebalance != "incremental":
+        raise ValueError(
+            "fault injection supports incremental rebalancing only: "
+            "the full_rerun oracle re-places the whole population, "
+            "which has no per-epoch quarantine/ghost semantics "
+            f"(got rebalance={spec.rebalance!r})"
+        )
+    fault = FaultState(n, fault_model) if fault_model is not None else None
+    degraded = (
+        spec.arrivals == "hotset_adversary"
+        or spec.departures == "greedy_adversary"
+        or (fault_model is not None and not fault_model.is_null)
+    )
+    if degraded and "drain_settle" in entry.options:
+        # Adversarially skewed residuals break the fresh-fill premise
+        # of the load-oblivious phase-2 handoff: let the settle phase
+        # drain the cohort below the population-average cap instead of
+        # handing a large straggler mass to A_light (graceful
+        # degradation; see dynamic_heavy).  Benign specs never reach
+        # here, so the default path stays bitwise-unchanged.
+        options = dict(options)
+        options.setdefault("drain_settle", True)
     root = as_seed_sequence(seed)
     entropy = tuple(RngFactory(root).root_entropy)
     # Two independent children per epoch: [control, placement].  The
@@ -412,30 +502,80 @@ def run_dynamic(
     records: list[EpochRecord] = []
     history = np.zeros((spec.epochs + 1, n), dtype=np.int64)
 
-    def _place(cohort: int, initial: np.ndarray, place_seed):
+    def _place(cohort: int, initial: np.ndarray, place_seed, epoch_wl):
         from repro.fastpath.backend import use_backend
 
         kwargs = dict(options)
-        if entry.workload_capable and wl is not None:
-            kwargs["workload"] = wl
-        start = time.perf_counter()
+        if entry.workload_capable and epoch_wl is not None:
+            kwargs["workload"] = epoch_wl
         # Every epoch's placement runs on the pinned kernel backend
         # (value-identical across backends; wall clock only).
         with use_backend(backend):
-            placement = entry.runner(
+            return entry.runner(
                 cohort, n, initial_loads=initial, seed=place_seed, **kwargs
             )
-        elapsed = time.perf_counter() - start
-        return placement, elapsed
+
+    def _epoch_workload(epoch: int):
+        """The cohort workload for one epoch — static, time-varying,
+        or the hotset attack — quarantined around failed bins."""
+        if spec.arrivals == "hotset_adversary" and epoch > 0:
+            # The fill is unattacked (every bin is equally cold); the
+            # attack re-aims at the hottest bins each churn epoch,
+            # post-departure — the adaptive adversary.
+            epoch_wl = _attack_workload(residents.loads, spec.hot_frac)
+        elif tv is not None:
+            epoch_wl = tv.workload_at(epoch, spec.epochs, n)
+        else:
+            epoch_wl = wl
+        if fault is not None:
+            epoch_wl = fault.quarantined(epoch_wl, n)
+        return epoch_wl
+
+    def _execute(cohort: int, initial: np.ndarray, place_seed, ctrl):
+        """One cohort placement, with ack-loss retries when modeled.
+        Returns (per-bin acked counts, (placed, unplaced, rounds,
+        messages, lost_acks), seconds)."""
+        epoch_wl = _epoch_workload(len(records))
+        start = time.perf_counter()
+        if fault is not None and fault.model.loss_prob > 0:
+            out = place_with_loss(
+                lambda c, i, s: _place(c, i, s, epoch_wl),
+                cohort,
+                initial,
+                place_seed,
+                fault.model.loss_prob,
+                ctrl.stream("dynamic", "loss"),
+            )
+            fault.lost_acks += out.lost_acks
+            counts = out.cohort
+            stats = (
+                out.placed,
+                out.unplaced,
+                out.rounds,
+                out.messages,
+                out.lost_acks,
+            )
+        else:
+            placement = _place(cohort, initial, place_seed, epoch_wl)
+            counts = placement.loads.astype(np.int64) - initial
+            stats = (
+                placement.placed,
+                placement.unplaced,
+                placement.rounds,
+                placement.total_messages,
+                0,
+            )
+        return counts, stats, time.perf_counter() - start
 
     def _record(
         epoch: int,
         arrived: int,
         departed: int,
-        placement,
+        stats: tuple,
         moved: int,
         seconds: float,
     ) -> None:
+        placed, unplaced, rounds, messages, lost = stats
         current = residents.loads
         population = int(current.sum())
         max_load = int(current.max(initial=0))
@@ -444,30 +584,41 @@ def run_dynamic(
                 epoch=epoch,
                 arrivals=arrived,
                 departures=departed,
-                placed=0 if placement is None else placement.placed,
-                unplaced=0 if placement is None else placement.unplaced,
+                placed=placed,
+                unplaced=unplaced,
                 moved=moved,
-                rounds=0 if placement is None else placement.rounds,
-                messages=(
-                    0 if placement is None else placement.total_messages
-                ),
+                rounds=rounds,
+                messages=messages,
                 population=population,
                 max_load=max_load,
                 gap=max_load - population / n if population else 0.0,
                 seconds=seconds,
+                failed_bins=fault.failed_count if fault is not None else 0,
+                lost_acks=lost,
             )
         )
         history[epoch] = current
 
     # -- epoch 0: the initial fill --------------------------------------
-    placement, elapsed = _place(m, np.zeros(n, dtype=np.int64), children[1])
-    residents.add_cohort(0, placement.loads)
-    _record(0, m, 0, placement, placement.placed, elapsed)
+    fill_ctrl = RngFactory(children[0])
+    if fault is not None:
+        fault.step(fill_ctrl.stream("dynamic", "faults"))
+    counts, stats, elapsed = _execute(
+        m, np.zeros(n, dtype=np.int64), children[1], fill_ctrl
+    )
+    residents.add_cohort(0, counts)
+    _record(0, m, 0, stats, stats[0], elapsed)
 
     # -- churn epochs ---------------------------------------------------
     for epoch in range(1, spec.epochs + 1):
         ctrl = RngFactory(children[2 * epoch])
         place_seed = children[2 * epoch + 1]
+        if fault is not None:
+            # Fail/recover transitions at the epoch boundary, from the
+            # control child's own "faults" stream (independent of the
+            # arrival/departure streams by construction, so the benign
+            # draws are unperturbed).
+            fault.step(ctrl.stream("dynamic", "faults"))
         if spec.arrivals == "poisson":
             count = spec.arrival_count(
                 epoch, m, ctrl.stream("dynamic", "arrivals")
@@ -482,7 +633,7 @@ def run_dynamic(
         if count == 0:
             # A zero-churn epoch is a strict no-op: no departure draw,
             # no placement, bitwise-stable loads.
-            _record(epoch, 0, 0, None, 0, 0.0)
+            _record(epoch, 0, 0, (0, 0, 0, 0, 0), 0, 0.0)
             continue
         departing = count
         residents.depart(
@@ -493,14 +644,17 @@ def run_dynamic(
         )
         base = residents.loads
         if spec.rebalance == "incremental":
-            placement, elapsed = _place(count, base, place_seed)
-            residents.add_cohort(epoch, placement.loads - base)
-            moved = placement.placed
+            counts, stats, elapsed = _execute(count, base, place_seed, ctrl)
+            residents.add_cohort(epoch, counts)
+            moved = stats[0]
         else:  # full_rerun: the oracle re-places the whole population
             total = residents.population + count
-            placement, elapsed = _place(
-                total, np.zeros(n, dtype=np.int64), place_seed
+            epoch_wl = _epoch_workload(epoch)
+            start = time.perf_counter()
+            placement = _place(
+                total, np.zeros(n, dtype=np.int64), place_seed, epoch_wl
             )
+            elapsed = time.perf_counter() - start
             # The arriving cohort joins before the reshuffle so its
             # balls get bin positions (and ages) like everyone else's;
             # its pre-reshuffle bin composition is a placeholder.
@@ -511,27 +665,53 @@ def run_dynamic(
                 placement.loads, ctrl.stream("dynamic", "reshuffle")
             )
             moved = placement.placed
-        _record(epoch, count, departing, placement, moved, elapsed)
+            stats = (
+                placement.placed,
+                placement.unplaced,
+                placement.rounds,
+                placement.total_messages,
+                0,
+            )
+        _record(epoch, count, departing, stats, moved, elapsed)
 
+    extra: dict = {"options": sorted(options)}
+    if fault is not None:
+        extra["faults"] = fault.to_dict()
+    if tv is not None:
+        extra["time_workload"] = tv.to_dict()
     return DynamicResult(
         algorithm=alloc_spec.name,
         m=m,
         n=n,
         spec=spec,
-        workload=wl.describe() if wl is not None else None,
+        workload=(
+            wl.describe()
+            if wl is not None
+            else (tv.describe() if tv is not None else None)
+        ),
         records=records,
         loads=residents.loads,
         loads_history=history,
         seed_entropy=entropy,
-        extra={"options": sorted(options)},
+        extra=extra,
     )
 
 
 def _dynamic_task(args: tuple) -> DynamicResult:
     """Module-level worker entry (picklable for process pools)."""
-    algorithm, m, n, child, spec, workload, options = args
+    algorithm, m, n, child, spec, workload, time_workload, fault, options = (
+        args
+    )
     return run_dynamic(
-        algorithm, m, n, seed=child, spec=spec, workload=workload, **options
+        algorithm,
+        m,
+        n,
+        seed=child,
+        spec=spec,
+        workload=workload,
+        time_workload=time_workload,
+        fault_model=fault,
+        **options,
     )
 
 
@@ -545,6 +725,8 @@ def run_dynamic_many(
     workers: Optional[int] = None,
     spec: Optional[DynamicSpec] = None,
     workload=None,
+    time_workload=None,
+    fault_model=None,
     **kwargs: Any,
 ) -> list[DynamicResult]:
     """Repeat a dynamic run over independent seed-spawned streams.
@@ -571,7 +753,17 @@ def run_dynamic_many(
             kwargs.pop(k, None)
     children = as_seed_sequence(seed).spawn(repeats)
     tasks = [
-        (algorithm, m, n, child, spec, workload, dict(kwargs))
+        (
+            algorithm,
+            m,
+            n,
+            child,
+            spec,
+            workload,
+            time_workload,
+            fault_model,
+            dict(kwargs),
+        )
         for child in children
     ]
     if workers is not None and workers > 1 and len(tasks) > 1:

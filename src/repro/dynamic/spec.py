@@ -6,13 +6,19 @@ A :class:`DynamicSpec` describes one churn regime the epoch runner
 
 * **arrival process** — how many balls arrive per epoch: ``fixed``
   (exactly the churn rate's worth), ``poisson`` (a Poisson draw with
-  that mean), or ``bursty`` (a deterministic lull/burst cycle with the
-  same long-run mean);
+  that mean), ``bursty`` (a deterministic lull/burst cycle with the
+  same long-run mean), or ``hotset_adversary`` (fixed-size cohorts
+  whose *contact distributions* are concentrated on the currently
+  hottest ``hot_frac`` fraction of bins — the adaptive-attacker
+  arrival process; see ``docs/dynamic.md``);
 * **departure policy** — which resident balls leave: ``uniform``
   (uniformly at random over all residents), ``fifo`` (oldest cohorts
-  first — the age-ordered job-queue regime), or ``hotset``
+  first — the age-ordered job-queue regime), ``hotset``
   (preferentially from the currently hottest bins — correlated
-  departures, the cache-invalidation regime);
+  departures, the cache-invalidation regime), or ``greedy_adversary``
+  (the gap-maximizing attacker: drain the lightest bins level by
+  level, never touching the maximum, so the mean sinks while the max
+  stands);
 * **epoch count and churn rate** — each epoch turns over
   ``churn * m`` balls (departures and arrivals are count-matched, so
   the population stays pinned at ``m`` and the per-epoch gap series is
@@ -39,10 +45,13 @@ __all__ = [
     "DynamicSpec",
 ]
 
-#: Accepted arrival-process kinds.
-ARRIVAL_KINDS = ("fixed", "poisson", "bursty")
-#: Accepted departure-policy kinds.
-DEPARTURE_KINDS = ("uniform", "fifo", "hotset")
+#: Accepted arrival-process kinds (``hotset_adversary`` is the
+#: adaptive attack: fixed cohort sizes, contacts aimed at the
+#: currently hottest bins).
+ARRIVAL_KINDS = ("fixed", "poisson", "bursty", "hotset_adversary")
+#: Accepted departure-policy kinds (``greedy_adversary`` is the
+#: gap-maximizing attack: drain the lightest bins first).
+DEPARTURE_KINDS = ("uniform", "fifo", "hotset", "greedy_adversary")
 #: Accepted rebalance strategies.
 REBALANCE_KINDS = ("incremental", "full_rerun")
 
@@ -60,7 +69,11 @@ class DynamicSpec:
         population ``m`` (0 <= churn <= 1; 0 makes every epoch a
         no-op, 1 replaces the entire population each epoch).
     arrivals:
-        Arrival process (``fixed``/``poisson``/``bursty``).
+        Arrival process (``fixed``/``poisson``/``bursty``/
+        ``hotset_adversary``).  The adversarial process sizes cohorts
+        like ``fixed``; the runner aims each cohort's contact
+        distribution at the currently hottest ``hot_frac`` fraction of
+        bins.
     burst_every:
         Bursty arrivals: cycle length — every ``burst_every``-th epoch
         is a burst.
@@ -69,11 +82,14 @@ class DynamicSpec:
         lull rate; the lull rate is scaled so the long-run mean stays
         at ``churn * m`` per epoch.
     departures:
-        Departure policy (``uniform``/``fifo``/``hotset``).
+        Departure policy (``uniform``/``fifo``/``hotset``/
+        ``greedy_adversary``).  The adversarial policy drains the
+        lightest bins level by level (gap-maximizing, deterministic up
+        to cohort splits).
     hot_frac:
-        Hotset departures: the fraction of currently hottest bins the
-        departures are drawn from (falling back to the remaining bins
-        only when the hot set holds fewer residents than must leave).
+        Hotset departures and hotset-adversary arrivals: the fraction
+        of currently hottest bins the policy targets (departures drawn
+        from it, or attack contacts concentrated on it).
     rebalance:
         ``incremental`` or ``full_rerun`` (the all-moves oracle).
     """
@@ -139,7 +155,10 @@ class DynamicSpec:
         if epoch < 1:
             raise ValueError(f"epoch must be >= 1, got {epoch}")
         rate = self.churn * m
-        if self.arrivals == "fixed":
+        if self.arrivals in ("fixed", "hotset_adversary"):
+            # The adversary controls *where* contacts aim, not how
+            # many balls arrive: cohort sizes stay deterministic so
+            # attacked and benign runs are count-matched.
             return int(round(rate))
         if self.arrivals == "poisson":
             if rng is None:
@@ -166,6 +185,8 @@ class DynamicSpec:
             parts.append(
                 f"burst={self.burst_factor:g}x/{self.burst_every}"
             )
+        if self.arrivals == "hotset_adversary":
+            parts.append(f"hot_frac={self.hot_frac:g}")
         parts.append(f"departures={self.departures}")
         if self.departures == "hotset":
             parts.append(f"hot_frac={self.hot_frac:g}")

@@ -12,7 +12,15 @@ information the departure policies need:
   boundary cohort (hypergeometrically over its bins);
 * ``hotset`` departures drain the currently hottest bins first —
   uniformly among the residents of the top ``hot_frac`` fraction of
-  bins, falling back to the cold bins only when the hot set runs out.
+  bins, falling back to the cold bins only when the hot set runs out;
+* ``greedy_adversary`` departures drain the *lightest* bins level by
+  level — the gap-maximizing attack: the maximum load is never
+  touched while the mean sinks, so each epoch of churn widens the gap
+  by the full departure volume spread over the valley floor.  The
+  drain order is deterministic given the loads (ties at the boundary
+  level split by :func:`repro.lowerbound.adversary.spread_budget`);
+  randomness is spent only on splitting partially drained bins across
+  cohorts.
 
 Every draw comes from the caller-supplied generator (one spawned
 control stream per epoch), so a dynamic run replays bitwise from its
@@ -142,6 +150,44 @@ class ResidentState:
                 taken[:, cold] = rng.multivariate_hypergeometric(
                     matrix[:, cold].ravel(), k_cold
                 ).reshape(matrix.shape[0], cold.size)
+        elif policy == "greedy_adversary":
+            # Gap-maximizing drain: empty the lightest bins level by
+            # level, apportioning the boundary level's budget across
+            # its tied bins with the adversaries' largest-remainder
+            # spreader.  The maximum bin is never touched (unless the
+            # budget consumes the whole population), so the mean falls
+            # while the max stands — the worst case for the gap.
+            from repro.lowerbound.adversary import spread_budget
+
+            per_bin = np.zeros(self.n, dtype=np.int64)
+            remaining = k
+            for level in np.unique(self._loads[self._loads > 0]):
+                bins = np.flatnonzero(self._loads == level)
+                level_total = int(level) * bins.size
+                if level_total <= remaining:
+                    per_bin[bins] = level
+                    remaining -= level_total
+                    if remaining == 0:
+                        break
+                else:
+                    per_bin[bins] = spread_budget(
+                        remaining, np.ones(bins.size)
+                    )
+                    remaining = 0
+                    break
+            taken = np.zeros_like(matrix)
+            # Randomness only splits partially drained bins across
+            # cohorts (which balls of a bin leave is exchangeable);
+            # the per-bin drain itself is deterministic in the loads.
+            for b in np.flatnonzero(per_bin):
+                column = matrix[:, b]
+                q = int(per_bin[b])
+                if q == int(column.sum()):
+                    taken[:, b] = column
+                else:
+                    taken[:, b] = rng.multivariate_hypergeometric(
+                        column, q
+                    )
         else:
             raise ValueError(f"unknown departure policy {policy!r}")
         return self._apply_departures(taken)

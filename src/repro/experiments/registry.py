@@ -16,7 +16,7 @@ from repro.experiments.exp_misc import (
     exp_t7,
     exp_t8,
 )
-from repro.experiments.exp_dynamic import exp_d1
+from repro.experiments.exp_dynamic import exp_d1, exp_d2
 from repro.experiments.exp_replication import exp_r1
 from repro.experiments.exp_workloads import exp_w1
 from repro.experiments.report import ExperimentReport
@@ -54,6 +54,7 @@ EXPERIMENTS: dict[str, ExperimentFn] = {
     "W1": exp_w1,
     "R1": exp_r1,
     "D1": exp_d1,
+    "D2": exp_d2,
 }
 
 

@@ -38,6 +38,7 @@ from repro.utils.validation import ensure_m_n
 
 __all__ = [
     "ThresholdAdversary",
+    "spread_budget",
     "uniform_adversary",
     "two_tier_adversary",
     "dyadic_adversary",
@@ -86,9 +87,15 @@ class ThresholdAdversary:
         return out
 
 
-def _spread_budget(budget: int, weights: np.ndarray) -> np.ndarray:
+def spread_budget(budget: int, weights: np.ndarray) -> np.ndarray:
     """Integer apportionment of ``budget`` proportional to ``weights``
-    (largest-remainder method), exact to the unit."""
+    (largest-remainder method), exact to the unit.
+
+    Shared by the threshold adversaries below and by the dynamic
+    subsystem's ``greedy_adversary`` departure policy
+    (:meth:`repro.dynamic.ResidentState.depart`), which apportions its
+    drain budget across the tied lightest bins with it.
+    """
     weights = np.maximum(np.asarray(weights, dtype=np.float64), 0.0)
     total_w = weights.sum()
     if total_w <= 0:
@@ -101,6 +108,10 @@ def _spread_budget(budget: int, weights: np.ndarray) -> np.ndarray:
         order = np.argsort(raw - base)[::-1]
         base[order[:shortfall]] += 1
     return base
+
+
+#: Backward-compatible private alias (pre-PR-9 internal name).
+_spread_budget = spread_budget
 
 
 def _uniform(m_balls, n, extra, rng):

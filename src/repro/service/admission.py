@@ -16,9 +16,13 @@ before it may enqueue.  Three decisions come back:
   on gap emergency: the observed gap crossed ``shed_gap``, so adding
   balls before the backlog drains would dig the SLO hole deeper.
 
-Releases are never shed by the gap controller — departures *reduce*
-load — but they do respect queue capacity (a full queue sheds both
-kinds; the overflow counter records which).
+Releases are never shed at all — departures *reduce* load, and a
+shed release would leak occupancy forever (the resident population
+would permanently exceed what the outside world believes is in the
+system).  They spill past the queue capacity bound instead: capacity
+is backpressure on *work admitted*, and a release is bookkeeping that
+shrinks the system.  Before PR 9 a full queue shed both kinds — the
+occupancy-leak bug the release-spill regression test pins.
 
 The :class:`GapSloController` holds the feedback state: the last
 observed gap and message cost update a batch-widening multiplier
@@ -136,13 +140,15 @@ class GapSloController:
         """Admission decision for one incoming event.
 
         ``queue`` is the service's :class:`~repro.service.events
-        .EventQueue`; capacity overflow sheds regardless of kind.
+        .EventQueue`; capacity overflow sheds places (releases spill
+        past the bound — shedding one would leak occupancy forever).
         """
+        if kind == "release":
+            # Departures always help the gap and their loss is
+            # unrecoverable; they are accepted unconditionally.
+            return ACCEPT
         if queue.pending + count > queue.capacity:
             return SHED
-        if kind == "release":
-            # Departures always help the gap; only capacity limits them.
-            return ACCEPT
         slo = self.policy.gap_slo
         if slo is not None and self.last_gap is not None:
             if self.last_gap > slo + self.policy.shed_headroom:

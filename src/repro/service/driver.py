@@ -128,6 +128,7 @@ def simulate_service(
     max_queue: Optional[int] = None,
     policy: Optional[AdmissionPolicy] = None,
     workload=None,
+    fault_model=None,
     **options: Any,
 ) -> ServiceReport:
     """Drive a service with a ``DynamicSpec``-derived open-loop stream.
@@ -141,6 +142,9 @@ def simulate_service(
     must be deterministic (``fixed``/``bursty``): a Poisson count is
     drawn *inside* a ``run_dynamic`` epoch from the control stream,
     which an open-loop driver cannot consult before submitting.
+    ``fault_model`` threads a :class:`~repro.core.faulty.FaultModel`
+    to the service (bin failures quarantined per batch, ack loss with
+    ghost retries — see ``docs/service.md``).
 
     Returns a :class:`ServiceReport`; ``report.extra["service"]``
     holds the trace length and final queue state.
@@ -163,6 +167,15 @@ def simulate_service(
             "processes only (fixed/bursty): a Poisson cohort size is "
             "drawn from the epoch's control stream inside run_dynamic, "
             "which a driver cannot consult before submitting events"
+        )
+    if spec.arrivals == "hotset_adversary":
+        raise ValueError(
+            "the open-loop driver cannot run hotset_adversary "
+            "arrivals: the attack's per-epoch contact distribution is "
+            "built from the resident loads inside run_dynamic; use "
+            "repro.run_dynamic(arrivals='hotset_adversary') — the "
+            "service still degrades under attack via "
+            "departures='greedy_adversary' and fault_model="
         )
     if spec.rebalance != "incremental":
         raise ValueError(
@@ -188,6 +201,7 @@ def simulate_service(
         departures=spec.departures,
         hot_frac=spec.hot_frac,
         workload=workload,
+        fault_model=fault_model,
         **options,
     )
     wall_start = time.perf_counter()

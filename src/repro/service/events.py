@@ -177,9 +177,15 @@ class EventQueue:
         return self._pending + event.count <= self.capacity
 
     def push(self, event: Event) -> None:
-        """Enqueue; raises ``OverflowError`` when capacity is exceeded
-        (the admission policy sheds before this triggers)."""
-        if not self.fits(event):
+        """Enqueue; raises ``OverflowError`` when a **place** would
+        exceed capacity (the admission policy sheds before this
+        triggers).  **Releases spill past the bound**: a departure
+        strictly reduces load, and shedding one would leak its balls'
+        occupancy forever — the resident population would permanently
+        exceed what the outside world believes is in the system.  The
+        capacity is a backpressure bound on *work admitted*, not on
+        bookkeeping that shrinks the system."""
+        if event.kind != "release" and not self.fits(event):
             raise OverflowError(
                 f"queue over capacity: {self._pending} pending + "
                 f"{event.count} > {self.capacity}"

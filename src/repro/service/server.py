@@ -46,6 +46,7 @@ from repro.dynamic.runner import (
     _resolve_entry,
     _resolve_workload,
 )
+from repro.dynamic.faults import FaultState, place_with_loss
 from repro.dynamic.spec import DEPARTURE_KINDS
 from repro.dynamic.state import ResidentState
 from repro.fastpath.buffers import RoundBuffers
@@ -105,6 +106,10 @@ class BatchRecord:
     latency_mean: float
     latency_max: float
     seconds: float
+    #: Bins quarantined during this batch (fault injection; 0 benign).
+    failed_bins: int = 0
+    #: Placement acks lost this batch (fault injection; 0 benign).
+    lost_acks: int = 0
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -137,6 +142,10 @@ class ServiceStats:
     latency_mean: float
     latency_max: float
     complete: bool
+    #: Currently quarantined bins (fault injection; 0 benign).
+    failed_bins: int = 0
+    #: Total placement acks lost to fault injection.
+    lost_acks: int = 0
 
     @property
     def processed_ops(self) -> int:
@@ -194,6 +203,16 @@ class AllocatorService:
         (:mod:`repro.fastpath.backend`); ``None`` keeps the ambient
         selection.  Value-identical across backends, so flushes still
         match ``run_dynamic`` epochs bitwise.
+    fault_model:
+        Optional :class:`~repro.core.faulty.FaultModel`: bins fail and
+        recover at batch boundaries (failed bins quarantined from new
+        placements — their residents stay, survivors absorb the
+        traffic), and placement acks are lost with ghost-slot retries.
+        The fault-inflated gap feeds the admission controller like any
+        other gap, so the service widens/sheds instead of crashing —
+        graceful degradation.  ``None`` (and the all-zero model,
+        bitwise) keeps the benign path untouched, including the
+        flush-for-flush match with ``run_dynamic``.
     auto_flush:
         When False, only ``tick()``/``flush()``/``drain()`` flush —
         submissions never trigger the count watermark (used to pin
@@ -218,6 +237,7 @@ class AllocatorService:
         hot_frac: float = 0.1,
         workload=None,
         backend: Optional[str] = None,
+        fault_model=None,
         auto_flush: bool = True,
         **options: Any,
     ) -> None:
@@ -245,6 +265,19 @@ class AllocatorService:
             # changes no draw), so flushes still match run_dynamic
             # epochs bitwise.
             self._options["buffers"] = RoundBuffers()
+        self.fault = (
+            FaultState(n, fault_model) if fault_model is not None else None
+        )
+        if (
+            departures == "greedy_adversary"
+            or (fault_model is not None and not fault_model.is_null)
+        ) and "drain_settle" in entry.options:
+            # Same graceful-degradation escalation as run_dynamic: under
+            # adversarially skewed residuals the settle phase drains the
+            # cohort instead of handing stragglers to the load-oblivious
+            # phase-2 (see dynamic_heavy).  Benign services never set
+            # this, keeping the run_dynamic bitwise pin intact.
+            self._options.setdefault("drain_settle", True)
         self.algorithm = spec.name
         self.n = n
         self.max_batch = max_batch
@@ -374,11 +407,19 @@ class AllocatorService:
         places = sum(e.count for e in events if e.kind == "place")
         releases = sum(e.count for e in events if e.kind == "release")
         ctrl_seed, place_seed = self._root.spawn(2)
+        # Creating the factory draws nothing; streams are pulled only
+        # when a draw is actually needed (bitwise-stable benign path).
+        ctrl = RngFactory(ctrl_seed)
         start = time.perf_counter()
+        lost_acks = 0
+        if self.fault is not None:
+            # Fail/recover transitions at the batch boundary — the
+            # service-side mirror of run_dynamic's epoch-start step,
+            # on the same per-batch control child.
+            self.fault.step(ctrl.stream("dynamic", "faults"))
         released = min(releases, self.residents.population)
         self._dropped_releases += releases - released
         if released:
-            ctrl = RngFactory(ctrl_seed)
             self.residents.depart(
                 released,
                 self.departures,
@@ -387,28 +428,53 @@ class AllocatorService:
             )
         placed = unplaced = rounds = messages = moved = 0
         if places:
+            epoch_wl = self._workload
+            if self.fault is not None:
+                epoch_wl = self.fault.quarantined(epoch_wl, self.n)
             kwargs = dict(self._options)
-            if self._entry.workload_capable and self._workload is not None:
-                kwargs["workload"] = self._workload
+            if self._entry.workload_capable and epoch_wl is not None:
+                kwargs["workload"] = epoch_wl
             from repro.fastpath.backend import use_backend
 
             base = self.residents.loads
-            with use_backend(self._backend):
-                placement = self._entry.runner(
+
+            def _run(count, initial, seed):
+                with use_backend(self._backend):
+                    return self._entry.runner(
+                        count,
+                        self.n,
+                        initial_loads=initial,
+                        seed=seed,
+                        **kwargs,
+                    )
+
+            if self.fault is not None and self.fault.model.loss_prob > 0:
+                out = place_with_loss(
+                    _run,
                     places,
-                    self.n,
-                    initial_loads=base,
-                    seed=place_seed,
-                    **kwargs,
+                    base,
+                    place_seed,
+                    self.fault.model.loss_prob,
+                    ctrl.stream("dynamic", "loss"),
                 )
-            self.residents.add_cohort(
-                len(self.records), placement.loads - base
-            )
-            placed = placement.placed
-            unplaced = placement.unplaced
-            rounds = placement.rounds
-            messages = placement.total_messages
-            moved = placement.placed
+                self.fault.lost_acks += out.lost_acks
+                lost_acks = out.lost_acks
+                self.residents.add_cohort(len(self.records), out.cohort)
+                placed = out.placed
+                unplaced = out.unplaced
+                rounds = out.rounds
+                messages = out.messages
+                moved = out.placed
+            else:
+                placement = _run(places, base, place_seed)
+                self.residents.add_cohort(
+                    len(self.records), placement.loads - base
+                )
+                placed = placement.placed
+                unplaced = placement.unplaced
+                rounds = placement.rounds
+                messages = placement.total_messages
+                moved = placement.placed
         elapsed = time.perf_counter() - start
         self._busy_seconds += elapsed
         self._processed_places += places
@@ -443,6 +509,10 @@ class AllocatorService:
             latency_mean=lat_mean,
             latency_max=max((l for l, _ in lats), default=0.0),
             seconds=elapsed,
+            failed_bins=(
+                self.fault.failed_count if self.fault is not None else 0
+            ),
+            lost_acks=lost_acks,
         )
         self.records.append(record)
         return record
@@ -506,6 +576,12 @@ class AllocatorService:
             latency_mean=lat_mean,
             latency_max=lat_max,
             complete=self._unplaced == 0,
+            failed_bins=(
+                self.fault.failed_count if self.fault is not None else 0
+            ),
+            lost_acks=(
+                int(self.fault.lost_acks) if self.fault is not None else 0
+            ),
         )
 
 

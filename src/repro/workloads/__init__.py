@@ -22,12 +22,20 @@ from repro.workloads.spec import (
     bind_workload,
     parse_workload,
 )
+from repro.workloads.timevarying import (
+    TimeVaryingWorkload,
+    as_time_varying,
+    parse_time_varying,
+)
 
 __all__ = [
     "BoundWorkload",
+    "TimeVaryingWorkload",
     "Workload",
     "WorkloadError",
+    "as_time_varying",
     "as_workload",
     "bind_workload",
+    "parse_time_varying",
     "parse_workload",
 ]

@@ -1,0 +1,170 @@
+"""Time-varying workloads for the dynamic epoch runner.
+
+A :class:`TimeVaryingWorkload` maps an epoch index to the
+:class:`~repro.workloads.spec.Workload` the arriving cohort draws its
+contacts from — the non-stationary scenarios of
+``repro.run_dynamic(time_workload=...)``:
+
+* ``drift`` — the choice skew drifts across the run: a Zipf exponent
+  interpolated linearly from ``start_skew`` (epoch 0, the fill) to
+  ``end_skew`` (the final epoch).  The slow-moving-popularity regime:
+  every epoch's cohort is a little more (or less) skewed than the
+  last.
+* ``flash`` — flash crowds: every ``flash_every``-th churn epoch, one
+  bin's traffic spikes ``flash_factor``x above uniform (default 100x
+  — a single key going viral), with uniform lulls in between.
+
+The mapping is a pure function of the epoch index, so a time-varying
+run replays bitwise like any other dynamic run.  Spec strings use the
+CLI grammar ``drift:<start>:<end>`` and
+``flash:<every>:<factor>[:<bin>]`` (:func:`parse_time_varying`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.workloads.spec import Workload, WorkloadError
+
+__all__ = [
+    "TimeVaryingWorkload",
+    "as_time_varying",
+    "parse_time_varying",
+]
+
+#: Accepted time-varying kinds.
+TIME_VARYING_KINDS = ("drift", "flash")
+
+
+@dataclass(frozen=True)
+class TimeVaryingWorkload:
+    """An epoch-indexed workload schedule (frozen value object)."""
+
+    kind: str = "drift"
+    start_skew: float = 1.0
+    end_skew: float = 2.0
+    flash_every: int = 4
+    flash_factor: float = 100.0
+    flash_bin: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in TIME_VARYING_KINDS:
+            raise WorkloadError(
+                f"unknown time-varying kind {self.kind!r}; expected one "
+                f"of {', '.join(TIME_VARYING_KINDS)}"
+            )
+        if self.kind == "drift" and (
+            self.start_skew <= 0 or self.end_skew <= 0
+        ):
+            raise WorkloadError(
+                "drift skews must be > 0 (Zipf exponents), got "
+                f"start={self.start_skew}, end={self.end_skew}"
+            )
+        if self.flash_every < 2:
+            raise WorkloadError(
+                f"flash_every must be >= 2, got {self.flash_every}"
+            )
+        if self.flash_factor < 1.0:
+            raise WorkloadError(
+                f"flash_factor must be >= 1, got {self.flash_factor}"
+            )
+        if self.flash_bin < 0:
+            raise WorkloadError(
+                f"flash_bin must be >= 0, got {self.flash_bin}"
+            )
+
+    def workload_at(
+        self, epoch: int, epochs: int, n: int
+    ) -> Optional[Workload]:
+        """The cohort workload for ``epoch`` (0 = fill) of an
+        ``epochs``-churn-epoch run on ``n`` bins (None = uniform)."""
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
+        if self.kind == "drift":
+            frac = epoch / epochs if epochs > 0 else 1.0
+            s = self.start_skew + (self.end_skew - self.start_skew) * frac
+            return Workload.zipf(s)
+        # Flash crowds: uniform lulls, one bin spiked on flash epochs.
+        if epoch > 0 and epoch % self.flash_every == 0:
+            p = np.ones(n, dtype=np.float64)
+            p[self.flash_bin % n] = self.flash_factor
+            return Workload.explicit(p / p.sum())
+        return None
+
+    def describe(self) -> str:
+        if self.kind == "drift":
+            return f"drift:{self.start_skew:g}:{self.end_skew:g}"
+        return (
+            f"flash:{self.flash_every}:{self.flash_factor:g}"
+            f":{self.flash_bin}"
+        )
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind}
+        if self.kind == "drift":
+            out["start_skew"] = self.start_skew
+            out["end_skew"] = self.end_skew
+        else:
+            out["flash_every"] = self.flash_every
+            out["flash_factor"] = self.flash_factor
+            out["flash_bin"] = self.flash_bin
+        return out
+
+
+def parse_time_varying(text: str) -> TimeVaryingWorkload:
+    """Parse ``drift:<start>:<end>`` / ``flash:<every>:<factor>[:<bin>]``."""
+    parts = [p for p in text.strip().split(":") if p != ""]
+    if not parts:
+        raise WorkloadError("empty time-varying workload spec")
+    kind = parts[0].lower()
+    args = parts[1:]
+    try:
+        if kind == "drift":
+            if len(args) != 2:
+                raise WorkloadError(
+                    f"drift spec needs drift:<start>:<end>, got {text!r}"
+                )
+            return TimeVaryingWorkload(
+                kind="drift",
+                start_skew=float(args[0]),
+                end_skew=float(args[1]),
+            )
+        if kind == "flash":
+            if len(args) not in (2, 3):
+                raise WorkloadError(
+                    "flash spec needs flash:<every>:<factor>[:<bin>], "
+                    f"got {text!r}"
+                )
+            return TimeVaryingWorkload(
+                kind="flash",
+                flash_every=int(args[0]),
+                flash_factor=float(args[1]),
+                flash_bin=int(args[2]) if len(args) == 3 else 0,
+            )
+    except ValueError as exc:
+        if isinstance(exc, WorkloadError):
+            raise
+        raise WorkloadError(
+            f"bad time-varying workload spec {text!r}: {exc}"
+        ) from None
+    raise WorkloadError(
+        f"unknown time-varying kind {kind!r}; expected one of "
+        f"{', '.join(TIME_VARYING_KINDS)}"
+    )
+
+
+def as_time_varying(
+    value: Union[None, str, TimeVaryingWorkload],
+) -> Optional[TimeVaryingWorkload]:
+    """Coerce None / spec string / instance to a TimeVaryingWorkload."""
+    if value is None or isinstance(value, TimeVaryingWorkload):
+        return value
+    if isinstance(value, str):
+        return parse_time_varying(value)
+    raise WorkloadError(
+        "time_workload must be a TimeVaryingWorkload or spec string, "
+        f"got {type(value).__name__}"
+    )

@@ -13,7 +13,7 @@ class TestRegistry:
         expected = {
             "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9",
             "F1", "F2", "F3", "F4", "F5", "A1", "A2", "A3", "A4",
-            "W1", "R1", "D1",
+            "W1", "R1", "D1", "D2",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -155,11 +155,13 @@ class TestGapSloController:
             q.push(Place(pending, 0.0))
         return q
 
-    def test_overflow_sheds_both_kinds(self):
+    def test_overflow_sheds_places_only(self):
         ctrl = GapSloController(AdmissionPolicy())
         q = self._queue(capacity=10, pending=8)
         assert ctrl.decide("place", 5, q) == SHED
-        assert ctrl.decide("release", 5, q) == SHED
+        # Releases spill past the bound: shedding one would leak
+        # occupancy forever (the PR-9 overflow fix).
+        assert ctrl.decide("release", 5, q) == ACCEPT
         # Fits under capacity, but at 80% depth the policy defers.
         assert ctrl.decide("place", 2, q) == DEFER
 
