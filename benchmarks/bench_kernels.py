@@ -30,6 +30,9 @@ from repro.fastpath.sampling import (
     sample_uniform_choices,
 )
 from repro.light import run_light
+from repro.telemetry import get_logger
+
+_log = get_logger("benchmarks.kernels")
 
 
 @pytest.fixture
@@ -142,10 +145,14 @@ class TestKernelVsEngine:
         aggregate_s = time.perf_counter() - start
 
         assert eng.complete and vec.complete and agg.complete
-        print(
-            f"\nengine {engine_s:.2f}s | perball {perball_s:.3f}s "
-            f"({engine_s / perball_s:,.0f}x) | aggregate {aggregate_s:.4f}s "
-            f"({engine_s / aggregate_s:,.0f}x)"
+        _log.info(
+            "engine %.2fs | perball %.3fs (%.0fx) | aggregate "
+            "%.4fs (%.0fx)",
+            engine_s,
+            perball_s,
+            engine_s / perball_s,
+            aggregate_s,
+            engine_s / aggregate_s,
         )
         assert engine_s / perball_s >= 5
         assert engine_s / aggregate_s >= 5

@@ -4,9 +4,11 @@ Each experiment benchmark (one file per DESIGN.md §4 row) does two
 things:
 
 1. times the underlying computation with pytest-benchmark, and
-2. regenerates the experiment's table (quick scale), printing it so a
-   ``pytest benchmarks/ --benchmark-only -s`` run reproduces the paper's
-   rows, and asserting the experiment's self-check.
+2. regenerates the experiment's table (quick scale), logging it under
+   the ``repro.benchmarks`` namespace so a
+   ``pytest benchmarks/ --benchmark-only --log-cli-level=INFO`` run
+   reproduces the paper's rows, and asserting the experiment's
+   self-check.
 
 Run ``python -m repro.experiments all --scale full`` for the archived
 full-scale tables in EXPERIMENTS.md.
@@ -15,6 +17,9 @@ full-scale tables in EXPERIMENTS.md.
 from __future__ import annotations
 
 from repro.experiments import run_experiment
+from repro.telemetry import get_logger
+
+_log = get_logger("benchmarks.experiments")
 
 
 def bench_experiment(benchmark, exp_id: str) -> None:
@@ -26,6 +31,5 @@ def bench_experiment(benchmark, exp_id: str) -> None:
         rounds=1,
         iterations=1,
     )
-    print()
-    print(report.render())
+    _log.info("%s table:\n%s", exp_id, report.render())
     assert report.passed is True, f"{exp_id} self-check failed"

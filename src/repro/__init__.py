@@ -124,6 +124,7 @@ from repro.service import (
     simulate_service,
 )
 from repro.fastpath.backend import available_backends, use_backend
+from repro.telemetry import Telemetry, current_telemetry, use_telemetry
 from repro.workloads import (
     TimeVaryingWorkload,
     Workload,
@@ -164,6 +165,7 @@ __all__ = [
     "PaperSchedule",
     "ReplicationResult",
     "ServiceReport",
+    "Telemetry",
     "ThresholdSchedule",
     "TimeVaryingWorkload",
     "Workload",
@@ -172,6 +174,7 @@ __all__ = [
     "allocate_many",
     "allocator_names",
     "available_backends",
+    "current_telemetry",
     "get_spec",
     "list_allocators",
     "parse_faults",
@@ -199,4 +202,5 @@ __all__ = [
     "should_use_trivial",
     "sweep",
     "use_backend",
+    "use_telemetry",
 ]

@@ -54,6 +54,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="kernel backend (bitwise-identical; default: "
         "REPRO_KERNEL_BACKEND env or 'fused')",
     )
+    parser.add_argument(
+        "--telemetry",
+        type=str,
+        default=None,
+        metavar="PATH",
+        dest="telemetry_path",
+        help="record spans + metrics and write them as Chrome-trace "
+        "JSON to PATH (loads in Perfetto; bitwise-identical results, "
+        "see docs/observability.md)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -61,6 +71,14 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Parallel balanced allocations (Lenzen-Parter-Yogev, "
         "SPAA 2019) — reproduction CLI.",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="enable repro.* structured logging on stderr "
+        "(-v: INFO, -vv: DEBUG; default: silent)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -343,6 +361,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         dest="json_path",
         help="also write the full per-batch record as JSON to this path",
+    )
+    p_srv.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        dest="metrics_out",
+        metavar="PATH",
+        help="write the final ServiceStats snapshot in Prometheus text "
+        "exposition format to PATH",
     )
 
     p_compare = sub.add_parser(
@@ -634,6 +661,12 @@ def _serve(args: argparse.Namespace) -> None:
         print(
             f"wrote {report.stats.batches}-batch record to {args.json_path}"
         )
+    if args.metrics_out:
+        from repro.telemetry import stats_to_prometheus
+
+        with open(args.metrics_out, "w") as fh:
+            fh.write(stats_to_prometheus(report.stats))
+        print(f"wrote Prometheus metrics to {args.metrics_out}")
 
 
 def _bench_replication(args: argparse.Namespace) -> None:
@@ -704,12 +737,7 @@ def _bench(args: argparse.Namespace) -> None:
         print(f"wrote {len(records)} records to {args.json_path}")
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
-    if args.command == "experiments":
-        from repro.experiments.__main__ import main as exp_main
-
-        return exp_main(args.args)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         _list_registry()
         return 0
@@ -734,6 +762,31 @@ def main(argv: list[str] | None = None) -> int:
     print(result.describe())
     print(f"wall time     : {elapsed:.2f}s")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    from repro.telemetry import configure_logging
+
+    configure_logging(args.verbose)
+    if args.command == "experiments":
+        from repro.experiments.__main__ import main as exp_main
+
+        return exp_main(args.args)
+    telemetry_path = getattr(args, "telemetry_path", None)
+    if telemetry_path is None:
+        return _dispatch(args)
+    from repro.telemetry import Telemetry, use_telemetry
+
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        code = _dispatch(args)
+    telemetry.write(telemetry_path)
+    print(
+        f"wrote telemetry ({len(telemetry.tracer.events)} trace events, "
+        f"{len(telemetry.metrics)} metric series) to {telemetry_path}"
+    )
+    return code
 
 
 if __name__ == "__main__":

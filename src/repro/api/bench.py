@@ -988,6 +988,12 @@ class ServiceBenchRecord:
     workload: Optional[str] = None
     #: Process peak RSS after the timed runs (see :func:`peak_rss_bytes`).
     peak_rss_bytes: Optional[int] = None
+    #: Most balls ever pending in the ingest queue at once.
+    queue_depth_hwm: int = 0
+    #: Per-flush processing-time percentiles (wall seconds per batch).
+    flush_p50: float = 0.0
+    flush_p95: float = 0.0
+    flush_p99: float = 0.0
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -1071,6 +1077,10 @@ def benchmark_service(
                 complete=s.complete,
                 workload=workload,
                 peak_rss_bytes=peak_rss_bytes(),
+                queue_depth_hwm=s.queue_depth_hwm,
+                flush_p50=s.flush_latency["p50"],
+                flush_p95=s.flush_latency["p95"],
+                flush_p99=s.flush_latency["p99"],
             )
         )
     return records
@@ -1088,6 +1098,7 @@ def render_service_table(records: Sequence[ServiceBenchRecord]) -> str:
     header = (
         f"{'algorithm':14s} {'m':>10s} {'n':>6s} {'batches':>7s} "
         f"{'ops/s':>12s} {'p50':>6s} {'p95':>6s} {'p99':>6s} "
+        f"{'q-hwm':>8s} {'fl-p99':>8s} "
         f"{'shed':>6s} {'gap':>7s} {'peak rss':>8s}"
     )
     lines = [header, "-" * len(header)]
@@ -1096,7 +1107,217 @@ def render_service_table(records: Sequence[ServiceBenchRecord]) -> str:
             f"{r.algorithm:14s} {r.m:10,d} {r.n:6,d} {r.batches:7d} "
             f"{r.ops_per_sec:12,.0f} {r.latency_p50:6.2f} "
             f"{r.latency_p95:6.2f} {r.latency_p99:6.2f} "
+            f"{r.queue_depth_hwm:8,d} {r.flush_p99 * 1e3:6.1f}ms "
             f"{r.shed:6,d} {r.gap_worst:+7.2f} {_fmt_rss(r.peak_rss_bytes)}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TelemetryBenchRecord:
+    """One telemetry-on vs telemetry-off timing of an end-to-end path.
+
+    Both legs ran the *same* pinned-seed computation and their results
+    were compared bitwise before either timing loop started —
+    ``bitwise_equal`` is therefore always ``True`` on a constructed
+    record (:func:`benchmark_telemetry` raises ``RuntimeError`` on any
+    divergence: telemetry that changes a value is a correctness bug,
+    not an overhead).  ``span_roundtrip`` pins the export contract: the
+    on-leg's telemetry serialized to Chrome-trace JSON, round-tripped
+    through ``json``, and structurally validated.
+    """
+
+    #: End-to-end path: ``allocate``, ``dynamic``, or ``service``.
+    scenario: str
+    algorithm: str
+    m: int
+    n: int
+    seed: int
+    repeats: int
+    #: Best-of-``repeats`` wall seconds with telemetry off / on.
+    off_seconds: float
+    on_seconds: float
+    #: ``on_seconds / off_seconds`` — the overhead the bar ceilings.
+    overhead: float
+    bitwise_equal: bool
+    #: Trace events and metric series one instrumented run produced.
+    trace_events: int
+    metric_series: int
+    span_roundtrip: bool
+    peak_rss_bytes: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _telemetry_roundtrip(telemetry) -> bool:
+    """Serialize → parse → structurally validate the span export."""
+    import json as _json
+
+    from repro.telemetry import telemetry_to_dict
+
+    payload = _json.loads(_json.dumps(telemetry_to_dict(telemetry)))
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return False
+    for event in events:
+        if event.get("ph") not in ("X", "i"):
+            return False
+        if not isinstance(event.get("name"), str):
+            return False
+        if not isinstance(event.get("ts"), (int, float)):
+            return False
+        if event["ph"] == "X" and not isinstance(
+            event.get("dur"), (int, float)
+        ):
+            return False
+    return isinstance(payload.get("metrics"), dict)
+
+
+def benchmark_telemetry(
+    m: int,
+    n: int,
+    *,
+    seed: int = 0,
+    repeats: int = 3,
+    dynamic: Optional[tuple[int, int, int]] = None,
+    service: Optional[tuple[int, int, int]] = None,
+) -> list[TelemetryBenchRecord]:
+    """Time telemetry-on vs telemetry-off on the instrumented paths.
+
+    The primary scenario is a full ``allocate("heavy", m, n)`` per-ball
+    run — every kernel hook fires (round counters, per-primitive
+    profiling via :class:`~repro.fastpath.backend.ProfilingBackend`,
+    round/phase/allocate spans).  ``dynamic=(m, n, epochs)`` and
+    ``service=(m, n, epochs)`` add the churn runner and the continuous
+    service as further scenarios.
+
+    For each scenario the off- and on-leg results are compared bitwise
+    (loads, messages, gap — and for the service, the audit trace)
+    *before* timing; any divergence raises ``RuntimeError``.  The
+    on-leg timing loop hands each run a fresh
+    :class:`~repro.telemetry.Telemetry` so span buffers never amortize
+    across repeats.  Backs ``benchmarks/run_benchmarks.py
+    --telemetry-output`` and the checked-in ``BENCH_telemetry.json``.
+    """
+    import numpy as np
+
+    from repro.telemetry import Telemetry, use_telemetry
+
+    records: list[TelemetryBenchRecord] = []
+
+    def record(scenario, algorithm, sm, sn, run, same):
+        off_result = run()
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            on_result = run()
+        if not same(off_result, on_result):
+            raise RuntimeError(
+                f"telemetry changed results: {scenario} at m={sm}, "
+                f"n={sn}, seed={seed} — the instrumented run is not "
+                f"bitwise-identical to the uninstrumented one"
+            )
+
+        def run_on():
+            with use_telemetry(Telemetry()):
+                run()
+
+        off_s = _best_of(run, repeats)
+        on_s = _best_of(run_on, repeats)
+        records.append(
+            TelemetryBenchRecord(
+                scenario=scenario,
+                algorithm=algorithm,
+                m=sm,
+                n=sn,
+                seed=seed,
+                repeats=repeats,
+                off_seconds=off_s,
+                on_seconds=on_s,
+                overhead=on_s / off_s if off_s > 0 else float("inf"),
+                bitwise_equal=True,
+                trace_events=len(telemetry.tracer.events),
+                metric_series=len(telemetry.metrics),
+                span_roundtrip=_telemetry_roundtrip(telemetry),
+                peak_rss_bytes=peak_rss_bytes(),
+            )
+        )
+
+    record(
+        "allocate",
+        "heavy",
+        m,
+        n,
+        lambda: allocate("heavy", m, n, seed=seed, mode="perball"),
+        lambda a, b: bool(
+            np.array_equal(a.loads, b.loads)
+            and a.max_load == b.max_load
+            and a.total_messages == b.total_messages
+            and a.rounds == b.rounds
+        ),
+    )
+
+    if dynamic is not None:
+        from repro.dynamic import run_dynamic
+
+        dm, dn, epochs = dynamic
+        record(
+            "dynamic",
+            "heavy",
+            dm,
+            dn,
+            lambda: run_dynamic(
+                "heavy", dm, dn, seed=seed, epochs=epochs, churn=0.1
+            ),
+            lambda a, b: bool(
+                np.array_equal(a.loads, b.loads)
+                and np.array_equal(a.loads_history, b.loads_history)
+                and [(r.gap, r.messages, r.moved) for r in a.records]
+                == [(r.gap, r.messages, r.moved) for r in b.records]
+            ),
+        )
+
+    if service is not None:
+        from repro.service import simulate_service
+
+        sm, sn, epochs = service
+        record(
+            "service",
+            "heavy",
+            sm,
+            sn,
+            lambda: simulate_service(
+                "heavy", sm, sn, seed=seed, epochs=epochs
+            ),
+            lambda a, b: bool(
+                a.stats.messages == b.stats.messages
+                and a.stats.gap == b.stats.gap
+                and a.stats.gap_worst == b.stats.gap_worst
+                and a.stats.population == b.stats.population
+                and a.stats.batches == b.stats.batches
+                and [r.gap for r in a.records]
+                == [r.gap for r in b.records]
+            ),
+        )
+    return records
+
+
+def render_telemetry_table(
+    records: Sequence[TelemetryBenchRecord],
+) -> str:
+    """Human-readable table of telemetry overhead records."""
+    header = (
+        f"{'scenario':10s} {'algorithm':10s} {'m':>10s} {'n':>6s} "
+        f"{'off':>9s} {'on':>9s} {'overhead':>9s} {'events':>7s} "
+        f"{'series':>7s} {'bitwise':>8s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        lines.append(
+            f"{r.scenario:10s} {r.algorithm:10s} {r.m:10,d} {r.n:6,d} "
+            f"{r.off_seconds:8.4f}s {r.on_seconds:8.4f}s "
+            f"{r.overhead:8.3f}x {r.trace_events:7,d} "
+            f"{r.metric_series:7,d} {'yes' if r.bitwise_equal else 'NO':>8s}"
         )
     return "\n".join(lines)
 

@@ -211,6 +211,7 @@ def allocate(
         spec name, mode, and kernel backend.
     """
     from repro.fastpath.backend import use_backend
+    from repro.telemetry import current_telemetry
 
     spec = get_spec(algorithm)
     resolved_mode = resolve_mode(spec, m, mode)
@@ -220,8 +221,20 @@ def allocate(
         kwargs["mode"] = resolved_mode
     if wl is not None:
         kwargs["workload"] = wl
+    tele = current_telemetry()
+    alloc_start = tele.begin() if tele is not None else 0.0
     with use_backend(backend) as kernel_backend:
         result = spec.runner(m, n, seed=seed, **kwargs)
+    if tele is not None:
+        seconds = tele.complete(
+            "allocate",
+            alloc_start,
+            cat="api",
+            algorithm=spec.name,
+            m=m,
+            n=n,
+        )
+        tele.observe("api.allocate.seconds", seconds, algorithm=spec.name)
     result.extra["api"] = {
         "algorithm": spec.name,
         "mode": resolved_mode,

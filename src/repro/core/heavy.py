@@ -49,6 +49,7 @@ from repro.light.lw16 import LightConfig
 from repro.light.virtual import run_light_on_virtual_bins
 from repro.result import AllocationResult
 from repro.simulation.metrics import MessageCounter, RoundMetrics, RunMetrics
+from repro.telemetry import current_telemetry
 from repro.utils.seeding import RngFactory
 from repro.utils.validation import ensure_m_n
 from repro.workloads import Workload, as_workload, bind_workload
@@ -227,6 +228,11 @@ def run_threshold_protocol(
     # skipped or the schedule is entered late.
     if start_round < 0:
         raise ValueError(f"start_round must be >= 0, got {start_round}")
+    # Telemetry: the threshold phase is one span, each executed round a
+    # child span feeding the round-duration histogram.  Off is one
+    # ``is not None`` branch per round; nothing here touches the RNG.
+    tele = current_telemetry()
+    phase_start = tele.begin() if tele is not None else 0.0
     round_index = start_round
     while round_index < cap_rounds:
         if stop_when_empty and state.active_count == 0:
@@ -237,10 +243,30 @@ def run_threshold_protocol(
             round_index += 1
             continue
         thresholds.append(threshold)
+        if tele is not None:
+            round_start = tele.begin()
         batch = state.sample_contacts(rng, pvals=bound.pvals)
         decision = state.group_and_accept(batch, capacity, accept_rng)
         state.commit_and_revoke(batch, decision, threshold=threshold)
+        if tele is not None:
+            seconds = tele.complete(
+                "round",
+                round_start,
+                cat="kernel",
+                round=round_index,
+                threshold=threshold,
+            )
+            tele.observe("kernel.round.seconds", seconds)
         round_index += 1
+    if tele is not None:
+        tele.complete(
+            "phase",
+            phase_start,
+            cat="kernel",
+            phase="threshold",
+            rounds=state.rounds,
+            remaining=state.active_count,
+        )
 
     return ThresholdPhaseOutcome(
         # Widen narrow-policy loads back to the historical int64 at the
@@ -419,12 +445,23 @@ def _finish_heavy_run(
 
     unallocated = phase1.remaining
     if handoff and unallocated > 0:
+        tele = current_telemetry()
+        light_start = tele.begin() if tele is not None else 0.0
         real_loads, light, vmap = run_light_on_virtual_bins(
             unallocated,
             n,
             seed=factory.stream("light"),
             config=config.light,
         )
+        if tele is not None:
+            tele.complete(
+                "phase",
+                light_start,
+                cat="kernel",
+                phase="light",
+                stragglers=unallocated,
+                rounds=light.rounds,
+            )
         loads += real_loads
         if weighted_loads is not None:
             if bound.weights is not None:

@@ -53,6 +53,7 @@ from repro.dynamic.faults import FaultState, place_with_loss
 from repro.dynamic.spec import DynamicSpec
 from repro.dynamic.state import ResidentState
 from repro.fastpath.buffers import RoundBuffers
+from repro.telemetry import current_telemetry
 from repro.utils.seeding import RngFactory, as_seed_sequence
 from repro.workloads import (
     Workload,
@@ -492,6 +493,10 @@ def run_dynamic(
         # here, so the default path stays bitwise-unchanged.
         options = dict(options)
         options.setdefault("drain_settle", True)
+    # Telemetry: one sink captured for the whole run; every hook below
+    # is a single ``is not None`` branch when off, and none of them
+    # touches a seed or stream.
+    tele = current_telemetry()
     root = as_seed_sequence(seed)
     entropy = tuple(RngFactory(root).root_entropy)
     # Two independent children per epoch: [control, placement].  The
@@ -565,7 +570,16 @@ def run_dynamic(
                 placement.total_messages,
                 0,
             )
-        return counts, stats, time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        if tele is not None:
+            tele.complete(
+                "placement",
+                start,
+                cat="dynamic",
+                epoch=len(records),
+                cohort=cohort,
+            )
+        return counts, stats, elapsed
 
     def _record(
         epoch: int,
@@ -579,6 +593,18 @@ def run_dynamic(
         current = residents.loads
         population = int(current.sum())
         max_load = int(current.max(initial=0))
+        if tele is not None:
+            gap = max_load - population / n if population else 0.0
+            failed = fault.failed_count if fault is not None else 0
+            tele.count("dynamic.epochs")
+            tele.count("dynamic.messages", messages)
+            tele.count("dynamic.moved", moved)
+            tele.observe("dynamic.epoch.gap", gap)
+            tele.observe("dynamic.epoch.messages", messages)
+            tele.observe("dynamic.epoch.moved", moved)
+            tele.gauge("dynamic.failed_bins", failed)
+            if lost:
+                tele.count("dynamic.lost_acks", lost)
         records.append(
             EpochRecord(
                 epoch=epoch,
@@ -600,6 +626,7 @@ def run_dynamic(
         history[epoch] = current
 
     # -- epoch 0: the initial fill --------------------------------------
+    epoch_start = tele.begin() if tele is not None else 0.0
     fill_ctrl = RngFactory(children[0])
     if fault is not None:
         fault.step(fill_ctrl.stream("dynamic", "faults"))
@@ -608,9 +635,13 @@ def run_dynamic(
     )
     residents.add_cohort(0, counts)
     _record(0, m, 0, stats, stats[0], elapsed)
+    if tele is not None:
+        tele.complete("epoch", epoch_start, cat="dynamic", epoch=0, fill=True)
 
     # -- churn epochs ---------------------------------------------------
     for epoch in range(1, spec.epochs + 1):
+        if tele is not None:
+            epoch_start = tele.begin()
         ctrl = RngFactory(children[2 * epoch])
         place_seed = children[2 * epoch + 1]
         if fault is not None:
@@ -634,6 +665,10 @@ def run_dynamic(
             # A zero-churn epoch is a strict no-op: no departure draw,
             # no placement, bitwise-stable loads.
             _record(epoch, 0, 0, (0, 0, 0, 0, 0), 0, 0.0)
+            if tele is not None:
+                tele.complete(
+                    "epoch", epoch_start, cat="dynamic", epoch=epoch
+                )
             continue
         departing = count
         residents.depart(
@@ -673,6 +708,8 @@ def run_dynamic(
                 0,
             )
         _record(epoch, count, departing, stats, moved, elapsed)
+        if tele is not None:
+            tele.complete("epoch", epoch_start, cat="dynamic", epoch=epoch)
 
     extra: dict = {"options": sorted(options)}
     if fault is not None:

@@ -73,6 +73,14 @@ def run_experiment(
     exp_id: str, *, scale: str = "quick", seed: int = 20190416
 ) -> ExperimentReport:
     """Run one experiment and return its report."""
+    from repro.telemetry import get_logger
+
     if scale not in ("quick", "full"):
         raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
-    return get_experiment(exp_id)(scale=scale, seed=seed)
+    log = get_logger("experiments")
+    log.info("running %s (scale=%s, seed=%d)", exp_id.upper(), scale, seed)
+    report = get_experiment(exp_id)(scale=scale, seed=seed)
+    log.info(
+        "%s finished: passed=%s", exp_id.upper(), report.passed
+    )
+    return report

@@ -50,10 +50,13 @@ from __future__ import annotations
 
 import contextvars
 import os
+import time
 from contextlib import contextmanager
 from typing import Iterator, Optional, Union
 
 import numpy as np
+
+from repro.telemetry import current_telemetry
 
 __all__ = [
     "BACKEND_ENV_VAR",
@@ -61,6 +64,7 @@ __all__ = [
     "KernelBackend",
     "ReferenceBackend",
     "FusedBackend",
+    "ProfilingBackend",
     "available_backends",
     "get_backend",
     "register_backend",
@@ -357,6 +361,80 @@ class FusedBackend(ReferenceBackend):
             np.add.at(target, indices, 1)
 
 
+class ProfilingBackend(KernelBackend):
+    """A transparent wrapper timing every primitive into telemetry.
+
+    :func:`resolve_backend` installs this around whatever backend it
+    resolved whenever the ambient :class:`~repro.telemetry.Telemetry`
+    has ``profile_kernels`` enabled.  Each public primitive delegates
+    to the wrapped backend between two ``perf_counter`` reads and
+    records the elapsed time in the ``kernel.primitive.seconds``
+    histogram, labeled by primitive and inner-backend name.
+
+    The wrapper is *value-transparent by construction*: arguments and
+    returns pass through untouched and no RNG exists on this path, so
+    profiled runs are bitwise-identical to bare ones (the telemetry
+    identity tests pin this per backend).  It reports the inner
+    backend's ``name`` so result records stay stable under profiling.
+
+    Never registered: wrapping happens at resolution time, and
+    resolving an already-wrapped instance never double-wraps.
+    """
+
+    def __init__(self, inner: KernelBackend, telemetry) -> None:
+        self.inner = inner
+        self.telemetry = telemetry
+        self.name = inner.name
+
+    def _observe(self, primitive: str, start: float) -> None:
+        self.telemetry.observe(
+            "kernel.primitive.seconds",
+            time.perf_counter() - start,
+            primitive=primitive,
+            backend=self.inner.name,
+        )
+
+    def grouped_accept_with_priorities(self, choices, capacity, priorities):
+        start = time.perf_counter()
+        out = self.inner.grouped_accept_with_priorities(
+            choices, capacity, priorities
+        )
+        self._observe("grouped_accept", start)
+        return out
+
+    def priority_commit_accept(
+        self, choices, marks, requester_pos, n_balls, capacity
+    ):
+        start = time.perf_counter()
+        out = self.inner.priority_commit_accept(
+            choices, marks, requester_pos, n_balls, capacity
+        )
+        self._observe("priority_commit", start)
+        return out
+
+    def _commit_winners(self, acc_ball, acc_mark):
+        return self.inner._commit_winners(acc_ball, acc_mark)
+
+    def sort_accepts_by_position(self, acc_positions, acc_bins):
+        start = time.perf_counter()
+        out = self.inner.sort_accepts_by_position(acc_positions, acc_bins)
+        self._observe("sort_accepts", start)
+        return out
+
+    def scatter_counts(self, target, indices):
+        start = time.perf_counter()
+        self.inner.scatter_counts(target, indices)
+        self._observe("scatter_counts", start)
+
+    def scatter_weights(self, target, indices, weights):
+        start = time.perf_counter()
+        self.inner.scatter_weights(target, indices, weights)
+        self._observe("scatter_weights", start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ProfilingBackend around {self.inner!r}>"
+
+
 # -- registry and resolution ------------------------------------------
 
 _REGISTRY: dict[str, KernelBackend] = {}
@@ -404,18 +482,35 @@ def resolve_backend(backend: BackendLike = None) -> KernelBackend:
     :func:`use_backend` context > ``REPRO_KERNEL_BACKEND`` environment
     variable (read at call time, so tests can round-trip it) > the
     ``"fused"`` default.
+
+    When the ambient :class:`~repro.telemetry.Telemetry` asks for
+    kernel profiling, the resolved backend comes back wrapped in a
+    :class:`ProfilingBackend` bound to it (idempotently — resolving a
+    wrapped instance, e.g. through a ``use_backend`` pin taken while
+    telemetry was already on, never stacks wrappers).  With telemetry
+    off this is one contextvar read and one branch.
     """
     if isinstance(backend, KernelBackend):
-        return backend
-    if backend is not None:
-        return get_backend(backend)
-    ambient = _ACTIVE.get()
-    if ambient is not None:
-        return ambient
-    env = os.environ.get(BACKEND_ENV_VAR)
-    if env:
-        return get_backend(env)
-    return _REGISTRY[DEFAULT_BACKEND]
+        resolved = backend
+    elif backend is not None:
+        resolved = get_backend(backend)
+    else:
+        ambient = _ACTIVE.get()
+        if ambient is not None:
+            resolved = ambient
+        else:
+            env = os.environ.get(BACKEND_ENV_VAR)
+            resolved = (
+                get_backend(env) if env else _REGISTRY[DEFAULT_BACKEND]
+            )
+    telemetry = current_telemetry()
+    if (
+        telemetry is not None
+        and telemetry.profile_kernels
+        and not isinstance(resolved, ProfilingBackend)
+    ):
+        return ProfilingBackend(resolved, telemetry)
+    return resolved
 
 
 @contextmanager

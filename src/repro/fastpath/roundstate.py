@@ -95,6 +95,7 @@ import numpy as np
 
 from repro.fastpath.backend import BackendLike, resolve_backend
 from repro.fastpath.buffers import DtypePolicy, RoundBuffers
+from repro.telemetry import current_telemetry
 from repro.fastpath.sampling import (
     fill_choices,
     grouped_accept,
@@ -394,6 +395,9 @@ class RoundState:
         # a state's whole lifetime runs on one value-identical
         # implementation of the grouping/commit/scatter primitives.
         self.backend = resolve_backend(backend)
+        # Telemetry sink, captured once: every per-round hook below is
+        # a single ``is not None`` branch when telemetry is off.
+        self._telemetry = current_telemetry()
         self.dtype_policy = dtype_policy or DtypePolicy.wide()
         self._index_dtype = self.dtype_policy.index_dtype
         self._load_dtype = self.dtype_policy.load_dtype
@@ -996,6 +1000,12 @@ class RoundState:
         if count_commits:
             messages = messages + commits
         self.total_messages += np.where(mask, messages, 0)
+        if self._telemetry is not None:
+            self._telemetry.count("kernel.rounds", int(mask.sum()))
+            self._telemetry.count("kernel.commits", int(commits[mask].sum()))
+            self._telemetry.count(
+                "kernel.messages", int(messages[mask].sum())
+            )
         row_max = self.loads.max(axis=1, initial=0)
         for t in np.flatnonzero(mask):
             self.trial_metrics[t].add_round(
@@ -1048,6 +1058,10 @@ class RoundState:
         if commit_notifications:
             messages += commit_messages
         self.total_messages += messages
+        if self._telemetry is not None:
+            self._telemetry.count("kernel.rounds")
+            self._telemetry.count("kernel.commits", commits)
+            self._telemetry.count("kernel.messages", messages)
         self.metrics.add_round(
             RoundMetrics(
                 round_no=self.rounds,

@@ -147,6 +147,10 @@ class EventQueue:
         self._pending = 0
         self._pending_places = 0
         self._pending_releases = 0
+        #: Most balls ever pending at once — the queue-depth high-water
+        #: mark ``ServiceStats`` reports.  Deterministic bookkeeping
+        #: (no clock, no RNG), so it is maintained unconditionally.
+        self.high_water = 0
 
     def __len__(self) -> int:
         return len(self._events)
@@ -192,6 +196,8 @@ class EventQueue:
             )
         self._events.append(event)
         self._pending += event.count
+        if self._pending > self.high_water:
+            self.high_water = self._pending
         if event.kind == "place":
             self._pending_places += event.count
         elif event.kind == "release":

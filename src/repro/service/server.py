@@ -35,7 +35,7 @@ property the replay-determinism tests pin.
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Any, Optional
 
 import numpy as np
@@ -64,6 +64,7 @@ from repro.service.events import (
     SimulatedClock,
     WallClock,
 )
+from repro.telemetry import current_telemetry
 from repro.utils.seeding import RngFactory, as_seed_sequence
 
 __all__ = [
@@ -146,6 +147,13 @@ class ServiceStats:
     failed_bins: int = 0
     #: Total placement acks lost to fault injection.
     lost_acks: int = 0
+    #: Most balls ever pending at once (queue-depth high-water mark).
+    queue_depth_hwm: int = 0
+    #: Per-flush wall-time percentiles (p50/p95/p99 over
+    #: ``BatchRecord.seconds``; zeros before the first flush).
+    flush_latency: dict[str, float] = field(
+        default_factory=lambda: {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    )
 
     @property
     def processed_ops(self) -> int:
@@ -307,6 +315,11 @@ class AllocatorService:
         self._processed_releases = 0
         self._unplaced = 0
         self._busy_seconds = 0.0
+        # Per-submission counter handles, keyed by the ambient Telemetry
+        # instance: (telemetry, {label_value: Counter}).  The ingest
+        # path runs once per submitted event — caching the handle turns
+        # two labeled registry lookups per submit into dict hits.
+        self._tele_counters: Optional[tuple] = None
 
     # -- ingest ---------------------------------------------------------
 
@@ -326,16 +339,56 @@ class AllocatorService:
         pop = int(loads.sum())
         return float(loads.max(initial=0) - pop / self.n) if pop else 0.0
 
+    def _record_op(self, op: str, count: int, at: float) -> None:
+        """The one audit-log recording path: every public mutating call
+        lands here, appending the historical ``(op, count, at)`` tuple
+        (``at = -1.0`` is the no-timestamp sentinel for clock-free ops)
+        and mirroring the op into the telemetry event model when a sink
+        is installed.  The tuple log — the :func:`replay_trace` input —
+        is bitwise-unchanged by the mirror.  Per-op *instant* trace
+        events are emitted for batch-level ops only (tick/flush/drain):
+        place/release arrive per submission on the ingest hot path, so
+        they mirror as an aggregated counter, not one span event each.
+        """
+        self.trace.append((op, count, at))
+        tele = current_telemetry()
+        if tele is not None:
+            self._hot_counter(tele, "service.ops", "op", op).inc()
+            if op not in ("place", "release"):
+                tele.event(
+                    "service.op", cat="service", op=op, count=count, at=at
+                )
+
+    def _hot_counter(self, tele, name: str, label: str, value: str):
+        """Cached labeled-counter handle for the per-submission path."""
+        cache = self._tele_counters
+        if cache is None or cache[0] is not tele:
+            cache = (tele, {})
+            self._tele_counters = cache
+        counter = cache[1].get((name, value))
+        if counter is None:
+            counter = tele.metrics.counter(name, **{label: value})
+            cache[1][(name, value)] = counter
+        return counter
+
     def _submit(self, kind: str, count: int) -> str:
         now = self.clock.now()
-        self.trace.append((kind, count, now))
+        self._record_op(kind, count, now)
         decision = self.controller.decide(kind, count, self.queue)
+        tele = current_telemetry()
+        if tele is not None:
+            self._hot_counter(
+                tele, "service.admission", "decision", decision
+            ).inc(count)
         if decision == SHED:
             self._shed += count
             return SHED
         event = (
             Place(count, now) if kind == "place" else Release(count, now)
         )
+        # No per-submit depth gauge: the queue maintains its high-water
+        # mark unconditionally and the flush hook gauges depth — one
+        # fewer telemetry call on the ingest hot path.
         self.queue.push(event)
         self._accepted += count
         if decision == DEFER:
@@ -374,7 +427,7 @@ class AllocatorService:
         must not run backward).  An idle tick — empty queue — is a
         strict no-op: no flush, no RNG draw, no seed spawn, no record.
         """
-        self.trace.append(("tick", 0, now if now is not None else -1.0))
+        self._record_op("tick", 0, now if now is not None else -1.0)
         if now is not None and isinstance(self.clock, SimulatedClock):
             self.clock.advance_to(now)
         if (
@@ -399,7 +452,7 @@ class AllocatorService:
         child — both spawned from the root seed at flush time.
         """
         if _record_trace:
-            self.trace.append(("flush", int(all_pending), -1.0))
+            self._record_op("flush", int(all_pending), -1.0)
         events = self.queue.take(None if all_pending else self.batch_limit)
         if not events:
             return None
@@ -410,13 +463,24 @@ class AllocatorService:
         # Creating the factory draws nothing; streams are pulled only
         # when a draw is actually needed (bitwise-stable benign path).
         ctrl = RngFactory(ctrl_seed)
+        tele = current_telemetry()
         start = time.perf_counter()
         lost_acks = 0
         if self.fault is not None:
             # Fail/recover transitions at the batch boundary — the
             # service-side mirror of run_dynamic's epoch-start step,
             # on the same per-batch control child.
+            failed_before = self.fault.failed_count
             self.fault.step(ctrl.stream("dynamic", "faults"))
+            if tele is not None:
+                tele.gauge("service.failed_bins", self.fault.failed_count)
+                if self.fault.failed_count != failed_before:
+                    tele.event(
+                        "fault.step",
+                        cat="service",
+                        failed=self.fault.failed_count,
+                        was=failed_before,
+                    )
         released = min(releases, self.residents.population)
         self._dropped_releases += releases - released
         if released:
@@ -427,6 +491,7 @@ class AllocatorService:
                 hot_frac=self.hot_frac,
             )
         placed = unplaced = rounds = messages = moved = 0
+        place_start = tele.begin() if tele is not None else 0.0
         if places:
             epoch_wl = self._workload
             if self.fault is not None:
@@ -475,6 +540,15 @@ class AllocatorService:
                 rounds = placement.rounds
                 messages = placement.total_messages
                 moved = placement.placed
+            if tele is not None:
+                tele.complete(
+                    "placement",
+                    place_start,
+                    cat="service",
+                    batch=len(self.records),
+                    places=places,
+                    lost_acks=lost_acks,
+                )
         elapsed = time.perf_counter() - start
         self._busy_seconds += elapsed
         self._processed_places += places
@@ -515,6 +589,24 @@ class AllocatorService:
             lost_acks=lost_acks,
         )
         self.records.append(record)
+        if tele is not None:
+            tele.count("service.flushes")
+            tele.count("service.messages", messages)
+            tele.observe("service.flush.seconds", elapsed)
+            tele.observe("service.flush.gap", gap)
+            tele.gauge("service.queue.depth", self.queue.pending)
+            if lost_acks:
+                tele.count("service.lost_acks", lost_acks)
+            tele.complete(
+                "flush",
+                start,
+                cat="service",
+                batch=record.batch,
+                events=len(events),
+                places=places,
+                releases=releases,
+                gap=gap,
+            )
         return record
 
     def drain(self) -> list[BatchRecord]:
@@ -522,7 +614,7 @@ class AllocatorService:
         chunks — the same batch boundaries eager processing would have
         produced, so a deferred burst drains to bitwise-identical
         state (pinned by test)."""
-        self.trace.append(("drain", 0, -1.0))
+        self._record_op("drain", 0, -1.0)
         out = []
         while self.queue.pending:
             record = self.flush(_record_trace=False)
@@ -535,7 +627,14 @@ class AllocatorService:
 
     def stats(self) -> ServiceStats:
         """Cumulative service statistics (latency percentiles over
-        every processed ball, weighted by event count)."""
+        every processed ball, weighted by event count; per-flush wall
+        time percentiles over every batch)."""
+        if self.records:
+            flush_lat = percentiles(
+                np.array([r.seconds for r in self.records])
+            )
+        else:
+            flush_lat = {"p50": 0.0, "p95": 0.0, "p99": 0.0}
         if self._latencies:
             values = np.repeat(
                 np.array([l for l, _ in self._latencies]),
@@ -582,6 +681,8 @@ class AllocatorService:
             lost_acks=(
                 int(self.fault.lost_acks) if self.fault is not None else 0
             ),
+            queue_depth_hwm=self.queue.high_water,
+            flush_latency=flush_lat,
         )
 
 

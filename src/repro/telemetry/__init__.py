@@ -1,0 +1,161 @@
+"""Unified observability: metrics, spans, kernel profiling, exporters.
+
+One object — :class:`Telemetry` — bundles a
+:class:`~repro.telemetry.registry.MetricsRegistry` and a
+:class:`~repro.telemetry.spans.SpanTracer`, and an ambient contextvar
+(:func:`use_telemetry` / :func:`current_telemetry`) makes it visible
+to every instrumentation point without threading a parameter through
+forty signatures — the same selection pattern the kernel-backend seam
+uses (:func:`repro.fastpath.backend.use_backend`).
+
+Quickstart::
+
+    from repro.telemetry import Telemetry, use_telemetry
+
+    tele = Telemetry()
+    with use_telemetry(tele):
+        result = repro.allocate("heavy", 1_000_000, 1024, seed=7)
+    tele.write("run.trace.json")   # open in ui.perfetto.dev
+
+Two hard guarantees (pinned by ``tests/test_telemetry.py`` and the
+``BENCH_telemetry.json`` artifact):
+
+* **Default-off is a no-op.**  Every hook in the library is exactly
+  ``tele = current_telemetry()`` + one ``is not None`` branch; with no
+  telemetry installed, nothing is allocated and no timestamp is read.
+* **Telemetry never consumes RNG.**  Hooks read ``perf_counter`` and
+  write into the registry/tracer; no code path touches a Generator or
+  SeedSequence.  Results with telemetry fully on — including kernel
+  profiling, which wraps the resolved backend — are bitwise-identical
+  to telemetry off on every axis (granularities, trials, dynamic,
+  service, adversarial, faults, both backends, workers).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+from repro.telemetry.export import (
+    prometheus_text,
+    stats_to_prometheus,
+    telemetry_to_dict,
+    write_telemetry_json,
+)
+from repro.telemetry.log import configure_logging, get_logger
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanTracer",
+    "Telemetry",
+    "configure_logging",
+    "current_telemetry",
+    "get_logger",
+    "prometheus_text",
+    "stats_to_prometheus",
+    "telemetry_to_dict",
+    "use_telemetry",
+    "write_telemetry_json",
+]
+
+
+class Telemetry:
+    """A metrics registry plus a span tracer, with hook-facing helpers.
+
+    ``profile_kernels`` controls whether :func:`resolve_backend` wraps
+    the active kernel backend in the per-primitive profiler
+    (:class:`~repro.fastpath.backend.ProfilingBackend`); everything
+    else records unconditionally while the object is installed.
+    """
+
+    def __init__(self, *, profile_kernels: bool = True) -> None:
+        self.metrics = MetricsRegistry()
+        self.tracer = SpanTracer()
+        self.profile_kernels = profile_kernels
+
+    # -- hook-facing shorthand ------------------------------------------
+
+    def count(self, name: str, amount: int = 1, **labels) -> None:
+        self.metrics.counter(name, **labels).inc(amount)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        self.metrics.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        self.metrics.histogram(name, **labels).observe(value)
+
+    @staticmethod
+    def begin() -> float:
+        """Hot-path span start: just a ``perf_counter`` read."""
+        return time.perf_counter()
+
+    def complete(
+        self, name: str, start: float, *, cat: str = "repro", **args
+    ) -> float:
+        """Hot-path span end (records an ``X`` trace event); returns
+        the span duration in seconds."""
+        return self.tracer.complete(name, start, cat=cat, **args)
+
+    def span(self, name: str, *, cat: str = "repro", **args):
+        """Context-manager span for cold paths."""
+        return self.tracer.span(name, cat=cat, **args)
+
+    def event(self, name: str, *, cat: str = "repro", **args) -> None:
+        """Instant marker on the trace timeline."""
+        self.tracer.instant(name, cat=cat, **args)
+
+    # -- export ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return telemetry_to_dict(self)
+
+    def prometheus(self) -> str:
+        return prometheus_text(self.metrics)
+
+    def write(self, path: str) -> dict:
+        """Dump the combined Chrome-trace/metrics JSON to ``path``."""
+        return write_telemetry_json(self, path)
+
+
+_ACTIVE: ContextVar[Optional[Telemetry]] = ContextVar(
+    "repro_telemetry", default=None
+)
+
+
+def current_telemetry() -> Optional[Telemetry]:
+    """The ambient :class:`Telemetry`, or None (telemetry off).
+
+    This is the whole cost of a disabled hook: one contextvar read and
+    one ``is not None`` branch.
+    """
+    return _ACTIVE.get()
+
+
+@contextmanager
+def use_telemetry(
+    telemetry: Optional[Telemetry],
+) -> Iterator[Optional[Telemetry]]:
+    """Install ``telemetry`` as the ambient sink within the block.
+
+    ``None`` explicitly disables recording inside the block (useful
+    for excluding a warmup from an instrumented run).  Nesting works
+    the way contextvars nest: innermost wins, and the previous value
+    is restored on exit even when the block raises.
+    """
+    token = _ACTIVE.set(telemetry)
+    try:
+        yield telemetry
+    finally:
+        _ACTIVE.reset(token)

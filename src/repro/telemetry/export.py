@@ -1,0 +1,200 @@
+"""Exporters: Prometheus text exposition and JSON dumps.
+
+Three consumers, three formats:
+
+* :func:`prometheus_text` renders a :class:`MetricsRegistry` in the
+  Prometheus text exposition format (``# TYPE`` headers, label sets,
+  cumulative ``_bucket{le=...}`` histogram series) — what a scrape
+  endpoint or ``repro serve --metrics-out`` writes;
+* :func:`stats_to_prometheus` does the same for one
+  :class:`~repro.service.server.ServiceStats` snapshot, so a service
+  exports production-style metrics even when it ran with telemetry
+  off (the snapshot is always maintained);
+* :func:`telemetry_to_dict` / :func:`write_telemetry_json` bundle the
+  metrics snapshot with the span tracer's Chrome trace events into
+  one JSON object.  The object keeps the trace-event contract
+  (``traceEvents`` at the top level, extra keys ignored by viewers),
+  so **the same file** loads in Perfetto and feeds the JSON-reading
+  tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import TYPE_CHECKING
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry import Telemetry
+
+__all__ = [
+    "prometheus_text",
+    "stats_to_prometheus",
+    "telemetry_to_dict",
+    "write_telemetry_json",
+]
+
+
+def _prom_name(name: str) -> str:
+    """``kernel.primitive.seconds`` → ``repro_kernel_primitive_seconds``."""
+    cleaned = "".join(
+        c if c.isalnum() or c == "_" else "_" for c in name
+    )
+    return cleaned if cleaned.startswith("repro_") else f"repro_{cleaned}"
+
+
+def _labels(pairs, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in pairs]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(metrics: MetricsRegistry) -> str:
+    """Render every instrument in the Prometheus text format.
+
+    Counters get ``_total``, gauges export value and ``_max``,
+    histograms export cumulative ``_bucket{le=...}`` series plus
+    ``_sum``/``_count`` — the standard shapes, so the output scrapes
+    cleanly into a real Prometheus.
+    """
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in seen_types:
+            lines.append(f"# TYPE {name} {kind}")
+            seen_types.add(name)
+
+    for inst in metrics:
+        base = _prom_name(inst.name)
+        if isinstance(inst, Counter):
+            header(f"{base}_total", "counter")
+            lines.append(
+                f"{base}_total{_labels(inst.labels)} {_fmt(inst.value)}"
+            )
+        elif isinstance(inst, Gauge):
+            header(base, "gauge")
+            lines.append(f"{base}{_labels(inst.labels)} {_fmt(inst.value)}")
+            header(f"{base}_max", "gauge")
+            lines.append(
+                f"{base}_max{_labels(inst.labels)} {_fmt(inst.max_value)}"
+            )
+        elif isinstance(inst, Histogram):
+            header(base, "histogram")
+            cumulative = 0
+            for i, count in enumerate(inst.bucket_counts):
+                if count == 0:
+                    continue
+                cumulative += count
+                le = 'le="%s"' % _fmt(inst.bucket_upper_bound(i))
+                lines.append(
+                    f"{base}_bucket{_labels(inst.labels, le)} {cumulative}"
+                )
+            inf = 'le="+Inf"'
+            lines.append(
+                f"{base}_bucket{_labels(inst.labels, inf)} {inst.count}"
+            )
+            lines.append(
+                f"{base}_sum{_labels(inst.labels)} {_fmt(inst.sum)}"
+            )
+            lines.append(
+                f"{base}_count{_labels(inst.labels)} {inst.count}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def stats_to_prometheus(stats) -> str:
+    """Render a :class:`ServiceStats` snapshot as Prometheus text.
+
+    Cumulative totals export as counters, point-in-time readings as
+    gauges, and the latency percentile dicts as ``quantile``-labeled
+    summary series — the exposition a ``/metrics`` endpoint in front
+    of :meth:`AllocatorService.stats` would serve.
+    """
+    counters = (
+        "batches", "accepted", "deferred", "shed", "dropped_releases",
+        "processed_places", "processed_releases", "messages", "rounds",
+        "lost_acks",
+    )
+    gauges = (
+        "population", "gap", "gap_worst", "queue_pending", "widen",
+        "busy_seconds", "elapsed", "ops_per_sec", "latency_mean",
+        "latency_max", "failed_bins",
+    )
+    payload = stats.to_dict()
+    lines = [
+        f'# HELP repro_service_info service snapshot '
+        f'(algorithm={payload["algorithm"]}, n={payload["n"]})',
+        "# TYPE repro_service_info gauge",
+        f'repro_service_info{{algorithm="{payload["algorithm"]}",'
+        f'n="{payload["n"]}"}} 1',
+    ]
+    for field in counters:
+        name = f"repro_service_{field}_total"
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_fmt(payload[field])}")
+    for field in gauges:
+        name = f"repro_service_{field}"
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(payload[field])}")
+    lines.append("# TYPE repro_service_complete gauge")
+    lines.append(f"repro_service_complete {int(payload['complete'])}")
+    for source, metric in (
+        ("latency", "repro_service_latency_seconds"),
+        ("flush_latency", "repro_service_flush_seconds"),
+    ):
+        quantiles = payload.get(source)
+        if not quantiles:
+            continue
+        lines.append(f"# TYPE {metric} summary")
+        for key, value in sorted(quantiles.items()):
+            q = float(key.lstrip("p")) / 100.0
+            lines.append(f'{metric}{{quantile="{q}"}} {_fmt(value)}')
+    hwm = payload.get("queue_depth_hwm")
+    if hwm is not None:
+        lines.append("# TYPE repro_service_queue_depth_hwm gauge")
+        lines.append(f"repro_service_queue_depth_hwm {_fmt(hwm)}")
+    return "\n".join(lines) + "\n"
+
+
+def telemetry_to_dict(telemetry: "Telemetry") -> dict:
+    """One JSON object: Chrome trace events + metrics snapshot.
+
+    ``traceEvents`` sits at the top level (the Chrome trace-event
+    object form), so the dict round-trips through ``json`` and loads
+    directly in Perfetto; ``metrics`` and ``schema`` ride along as
+    the extra keys the format permits.
+    """
+    out = telemetry.tracer.to_chrome_trace()
+    out["schema"] = 1
+    out["metrics"] = telemetry.metrics.to_dict()
+    return out
+
+
+def write_telemetry_json(telemetry: "Telemetry", path: str) -> dict:
+    """Serialize :func:`telemetry_to_dict` to ``path``; returns it."""
+    payload = telemetry_to_dict(telemetry)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return payload

@@ -1,0 +1,66 @@
+"""Structured logging under the ``repro.*`` namespace.
+
+Every module that wants to narrate progress gets its logger from
+:func:`get_logger`, which anchors the name under the ``repro`` root
+(``get_logger("benchmarks.kernels")`` → ``repro.benchmarks.kernels``).
+Nothing is emitted until :func:`configure_logging` attaches a handler
+— the library stays silent by default (a ``NullHandler`` on the root
+swallows records so an un-configured import never triggers Python's
+"no handler" warning), and the CLI's ``-v/-vv`` flags map to
+INFO/DEBUG.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["configure_logging", "get_logger"]
+
+ROOT = "repro"
+
+# Library default: silent unless the application configures a handler.
+logging.getLogger(ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    ``name`` may be empty (the root), a suffix (``"service"``), or an
+    already-anchored dotted path (``"repro.service"``).
+    """
+    if not name or name == ROOT:
+        return logging.getLogger(ROOT)
+    if name.startswith(ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+def configure_logging(
+    verbosity: int = 0, *, stream=None
+) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` root logger.
+
+    ``verbosity`` 0 keeps the library at WARNING (effectively silent
+    in normal operation), 1 enables INFO, 2+ enables DEBUG.
+    Idempotent: reconfiguring replaces the handler installed by a
+    previous call instead of stacking duplicates.
+    """
+    level = (
+        logging.WARNING
+        if verbosity <= 0
+        else logging.INFO if verbosity == 1 else logging.DEBUG
+    )
+    root = logging.getLogger(ROOT)
+    root.setLevel(level)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_cli", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    return root

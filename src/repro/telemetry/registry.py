@@ -1,0 +1,261 @@
+"""Metrics registry: counters, gauges, and log-bucketed histograms.
+
+The registry is the passive half of the telemetry layer: a named bag
+of instruments that instrumentation points write into and exporters
+read out of.  Three instrument kinds cover every hook in the repo:
+
+* :class:`Counter` — a monotone total (``kernel.rounds``,
+  ``service.admission.shed``);
+* :class:`Gauge` — a last-written value plus its observed maximum
+  (``service.queue.depth`` — the max doubles as a high-water mark);
+* :class:`Histogram` — a log-bucketed distribution
+  (``kernel.primitive.seconds``, ``service.flush.seconds``): bucket
+  ``i`` holds observations in ``(base^(i-1) * scale, base^i * scale]``,
+  so forty-odd buckets span nanoseconds to hours with bounded error
+  and O(1) memory.  Exact ``count/sum/min/max`` ride along, so means
+  are exact even though quantiles are bucket-resolution.
+
+Instruments are keyed by ``(name, labels)`` where labels are a sorted
+tuple of ``(key, value)`` pairs — the same identity model Prometheus
+uses, so the text exposition in :mod:`repro.telemetry.export` is a
+direct rendering.
+
+Determinism: nothing in this module draws randomness or reads the
+clock; instruments only store what hooks hand them.  Timings enter as
+plain floats measured by the *caller* with ``time.perf_counter`` —
+the registry cannot perturb an allocation even in principle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    """Canonical, hashable identity for a label set."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotone accumulating total."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A last-written value that remembers its maximum.
+
+    The maximum is what turns a sampled signal (queue depth read at
+    every flush) into a high-water mark without a second instrument.
+    """
+
+    __slots__ = ("name", "labels", "value", "max_value", "_written")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.max_value = 0.0
+        self._written = False
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.value = value
+        if not self._written or value > self.max_value:
+            self.max_value = value
+        self._written = True
+
+    def to_dict(self) -> dict:
+        return {"value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """Log-bucketed distribution with exact count/sum/min/max.
+
+    Bucket boundaries are ``scale * base**i``: observation ``v`` lands
+    in the first bucket whose upper bound is ``>= v``.  With the
+    defaults (``base=2``, ``scale=1e-9``) the 64 buckets cover
+    ``[1e-9, ~1.8e10]`` at ≤ 2x relative resolution — nanoseconds to
+    centuries for timings, and the same dynamic range for dimensionless
+    observations (gaps, message counts) — and anything beyond the last
+    boundary lands in the overflow bucket.  Non-positive observations
+    land in bucket 0 (timings are non-negative; an exact zero is a
+    degenerate measurement, not an error).
+    """
+
+    __slots__ = (
+        "name", "labels", "base", "scale", "bucket_counts",
+        "count", "sum", "min", "max",
+    )
+
+    kind = "histogram"
+    NBUCKETS = 64
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        *,
+        base: float = 2.0,
+        scale: float = 1e-9,
+    ) -> None:
+        if base <= 1.0:
+            raise ValueError(f"base must be > 1, got {base}")
+        if scale <= 0.0:
+            raise ValueError(f"scale must be > 0, got {scale}")
+        self.name = name
+        self.labels = labels
+        self.base = base
+        self.scale = scale
+        # NBUCKETS log buckets plus one overflow bucket.
+        self.bucket_counts = [0] * (self.NBUCKETS + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def bucket_index(self, value: float) -> int:
+        if value <= self.scale:
+            return 0
+        if math.isinf(value):
+            return self.NBUCKETS
+        index = math.ceil(math.log(value / self.scale, self.base))
+        return min(max(index, 0), self.NBUCKETS)
+
+    def bucket_upper_bound(self, index: int) -> float:
+        """Upper boundary of bucket ``index`` (inf for the overflow)."""
+        if index >= self.NBUCKETS:
+            return math.inf
+        return self.scale * self.base**index
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[self.bucket_index(value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        # Trailing all-zero buckets compress away; the exporter
+        # reconstructs boundaries from (base, scale).
+        last = 0
+        for i, c in enumerate(self.bucket_counts):
+            if c:
+                last = i + 1
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "base": self.base,
+            "scale": self.scale,
+            "buckets": self.bucket_counts[:last],
+        }
+
+
+class MetricsRegistry:
+    """Named bag of instruments, keyed by ``(name, labels)``.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    call for a key materializes the instrument, later calls return the
+    same object, and asking for an existing name with a different kind
+    is an error (one name, one kind — the Prometheus rule).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, LabelKey], object] = {}
+        # Hot-path memo keyed by the labels *as passed* (uncanonicalized
+        # kwargs order): repeat lookups from the same call site cost one
+        # tuple build + dict hit instead of a sort.  Distinct orderings
+        # memoize separately but resolve to the same instrument — the
+        # canonical identity stays ``(name, sorted labels)``.
+        self._memo: dict[tuple, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator:
+        # Sorted for deterministic export order.
+        return iter(
+            self._instruments[k] for k in sorted(self._instruments)
+        )
+
+    def _get_or_create(self, cls, name: str, labels: dict) -> object:
+        key = (name, _label_key(labels))
+        found = self._instruments.get(key)
+        if found is None:
+            found = cls(key[0], key[1])
+            self._instruments[key] = found
+        elif not isinstance(found, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(found).kind}, not {cls.kind}"
+            )
+        return found
+
+    def _lookup(self, cls, name: str, labels: dict):
+        memo_key = (cls.kind, name, tuple(labels.items()))
+        found = self._memo.get(memo_key)
+        if found is None:
+            found = self._get_or_create(cls, name, labels)
+            self._memo[memo_key] = found
+        return found
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._lookup(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._lookup(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._lookup(Histogram, name, labels)
+
+    def get(self, name: str, **labels):
+        """Look up an existing instrument (None when absent)."""
+        return self._instruments.get((name, _label_key(labels)))
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot: ``{name: [{labels, kind, ...}, ...]}``."""
+        out: dict[str, list] = {}
+        for key in sorted(self._instruments):
+            inst = self._instruments[key]
+            entry = {"labels": dict(inst.labels), "kind": inst.kind}
+            entry.update(inst.to_dict())
+            out.setdefault(inst.name, []).append(entry)
+        return out

@@ -1,0 +1,110 @@
+"""Hierarchical span tracing in Chrome trace-event form.
+
+A *span* is a named interval on a thread's timeline; nesting emerges
+from containment (``allocate`` spans the whole call, ``phase`` spans
+sit inside it, ``round`` spans inside those), which is exactly how the
+Chrome trace-event viewer and Perfetto reconstruct hierarchy from
+"X" (complete) events: same process/thread, overlapping times, deeper
+spans stack below shallower ones.
+
+The tracer records events as plain dicts in the trace-event schema
+(``name``/``cat``/``ph``/``ts``/``dur``/``pid``/``tid``/``args`` with
+microsecond timestamps), so :meth:`SpanTracer.to_chrome_trace` is a
+wrap, not a conversion — the output loads directly in
+``chrome://tracing`` or https://ui.perfetto.dev.
+
+Two recording styles:
+
+* :meth:`SpanTracer.span` — a context manager, for cold paths where
+  the allocation of the manager object is irrelevant (CLI entry
+  points, service flushes);
+* :meth:`SpanTracer.begin` / :meth:`SpanTracer.complete` — an explicit
+  pair for hot loops: ``begin()`` is just ``perf_counter()`` (no
+  allocation when telemetry is off — the caller guards both calls
+  behind one ``is not None`` branch).
+
+Determinism: the tracer reads ``time.perf_counter`` and nothing else —
+no randomness, no effect on the caller's state.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["SpanTracer"]
+
+
+class SpanTracer:
+    """Accumulates Chrome trace events (phase ``X`` and ``i``)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self._pid = os.getpid()
+        # Trace timestamps are offsets from the tracer's birth so a
+        # trace starts near t=0 regardless of perf_counter's epoch.
+        self._t0 = time.perf_counter()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @staticmethod
+    def begin() -> float:
+        """Start-of-span timestamp (plain ``perf_counter`` seconds)."""
+        return time.perf_counter()
+
+    def complete(
+        self, name: str, start: float, *, cat: str = "repro", **args
+    ) -> float:
+        """Record a complete ("X") span from ``start`` to now; returns
+        the duration in seconds (one clock read serves span and
+        histogram at a hot hook)."""
+        now = time.perf_counter()
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": (start - self._t0) * 1e6,
+            "dur": (now - start) * 1e6,
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+        return now - start
+
+    def instant(self, name: str, *, cat: str = "repro", **args) -> None:
+        """Record an instant ("i") event — a point-in-time marker."""
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "ts": (time.perf_counter() - self._t0) * 1e6,
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+            "s": "t",  # thread-scoped marker
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    @contextmanager
+    def span(
+        self, name: str, *, cat: str = "repro", **args
+    ) -> Iterator[None]:
+        start = self.begin()
+        try:
+            yield
+        finally:
+            self.complete(name, start, cat=cat, **args)
+
+    def to_chrome_trace(self) -> dict:
+        """The Chrome trace-event JSON object (Perfetto-loadable)."""
+        return {
+            "traceEvents": list(self.events),
+            "displayTimeUnit": "ms",
+        }
